@@ -1,0 +1,41 @@
+// Command profile reproduces the paper's Fig. 2: the execution-time
+// decomposition of cross-comparing queries inside the spatial DBMS, for
+// both the unoptimised (Fig. 1a) and optimised (Fig. 1b) query forms, on a
+// single core.
+//
+//	profile            # representative dataset
+//	profile -dataset 2 # another corpus dataset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/experiments"
+	"repro/internal/pathology"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("profile: ")
+
+	dataset := flag.Int("dataset", 5, "corpus dataset index")
+	flag.Parse()
+
+	corpus := sccg.Corpus()
+	if *dataset < 0 || *dataset >= len(corpus) {
+		log.Fatalf("dataset index %d out of range", *dataset)
+	}
+	spec := corpus[*dataset]
+	d := pathology.Generate(spec)
+	res, err := experiments.Fig2(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Fig. 2 — query decomposition on %q (single core)\n\n", spec.Name)
+	fmt.Print(res.Render())
+	fmt.Printf("\nsimilarity J' = %.4f over %d intersecting pairs (%d candidates)\n",
+		res.Optimized.Similarity, res.Optimized.IntersectingPairs, res.Optimized.CandidatePairs)
+}

@@ -1,0 +1,86 @@
+// Command sccg cross-compares two polygon result sets with the SCCG
+// pipeline and prints the Jaccard similarity report.
+//
+// Input is either a pair of polygon text files (one image tile each):
+//
+//	sccg -a set1.poly -b set2.poly
+//
+// or a synthetic corpus dataset by index (tile files are generated in
+// memory):
+//
+//	sccg -dataset 5 -migration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+	"repro/internal/pathology"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sccg: ")
+
+	var (
+		fileA     = flag.String("a", "", "polygon text file for result set A")
+		fileB     = flag.String("b", "", "polygon text file for result set B")
+		dataset   = flag.Int("dataset", -1, "synthetic corpus dataset index (0-17) instead of files")
+		noGPU     = flag.Bool("no-gpu", false, "aggregate with PixelBox-CPU instead of the simulated GPU")
+		migration = flag.Bool("migration", false, "enable dynamic task migration")
+		workers   = flag.Int("workers", 0, "CPU worker count (default GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	eng := sccg.NewEngine(sccg.Options{
+		DisableGPU: *noGPU,
+		Workers:    *workers,
+		Migration:  *migration,
+	})
+
+	var tasks []sccg.FileTask
+	switch {
+	case *dataset >= 0:
+		corpus := sccg.Corpus()
+		if *dataset >= len(corpus) {
+			log.Fatalf("dataset index %d out of range (corpus has %d)", *dataset, len(corpus))
+		}
+		spec := corpus[*dataset]
+		fmt.Printf("generating dataset %q (%d tiles)...\n", spec.Name, spec.Tiles)
+		tasks = sccg.EncodeDataset(pathology.Generate(spec))
+	case *fileA != "" && *fileB != "":
+		rawA, err := os.ReadFile(*fileA)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rawB, err := os.ReadFile(*fileB)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tasks = []sccg.FileTask{{Image: *fileA, Tile: 0, RawA: rawA, RawB: rawB}}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	report, err := eng.CrossCompareDataset(tasks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := report.Stats
+	fmt.Printf("similarity J'        : %.4f\n", report.Similarity)
+	fmt.Printf("candidate pairs      : %d (MBR-intersecting)\n", report.Candidates)
+	fmt.Printf("intersecting pairs   : %d\n", report.Intersecting)
+	fmt.Printf("tiles processed      : %d\n", st.TilesProcessed)
+	fmt.Printf("pairs on GPU / CPU   : %d / %d\n", st.PairsOnGPU, st.PairsOnCPU)
+	if st.TasksToCPU+st.TasksToGPU > 0 {
+		fmt.Printf("migrated tasks       : %d to CPU, %d to GPU\n", st.TasksToCPU, st.TasksToGPU)
+	}
+	fmt.Printf("wall time            : %v\n", st.WallTime)
+	if dev := eng.Device(); dev != nil {
+		fmt.Printf("device busy (model)  : %.6fs over %d launches\n", dev.BusySeconds(), dev.Launches())
+	}
+}

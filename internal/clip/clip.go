@@ -1,0 +1,287 @@
+// Package clip is the GEOS-equivalent geometric computation library of the
+// reproduction. It computes Boolean overlays (intersection, union, symmetric
+// difference, difference) of simple rectilinear polygons with a plane-sweep
+// algorithm, both as exact areas and as exact boundary polygon sets.
+//
+// The paper (§2.3) identifies the GEOS/CGAL-style sweepline overlay used by
+// spatial databases as the bottleneck of cross-comparing queries: it is
+// branch-intensive, allocation-heavy and inherently serial. This package
+// plays that role faithfully — it is the single-core exact baseline that
+// PixelBox is measured against (Fig. 7) and the correctness oracle that
+// PixelBox results are validated against (§3.4).
+package clip
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Op selects the Boolean overlay operation.
+type Op uint8
+
+// Overlay operations.
+const (
+	OpAnd Op = iota // intersection: inside both polygons
+	OpOr            // union: inside either polygon
+	OpXor           // symmetric difference: inside exactly one polygon
+	OpSub           // difference: inside the first polygon but not the second
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpAnd:
+		return "intersection"
+	case OpOr:
+		return "union"
+	case OpXor:
+		return "symdifference"
+	case OpSub:
+		return "difference"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+func (o Op) combine(inA, inB bool) bool {
+	switch o {
+	case OpAnd:
+		return inA && inB
+	case OpOr:
+		return inA || inB
+	case OpXor:
+		return inA != inB
+	case OpSub:
+		return inA && !inB
+	}
+	return false
+}
+
+// sweepEvent is a vertical polygon edge entering the sweep at X; which marks
+// the polygon (0 or 1) it belongs to.
+type sweepEvent struct {
+	x      int32
+	y1, y2 int32
+	which  uint8
+}
+
+// gatherEvents collects the vertical edges of a polygon as sweep events.
+func gatherEvents(p *geom.Polygon, which uint8, out []sweepEvent) []sweepEvent {
+	vs := p.Vertices()
+	n := len(vs)
+	for i := 0; i < n; i++ {
+		a, b := vs[i], vs[(i+1)%n]
+		if a.X != b.X {
+			continue
+		}
+		y1, y2 := a.Y, b.Y
+		if y1 > y2 {
+			y1, y2 = y2, y1
+		}
+		out = append(out, sweepEvent{x: a.X, y1: y1, y2: y2, which: which})
+	}
+	return out
+}
+
+// parityLine tracks, along the sweep line, the y-intervals currently inside
+// each input polygon via crossing parity. Each vertical edge toggles the
+// parity of its y-span: the interior of a simple polygon between two
+// consecutive slab boundaries is exactly the odd-parity set.
+type parityLine struct {
+	toggles [2]map[int32]int // per polygon: y -> number of pending toggles (mod 2)
+}
+
+func newParityLine() *parityLine {
+	return &parityLine{toggles: [2]map[int32]int{make(map[int32]int), make(map[int32]int)}}
+}
+
+func (l *parityLine) toggle(which uint8, y1, y2 int32) {
+	l.toggles[which][y1] ^= 1
+	l.toggles[which][y2] ^= 1
+	if l.toggles[which][y1] == 0 {
+		delete(l.toggles[which], y1)
+	}
+	if l.toggles[which][y2] == 0 {
+		delete(l.toggles[which], y2)
+	}
+}
+
+// intervals materialises the maximal y-intervals where op.combine(inA, inB)
+// holds, appending them to dst as (y1, y2) pairs.
+func (l *parityLine) intervals(op Op, ys []int32, dst [][2]int32) [][2]int32 {
+	ys = ys[:0]
+	for y := range l.toggles[0] {
+		ys = append(ys, y)
+	}
+	for y := range l.toggles[1] {
+		if _, dup := l.toggles[0][y]; !dup {
+			ys = append(ys, y)
+		}
+	}
+	sort.Slice(ys, func(i, j int) bool { return ys[i] < ys[j] })
+	inA, inB := false, false
+	open := false
+	var start int32
+	for _, y := range ys {
+		if l.toggles[0][y] != 0 {
+			inA = !inA
+		}
+		if l.toggles[1][y] != 0 {
+			inB = !inB
+		}
+		now := op.combine(inA, inB)
+		switch {
+		case now && !open:
+			open, start = true, y
+		case !now && open:
+			open = false
+			if y > start {
+				dst = append(dst, [2]int32{start, y})
+			}
+		}
+	}
+	return dst
+}
+
+// Overlay computes the Boolean overlay of two rectilinear polygons as a set
+// of disjoint rectangles exactly covering the result region. Either polygon
+// may be nil, which is treated as the empty region.
+func Overlay(a, b *geom.Polygon, op Op) []geom.MBR {
+	events := make([]sweepEvent, 0, 16)
+	if a != nil {
+		events = gatherEvents(a, 0, events)
+	}
+	if b != nil {
+		events = gatherEvents(b, 1, events)
+	}
+	if len(events) == 0 {
+		return nil
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].x < events[j].x })
+
+	line := newParityLine()
+	var rects []geom.MBR
+	var ybuf []int32
+	var prevIntervals [][2]int32
+	var prevX int32
+
+	i := 0
+	for i < len(events) {
+		x := events[i].x
+		// Close the slab [prevX, x) with the interval set computed at the
+		// previous event group.
+		for _, iv := range prevIntervals {
+			rects = append(rects, geom.MBR{MinX: prevX, MinY: iv[0], MaxX: x, MaxY: iv[1]})
+		}
+		for i < len(events) && events[i].x == x {
+			line.toggle(events[i].which, events[i].y1, events[i].y2)
+			i++
+		}
+		prevIntervals = line.intervals(op, ybuf, prevIntervals[:0])
+		prevX = x
+	}
+	// After the final event group the parity line must be empty for simple
+	// closed polygons, so no trailing slab is emitted.
+	return rects
+}
+
+// Decompose partitions the interior of a single polygon into disjoint
+// rectangles via the vertical slab sweep.
+func Decompose(p *geom.Polygon) []geom.MBR {
+	return Overlay(p, nil, OpOr)
+}
+
+// RectsArea sums the pixel areas of a rectangle set.
+func RectsArea(rects []geom.MBR) int64 {
+	var total int64
+	for _, r := range rects {
+		total += r.Pixels()
+	}
+	return total
+}
+
+// IntersectionArea returns the exact area (pixel count) of p ∩ q, the
+// quantity the paper's profiling shows consuming ~90% of optimised query
+// time when computed via boundary construction (Fig. 2). This fast path
+// avoids boundary construction but still performs the full sweep.
+func IntersectionArea(p, q *geom.Polygon) int64 {
+	if !p.MBR().Intersects(q.MBR()) {
+		return 0
+	}
+	return RectsArea(Overlay(p, q, OpAnd))
+}
+
+// UnionArea returns the exact area of p ∪ q.
+func UnionArea(p, q *geom.Polygon) int64 {
+	if !p.MBR().Intersects(q.MBR()) {
+		return p.Area() + q.Area()
+	}
+	return RectsArea(Overlay(p, q, OpOr))
+}
+
+// Intersects reports whether the interiors of p and q share at least one
+// pixel (the ST_Intersects spatial predicate).
+func Intersects(p, q *geom.Polygon) bool {
+	if !p.MBR().Intersects(q.MBR()) {
+		return false
+	}
+	return IntersectionArea(p, q) > 0
+}
+
+// TopologyOverlay computes the requested overlay result the way a
+// general-purpose library does: GEOS's OverlayOp first builds the complete
+// labelled topology graph of both inputs — every elementary face of the
+// arrangement (p∩q, p\q, q\p) — and only then extracts the faces belonging
+// to the requested operation and assembles their boundary rings. The
+// reproduction's SDBMS operators call this entry point so the baseline pays
+// the full-graph cost per tuple, as PostGIS does.
+func TopologyOverlay(p, q *geom.Polygon, op Op) []Ring {
+	faces := [3][]geom.MBR{
+		Overlay(p, q, OpAnd),
+		Overlay(p, q, OpSub),
+		Overlay(q, p, OpSub),
+	}
+	var selected []geom.MBR
+	switch op {
+	case OpAnd:
+		selected = faces[0]
+	case OpSub:
+		selected = faces[1]
+	case OpXor:
+		selected = append(append([]geom.MBR{}, faces[1]...), faces[2]...)
+	case OpOr:
+		selected = append(append(append([]geom.MBR{}, faces[0]...), faces[1]...), faces[2]...)
+	}
+	return RegionToRings(selected)
+}
+
+// Intersection computes the boundary polygons of p ∩ q (the ST_Intersection
+// spatial operator). The result may be empty or contain multiple disjoint
+// polygons.
+func Intersection(p, q *geom.Polygon) []*geom.Polygon {
+	return RegionToPolygons(Overlay(p, q, OpAnd))
+}
+
+// Union computes the boundary polygons of p ∪ q (the ST_Union spatial
+// operator).
+func Union(p, q *geom.Polygon) []*geom.Polygon {
+	return RegionToPolygons(Overlay(p, q, OpOr))
+}
+
+// Difference computes the boundary polygons of p \ q.
+func Difference(p, q *geom.Polygon) []*geom.Polygon {
+	return RegionToPolygons(Overlay(p, q, OpSub))
+}
+
+// JaccardRatio returns r(p, q) = |p∩q| / |p∪q| for a polygon pair, and
+// whether the pair actually intersects. Pairs that do not intersect do not
+// contribute to the paper's J' metric (Eq. 1).
+func JaccardRatio(p, q *geom.Polygon) (ratio float64, intersects bool) {
+	inter := IntersectionArea(p, q)
+	if inter == 0 {
+		return 0, false
+	}
+	union := p.Area() + q.Area() - inter
+	return float64(inter) / float64(union), true
+}

@@ -1,0 +1,338 @@
+package clip_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/clip"
+	"repro/internal/geom"
+	"repro/internal/geomtest"
+)
+
+func lShape() *geom.Polygon {
+	return geom.MustPolygon([]geom.Point{{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 2, Y: 1}, {X: 1, Y: 1}, {X: 1, Y: 2}, {X: 0, Y: 2}})
+}
+
+func TestDecomposeRect(t *testing.T) {
+	p := geom.Rect(2, 3, 7, 9)
+	rects := clip.Decompose(p)
+	if len(rects) != 1 {
+		t.Fatalf("rect decomposes into %d rects, want 1", len(rects))
+	}
+	if rects[0] != (geom.MBR{MinX: 2, MinY: 3, MaxX: 7, MaxY: 9}) {
+		t.Fatalf("got %v", rects[0])
+	}
+}
+
+func TestDecomposeLShape(t *testing.T) {
+	p := lShape()
+	rects := clip.Decompose(p)
+	if got := clip.RectsArea(rects); got != p.Area() {
+		t.Fatalf("decomposed area %d != polygon area %d", got, p.Area())
+	}
+	// Rectangles must be disjoint.
+	for i := range rects {
+		for j := i + 1; j < len(rects); j++ {
+			if rects[i].Intersects(rects[j]) {
+				t.Fatalf("rects %v and %v overlap", rects[i], rects[j])
+			}
+		}
+	}
+}
+
+func TestDecomposeCoversExactPixels(t *testing.T) {
+	p := geom.MustPolygon([]geom.Point{{X: 0, Y: 0}, {X: 6, Y: 0}, {X: 6, Y: 2}, {X: 4, Y: 2}, {X: 4, Y: 4}, {X: 6, Y: 4}, {X: 6, Y: 6}, {X: 0, Y: 6}, {X: 0, Y: 4}, {X: 2, Y: 4}, {X: 2, Y: 2}, {X: 0, Y: 2}})
+	rects := clip.Decompose(p)
+	m := p.MBR()
+	for y := m.MinY; y < m.MaxY; y++ {
+		for x := m.MinX; x < m.MaxX; x++ {
+			inRects := false
+			for _, r := range rects {
+				if r.ContainsPixel(x, y) {
+					inRects = true
+					break
+				}
+			}
+			if inRects != p.ContainsPixel(x, y) {
+				t.Fatalf("pixel (%d,%d): cover %v, polygon %v", x, y, inRects, p.ContainsPixel(x, y))
+			}
+		}
+	}
+}
+
+func TestIntersectionAreaSquares(t *testing.T) {
+	a := geom.Rect(0, 0, 4, 4)
+	b := geom.Rect(2, 2, 6, 6)
+	if got := clip.IntersectionArea(a, b); got != 4 {
+		t.Fatalf("intersection area = %d, want 4", got)
+	}
+	if got := clip.UnionArea(a, b); got != 28 {
+		t.Fatalf("union area = %d, want 28", got)
+	}
+}
+
+func TestIntersectionAreaDisjoint(t *testing.T) {
+	a := geom.Rect(0, 0, 2, 2)
+	b := geom.Rect(5, 5, 7, 7)
+	if got := clip.IntersectionArea(a, b); got != 0 {
+		t.Fatalf("disjoint intersection = %d", got)
+	}
+	if got := clip.UnionArea(a, b); got != 8 {
+		t.Fatalf("disjoint union = %d, want 8", got)
+	}
+	if clip.Intersects(a, b) {
+		t.Fatal("disjoint polygons reported intersecting")
+	}
+}
+
+func TestIntersectionAreaTouching(t *testing.T) {
+	// Sharing only a border: zero pixels of intersection.
+	a := geom.Rect(0, 0, 2, 2)
+	b := geom.Rect(2, 0, 4, 2)
+	if got := clip.IntersectionArea(a, b); got != 0 {
+		t.Fatalf("touching intersection = %d, want 0", got)
+	}
+	if clip.Intersects(a, b) {
+		t.Fatal("touching polygons reported intersecting")
+	}
+}
+
+func TestOverlayOps(t *testing.T) {
+	a := geom.Rect(0, 0, 4, 4)
+	b := geom.Rect(2, 0, 6, 4)
+	cases := []struct {
+		op   clip.Op
+		want int64
+	}{
+		{clip.OpAnd, 8},
+		{clip.OpOr, 24},
+		{clip.OpXor, 16},
+		{clip.OpSub, 8},
+	}
+	for _, c := range cases {
+		if got := clip.RectsArea(clip.Overlay(a, b, c.op)); got != c.want {
+			t.Errorf("%v area = %d, want %d", c.op, got, c.want)
+		}
+	}
+}
+
+func TestJaccardRatio(t *testing.T) {
+	a := geom.Rect(0, 0, 4, 4)
+	b := geom.Rect(0, 0, 4, 4)
+	r, ok := clip.JaccardRatio(a, b)
+	if !ok || r != 1.0 {
+		t.Fatalf("identical polygons ratio = %v,%v", r, ok)
+	}
+	c := geom.Rect(2, 0, 6, 4)
+	r, ok = clip.JaccardRatio(a, c)
+	if !ok || r != 8.0/24.0 {
+		t.Fatalf("half-overlap ratio = %v, want %v", r, 8.0/24.0)
+	}
+	d := geom.Rect(10, 10, 12, 12)
+	if _, ok = clip.JaccardRatio(a, d); ok {
+		t.Fatal("disjoint pair reported intersecting")
+	}
+}
+
+func TestRegionToRingsSquare(t *testing.T) {
+	rings := clip.RegionToRings([]geom.MBR{{MinX: 1, MinY: 1, MaxX: 4, MaxY: 5}})
+	if len(rings) != 1 {
+		t.Fatalf("got %d rings, want 1", len(rings))
+	}
+	if rings[0].SignedArea != 12 {
+		t.Fatalf("signed area = %d, want 12", rings[0].SignedArea)
+	}
+	if rings[0].IsHole() {
+		t.Fatal("outer ring reported as hole")
+	}
+	p, err := rings[0].Polygon()
+	if err != nil {
+		t.Fatalf("ring to polygon: %v", err)
+	}
+	if p.Area() != 12 {
+		t.Fatalf("polygon area = %d", p.Area())
+	}
+}
+
+func TestRegionToRingsMergesAdjacent(t *testing.T) {
+	// Two stacked rectangles form one square ring with 4 vertices.
+	rects := []geom.MBR{{MinX: 0, MinY: 0, MaxX: 2, MaxY: 1}, {MinX: 0, MinY: 1, MaxX: 2, MaxY: 2}}
+	rings := clip.RegionToRings(rects)
+	if len(rings) != 1 {
+		t.Fatalf("got %d rings, want 1", len(rings))
+	}
+	if len(rings[0].Vertices) != 4 {
+		t.Fatalf("got %d vertices, want 4 (interior border must cancel)", len(rings[0].Vertices))
+	}
+	if rings[0].SignedArea != 4 {
+		t.Fatalf("area = %d, want 4", rings[0].SignedArea)
+	}
+}
+
+func TestRegionToRingsHole(t *testing.T) {
+	// A 4x4 square with its centre 2x2 missing: outer ring + hole.
+	var rects []geom.MBR
+	for y := int32(0); y < 4; y++ {
+		for x := int32(0); x < 4; x++ {
+			if x >= 1 && x < 3 && y >= 1 && y < 3 {
+				continue
+			}
+			rects = append(rects, geom.MBR{MinX: x, MinY: y, MaxX: x + 1, MaxY: y + 1})
+		}
+	}
+	rings := clip.RegionToRings(rects)
+	if len(rings) != 2 {
+		t.Fatalf("got %d rings, want outer + hole", len(rings))
+	}
+	if got := clip.RegionArea(rings); got != 12 {
+		t.Fatalf("region area = %d, want 12", got)
+	}
+	holes := 0
+	for _, r := range rings {
+		if r.IsHole() {
+			holes++
+			if r.SignedArea != -4 {
+				t.Fatalf("hole signed area = %d, want -4", r.SignedArea)
+			}
+		}
+	}
+	if holes != 1 {
+		t.Fatalf("holes = %d, want 1", holes)
+	}
+}
+
+func TestRegionToRingsCornerTouch(t *testing.T) {
+	// Two squares touching at one corner must yield two simple rings, not a
+	// figure eight.
+	rects := []geom.MBR{{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, {MinX: 1, MinY: 1, MaxX: 2, MaxY: 2}}
+	rings := clip.RegionToRings(rects)
+	if len(rings) != 2 {
+		t.Fatalf("got %d rings, want 2", len(rings))
+	}
+	for _, r := range rings {
+		if r.SignedArea != 1 {
+			t.Fatalf("ring signed area = %d, want 1", r.SignedArea)
+		}
+		if len(r.Vertices) != 4 {
+			t.Fatalf("ring has %d vertices, want 4", len(r.Vertices))
+		}
+	}
+}
+
+func TestIntersectionBoundary(t *testing.T) {
+	a := geom.Rect(0, 0, 4, 4)
+	b := geom.Rect(2, 2, 6, 6)
+	polys := clip.Intersection(a, b)
+	if len(polys) != 1 {
+		t.Fatalf("got %d polygons, want 1", len(polys))
+	}
+	if polys[0].Area() != 4 {
+		t.Fatalf("intersection polygon area = %d, want 4", polys[0].Area())
+	}
+	if polys[0].MBR() != (geom.MBR{MinX: 2, MinY: 2, MaxX: 4, MaxY: 4}) {
+		t.Fatalf("intersection MBR = %v", polys[0].MBR())
+	}
+}
+
+func TestUnionBoundary(t *testing.T) {
+	a := geom.Rect(0, 0, 2, 2)
+	b := geom.Rect(5, 0, 7, 2)
+	polys := clip.Union(a, b)
+	if len(polys) != 2 {
+		t.Fatalf("union of disjoint squares: %d polygons, want 2", len(polys))
+	}
+	if polys[0].Area()+polys[1].Area() != 8 {
+		t.Fatal("union area mismatch")
+	}
+}
+
+func TestDifference(t *testing.T) {
+	a := geom.Rect(0, 0, 4, 4)
+	b := geom.Rect(0, 0, 4, 2)
+	polys := clip.Difference(a, b)
+	if len(polys) != 1 {
+		t.Fatalf("difference polygons = %d, want 1", len(polys))
+	}
+	if polys[0].Area() != 8 {
+		t.Fatalf("difference area = %d, want 8", polys[0].Area())
+	}
+}
+
+// TestOverlayMatchesBruteForce is the core exactness property: for random
+// polygon pairs, every overlay op must match exhaustive per-pixel counting.
+func TestOverlayMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	trials := 0
+	for trials < 120 {
+		p := geomtest.RandomPolygon(rng, 24)
+		q := geomtest.RandomPolygon(rng, 24)
+		if p == nil || q == nil {
+			continue
+		}
+		trials++
+		wantInter := geomtest.BruteIntersectionArea(p, q)
+		wantUnion := geomtest.BruteUnionArea(p, q)
+		if got := clip.IntersectionArea(p, q); got != wantInter {
+			t.Fatalf("trial %d: intersection %d, want %d\np=%v\nq=%v", trials, got, wantInter, p.Vertices(), q.Vertices())
+		}
+		if got := clip.UnionArea(p, q); got != wantUnion {
+			t.Fatalf("trial %d: union %d, want %d", trials, got, wantUnion)
+		}
+		// Boundary-constructed area must agree with rect-cover area.
+		rings := clip.RegionToRings(clip.Overlay(p, q, clip.OpAnd))
+		if got := clip.RegionArea(rings); got != wantInter {
+			t.Fatalf("trial %d: ring area %d, want %d", trials, got, wantInter)
+		}
+	}
+}
+
+// TestDecomposePropertyQuick uses testing/quick to drive random polygon
+// shapes: decomposition area always equals shoelace area, and rectangles
+// are pairwise disjoint.
+func TestDecomposePropertyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := geomtest.RandomPolygon(rng, 20)
+		if p == nil {
+			return true
+		}
+		rects := clip.Decompose(p)
+		if clip.RectsArea(rects) != p.Area() {
+			return false
+		}
+		for i := range rects {
+			for j := i + 1; j < len(rects); j++ {
+				if rects[i].Intersects(rects[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInclusionExclusionQuick checks |p|+|q| = |p∩q|+|p∪q| on random pairs.
+func TestInclusionExclusionQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := geomtest.RandomPolygon(rng, 20)
+		q := geomtest.RandomPolygon(rng, 20)
+		if p == nil || q == nil {
+			return true
+		}
+		return p.Area()+q.Area() == clip.IntersectionArea(p, q)+clip.UnionArea(p, q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if clip.OpAnd.String() != "intersection" || clip.OpOr.String() != "union" {
+		t.Fatal("Op strings wrong")
+	}
+}

@@ -1,0 +1,272 @@
+package clip
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Ring is one closed boundary loop of an overlay result. Outer boundaries
+// wind counter-clockwise (positive SignedArea); holes wind clockwise
+// (negative SignedArea). A full overlay result is a set of rings whose signed
+// areas sum to the region's pixel count.
+type Ring struct {
+	Vertices   []geom.Point
+	SignedArea int64
+}
+
+// IsHole reports whether the ring bounds a hole in the region.
+func (r Ring) IsHole() bool { return r.SignedArea < 0 }
+
+// Polygon converts an outer ring into a validated geom.Polygon. It fails for
+// holes and for degenerate rings.
+func (r Ring) Polygon() (*geom.Polygon, error) {
+	return geom.NewPolygon(r.Vertices)
+}
+
+// RegionArea sums the signed areas of a ring set, yielding the exact pixel
+// count of the region (holes subtract).
+func RegionArea(rings []Ring) int64 {
+	var total int64
+	for _, r := range rings {
+		total += r.SignedArea
+	}
+	return total
+}
+
+// dseg is a directed axis-aligned boundary segment.
+type dseg struct {
+	from, to geom.Point
+}
+
+// dir encodes the direction of a segment: 0=+x, 1=+y, 2=-x, 3=-y.
+func (s dseg) dir() int {
+	switch {
+	case s.to.X > s.from.X:
+		return 0
+	case s.to.Y > s.from.Y:
+		return 1
+	case s.to.X < s.from.X:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// RegionToRings converts a disjoint rectangle cover (as produced by Overlay)
+// into its boundary rings. Interior-shared borders between adjacent
+// rectangles cancel; the remaining directed segments are stitched into
+// closed loops. At degenerate corner-touch points the stitcher always takes
+// the leftmost available turn, which keeps every emitted loop simple. Outer
+// loops come out counter-clockwise and holes clockwise.
+func RegionToRings(rects []geom.MBR) []Ring {
+	if len(rects) == 0 {
+		return nil
+	}
+	segs := boundarySegments(rects)
+	return stitch(segs)
+}
+
+// RegionToPolygons converts a disjoint rectangle cover into validated
+// polygons, one per outer ring. It returns only outer boundaries; use
+// RegionToRings when holes matter (for area accounting RegionArea on the
+// rings is always exact).
+func RegionToPolygons(rects []geom.MBR) []*geom.Polygon {
+	rings := RegionToRings(rects)
+	polys := make([]*geom.Polygon, 0, len(rings))
+	for _, r := range rings {
+		if r.IsHole() {
+			continue
+		}
+		if p, err := r.Polygon(); err == nil {
+			polys = append(polys, p)
+		}
+	}
+	return polys
+}
+
+// signedIv is an interval [a, b) on a grid line carrying an orientation
+// weight.
+type signedIv struct {
+	a, b int32
+	w    int // +1 or -1
+}
+
+// boundarySegments derives the net directed boundary segments of the region.
+// For each vertical grid line it accumulates +1 for upward rectangle borders
+// (right sides of CCW rectangles) and -1 for downward borders (left sides),
+// then emits maximal runs of non-zero net weight; horizontal lines likewise.
+// Because the rectangles are disjoint, net weights are always in {-1, 0, +1}.
+func boundarySegments(rects []geom.MBR) []dseg {
+	vert := make(map[int32][]signedIv)
+	horiz := make(map[int32][]signedIv)
+	for _, r := range rects {
+		// CCW orientation: bottom L->R, right B->T, top R->L, left T->B.
+		horiz[r.MinY] = append(horiz[r.MinY], signedIv{r.MinX, r.MaxX, +1})
+		vert[r.MaxX] = append(vert[r.MaxX], signedIv{r.MinY, r.MaxY, +1})
+		horiz[r.MaxY] = append(horiz[r.MaxY], signedIv{r.MinX, r.MaxX, -1})
+		vert[r.MinX] = append(vert[r.MinX], signedIv{r.MinY, r.MaxY, -1})
+	}
+	// Iterate grid lines in sorted order so the emitted segment list — and
+	// therefore ring starting points downstream — is deterministic.
+	var segs []dseg
+	for _, x := range sortedKeys(vert) {
+		for _, run := range netRuns(vert[x]) {
+			if run.w > 0 { // upward
+				segs = append(segs, dseg{geom.Point{X: x, Y: run.a}, geom.Point{X: x, Y: run.b}})
+			} else { // downward
+				segs = append(segs, dseg{geom.Point{X: x, Y: run.b}, geom.Point{X: x, Y: run.a}})
+			}
+		}
+	}
+	for _, y := range sortedKeys(horiz) {
+		for _, run := range netRuns(horiz[y]) {
+			if run.w > 0 { // rightward
+				segs = append(segs, dseg{geom.Point{X: run.a, Y: y}, geom.Point{X: run.b, Y: y}})
+			} else { // leftward
+				segs = append(segs, dseg{geom.Point{X: run.b, Y: y}, geom.Point{X: run.a, Y: y}})
+			}
+		}
+	}
+	return segs
+}
+
+func sortedKeys(m map[int32][]signedIv) []int32 {
+	keys := make([]int32, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// netRuns collapses signed intervals on one grid line into maximal runs of
+// constant non-zero net weight.
+func netRuns(ivs []signedIv) []signedIv {
+	diff := make(map[int32]int, 2*len(ivs))
+	for _, iv := range ivs {
+		diff[iv.a] += iv.w
+		diff[iv.b] -= iv.w
+	}
+	keys := make([]int32, 0, len(diff))
+	for k, v := range diff {
+		if v != 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var runs []signedIv
+	w := 0
+	for i, k := range keys {
+		prevW := w
+		w += diff[k]
+		_ = prevW
+		if i+1 < len(keys) && w != 0 {
+			runs = append(runs, signedIv{a: k, b: keys[i+1], w: w})
+		}
+	}
+	// Merge adjacent runs of identical weight (breakpoints that only existed
+	// because another interval started/ended with zero net change there).
+	merged := runs[:0]
+	for _, r := range runs {
+		if n := len(merged); n > 0 && merged[n-1].b == r.a && merged[n-1].w == r.w {
+			merged[n-1].b = r.b
+			continue
+		}
+		merged = append(merged, r)
+	}
+	return merged
+}
+
+// stitch links directed segments into closed loops. Every segment's end point
+// matches some segment's start point; at points with multiple outgoing
+// segments the leftmost turn relative to the incoming direction is chosen.
+func stitch(segs []dseg) []Ring {
+	out := make(map[geom.Point][]int) // start point -> indices into segs
+	used := make([]bool, len(segs))
+	for i, s := range segs {
+		out[s.from] = append(out[s.from], i)
+	}
+	var rings []Ring
+	for i := range segs {
+		if used[i] {
+			continue
+		}
+		loop := traceLoop(segs, out, used, i)
+		if len(loop) >= 4 {
+			rings = append(rings, makeRing(loop))
+		}
+	}
+	return rings
+}
+
+// traceLoop follows segments from segs[start] until returning to the loop's
+// first point, preferring the leftmost turn at junctions.
+func traceLoop(segs []dseg, out map[geom.Point][]int, used []bool, start int) []geom.Point {
+	var pts []geom.Point
+	cur := start
+	origin := segs[start].from
+	for {
+		used[cur] = true
+		pts = append(pts, segs[cur].from)
+		end := segs[cur].to
+		if end == origin {
+			return pts
+		}
+		next := -1
+		bestTurn := -4
+		inDir := segs[cur].dir()
+		for _, cand := range out[end] {
+			if used[cand] {
+				continue
+			}
+			// Turn score: leftmost first. turn = ((candDir - inDir + 5) % 4)
+			// maps left=2? Compute explicitly: left turn = (inDir+1)%4,
+			// straight = inDir, right = (inDir+3)%4, U-turn = (inDir+2)%4.
+			cd := segs[cand].dir()
+			var score int
+			switch cd {
+			case (inDir + 1) % 4:
+				score = 3 // left
+			case inDir:
+				score = 2 // straight
+			case (inDir + 3) % 4:
+				score = 1 // right
+			default:
+				score = 0 // reverse (should not happen)
+			}
+			if score > bestTurn {
+				bestTurn = score
+				next = cand
+			}
+		}
+		if next < 0 {
+			// Open chain: malformed input; abandon this loop.
+			return nil
+		}
+		cur = next
+	}
+}
+
+// makeRing simplifies collinear runs in a vertex loop and computes its signed
+// area (positive for CCW).
+func makeRing(pts []geom.Point) Ring {
+	n := len(pts)
+	simplified := make([]geom.Point, 0, n)
+	for i := 0; i < n; i++ {
+		prev := pts[(i-1+n)%n]
+		cur := pts[i]
+		next := pts[(i+1)%n]
+		collinear := (prev.X == cur.X && cur.X == next.X) || (prev.Y == cur.Y && cur.Y == next.Y)
+		if !collinear {
+			simplified = append(simplified, cur)
+		}
+	}
+	var sum int64
+	m := len(simplified)
+	for i := 0; i < m; i++ {
+		j := (i + 1) % m
+		sum += int64(simplified[i].X)*int64(simplified[j].Y) - int64(simplified[j].X)*int64(simplified[i].Y)
+	}
+	return Ring{Vertices: simplified, SignedArea: sum / 2}
+}

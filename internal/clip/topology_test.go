@@ -1,0 +1,82 @@
+package clip_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/clip"
+	"repro/internal/geom"
+	"repro/internal/geomtest"
+)
+
+// TestTopologyOverlayMatchesDirect: the full-graph entry point must agree
+// with the direct single-op overlay for every operation.
+func TestTopologyOverlayMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	ops := []clip.Op{clip.OpAnd, clip.OpOr, clip.OpXor, clip.OpSub}
+	for trial := 0; trial < 60; {
+		p := geomtest.RandomPolygon(rng, 24)
+		q := geomtest.RandomPolygon(rng, 24)
+		if p == nil || q == nil {
+			continue
+		}
+		trial++
+		for _, op := range ops {
+			want := clip.RectsArea(clip.Overlay(p, q, op))
+			got := clip.RegionArea(clip.TopologyOverlay(p, q, op))
+			if got != want {
+				t.Fatalf("trial %d op %v: topology area %d, direct %d", trial, op, got, want)
+			}
+		}
+	}
+}
+
+// TestTopologyOverlayFaceDecomposition: the three elementary faces must
+// partition the union exactly: |AND| + |A\B| + |B\A| = |A∪B|.
+func TestTopologyOverlayFaceDecomposition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := geomtest.RandomPolygon(rng, 20)
+		q := geomtest.RandomPolygon(rng, 20)
+		if p == nil || q == nil {
+			return true
+		}
+		and := clip.RegionArea(clip.TopologyOverlay(p, q, clip.OpAnd))
+		sub := clip.RegionArea(clip.TopologyOverlay(p, q, clip.OpSub))
+		bsub := clip.RegionArea(clip.TopologyOverlay(q, p, clip.OpSub))
+		or := clip.RegionArea(clip.TopologyOverlay(p, q, clip.OpOr))
+		return and+sub+bsub == or && and+sub == p.Area() && and+bsub == q.Area()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopologyOverlayDisjoint(t *testing.T) {
+	a := geom.Rect(0, 0, 2, 2)
+	b := geom.Rect(10, 10, 12, 12)
+	if got := clip.RegionArea(clip.TopologyOverlay(a, b, clip.OpAnd)); got != 0 {
+		t.Fatalf("disjoint intersection area %d", got)
+	}
+	if got := clip.RegionArea(clip.TopologyOverlay(a, b, clip.OpOr)); got != 8 {
+		t.Fatalf("disjoint union area %d", got)
+	}
+	rings := clip.TopologyOverlay(a, b, clip.OpOr)
+	if len(rings) != 2 {
+		t.Fatalf("disjoint union rings = %d, want 2", len(rings))
+	}
+}
+
+func TestTopologyOverlayIdentical(t *testing.T) {
+	a := geom.MustPolygon([]geom.Point{{X: 0, Y: 0}, {X: 3, Y: 0}, {X: 3, Y: 2}, {X: 2, Y: 2}, {X: 2, Y: 3}, {X: 0, Y: 3}})
+	if got := clip.RegionArea(clip.TopologyOverlay(a, a, clip.OpAnd)); got != a.Area() {
+		t.Fatalf("self intersection %d, want %d", got, a.Area())
+	}
+	if got := clip.RegionArea(clip.TopologyOverlay(a, a, clip.OpXor)); got != 0 {
+		t.Fatalf("self xor %d, want 0", got)
+	}
+	if got := clip.RegionArea(clip.TopologyOverlay(a, a, clip.OpSub)); got != 0 {
+		t.Fatalf("self difference %d, want 0", got)
+	}
+}

@@ -1,0 +1,42 @@
+// Package core anchors the repository layout's "primary contribution" slot:
+// the paper's core contribution is the PixelBox algorithm, implemented in
+// package repro/internal/pixelbox together with its GPU kernel, algorithmic
+// ablations and CPU port. This package re-exports the PixelBox entry points
+// under the canonical name so readers exploring internal/core land on the
+// real implementation.
+package core
+
+import (
+	"repro/internal/gpu"
+	"repro/internal/pixelbox"
+)
+
+// Core types of the PixelBox algorithm.
+type (
+	// Pair is one polygon pair to cross-compare.
+	Pair = pixelbox.Pair
+	// AreaResult is the exact intersection/union pixel count of a pair.
+	AreaResult = pixelbox.AreaResult
+	// Config tunes a PixelBox launch.
+	Config = pixelbox.Config
+	// Variant selects algorithmic and implementation ablations.
+	Variant = pixelbox.Variant
+	// CPUConfig tunes the CPU port.
+	CPUConfig = pixelbox.CPUConfig
+)
+
+// RunGPU executes PixelBox on the simulated GPU; see pixelbox.RunGPU.
+func RunGPU(dev *gpu.Device, pairs []Pair, cfg Config) ([]AreaResult, gpu.LaunchResult, float64) {
+	return pixelbox.RunGPU(dev, pairs, cfg)
+}
+
+// RunCPU executes the single-core CPU port; see pixelbox.RunCPU.
+func RunCPU(pairs []Pair, cfg CPUConfig) []AreaResult {
+	return pixelbox.RunCPU(pairs, cfg)
+}
+
+// RunCPUParallel executes the multi-worker CPU port; see
+// pixelbox.RunCPUParallel.
+func RunCPUParallel(pairs []Pair, cfg CPUConfig) []AreaResult {
+	return pixelbox.RunCPUParallel(pairs, cfg)
+}

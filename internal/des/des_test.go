@@ -1,0 +1,227 @@
+package des
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDelayAdvancesClock(t *testing.T) {
+	s := New()
+	var observed []float64
+	s.Spawn("a", func(p *Proc) {
+		p.Delay(1.5)
+		observed = append(observed, p.Now())
+		p.Delay(0.5)
+		observed = append(observed, p.Now())
+	})
+	end, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 2.0 {
+		t.Fatalf("end time = %v, want 2.0", end)
+	}
+	if len(observed) != 2 || observed[0] != 1.5 || observed[1] != 2.0 {
+		t.Fatalf("observed = %v", observed)
+	}
+}
+
+func TestProcessesInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		s := New()
+		var order []string
+		for _, spec := range []struct {
+			name  string
+			delay float64
+		}{{"x", 2}, {"y", 1}, {"z", 3}} {
+			spec := spec
+			s.Spawn(spec.name, func(p *Proc) {
+				p.Delay(spec.delay)
+				order = append(order, p.Name())
+			})
+		}
+		if _, err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	a := run()
+	b := run()
+	if len(a) != 3 || a[0] != "y" || a[1] != "x" || a[2] != "z" {
+		t.Fatalf("order = %v", a)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("simulation not deterministic")
+		}
+	}
+}
+
+func TestQueueProducerConsumer(t *testing.T) {
+	s := New()
+	q := NewQueue[int](s, 2)
+	var got []int
+	var putDone float64
+	s.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			q.Put(p, i)
+		}
+		putDone = p.Now()
+		q.Close()
+	})
+	s.Spawn("consumer", func(p *Proc) {
+		for {
+			v, ok := q.Get(p)
+			if !ok {
+				return
+			}
+			got = append(got, v)
+			p.Delay(1) // slow consumer forces producer to block on full
+		}
+	})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("consumed %v", got)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+	// With capacity 2 and a 1s-per-item consumer, the producer's last put
+	// cannot complete at time 0.
+	if putDone == 0 {
+		t.Fatal("bounded queue did not apply backpressure")
+	}
+}
+
+func TestQueueStealMin(t *testing.T) {
+	s := New()
+	q := NewQueue[int](s, 8)
+	s.Spawn("p", func(p *Proc) {
+		for _, v := range []int{4, 2, 9} {
+			q.Put(p, v)
+		}
+		if v, ok := q.StealMin(func(x int) float64 { return float64(x) }); !ok || v != 2 {
+			t.Errorf("StealMin = %v,%v", v, ok)
+		}
+		if q.Len() != 2 {
+			t.Errorf("len = %d", q.Len())
+		}
+	})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceSerialises(t *testing.T) {
+	s := New()
+	r := NewResource(s, "gpu", 1)
+	var finish []float64
+	for i := 0; i < 3; i++ {
+		s.Spawn("user", func(p *Proc) {
+			r.Use(p, 2)
+			finish = append(finish, p.Now())
+		})
+	}
+	end, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 6 {
+		t.Fatalf("three exclusive 2s uses should end at 6, got %v", end)
+	}
+	if r.BusySeconds() != 6 {
+		t.Fatalf("busy = %v", r.BusySeconds())
+	}
+}
+
+func TestResourceParallelCapacity(t *testing.T) {
+	s := New()
+	r := NewResource(s, "cores", 4)
+	for i := 0; i < 8; i++ {
+		s.Spawn("task", func(p *Proc) { r.Use(p, 1) })
+	}
+	end, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 2 {
+		t.Fatalf("8 unit tasks on 4 cores should end at 2, got %v", end)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	s := New()
+	q := NewQueue[int](s, 1)
+	s.Spawn("starved", func(p *Proc) {
+		q.Get(p) // nobody ever puts or closes
+	})
+	if _, err := s.Run(); err == nil {
+		t.Fatal("deadlock not reported")
+	}
+}
+
+func TestTrigger(t *testing.T) {
+	s := New()
+	tr := NewTrigger(s)
+	var wokenAt float64
+	fired := 0
+	s.Spawn("monitor", func(p *Proc) {
+		for tr.Await(p) {
+			fired++
+			wokenAt = p.Now()
+		}
+	})
+	s.Spawn("worker", func(p *Proc) {
+		p.Delay(5)
+		tr.Fire()
+		p.Delay(5)
+		tr.Fire()
+		p.Delay(1)
+		tr.Stop()
+	})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 2 {
+		t.Fatalf("monitor fired %d times, want 2", fired)
+	}
+	if math.Abs(wokenAt-10) > 1e-12 {
+		t.Fatalf("woken at %v, want 10", wokenAt)
+	}
+}
+
+func TestQueueEmptyFullSignals(t *testing.T) {
+	s := New()
+	q := NewQueue[int](s, 1)
+	var fulls, empties int
+	q.FullSignal = func() { fulls++ }
+	q.EmptySignal = func() { empties++ }
+	s.Spawn("producer", func(p *Proc) {
+		q.Put(p, 1) // fills capacity-1 queue -> full signal
+		q.Put(p, 2) // blocks behind the slow start -> another full signal
+		p.Delay(5)  // slow producer: consumer finds the queue empty
+		q.Put(p, 3)
+		q.Close()
+	})
+	s.Spawn("consumer", func(p *Proc) {
+		p.Delay(1)
+		for {
+			if _, ok := q.Get(p); !ok {
+				return
+			}
+		}
+	})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fulls == 0 {
+		t.Fatal("no full signals")
+	}
+	if empties == 0 {
+		t.Fatal("no empty signals (consumer drains faster than producer)")
+	}
+}

@@ -1,0 +1,250 @@
+package experiments_test
+
+import (
+	"testing"
+
+	"repro/internal/clip"
+	"repro/internal/experiments"
+	"repro/internal/pathology"
+	"repro/internal/pixelbox"
+)
+
+// smallRep returns a trimmed representative dataset so experiment tests run
+// quickly on one core.
+func smallRep(tiles int) *pathology.Dataset {
+	spec := pathology.Representative()
+	spec.Tiles = tiles
+	return pathology.Generate(spec)
+}
+
+func TestFilteredPairsNonEmptyAndIntersecting(t *testing.T) {
+	d := smallRep(2)
+	pairs := experiments.FilteredPairs(d)
+	if len(pairs) == 0 {
+		t.Fatal("no filtered pairs")
+	}
+	for i, pr := range pairs {
+		if !pr.P.MBR().Intersects(pr.Q.MBR()) {
+			t.Fatalf("pair %d has disjoint MBRs", i)
+		}
+	}
+}
+
+func TestSweepAreasMatchesExactOverlay(t *testing.T) {
+	d := smallRep(2)
+	pairs := experiments.FilteredPairs(d)
+	encoded := experiments.EncodePairs(pairs)
+	got := experiments.SweepAreas(encoded)
+	for i, pr := range pairs {
+		inter := clip.IntersectionArea(pr.P, pr.Q)
+		union := pr.P.Area() + pr.Q.Area() - inter
+		if got[i].Intersection != inter || got[i].Union != union {
+			t.Fatalf("pair %d: got %+v, want %d/%d", i, got[i], inter, union)
+		}
+	}
+}
+
+func TestScalePairs(t *testing.T) {
+	d := smallRep(1)
+	pairs := experiments.FilteredPairs(d)
+	scaled := experiments.ScalePairs(pairs, 3)
+	for i := range pairs {
+		if scaled[i].P.Area() != pairs[i].P.Area()*9 {
+			t.Fatalf("pair %d not scaled", i)
+		}
+	}
+	same := experiments.ScalePairs(pairs, 1)
+	if &same[0] != &pairs[0] {
+		t.Fatal("SF1 should be a no-op")
+	}
+}
+
+func TestCalibrateShape(t *testing.T) {
+	d := smallRep(3)
+	cal := experiments.Calibrate(d)
+	if len(cal.Tiles) != 3 {
+		t.Fatalf("tiles = %d", len(cal.Tiles))
+	}
+	if cal.ParseBytesPerSec <= 0 {
+		t.Fatal("no parse throughput")
+	}
+	if cal.TotalPairs == 0 {
+		t.Fatal("no pairs")
+	}
+	for i, tc := range cal.Tiles {
+		if tc.ParseSec <= 0 || tc.BuildSec <= 0 || tc.CPUAggSec <= 0 {
+			t.Fatalf("tile %d: non-positive CPU service times %+v", i, tc)
+		}
+		if tc.GPUAggSec <= 0 || tc.GPUParseSec <= 0 {
+			t.Fatalf("tile %d: non-positive GPU service times %+v", i, tc)
+		}
+		// The GPU must aggregate far faster than a single CPU core.
+		if tc.GPUAggSec >= tc.CPUAggSec {
+			t.Fatalf("tile %d: GPU aggregation (%v) not faster than CPU (%v)", i, tc.GPUAggSec, tc.CPUAggSec)
+		}
+	}
+}
+
+func TestReplicateTiles(t *testing.T) {
+	d := smallRep(2)
+	cal := experiments.Calibrate(d)
+	rep := experiments.ReplicateTiles(cal.Tiles, 5)
+	if len(rep) != 10 {
+		t.Fatalf("replicated to %d tiles", len(rep))
+	}
+	if rep[0] != rep[2] {
+		t.Fatal("replication altered tile costs")
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	d := smallRep(3)
+	res, err := experiments.Fig2(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := res.Optimized.Profile
+	if frac := float64(opt.AreaOfIntersection) / float64(opt.Total()); frac < 0.5 {
+		t.Fatalf("optimised Area_Of_Intersection fraction %v, want dominant", frac)
+	}
+	if res.Unoptimized.Profile.Total() <= opt.Total() {
+		t.Fatal("unoptimised query should be slower")
+	}
+	if res.Unoptimized.Similarity != res.Optimized.Similarity {
+		t.Fatal("query forms disagree on similarity")
+	}
+	if res.Render() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	d := smallRep(3)
+	res := experiments.Fig7(d)
+	cpuS, gpuBox := res.Speedups()
+	if cpuS <= 0.5 {
+		t.Fatalf("PixelBox-CPU-S speedup %v: should be in GEOS's ballpark or better", cpuS)
+	}
+	if gpuBox < 10 {
+		t.Fatalf("PixelBox speedup %v: should be >=10x over GEOS", gpuBox)
+	}
+	if res.PixelBoxSecs >= res.PixelBoxCPUSSecs {
+		t.Fatal("GPU not faster than single-core CPU")
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	d := smallRep(2)
+	pairs := experiments.FilteredPairs(d)
+	rows := experiments.Fig8(pairs, 5)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	sf5 := rows[4]
+	if !(sf5.PixelBoxSecs < sf5.NoSepSecs && sf5.NoSepSecs < sf5.PixelOnlySecs) {
+		t.Fatalf("SF5 ordering violated: %+v", sf5)
+	}
+	// PixelOnly must degrade much faster than PixelBox across the sweep.
+	pixelOnlyGrowth := rows[4].PixelOnlySecs / rows[0].PixelOnlySecs
+	pixelBoxGrowth := rows[4].PixelBoxSecs / rows[0].PixelBoxSecs
+	if pixelOnlyGrowth <= pixelBoxGrowth {
+		t.Fatalf("PixelOnly growth %v not worse than PixelBox %v", pixelOnlyGrowth, pixelBoxGrowth)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	d := smallRep(2)
+	pairs := experiments.FilteredPairs(d)
+	rows := experiments.Fig9(pairs, []int{1, 5})
+	for _, r := range rows {
+		nbc, nbcur, nbcursm := r.Speedups()
+		if nbc < 1 || nbcur < nbc || nbcursm < nbcur {
+			t.Fatalf("SF%d ladder not monotone: %v %v %v", r.ScaleFactor, nbc, nbcur, nbcursm)
+		}
+		if nbcursm < 1.05 {
+			t.Fatalf("SF%d full optimisation gain %v too small", r.ScaleFactor, nbcursm)
+		}
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	d := smallRep(2)
+	pairs := experiments.FilteredPairs(d)
+	thresholds := []int{16, 512, 2048, 1 << 20}
+	series := experiments.Fig10(pairs, 64, thresholds, []int{4})
+	if len(series) != 1 || len(series[0].Points) != 4 {
+		t.Fatal("series shape wrong")
+	}
+	best := series[0].Best()
+	// The paper's sweet spot [n²/8, n²] = [512, 4096] must beat the
+	// extremes at SF4.
+	if best.Threshold == 16 || best.Threshold == 1<<20 {
+		t.Fatalf("best threshold %d at an extreme", best.Threshold)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	d := smallRep(3)
+	cal := experiments.Calibrate(d)
+	res, err := experiments.Table1(d, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, m, p := res.Speedups()
+	if !(1 < s && s < m && m < p) {
+		t.Fatalf("Table 1 ordering violated: %v %v %v", s, m, p)
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	d := smallRep(3)
+	cal := experiments.Calibrate(d)
+	rows, err := experiments.Fig11(cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("configs = %d", len(rows))
+	}
+	// Config-III must migrate GPU -> CPU (the reversed direction).
+	if rows[2].On.MigratedToCPU == 0 {
+		t.Fatal("Config-III migrated nothing to CPUs")
+	}
+	// Config-I must migrate parser tasks to the GPU.
+	if rows[0].On.MigratedToGPU == 0 {
+		t.Fatal("Config-I migrated nothing to the GPU")
+	}
+}
+
+func TestFig12SmallCorpus(t *testing.T) {
+	specs := pathology.Corpus()[:2]
+	for i := range specs {
+		specs[i].Tiles = 3 // trim for test speed
+	}
+	rows, err := experiments.Fig12(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Speedup <= 1 {
+			t.Fatalf("%s: SCCG not faster than PostGIS-M (%vx)", r.Dataset, r.Speedup)
+		}
+		if r.Similarity <= 0.3 || r.Similarity >= 1 {
+			t.Fatalf("%s: implausible similarity %v", r.Dataset, r.Similarity)
+		}
+	}
+	if gm := experiments.Fig12GeoMean(rows); gm <= 1 {
+		t.Fatalf("geomean %v", gm)
+	}
+}
+
+func TestGPUSecondsPositive(t *testing.T) {
+	d := smallRep(1)
+	pairs := experiments.FilteredPairs(d)
+	if s := experiments.GPUSeconds(pairs, pixelbox.Config{}); s <= 0 {
+		t.Fatalf("gpu seconds = %v", s)
+	}
+}

@@ -1,0 +1,392 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/pathology"
+	"repro/internal/pipesim"
+	"repro/internal/pixelbox"
+	"repro/internal/sdbms"
+)
+
+// steadyStateTiles is the stream length the system-level simulations
+// replicate calibrated tiles up to, restoring the paper-scale tile counts
+// the ~50x-scaled corpus shrinks away.
+const steadyStateTiles = 160
+
+// Fig2Result is the SDBMS query-time decomposition (paper Fig. 2).
+type Fig2Result struct {
+	Unoptimized sdbms.Result
+	Optimized   sdbms.Result
+}
+
+// Fig2 profiles the cross-comparing query in the mini spatial DBMS, in both
+// the Fig. 1(a) and Fig. 1(b) forms, on a single core.
+func Fig2(d *pathology.Dataset) (Fig2Result, error) {
+	var out Fig2Result
+	for _, form := range []sdbms.QueryForm{sdbms.Unoptimized, sdbms.Optimized} {
+		a, b := d.GlobalPolygons()
+		db := sdbms.NewDB()
+		if _, err := db.CreateTable(d.Spec.Name+"_1", a); err != nil {
+			return out, err
+		}
+		if _, err := db.CreateTable(d.Spec.Name+"_2", b); err != nil {
+			return out, err
+		}
+		res, err := db.CrossCompare(d.Spec.Name+"_1", d.Spec.Name+"_2", form)
+		if err != nil {
+			return out, err
+		}
+		if form == sdbms.Unoptimized {
+			out.Unoptimized = res
+		} else {
+			out.Optimized = res
+		}
+	}
+	return out, nil
+}
+
+// Render prints the decomposition as percentage rows.
+func (r Fig2Result) Render() string {
+	t := metrics.NewTable("component", "unoptimized", "optimized")
+	u, o := r.Unoptimized.Profile, r.Optimized.Profile
+	ut, ot := float64(u.Total()), float64(o.Total())
+	uc, oc := u.Components(), o.Components()
+	for i := range uc {
+		t.AddRow(uc[i].Label,
+			fmt.Sprintf("%5.1f%%", 100*float64(uc[i].D)/ut),
+			fmt.Sprintf("%5.1f%%", 100*float64(oc[i].D)/ot))
+	}
+	t.AddRow("total", u.Total(), o.Total())
+	return t.String()
+}
+
+// Fig7Result compares the exact sweep baseline, the single-core CPU port
+// and the GPU kernel on the full representative workload (paper Fig. 7).
+type Fig7Result struct {
+	Pairs            int
+	GEOSSecs         float64 // single-core sweep overlay (GEOS role)
+	PixelBoxCPUSSecs float64 // PixelBox-CPU on one core
+	PixelBoxSecs     float64 // simulated GTX 580 incl. transfers
+}
+
+// Speedups returns the Fig. 7 right-hand panel: speedups over GEOS.
+func (r Fig7Result) Speedups() (cpuS, gpuBox float64) {
+	return metrics.Speedup(r.GEOSSecs, r.PixelBoxCPUSSecs), metrics.Speedup(r.GEOSSecs, r.PixelBoxSecs)
+}
+
+// Fig7 measures all three systems over every filtered pair of the dataset.
+func Fig7(d *pathology.Dataset) Fig7Result {
+	pairs := FilteredPairs(d)
+	encoded := EncodePairs(pairs)
+	var out Fig7Result
+	out.Pairs = len(pairs)
+
+	sw := metrics.Start()
+	SweepAreas(encoded)
+	out.GEOSSecs = sw.ElapsedSeconds()
+
+	sw = metrics.Start()
+	pixelbox.RunCPU(pairs, pixelbox.CPUConfig{})
+	out.PixelBoxCPUSSecs = sw.ElapsedSeconds()
+
+	out.PixelBoxSecs = GPUSeconds(pairs, pixelbox.Config{})
+	return out
+}
+
+// Fig8Row is one scale factor of the algorithm-decision ablation (paper
+// Fig. 8): sampling boxes and indirect union vs pixelization alone.
+type Fig8Row struct {
+	ScaleFactor   int
+	PixelOnlySecs float64
+	NoSepSecs     float64
+	PixelBoxSecs  float64
+	SweepSecs     float64 // GEOS reference ("takes GEOS over 11 seconds")
+}
+
+// Fig8 stresses the three algorithm variants over scale factors 1..maxSF.
+func Fig8(pairs []pixelbox.Pair, maxSF int) []Fig8Row {
+	rows := make([]Fig8Row, 0, maxSF)
+	for sf := 1; sf <= maxSF; sf++ {
+		scaled := ScalePairs(pairs, int32(sf))
+		encoded := EncodePairs(scaled)
+		sw := metrics.Start()
+		SweepAreas(encoded)
+		rows = append(rows, Fig8Row{
+			ScaleFactor:   sf,
+			SweepSecs:     sw.ElapsedSeconds(),
+			PixelOnlySecs: GPUSeconds(scaled, pixelbox.Config{Variant: pixelbox.PixelOnly}),
+			NoSepSecs:     GPUSeconds(scaled, pixelbox.Config{Variant: pixelbox.PixelBoxNoSep}),
+			PixelBoxSecs:  GPUSeconds(scaled, pixelbox.Config{Variant: pixelbox.PixelBox}),
+		})
+	}
+	return rows
+}
+
+// Fig9Row is one scale factor of the implementation-optimisation ladder
+// (paper Fig. 9), reporting speedups normalised to PixelBox-NoOpt.
+type Fig9Row struct {
+	ScaleFactor int
+	NoOptSecs   float64
+	NBCSecs     float64
+	NBCURSecs   float64
+	NBCURSMSecs float64
+}
+
+// Speedups returns each variant's speedup over NoOpt.
+func (r Fig9Row) Speedups() (nbc, nbcur, nbcursm float64) {
+	return metrics.Speedup(r.NoOptSecs, r.NBCSecs),
+		metrics.Speedup(r.NoOptSecs, r.NBCURSecs),
+		metrics.Speedup(r.NoOptSecs, r.NBCURSMSecs)
+}
+
+// Fig9 measures the optimisation ladder at the given scale factors (the
+// paper uses 1, 3 and 5).
+func Fig9(pairs []pixelbox.Pair, scaleFactors []int) []Fig9Row {
+	rows := make([]Fig9Row, 0, len(scaleFactors))
+	for _, sf := range scaleFactors {
+		scaled := ScalePairs(pairs, int32(sf))
+		rows = append(rows, Fig9Row{
+			ScaleFactor: sf,
+			NoOptSecs:   GPUSeconds(scaled, pixelbox.Config{Variant: pixelbox.NoOpt}),
+			NBCSecs:     GPUSeconds(scaled, pixelbox.Config{Variant: pixelbox.NBC}),
+			NBCURSecs:   GPUSeconds(scaled, pixelbox.Config{Variant: pixelbox.NBCUR}),
+			NBCURSMSecs: GPUSeconds(scaled, pixelbox.Config{Variant: pixelbox.NBCURSM}),
+		})
+	}
+	return rows
+}
+
+// Fig10Point is one pixelization threshold sample.
+type Fig10Point struct {
+	Threshold int
+	Secs      float64
+}
+
+// Fig10Series is the threshold-sensitivity curve for one scale factor
+// (paper Fig. 10).
+type Fig10Series struct {
+	ScaleFactor int
+	Points      []Fig10Point
+}
+
+// Fig10 sweeps the pixelization threshold T at a fixed thread-block size
+// for each scale factor.
+func Fig10(pairs []pixelbox.Pair, blockSize int, thresholds []int, scaleFactors []int) []Fig10Series {
+	series := make([]Fig10Series, 0, len(scaleFactors))
+	for _, sf := range scaleFactors {
+		scaled := ScalePairs(pairs, int32(sf))
+		s := Fig10Series{ScaleFactor: sf}
+		for _, T := range thresholds {
+			s.Points = append(s.Points, Fig10Point{
+				Threshold: T,
+				Secs:      GPUSeconds(scaled, pixelbox.Config{BlockSize: blockSize, Threshold: T}),
+			})
+		}
+		series = append(series, s)
+	}
+	return series
+}
+
+// Best returns the threshold with the lowest time in the series.
+func (s Fig10Series) Best() Fig10Point {
+	best := s.Points[0]
+	for _, p := range s.Points[1:] {
+		if p.Secs < best.Secs {
+			best = p
+		}
+	}
+	return best
+}
+
+// Table1Result holds the execution-scheme comparison (paper Table 1),
+// normalised against the measured single-core SDBMS baseline.
+type Table1Result struct {
+	PostGISSecs float64
+	NoPipeS     pipesim.Result
+	NoPipeM     pipesim.Result
+	Pipelined   pipesim.Result
+}
+
+// Speedups returns the Table 1 row: each scheme's speedup over PostGIS-S.
+func (r Table1Result) Speedups() (s, m, p float64) {
+	return metrics.Speedup(r.PostGISSecs, r.NoPipeS.Seconds),
+		metrics.Speedup(r.PostGISSecs, r.NoPipeM.Seconds),
+		metrics.Speedup(r.PostGISSecs, r.Pipelined.Seconds)
+}
+
+// Table1 measures the SDBMS baseline on the host core and simulates the
+// three SCCG schemes on the T1500 platform with calibrated service times.
+// Task migration is disabled, as in the paper's §5.5 methodology.
+func Table1(d *pathology.Dataset, cal Calibration) (Table1Result, error) {
+	var out Table1Result
+	a, b := d.GlobalPolygons()
+	db := sdbms.NewDB()
+	if _, err := db.CreateTable("t1", a); err != nil {
+		return out, err
+	}
+	if _, err := db.CreateTable("t2", b); err != nil {
+		return out, err
+	}
+	sw := metrics.Start()
+	if _, err := db.CrossCompare("t1", "t2", sdbms.Optimized); err != nil {
+		return out, err
+	}
+	out.PostGISSecs = sw.ElapsedSeconds()
+
+	// Replicate the calibrated tiles to paper-scale stream length so the
+	// schemes reach steady state, and scale the measured baseline by the
+	// same factor.
+	reps := (steadyStateTiles + len(cal.Tiles) - 1) / len(cal.Tiles)
+	tiles := ReplicateTiles(cal.Tiles, reps)
+	out.PostGISSecs *= float64(reps)
+
+	plat := pipesim.T1500()
+	var err error
+	if out.NoPipeS, err = pipesim.Simulate(tiles, plat, pipesim.NoPipeS, pipesim.Options{}); err != nil {
+		return out, err
+	}
+	if out.NoPipeM, err = pipesim.Simulate(tiles, plat, pipesim.NoPipeM, pipesim.Options{}); err != nil {
+		return out, err
+	}
+	if out.Pipelined, err = pipesim.Simulate(tiles, plat, pipesim.Pipelined, pipesim.Options{}); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// Fig11Row is one platform configuration of the task-migration experiment
+// (paper Fig. 11).
+type Fig11Row struct {
+	Config         string
+	Off            pipesim.Result
+	On             pipesim.Result
+	NormThroughput float64 // on/off throughput ratio
+}
+
+// Fig11 evaluates dynamic task migration on the paper's three platform
+// configurations: the T1500 workstation, the EC2 instance with both GPUs,
+// and the EC2 instance with one deliberately slowed GPU (the paper slows
+// PixelBox with a sub-optimal thread-block size to emulate a shared,
+// non-exclusive device).
+func Fig11(cal Calibration) ([]Fig11Row, error) {
+	configIII := pipesim.EC2(1)
+	// De-tune the device (the paper picks a sub-optimal thread-block size,
+	// emulating a GPU shared with other applications) just enough that the
+	// aggregator becomes the pipeline bottleneck and migration flows
+	// GPU -> CPU (§5.6).
+	configIII.GPUSpeed *= 0.5
+	configs := []struct {
+		name string
+		plat pipesim.Platform
+	}{
+		{"Config-I (T1500)", pipesim.T1500()},
+		{"Config-II (EC2 2xGPU)", pipesim.EC2(2)},
+		{"Config-III (EC2 1xGPU slowed)", configIII},
+	}
+	reps := (steadyStateTiles + len(cal.Tiles) - 1) / len(cal.Tiles)
+	tiles := ReplicateTiles(cal.Tiles, reps)
+	rows := make([]Fig11Row, 0, len(configs))
+	for _, c := range configs {
+		off, err := pipesim.Simulate(tiles, c.plat, pipesim.Pipelined, pipesim.Options{Migration: false})
+		if err != nil {
+			return nil, err
+		}
+		on, err := pipesim.Simulate(tiles, c.plat, pipesim.Pipelined, pipesim.Options{Migration: true})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig11Row{
+			Config:         c.name,
+			Off:            off,
+			On:             on,
+			NormThroughput: off.Seconds / on.Seconds,
+		})
+	}
+	return rows, nil
+}
+
+// Fig12Row is one dataset of the full-corpus comparison (paper Fig. 12).
+type Fig12Row struct {
+	Dataset      string
+	Tiles        int
+	Polygons     int
+	Pairs        int
+	PostGISMSecs float64
+	SCCGSecs     float64
+	Speedup      float64
+	Similarity   float64
+}
+
+// Fig12 cross-compares every corpus dataset with both systems: PostGIS-M is
+// the measured single-core SDBMS time scaled by the paper's 16-stream /
+// 8-core parallelisation model, and SCCG is the pipelined scheme with task
+// migration on the T1500 platform.
+func Fig12(specs []pathology.DatasetSpec) ([]Fig12Row, error) {
+	rows := make([]Fig12Row, 0, len(specs))
+	for _, spec := range specs {
+		d := pathology.Generate(spec)
+		a, b := d.GlobalPolygons()
+
+		db := sdbms.NewDB()
+		if _, err := db.CreateTable("a", a); err != nil {
+			return nil, err
+		}
+		if _, err := db.CreateTable("b", b); err != nil {
+			return nil, err
+		}
+		sw := metrics.Start()
+		res, err := db.CrossCompare("a", "b", sdbms.Optimized)
+		if err != nil {
+			return nil, err
+		}
+		single := sw.Elapsed()
+		// The paper's 16-stream PostgreSQL on the 8-core EC2 instance
+		// scales well below linear: its own numbers (Table 1's 76x over
+		// PostGIS-S vs Fig. 12's ~19x over PostGIS-M for the same dataset)
+		// imply ~4x effective parallelism. ModelParallelTime(16, 8, -0.5)
+		// yields that factor: 8 cores x 50% per-core efficiency under
+		// shared buffer-manager contention.
+		postgisM := sdbms.ModelParallelTime(single, 16, 8, -0.5)
+
+		// Replicate to steady-state stream length, scaling the baseline by
+		// the same factor (both systems process `reps` copies).
+		reps := (steadyStateTiles + spec.Tiles - 1) / spec.Tiles
+		postgisM = time.Duration(float64(postgisM) * float64(reps))
+		cal := Calibrate(d)
+		tiles := ReplicateTiles(cal.Tiles, reps)
+		sccg, err := pipesim.Simulate(tiles, pipesim.T1500(), pipesim.Pipelined, pipesim.Options{Migration: true})
+		if err != nil {
+			return nil, err
+		}
+
+		rows = append(rows, Fig12Row{
+			Dataset:      spec.Name,
+			Tiles:        spec.Tiles,
+			Polygons:     len(a) + len(b),
+			Pairs:        cal.TotalPairs,
+			PostGISMSecs: postgisM.Seconds(),
+			SCCGSecs:     sccg.Seconds,
+			Speedup:      metrics.Speedup(postgisM.Seconds(), sccg.Seconds),
+			Similarity:   res.Similarity,
+		})
+	}
+	return rows, nil
+}
+
+// Fig12GeoMean returns the geometric mean of per-dataset speedups, the
+// paper's summary statistic (">18x").
+func Fig12GeoMean(rows []Fig12Row) float64 {
+	vals := make([]float64, len(rows))
+	for i, r := range rows {
+		vals[i] = r.Speedup
+	}
+	return metrics.GeoMean(vals)
+}
+
+// durationSeconds formats a seconds value as a duration for tables.
+func durationSeconds(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

@@ -1,0 +1,342 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// unit square covering pixel (0,0).
+func unitSquare(t *testing.T) *Polygon {
+	t.Helper()
+	return Rect(0, 0, 1, 1)
+}
+
+// lShape is the L-polygon covering pixels {(0,0),(1,0),(0,1)}.
+func lShape() *Polygon {
+	return MustPolygon([]Point{{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}, {0, 2}})
+}
+
+func TestMBRBasics(t *testing.T) {
+	m := MBR{0, 0, 4, 3}
+	if m.IsEmpty() {
+		t.Fatal("non-empty MBR reported empty")
+	}
+	if got := m.Pixels(); got != 12 {
+		t.Fatalf("Pixels = %d, want 12", got)
+	}
+	if got := m.Width(); got != 4 {
+		t.Fatalf("Width = %d, want 4", got)
+	}
+	if got := m.Height(); got != 3 {
+		t.Fatalf("Height = %d, want 3", got)
+	}
+}
+
+func TestMBREmpty(t *testing.T) {
+	cases := []MBR{
+		{},
+		{5, 5, 5, 9},
+		{5, 5, 9, 5},
+		{5, 5, 4, 9},
+		EmptyMBR(),
+	}
+	for _, m := range cases {
+		if !m.IsEmpty() {
+			t.Errorf("%v should be empty", m)
+		}
+		if m.Pixels() != 0 {
+			t.Errorf("%v Pixels should be 0", m)
+		}
+	}
+}
+
+func TestMBRIntersects(t *testing.T) {
+	a := MBR{0, 0, 4, 4}
+	cases := []struct {
+		b    MBR
+		want bool
+	}{
+		{MBR{2, 2, 6, 6}, true},
+		{MBR{4, 0, 8, 4}, false}, // edge-adjacent: no shared pixel
+		{MBR{0, 4, 4, 8}, false},
+		{MBR{3, 3, 4, 4}, true},
+		{MBR{-4, -4, 0, 0}, false},
+		{MBR{-1, -1, 1, 1}, true},
+	}
+	for _, c := range cases {
+		if got := a.Intersects(c.b); got != c.want {
+			t.Errorf("%v.Intersects(%v) = %v, want %v", a, c.b, got, c.want)
+		}
+		if got := c.b.Intersects(a); got != c.want {
+			t.Errorf("Intersects not symmetric for %v, %v", a, c.b)
+		}
+	}
+}
+
+func TestMBRIntersectionUnion(t *testing.T) {
+	a := MBR{0, 0, 4, 4}
+	b := MBR{2, 1, 6, 3}
+	got := a.Intersection(b)
+	want := MBR{2, 1, 4, 3}
+	if got != want {
+		t.Fatalf("Intersection = %v, want %v", got, want)
+	}
+	u := a.Union(b)
+	if u != (MBR{0, 0, 6, 4}) {
+		t.Fatalf("Union = %v", u)
+	}
+	if !a.Intersection(MBR{9, 9, 12, 12}).IsEmpty() {
+		t.Fatal("disjoint intersection should be empty")
+	}
+	if EmptyMBR().Union(a) != a {
+		t.Fatal("union with empty should be identity")
+	}
+}
+
+func TestMBRContains(t *testing.T) {
+	a := MBR{0, 0, 4, 4}
+	if !a.Contains(MBR{1, 1, 3, 3}) {
+		t.Fatal("inner not contained")
+	}
+	if !a.Contains(a) {
+		t.Fatal("self not contained")
+	}
+	if a.Contains(MBR{1, 1, 5, 3}) {
+		t.Fatal("overflowing contained")
+	}
+	if !a.Contains(MBR{}) {
+		t.Fatal("empty should be contained")
+	}
+}
+
+func TestNewPolygonValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		vs   []Point
+		want error
+	}{
+		{"too few", []Point{{0, 0}, {1, 0}, {1, 1}}, ErrTooFewVertices},
+		{"odd", []Point{{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}}, ErrOddVertexCount},
+		{"diagonal", []Point{{0, 0}, {1, 1}, {2, 0}, {1, -1}}, ErrNotRectilinear},
+		{"zero edge", []Point{{0, 0}, {0, 0}, {1, 0}, {1, 1}}, ErrZeroLengthEdge},
+		{"not alternating", []Point{{0, 0}, {1, 0}, {2, 0}, {2, 1}, {1, 1}, {0, 1}}, ErrNotAlternating},
+		{"repeated vertex", []Point{{0, 0}, {2, 0}, {2, 2}, {1, 2}, {1, 1}, {2, 1}, {2, 2}, {0, 2}}, ErrRepeatedVertex},
+	}
+	for _, c := range cases {
+		if _, err := NewPolygon(c.vs); err != c.want {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestNewPolygonSelfIntersection(t *testing.T) {
+	// A bow-tie-like rectilinear loop: edges cross.
+	vs := []Point{{0, 0}, {3, 0}, {3, 2}, {1, 2}, {1, -1}, {0, -1}}
+	if _, err := NewPolygon(vs); err != ErrSelfIntersecting {
+		t.Fatalf("err = %v, want ErrSelfIntersecting", err)
+	}
+}
+
+func TestPolygonAreaSquare(t *testing.T) {
+	p := unitSquare(t)
+	if p.Area() != 1 {
+		t.Fatalf("unit square area = %d", p.Area())
+	}
+	r := Rect(2, 3, 7, 11)
+	if r.Area() != 40 {
+		t.Fatalf("rect area = %d, want 40", r.Area())
+	}
+}
+
+func TestPolygonAreaLShape(t *testing.T) {
+	p := lShape()
+	if p.Area() != 3 {
+		t.Fatalf("L area = %d, want 3", p.Area())
+	}
+	if p.MBR() != (MBR{0, 0, 2, 2}) {
+		t.Fatalf("L MBR = %v", p.MBR())
+	}
+}
+
+func TestPolygonAreaWindingInvariant(t *testing.T) {
+	cw := MustPolygon([]Point{{0, 0}, {0, 2}, {2, 2}, {2, 0}})
+	ccw := MustPolygon([]Point{{0, 0}, {2, 0}, {2, 2}, {0, 2}})
+	if cw.Area() != ccw.Area() {
+		t.Fatalf("winding changed area: %d vs %d", cw.Area(), ccw.Area())
+	}
+}
+
+func TestContainsPixelSquare(t *testing.T) {
+	p := Rect(1, 1, 3, 3)
+	for y := int32(-1); y < 5; y++ {
+		for x := int32(-1); x < 5; x++ {
+			want := x >= 1 && x < 3 && y >= 1 && y < 3
+			if got := p.ContainsPixel(x, y); got != want {
+				t.Errorf("ContainsPixel(%d,%d) = %v, want %v", x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestContainsPixelLShape(t *testing.T) {
+	p := lShape()
+	inside := map[[2]int32]bool{{0, 0}: true, {1, 0}: true, {0, 1}: true}
+	for y := int32(-1); y < 3; y++ {
+		for x := int32(-1); x < 3; x++ {
+			want := inside[[2]int32{x, y}]
+			if got := p.ContainsPixel(x, y); got != want {
+				t.Errorf("ContainsPixel(%d,%d) = %v, want %v", x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestContainsPixelAreaAgreement(t *testing.T) {
+	// Pixel count via ray casting must equal the shoelace area on a
+	// non-convex polygon (U shape).
+	p := MustPolygon([]Point{{0, 0}, {5, 0}, {5, 4}, {4, 4}, {4, 1}, {1, 1}, {1, 4}, {0, 4}})
+	var count int64
+	m := p.MBR()
+	for y := m.MinY; y < m.MaxY; y++ {
+		for x := m.MinX; x < m.MaxX; x++ {
+			if p.ContainsPixel(x, y) {
+				count++
+			}
+		}
+	}
+	if count != p.Area() {
+		t.Fatalf("pixel count %d != shoelace area %d", count, p.Area())
+	}
+}
+
+func TestBoxPositionSquare(t *testing.T) {
+	p := Rect(0, 0, 8, 8)
+	cases := []struct {
+		box  MBR
+		want BoxPos
+	}{
+		{MBR{1, 1, 4, 4}, BoxInside},
+		{MBR{0, 0, 8, 8}, BoxInside}, // coincident borders: centre decides
+		{MBR{10, 10, 12, 12}, BoxOutside},
+		{MBR{6, 6, 10, 10}, BoxHover},
+		{MBR{-2, -2, 10, 10}, BoxHover}, // polygon strictly inside box
+	}
+	for _, c := range cases {
+		if got := p.BoxPosition(c.box); got != c.want {
+			t.Errorf("BoxPosition(%v) = %v, want %v", c.box, got, c.want)
+		}
+	}
+}
+
+func TestBoxPositionLemma1Cases(t *testing.T) {
+	// Fig. 5 of the paper: (c) polygon fully inside the box is hover even
+	// though no edges cross the box border.
+	p := Rect(4, 4, 6, 6)
+	if got := p.BoxPosition(MBR{0, 0, 10, 10}); got != BoxHover {
+		t.Fatalf("enclosing box = %v, want hover", got)
+	}
+	// (d) edge crossing through the box border.
+	if got := p.BoxPosition(MBR{5, 5, 9, 9}); got != BoxHover {
+		t.Fatalf("crossing box = %v, want hover", got)
+	}
+	// (a) outside with nearby edges.
+	if got := p.BoxPosition(MBR{7, 7, 9, 9}); got != BoxOutside {
+		t.Fatalf("outside box = %v, want outside", got)
+	}
+}
+
+// TestBoxPositionConsistentWithPixels is the key invariant behind PixelBox:
+// a box classified Inside/Outside must agree with per-pixel ray casting for
+// every pixel it covers.
+func TestBoxPositionConsistentWithPixels(t *testing.T) {
+	p := MustPolygon([]Point{{0, 0}, {6, 0}, {6, 2}, {4, 2}, {4, 4}, {6, 4}, {6, 6}, {0, 6}, {0, 4}, {2, 4}, {2, 2}, {0, 2}})
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		x0 := rng.Int31n(8) - 1
+		y0 := rng.Int31n(8) - 1
+		w := 1 + rng.Int31n(4)
+		h := 1 + rng.Int31n(4)
+		box := MBR{x0, y0, x0 + w, y0 + h}
+		pos := p.BoxPosition(box)
+		if pos == BoxHover {
+			continue
+		}
+		for y := box.MinY; y < box.MaxY; y++ {
+			for x := box.MinX; x < box.MaxX; x++ {
+				in := p.ContainsPixel(x, y)
+				if pos == BoxInside && !in {
+					t.Fatalf("box %v classified inside but pixel (%d,%d) is outside", box, x, y)
+				}
+				if pos == BoxOutside && in {
+					t.Fatalf("box %v classified outside but pixel (%d,%d) is inside", box, x, y)
+				}
+			}
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	p := lShape()
+	s := p.Scale(3)
+	if s.Area() != p.Area()*9 {
+		t.Fatalf("scaled area = %d, want %d", s.Area(), p.Area()*9)
+	}
+	if s.MBR() != (MBR{0, 0, 6, 6}) {
+		t.Fatalf("scaled MBR = %v", s.MBR())
+	}
+	if p.Scale(1) != p {
+		t.Fatal("Scale(1) should return the receiver")
+	}
+	// Scaled polygon must still satisfy pixel-count == shoelace.
+	var count int64
+	m := s.MBR()
+	for y := m.MinY; y < m.MaxY; y++ {
+		for x := m.MinX; x < m.MaxX; x++ {
+			if s.ContainsPixel(x, y) {
+				count++
+			}
+		}
+	}
+	if count != s.Area() {
+		t.Fatalf("scaled pixel count %d != area %d", count, s.Area())
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	p := lShape()
+	q := p.Translate(10, -5)
+	if q.Area() != p.Area() {
+		t.Fatal("translate changed area")
+	}
+	if q.MBR() != (MBR{10, -5, 12, -3}) {
+		t.Fatalf("translated MBR = %v", q.MBR())
+	}
+	if !q.ContainsPixel(10, -5) {
+		t.Fatal("translated polygon lost pixel")
+	}
+}
+
+func TestEdges(t *testing.T) {
+	p := lShape()
+	hs := p.HorizontalEdges()
+	vs := p.VerticalEdges()
+	if len(hs) != 3 || len(vs) != 3 {
+		t.Fatalf("edge counts = %d,%d, want 3,3", len(hs), len(vs))
+	}
+	for _, h := range hs {
+		if h.X1 >= h.X2 {
+			t.Fatalf("unnormalised horizontal edge %+v", h)
+		}
+	}
+	for _, v := range vs {
+		if v.Y1 >= v.Y2 {
+			t.Fatalf("unnormalised vertical edge %+v", v)
+		}
+	}
+}
+
+func TestBoxPosString(t *testing.T) {
+	if BoxInside.String() != "inside" || BoxOutside.String() != "outside" || BoxHover.String() != "hover" {
+		t.Fatal("BoxPos strings wrong")
+	}
+}

@@ -1,0 +1,50 @@
+// Package hilbert implements the Hilbert space-filling curve mapping used by
+// the Hilbert R-tree (Kamel & Faloutsos, VLDB 1994) that the SCCG pipeline's
+// builder stage uses to index polygon MBRs (paper §4.1).
+package hilbert
+
+// D2XY converts a distance d along the Hilbert curve of order k (a 2^k x 2^k
+// grid) into (x, y) coordinates.
+func D2XY(k uint, d uint64) (x, y uint32) {
+	var rx, ry uint64
+	t := d
+	for s := uint64(1); s < 1<<k; s <<= 1 {
+		rx = 1 & (t / 2)
+		ry = 1 & (t ^ rx)
+		x, y = rot(s, x, y, rx, ry)
+		x += uint32(s * rx)
+		y += uint32(s * ry)
+		t /= 4
+	}
+	return x, y
+}
+
+// XY2D converts (x, y) coordinates on a 2^k x 2^k grid into the distance
+// along the Hilbert curve of order k.
+func XY2D(k uint, x, y uint32) uint64 {
+	var d uint64
+	for s := uint64(1) << (k - 1); s > 0; s >>= 1 {
+		var rx, ry uint64
+		if uint64(x)&s > 0 {
+			rx = 1
+		}
+		if uint64(y)&s > 0 {
+			ry = 1
+		}
+		d += s * s * ((3 * rx) ^ ry)
+		x, y = rot(s, x, y, rx, ry)
+	}
+	return d
+}
+
+// rot rotates/flips a quadrant appropriately.
+func rot(s uint64, x, y uint32, rx, ry uint64) (uint32, uint32) {
+	if ry == 0 {
+		if rx == 1 {
+			x = uint32(s-1) - x
+			y = uint32(s-1) - y
+		}
+		x, y = y, x
+	}
+	return x, y
+}

@@ -1,0 +1,74 @@
+package hilbert
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	const k = 4 // 16x16 grid
+	seen := make(map[uint64]bool)
+	for x := uint32(0); x < 16; x++ {
+		for y := uint32(0); y < 16; y++ {
+			d := XY2D(k, x, y)
+			if d >= 256 {
+				t.Fatalf("d out of range: %d", d)
+			}
+			if seen[d] {
+				t.Fatalf("duplicate curve index %d at (%d,%d)", d, x, y)
+			}
+			seen[d] = true
+			gx, gy := D2XY(k, d)
+			if gx != x || gy != y {
+				t.Fatalf("round trip (%d,%d) -> %d -> (%d,%d)", x, y, d, gx, gy)
+			}
+		}
+	}
+}
+
+// TestLocality verifies the defining property of the Hilbert curve:
+// consecutive curve positions are adjacent grid cells (Manhattan distance 1).
+func TestLocality(t *testing.T) {
+	const k = 5
+	px, py := D2XY(k, 0)
+	for d := uint64(1); d < 1024; d++ {
+		x, y := D2XY(k, d)
+		dist := absDiff(x, px) + absDiff(y, py)
+		if dist != 1 {
+			t.Fatalf("curve jump at d=%d: (%d,%d) -> (%d,%d)", d, px, py, x, y)
+		}
+		px, py = x, y
+	}
+}
+
+func absDiff(a, b uint32) uint32 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	const k = 16
+	f := func(x, y uint16) bool {
+		d := XY2D(k, uint32(x), uint32(y))
+		gx, gy := D2XY(k, d)
+		return gx == uint32(x) && gy == uint32(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorners(t *testing.T) {
+	// Order-1 curve visits the four cells of the 2x2 grid in the canonical
+	// order (0,0),(0,1),(1,1),(1,0).
+	wantX := []uint32{0, 0, 1, 1}
+	wantY := []uint32{0, 1, 1, 0}
+	for d := uint64(0); d < 4; d++ {
+		x, y := D2XY(1, d)
+		if x != wantX[d] || y != wantY[d] {
+			t.Fatalf("d=%d: got (%d,%d), want (%d,%d)", d, x, y, wantX[d], wantY[d])
+		}
+	}
+}

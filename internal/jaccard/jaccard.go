@@ -1,0 +1,128 @@
+// Package jaccard implements the cross-comparison similarity metrics of
+// paper §2.1: the pairwise Jaccard variant J' (Eq. 1) used throughout the
+// evaluation, the classical set-level Jaccard similarity J, and the
+// missing-polygon accounting that J' deliberately excludes ("missing
+// polygons can be easily identified by comparing the number of polygons that
+// appear in the intersection with the number of polygons in each polygon
+// set").
+package jaccard
+
+import (
+	"math"
+
+	"repro/internal/pixelbox"
+)
+
+// Accumulator folds per-pair area results into the image-level similarity
+// score. The zero value is ready to use.
+type Accumulator struct {
+	ratioSum     float64
+	intersecting int
+	candidates   int
+}
+
+// AddPair folds one MBR-intersecting pair's areas; pairs with zero area of
+// intersection count as candidates but do not contribute to J'.
+func (a *Accumulator) AddPair(r pixelbox.AreaResult) {
+	a.candidates++
+	if ratio, ok := r.Ratio(); ok {
+		a.ratioSum += ratio
+		a.intersecting++
+	}
+}
+
+// AddResults folds a batch of results.
+func (a *Accumulator) AddResults(rs []pixelbox.AreaResult) {
+	for _, r := range rs {
+		a.AddPair(r)
+	}
+}
+
+// Merge folds another accumulator (e.g. from a parallel worker).
+func (a *Accumulator) Merge(b Accumulator) {
+	a.ratioSum += b.ratioSum
+	a.intersecting += b.intersecting
+	a.candidates += b.candidates
+}
+
+// Similarity returns J' — the mean Jaccard ratio over truly-intersecting
+// pairs — and false when no pair intersects.
+func (a *Accumulator) Similarity() (float64, bool) {
+	if a.intersecting == 0 {
+		return 0, false
+	}
+	return a.ratioSum / float64(a.intersecting), true
+}
+
+// Intersecting returns the number of truly-intersecting pairs.
+func (a *Accumulator) Intersecting() int { return a.intersecting }
+
+// Candidates returns the number of MBR-intersecting pairs examined.
+func (a *Accumulator) Candidates() int { return a.candidates }
+
+// MissingStats quantifies the polygons J' ignores: objects present in one
+// result set with no truly-intersecting counterpart in the other.
+type MissingStats struct {
+	// SetA and SetB are the result-set sizes.
+	SetA, SetB int
+	// MatchedA and MatchedB count polygons of each set participating in at
+	// least one truly-intersecting pair.
+	MatchedA, MatchedB int
+}
+
+// MissingA returns the number of set-A polygons with no counterpart.
+func (m MissingStats) MissingA() int { return m.SetA - m.MatchedA }
+
+// MissingB returns the number of set-B polygons with no counterpart.
+func (m MissingStats) MissingB() int { return m.SetB - m.MatchedB }
+
+// Recall returns the matched fraction of each set.
+func (m MissingStats) Recall() (a, b float64) {
+	if m.SetA > 0 {
+		a = float64(m.MatchedA) / float64(m.SetA)
+	}
+	if m.SetB > 0 {
+		b = float64(m.MatchedB) / float64(m.SetB)
+	}
+	return a, b
+}
+
+// PairRef identifies a candidate pair by polygon indexes within its two
+// result sets.
+type PairRef struct {
+	A, B int32
+}
+
+// CollectMissing computes MissingStats from the candidate pair list and the
+// per-pair results (parallel slices), given the set sizes.
+func CollectMissing(setA, setB int, refs []PairRef, results []pixelbox.AreaResult) MissingStats {
+	matchedA := make(map[int32]struct{})
+	matchedB := make(map[int32]struct{})
+	for i, ref := range refs {
+		if i >= len(results) {
+			break
+		}
+		if results[i].Intersection > 0 {
+			matchedA[ref.A] = struct{}{}
+			matchedB[ref.B] = struct{}{}
+		}
+	}
+	return MissingStats{SetA: setA, SetB: setB, MatchedA: len(matchedA), MatchedB: len(matchedB)}
+}
+
+// SetSimilarity returns the classical Jaccard similarity J = ‖P∩Q‖/‖P∪Q‖
+// of two result sets, computed from per-pair intersections and the summed
+// polygon areas. It assumes polygons within one result set are disjoint —
+// true for segmentation output, where an image pixel belongs to at most one
+// object.
+func SetSimilarity(areaSumA, areaSumB int64, results []pixelbox.AreaResult) float64 {
+	var inter int64
+	for _, r := range results {
+		inter += r.Intersection
+	}
+	union := areaSumA + areaSumB - inter
+	if union <= 0 {
+		return math.NaN()
+	}
+	return float64(inter) / float64(union)
+}

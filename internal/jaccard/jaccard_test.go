@@ -1,0 +1,91 @@
+package jaccard
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/pixelbox"
+)
+
+func TestAccumulator(t *testing.T) {
+	var a Accumulator
+	a.AddPair(pixelbox.AreaResult{Intersection: 50, Union: 100}) // 0.5
+	a.AddPair(pixelbox.AreaResult{Intersection: 0, Union: 80})   // candidate only
+	a.AddPair(pixelbox.AreaResult{Intersection: 90, Union: 90})  // 1.0
+	sim, ok := a.Similarity()
+	if !ok {
+		t.Fatal("no similarity")
+	}
+	if math.Abs(sim-0.75) > 1e-12 {
+		t.Fatalf("J' = %v, want 0.75", sim)
+	}
+	if a.Candidates() != 3 || a.Intersecting() != 2 {
+		t.Fatalf("counts = %d, %d", a.Candidates(), a.Intersecting())
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var a Accumulator
+	if _, ok := a.Similarity(); ok {
+		t.Fatal("empty accumulator reported similarity")
+	}
+}
+
+func TestAccumulatorMerge(t *testing.T) {
+	var a, b Accumulator
+	a.AddPair(pixelbox.AreaResult{Intersection: 10, Union: 20})
+	b.AddPair(pixelbox.AreaResult{Intersection: 30, Union: 30})
+	b.AddPair(pixelbox.AreaResult{Intersection: 0, Union: 5})
+	a.Merge(b)
+	sim, _ := a.Similarity()
+	if math.Abs(sim-0.75) > 1e-12 {
+		t.Fatalf("merged J' = %v", sim)
+	}
+	if a.Candidates() != 3 {
+		t.Fatalf("candidates = %d", a.Candidates())
+	}
+}
+
+func TestAddResults(t *testing.T) {
+	var a Accumulator
+	a.AddResults([]pixelbox.AreaResult{
+		{Intersection: 1, Union: 2},
+		{Intersection: 1, Union: 4},
+	})
+	sim, _ := a.Similarity()
+	if math.Abs(sim-0.375) > 1e-12 {
+		t.Fatalf("J' = %v", sim)
+	}
+}
+
+func TestCollectMissing(t *testing.T) {
+	refs := []PairRef{{A: 0, B: 0}, {A: 0, B: 1}, {A: 2, B: 3}}
+	results := []pixelbox.AreaResult{
+		{Intersection: 10, Union: 20},
+		{Intersection: 0, Union: 15}, // MBRs overlapped but no true overlap
+		{Intersection: 5, Union: 9},
+	}
+	m := CollectMissing(4, 5, refs, results)
+	if m.MatchedA != 2 || m.MatchedB != 2 {
+		t.Fatalf("matched = %d, %d", m.MatchedA, m.MatchedB)
+	}
+	if m.MissingA() != 2 || m.MissingB() != 3 {
+		t.Fatalf("missing = %d, %d", m.MissingA(), m.MissingB())
+	}
+	ra, rb := m.Recall()
+	if math.Abs(ra-0.5) > 1e-12 || math.Abs(rb-0.4) > 1e-12 {
+		t.Fatalf("recall = %v, %v", ra, rb)
+	}
+}
+
+func TestSetSimilarity(t *testing.T) {
+	results := []pixelbox.AreaResult{{Intersection: 30}, {Intersection: 20}}
+	// |P| = 100, |Q| = 100, inter = 50 => union = 150, J = 1/3.
+	j := SetSimilarity(100, 100, results)
+	if math.Abs(j-1.0/3.0) > 1e-12 {
+		t.Fatalf("J = %v", j)
+	}
+	if !math.IsNaN(SetSimilarity(0, 0, nil)) {
+		t.Fatal("degenerate set similarity should be NaN")
+	}
+}

@@ -1,0 +1,143 @@
+package parser_test
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/geomtest"
+	"repro/internal/gpu"
+	"repro/internal/parser"
+)
+
+func TestEncodeParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var polys []*geom.Polygon
+	for len(polys) < 40 {
+		if p := geomtest.RandomPolygon(rng, 30); p != nil {
+			polys = append(polys, p)
+		}
+	}
+	data := parser.Encode(polys)
+	got, err := parser.Parse(data)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(got) != len(polys) {
+		t.Fatalf("parsed %d polygons, want %d", len(got), len(polys))
+	}
+	for i := range polys {
+		a, b := polys[i].Vertices(), got[i].Vertices()
+		if len(a) != len(b) {
+			t.Fatalf("polygon %d vertex count %d != %d", i, len(b), len(a))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("polygon %d vertex %d: %v != %v", i, j, b[j], a[j])
+			}
+		}
+		if got[i].Area() != polys[i].Area() {
+			t.Fatalf("polygon %d area mismatch", i)
+		}
+	}
+}
+
+func TestParseNegativeCoordinates(t *testing.T) {
+	p := geom.MustPolygon([]geom.Point{{X: -5, Y: -5}, {X: -2, Y: -5}, {X: -2, Y: -1}, {X: -5, Y: -1}})
+	data := parser.Encode([]*geom.Polygon{p})
+	got, err := parser.Parse(data)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got[0].Area() != 12 {
+		t.Fatalf("area = %d", got[0].Area())
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	got, err := parser.Parse(nil)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty input: %v, %d polys", err, len(got))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"garbage", "hello world\n"},
+		{"truncated", "0 POLYGON ((0 0,2 0,2 2"},
+		{"bad keyword", "0 POLYGONE ((0 0,2 0,2 2,0 2))\n"},
+		{"missing y", "0 POLYGON ((0 ,2 0,2 2,0 2))\n"},
+		{"diagonal polygon", "0 POLYGON ((0 0,2 2,4 0,2 -2))\n"},
+		{"trailing junk", "0 POLYGON ((0 0,2 0,2 2,0 2))x\n"},
+		{"letters in digits", "0 POLYGON ((0 0,2a 0,2 2,0 2))\n"},
+	}
+	for _, c := range cases {
+		if _, err := parser.Parse([]byte(c.input)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		} else if !strings.Contains(err.Error(), "line") {
+			t.Errorf("%s: error lacks line info: %v", c.name, err)
+		}
+	}
+}
+
+func TestParseMultiLineErrorPosition(t *testing.T) {
+	good := "0 POLYGON ((0 0,2 0,2 2,0 2))\n"
+	bad := good + good + "2 POLYGON ((0 0,1 1,2 0,1 -1))\n"
+	_, err := parser.Parse([]byte(bad))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("want line 3 error, got %v", err)
+	}
+}
+
+func TestEncodeFormat(t *testing.T) {
+	p := geom.Rect(1, 2, 3, 4)
+	data := parser.Encode([]*geom.Polygon{p})
+	want := "0 POLYGON ((1 2,3 2,3 4,1 4))\n"
+	if string(data) != want {
+		t.Fatalf("encoded %q, want %q", data, want)
+	}
+}
+
+func TestGPUParseMatchesCPUAndChargesDevice(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var polys []*geom.Polygon
+	for len(polys) < 30 {
+		if p := geomtest.RandomPolygon(rng, 30); p != nil {
+			polys = append(polys, p)
+		}
+	}
+	data := parser.Encode(polys)
+	dev := gpu.NewDevice(gpu.GTX580())
+	got, secs, err := parser.GPUParse(dev, data, 200e6)
+	if err != nil {
+		t.Fatalf("gpu parse: %v", err)
+	}
+	if len(got) != len(polys) {
+		t.Fatalf("gpu parsed %d, want %d", len(got), len(polys))
+	}
+	if secs <= 0 {
+		t.Fatal("gpu parse charged no device time")
+	}
+	if dev.Launches() != 1 {
+		t.Fatalf("launches = %d", dev.Launches())
+	}
+	// Device throughput should be within 2x of the requested host parity.
+	modelBPS := float64(len(data)) / secs
+	if modelBPS > 500e6 {
+		t.Fatalf("GPU parser throughput %e B/s implausibly above host parity", modelBPS)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	p := geom.Rect(0, 0, 2, 2)
+	a := parser.Encode([]*geom.Polygon{p, p})
+	b := parser.Encode([]*geom.Polygon{p, p})
+	if !bytes.Equal(a, b) {
+		t.Fatal("encode not deterministic")
+	}
+}

@@ -1,0 +1,107 @@
+package pathology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// DatasetSpec describes one synthetic slide-image dataset: a group of tiles
+// segmented by two methods, the unit over which the paper reports Fig. 12.
+type DatasetSpec struct {
+	// Name identifies the dataset (the paper's datasets are named after
+	// slide images, e.g. "oligoastroIII_1").
+	Name string
+	// Seed makes generation deterministic per dataset.
+	Seed int64
+	// Tiles is the number of image tiles (each contributes two polygon
+	// files, one per result set).
+	Tiles int
+	// Gen holds the per-tile synthesis parameters.
+	Gen GenConfig
+}
+
+// Dataset is a fully generated dataset held in memory.
+type Dataset struct {
+	Spec  DatasetSpec
+	Pairs []TilePair
+}
+
+// NumPolygons returns the total polygon count over both result sets.
+func (d *Dataset) NumPolygons() (a, b int) {
+	for _, tp := range d.Pairs {
+		a += len(tp.A)
+		b += len(tp.B)
+	}
+	return a, b
+}
+
+// Generate materialises the dataset described by spec.
+func Generate(spec DatasetSpec) *Dataset {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	d := &Dataset{Spec: spec}
+	d.Pairs = make([]TilePair, spec.Tiles)
+	for i := 0; i < spec.Tiles; i++ {
+		d.Pairs[i] = GenerateTilePair(rng, spec.Name, i, spec.Gen)
+	}
+	return d
+}
+
+// Representative returns the spec of the corpus dataset playing the role of
+// the paper's oligoastroIII_1: the mid-size dataset used by the algorithm
+// experiments (Figs. 7-10, Table 1, Fig. 11).
+func Representative() DatasetSpec { return Corpus()[5] }
+
+// Corpus returns the 18-dataset synthetic corpus mirroring the paper's
+// evaluation data (§5.1): datasets differ widely in tile count and polygon
+// count — the first is the smallest ("20 polygon files, about 57000
+// polygons"), the last the largest ("442 polygon files, over 4 million
+// polygons") — with everything scaled down ~50x so the suite runs on one
+// host core in minutes.
+func Corpus() []DatasetSpec {
+	base := DefaultGenConfig()
+	// Tile counts spread roughly like the paper's file counts (20..442
+	// files => 10..221 tiles, scaled to 4..44 tiles) and object densities
+	// vary mildly between slides.
+	shapes := []struct {
+		tiles   int
+		objects int
+	}{
+		{4, 36},  // 1: smallest
+		{6, 40},  // 2
+		{8, 44},  // 3
+		{10, 40}, // 4
+		{12, 48}, // 5
+		{14, 52}, // 6: "oligoastroIII_1" analogue (Representative)
+		{12, 40}, // 7
+		{16, 44}, // 8
+		{18, 48}, // 9
+		{20, 52}, // 10
+		{22, 44}, // 11
+		{24, 48}, // 12
+		{26, 40}, // 13
+		{28, 52}, // 14
+		{32, 48}, // 15
+		{36, 44}, // 16
+		{40, 48}, // 17
+		{44, 52}, // 18: largest
+	}
+	specs := make([]DatasetSpec, len(shapes))
+	for i, s := range shapes {
+		gen := base
+		gen.Objects = s.objects
+		specs[i] = DatasetSpec{
+			Name:  datasetName(i),
+			Seed:  0x5CC6 + int64(i)*7919,
+			Tiles: s.tiles,
+			Gen:   gen,
+		}
+	}
+	return specs
+}
+
+func datasetName(i int) string {
+	if i == 5 {
+		return "oligoastroIII_1"
+	}
+	return fmt.Sprintf("astro_%02d", i+1)
+}

@@ -1,0 +1,41 @@
+package pathology
+
+import "repro/internal/geom"
+
+// TileOffset returns the global pixel offset of tile index within a dataset
+// laid out on a near-square grid of tiles, the arrangement whole-slide
+// imaging uses when partitioning a slide into tiles (paper §2.1).
+func TileOffset(index, tiles int, tileSize int32) (dx, dy int32) {
+	cols := 1
+	for cols*cols < tiles {
+		cols++
+	}
+	return int32(index%cols) * tileSize, int32(index/cols) * tileSize
+}
+
+// GlobalPolygons returns the dataset's two result sets with every polygon
+// translated into the slide image's global coordinate space, the form in
+// which an SDBMS stores them (one table per result set covering the whole
+// image).
+func (d *Dataset) GlobalPolygons() (a, b []*geom.Polygon) {
+	for _, tp := range d.Pairs {
+		dx, dy := TileOffset(tp.Index, d.Spec.Tiles, d.Spec.Gen.TileSize)
+		for _, p := range tp.A {
+			a = append(a, p.Translate(dx, dy))
+		}
+		for _, p := range tp.B {
+			b = append(b, p.Translate(dx, dy))
+		}
+	}
+	return a, b
+}
+
+// RawBytes returns the total raw text size of the dataset (both result
+// sets), the quantity throughput is normalised by in Fig. 11.
+func (d *Dataset) RawBytes(encode func([]*geom.Polygon) []byte) int64 {
+	var total int64
+	for _, tp := range d.Pairs {
+		total += int64(len(encode(tp.A)) + len(encode(tp.B)))
+	}
+	return total
+}

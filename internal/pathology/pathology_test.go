@@ -1,0 +1,192 @@
+package pathology_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/clip"
+	"repro/internal/geom"
+	"repro/internal/pathology"
+	"repro/internal/rtree"
+)
+
+func TestGenerateTilePairBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := pathology.DefaultGenConfig()
+	tp := pathology.GenerateTilePair(rng, "img", 0, cfg)
+	if len(tp.A) == 0 || len(tp.B) == 0 {
+		t.Fatalf("empty result sets: %d, %d", len(tp.A), len(tp.B))
+	}
+	// Drop rate is low: both sets should be near the object count.
+	if len(tp.A) < cfg.Objects*3/4 || len(tp.B) < cfg.Objects*3/4 {
+		t.Fatalf("too many objects missing: %d, %d of %d", len(tp.A), len(tp.B), cfg.Objects)
+	}
+	for _, set := range [][]*geom.Polygon{tp.A, tp.B} {
+		for _, p := range set {
+			m := p.MBR()
+			if m.MinX < 0 || m.MinY < 0 || m.MaxX > cfg.TileSize || m.MaxY > cfg.TileSize {
+				t.Fatalf("polygon out of tile bounds: %v", m)
+			}
+			if p.Area() <= 0 {
+				t.Fatal("non-positive polygon area")
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := pathology.GenerateTilePair(rand.New(rand.NewSource(9)), "x", 0, pathology.DefaultGenConfig())
+	b := pathology.GenerateTilePair(rand.New(rand.NewSource(9)), "x", 0, pathology.DefaultGenConfig())
+	if len(a.A) != len(b.A) || len(a.B) != len(b.B) {
+		t.Fatal("generation not deterministic in counts")
+	}
+	for i := range a.A {
+		va, vb := a.A[i].Vertices(), b.A[i].Vertices()
+		if len(va) != len(vb) {
+			t.Fatal("generation not deterministic in shapes")
+		}
+		for j := range va {
+			if va[j] != vb[j] {
+				t.Fatal("generation not deterministic in vertices")
+			}
+		}
+	}
+}
+
+// TestWorkloadStatistics asserts the generator reproduces the paper's
+// polygon statistics (§5.1): mean area ≈ 150 pixels, std deviation ≈ 100.
+func TestWorkloadStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	cfg := pathology.DefaultGenConfig()
+	var areas []float64
+	for tile := 0; tile < 6; tile++ {
+		tp := pathology.GenerateTilePair(rng, "stats", tile, cfg)
+		for _, p := range append(append([]*geom.Polygon{}, tp.A...), tp.B...) {
+			areas = append(areas, float64(p.Area()))
+		}
+	}
+	var sum float64
+	for _, a := range areas {
+		sum += a
+	}
+	mean := sum / float64(len(areas))
+	var varSum float64
+	for _, a := range areas {
+		varSum += (a - mean) * (a - mean)
+	}
+	sd := math.Sqrt(varSum / float64(len(areas)))
+	if mean < 90 || mean > 230 {
+		t.Fatalf("mean polygon area %v outside the paper's ~150 ballpark", mean)
+	}
+	if sd < 40 || sd > 200 {
+		t.Fatalf("area std dev %v outside the paper's ~100 ballpark", sd)
+	}
+}
+
+// TestResultSetsOverlap asserts the cross-comparison workload shape: most
+// polygons in set A have an MBR-intersecting counterpart in set B, and the
+// mean Jaccard ratio of true pairs is high but below 1.
+func TestResultSetsOverlap(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	tp := pathology.GenerateTilePair(rng, "ov", 0, pathology.DefaultGenConfig())
+	ea := make([]rtree.Entry, len(tp.A))
+	for i, p := range tp.A {
+		ea[i] = rtree.Entry{MBR: p.MBR(), ID: int32(i)}
+	}
+	eb := make([]rtree.Entry, len(tp.B))
+	for i, p := range tp.B {
+		eb[i] = rtree.Entry{MBR: p.MBR(), ID: int32(i)}
+	}
+	ta := rtree.Build(ea, rtree.Options{})
+	tb := rtree.Build(eb, rtree.Options{})
+	pairs, _ := rtree.Join(ta, tb, nil)
+	if len(pairs) < len(tp.A)/2 {
+		t.Fatalf("only %d candidate pairs for %d polygons", len(pairs), len(tp.A))
+	}
+	var ratios []float64
+	for _, pr := range pairs {
+		if r, ok := clip.JaccardRatio(tp.A[pr.A], tp.B[pr.B]); ok {
+			ratios = append(ratios, r)
+		}
+	}
+	if len(ratios) == 0 {
+		t.Fatal("no truly intersecting pairs")
+	}
+	var sum float64
+	for _, r := range ratios {
+		sum += r
+	}
+	mean := sum / float64(len(ratios))
+	if mean < 0.45 || mean >= 1.0 {
+		t.Fatalf("mean Jaccard ratio %v implausible for perturbed re-segmentation", mean)
+	}
+}
+
+func TestCorpusShape(t *testing.T) {
+	corpus := pathology.Corpus()
+	if len(corpus) != 18 {
+		t.Fatalf("corpus has %d datasets, want 18", len(corpus))
+	}
+	names := make(map[string]bool)
+	for _, spec := range corpus {
+		if names[spec.Name] {
+			t.Fatalf("duplicate dataset name %q", spec.Name)
+		}
+		names[spec.Name] = true
+		if spec.Tiles <= 0 || spec.Gen.Objects <= 0 {
+			t.Fatalf("degenerate spec %+v", spec)
+		}
+	}
+	// Size spread: last dataset much larger than first.
+	if corpus[17].Tiles < corpus[0].Tiles*8 {
+		t.Fatalf("corpus lacks the paper's size spread: %d vs %d tiles", corpus[0].Tiles, corpus[17].Tiles)
+	}
+	if pathology.Representative().Name != "oligoastroIII_1" {
+		t.Fatal("representative dataset misnamed")
+	}
+}
+
+func TestGenerateDataset(t *testing.T) {
+	spec := pathology.Corpus()[0]
+	d := pathology.Generate(spec)
+	if len(d.Pairs) != spec.Tiles {
+		t.Fatalf("pairs = %d, want %d", len(d.Pairs), spec.Tiles)
+	}
+	a, b := d.NumPolygons()
+	if a == 0 || b == 0 {
+		t.Fatal("empty dataset")
+	}
+}
+
+func TestGlobalPolygonsDisjointTiles(t *testing.T) {
+	spec := pathology.Corpus()[0]
+	d := pathology.Generate(spec)
+	a, b := d.GlobalPolygons()
+	if len(a) == 0 || len(b) == 0 {
+		t.Fatal("no global polygons")
+	}
+	// Tile offsets must keep different tiles in disjoint coordinate ranges:
+	// polygons from different tiles must never share an MBR overlap region
+	// bigger than zero (tiles only touch at borders).
+	offsets := make(map[[2]int32]bool)
+	for i := 0; i < spec.Tiles; i++ {
+		dx, dy := pathology.TileOffset(i, spec.Tiles, spec.Gen.TileSize)
+		key := [2]int32{dx, dy}
+		if offsets[key] {
+			t.Fatalf("tiles %d shares offset %v", i, key)
+		}
+		offsets[key] = true
+	}
+}
+
+func TestTileOffsetGrid(t *testing.T) {
+	dx, dy := pathology.TileOffset(0, 9, 100)
+	if dx != 0 || dy != 0 {
+		t.Fatal("tile 0 must sit at origin")
+	}
+	dx, dy = pathology.TileOffset(4, 9, 100)
+	if dx != 100 || dy != 100 {
+		t.Fatalf("tile 4 of 9 at (%d,%d), want (100,100)", dx, dy)
+	}
+}

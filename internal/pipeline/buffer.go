@@ -1,0 +1,153 @@
+package pipeline
+
+import "sync"
+
+// buffer is a bounded inter-stage work buffer. Unlike a plain channel it
+// supports the two operations the paper's task-migration design needs
+// (§4.2): observing fullness/emptiness transitions (the migration triggers)
+// and stealing a selected task out of the middle of the buffer (the
+// aggregator's migration thread "selects the smallest tasks from the input
+// buffer").
+type buffer[T any] struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+	items    []T
+	capacity int
+	closed   bool
+
+	// fullCh and emptyCh receive non-blocking notifications when the
+	// buffer becomes full / is found empty by a consumer, waking migration
+	// workers.
+	fullCh  chan struct{}
+	emptyCh chan struct{}
+}
+
+func newBuffer[T any](capacity int) *buffer[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	b := &buffer[T]{
+		capacity: capacity,
+		fullCh:   make(chan struct{}, 1),
+		emptyCh:  make(chan struct{}, 1),
+	}
+	b.notFull = sync.NewCond(&b.mu)
+	b.notEmpty = sync.NewCond(&b.mu)
+	return b
+}
+
+func notify(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// put blocks until there is room, then appends item. Putting to a closed
+// buffer panics (a pipeline wiring bug).
+func (b *buffer[T]) put(item T) {
+	b.mu.Lock()
+	for len(b.items) >= b.capacity && !b.closed {
+		notify(b.fullCh)
+		b.notFull.Wait()
+	}
+	if b.closed {
+		b.mu.Unlock()
+		panic("pipeline: put on closed buffer")
+	}
+	b.items = append(b.items, item)
+	if len(b.items) >= b.capacity {
+		notify(b.fullCh)
+	}
+	b.notEmpty.Signal()
+	b.mu.Unlock()
+}
+
+// get blocks until an item is available or the buffer is closed and
+// drained; ok is false in the latter case.
+func (b *buffer[T]) get() (item T, ok bool) {
+	b.mu.Lock()
+	for len(b.items) == 0 && !b.closed {
+		notify(b.emptyCh)
+		b.notEmpty.Wait()
+	}
+	if len(b.items) == 0 {
+		b.mu.Unlock()
+		return item, false
+	}
+	item = b.items[0]
+	var zero T
+	b.items[0] = zero
+	b.items = b.items[1:]
+	b.notFull.Signal()
+	b.mu.Unlock()
+	return item, true
+}
+
+// tryGet takes an item without blocking.
+func (b *buffer[T]) tryGet() (item T, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.items) == 0 {
+		return item, false
+	}
+	item = b.items[0]
+	var zero T
+	b.items[0] = zero
+	b.items = b.items[1:]
+	b.notFull.Signal()
+	return item, true
+}
+
+// stealMin removes and returns the item minimising weight; ok is false when
+// the buffer is empty. Migration threads use it to pull the smallest tasks
+// (cheapest to execute on the slower device).
+func (b *buffer[T]) stealMin(weight func(T) int) (item T, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.items) == 0 {
+		return item, false
+	}
+	best := 0
+	bestW := weight(b.items[0])
+	for i := 1; i < len(b.items); i++ {
+		if w := weight(b.items[i]); w < bestW {
+			best, bestW = i, w
+		}
+	}
+	item = b.items[best]
+	b.items = append(b.items[:best], b.items[best+1:]...)
+	b.notFull.Signal()
+	return item, true
+}
+
+// close marks the buffer complete; blocked getters drain and return.
+func (b *buffer[T]) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.notEmpty.Broadcast()
+	b.notFull.Broadcast()
+	b.mu.Unlock()
+}
+
+// len returns the current occupancy.
+func (b *buffer[T]) len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.items)
+}
+
+// isFull reports whether the buffer is at capacity.
+func (b *buffer[T]) isFull() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.items) >= b.capacity
+}
+
+// isDrained reports closed-and-empty.
+func (b *buffer[T]) isDrained() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.closed && len(b.items) == 0
+}

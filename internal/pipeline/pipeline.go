@@ -1,0 +1,495 @@
+// Package pipeline implements the SCCG system framework (paper §4): a
+// four-stage execution pipeline — parser, builder, filter, aggregator —
+// connected by bounded work buffers, with dynamic task migration between
+// CPUs and GPUs driven by the aggregator input buffer's full/empty
+// transitions (§4.2).
+//
+// Tasks are defined at image-tile granularity: a parser task is the two
+// polygon files segmented from one tile; a builder task indexes the two
+// parsed polygon sets; a filter task joins the two indexes into an array of
+// MBR-intersecting polygon pairs; the aggregator batches pair arrays and
+// computes areas with PixelBox on the GPU (or PixelBox-CPU when tasks are
+// migrated), folding the Jaccard ratios into the image's similarity score.
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/gpu"
+	"repro/internal/parser"
+	"repro/internal/pathology"
+	"repro/internal/pixelbox"
+	"repro/internal/rtree"
+)
+
+// FileTask is the pipeline input: the raw text polygon files of one tile's
+// two result sets.
+type FileTask struct {
+	Image string
+	Tile  int
+	RawA  []byte
+	RawB  []byte
+}
+
+// parsedTask is the parser stage output.
+type parsedTask struct {
+	image string
+	tile  int
+	a, b  []*geom.Polygon
+}
+
+// builtTask is the builder stage output: parsed polygons plus their
+// Hilbert R-tree indexes.
+type builtTask struct {
+	parsedTask
+	ta, tb *rtree.Tree
+}
+
+// pairTask is the filter stage output and the aggregator's input.
+type pairTask struct {
+	image string
+	tile  int
+	pairs []pixelbox.Pair
+}
+
+// Config wires a pipeline run.
+type Config struct {
+	// ParserWorkers is the parser stage's CPU thread count (the stage
+	// "executes on CPUs with multiple worker threads"); defaults to 2.
+	ParserWorkers int
+	// BufferCap is the capacity of each inter-stage buffer in tasks;
+	// defaults to 8.
+	BufferCap int
+	// BatchPairs is the aggregator's batching target: it groups buffered
+	// tasks until at least this many pairs are in hand before launching a
+	// kernel (GPU input data batching, §4.1); defaults to 1024.
+	BatchPairs int
+	// Device is the GPU the aggregator drives. When nil the aggregator
+	// falls back to PixelBox-CPU entirely.
+	Device *gpu.Device
+	// PixelBox configures the GPU kernel.
+	PixelBox pixelbox.Config
+	// CPU configures PixelBox-CPU for migrated (or fallback) tasks.
+	CPU pixelbox.CPUConfig
+	// Migration enables the dynamic task migration component.
+	Migration bool
+}
+
+func (c Config) normalized() Config {
+	if c.ParserWorkers <= 0 {
+		c.ParserWorkers = 2
+	}
+	if c.BufferCap <= 0 {
+		c.BufferCap = 8
+	}
+	if c.BatchPairs <= 0 {
+		c.BatchPairs = 1024
+	}
+	return c
+}
+
+// Stats reports what the pipeline did.
+type Stats struct {
+	TilesProcessed int
+	PairsFiltered  int
+	PairsOnGPU     int
+	PairsOnCPU     int
+	TasksToCPU     int64 // aggregator tasks migrated GPU -> CPU
+	TasksToGPU     int64 // parser tasks migrated CPU -> GPU
+	KernelLaunches int64
+	DeviceSeconds  float64 // modelled GPU busy time
+	WallTime       time.Duration
+	ParserBusy     time.Duration
+	BuilderBusy    time.Duration
+	FilterBusy     time.Duration
+	AggregatorBusy time.Duration
+}
+
+// Result is the cross-comparison outcome for one image's two result sets.
+type Result struct {
+	// Similarity is J' (Eq. 1) aggregated over all tiles.
+	Similarity float64
+	// Intersecting and Candidates count truly-intersecting and
+	// MBR-intersecting pairs.
+	Intersecting int
+	Candidates   int
+	Stats        Stats
+}
+
+// EncodeDataset converts a generated dataset into pipeline input tasks
+// (text-encoded tiles, as segmentation emits them).
+func EncodeDataset(d *pathology.Dataset) []FileTask {
+	tasks := make([]FileTask, len(d.Pairs))
+	for i, tp := range d.Pairs {
+		tasks[i] = FileTask{
+			Image: tp.Image,
+			Tile:  tp.Index,
+			RawA:  parser.Encode(tp.A),
+			RawB:  parser.Encode(tp.B),
+		}
+	}
+	return tasks
+}
+
+// Run executes the full pipeline over tasks and returns the image
+// similarity and execution statistics. It is safe to call concurrently with
+// distinct Configs/devices.
+func Run(tasks []FileTask, cfg Config) (Result, error) {
+	cfg = cfg.normalized()
+	p := &run{cfg: cfg}
+	return p.execute(tasks)
+}
+
+// run carries one pipeline execution's shared state.
+type run struct {
+	cfg Config
+
+	fileBuf   *buffer[FileTask]
+	parsedBuf *buffer[parsedTask]
+	builtBuf  *buffer[builtTask]
+	pairBuf   *buffer[pairTask]
+
+	mu           sync.Mutex
+	ratioSum     float64
+	intersecting int
+	candidates   int
+	firstErr     error
+
+	// pendingParse counts input tasks not yet pushed past the parser
+	// stage; the parsed buffer closes when it reaches zero, which makes
+	// parser workers and the parser migrator interchangeable producers.
+	pendingParse int64
+
+	stats Stats
+
+	parserBusy, builderBusy, filterBusy, aggBusy int64 // atomic nanoseconds
+	pairsGPU, pairsCPU                           int64
+}
+
+func (r *run) fail(err error) {
+	r.mu.Lock()
+	if r.firstErr == nil {
+		r.firstErr = err
+	}
+	r.mu.Unlock()
+}
+
+func (r *run) accumulate(results []pixelbox.AreaResult, onGPU bool) {
+	var sum float64
+	var hits int
+	for _, ar := range results {
+		if ratio, ok := ar.Ratio(); ok {
+			sum += ratio
+			hits++
+		}
+	}
+	r.mu.Lock()
+	r.ratioSum += sum
+	r.intersecting += hits
+	r.mu.Unlock()
+	if onGPU {
+		atomic.AddInt64(&r.pairsGPU, int64(len(results)))
+	} else {
+		atomic.AddInt64(&r.pairsCPU, int64(len(results)))
+	}
+}
+
+func (r *run) execute(tasks []FileTask) (Result, error) {
+	cfg := r.cfg
+	r.fileBuf = newBuffer[FileTask](cfg.BufferCap)
+	r.parsedBuf = newBuffer[parsedTask](cfg.BufferCap)
+	r.builtBuf = newBuffer[builtTask](cfg.BufferCap)
+	r.pairBuf = newBuffer[pairTask](cfg.BufferCap)
+
+	start := time.Now()
+	done := make(chan struct{})
+
+	var wg sync.WaitGroup
+
+	// Stage 1: parser (multi-threaded). The parsed buffer closes when the
+	// pending-task counter drains, not when the workers exit, because the
+	// parser migrator is an alternative producer.
+	atomic.StoreInt64(&r.pendingParse, int64(len(tasks)))
+	if len(tasks) == 0 {
+		r.parsedBuf.close()
+	}
+	for w := 0; w < cfg.ParserWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.parserWorker()
+		}()
+	}
+
+	// Stage 2: builder (single-threaded; "its execution speed is already
+	// very fast").
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r.builderWorker()
+		r.builtBuf.close()
+	}()
+
+	// Stage 3: filter (single-threaded).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r.filterWorker()
+		r.pairBuf.close()
+	}()
+
+	// Stage 4: aggregator (single consumer consolidating all GPU access).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r.aggregatorWorker()
+	}()
+
+	// Migration threads (§4.2): asleep until buffer transitions wake them.
+	if cfg.Migration {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			r.aggregatorMigrator(done)
+		}()
+		go func() {
+			defer wg.Done()
+			r.parserMigrator(done)
+		}()
+	}
+
+	// Feed the input and drain the pipeline.
+	for _, t := range tasks {
+		r.fileBuf.put(t)
+	}
+	r.fileBuf.close()
+
+	// Wait for the aggregator (last stage) then stop migration workers.
+	waitDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(waitDone)
+	}()
+	// The aggregator exits when pairBuf drains; done must be closed once
+	// the main stages have all finished so migrators unblock. Detect via a
+	// monitor goroutine on the aggregator-specific portion of wg: simplest
+	// correct scheme is closing done when every stage goroutine except the
+	// migrators has returned; track with a separate WaitGroup.
+	<-r.stageDone(done, waitDone)
+
+	res := Result{
+		Similarity:   0,
+		Intersecting: r.intersecting,
+		Candidates:   r.candidates,
+	}
+	if r.intersecting > 0 {
+		res.Similarity = r.ratioSum / float64(r.intersecting)
+	}
+	r.stats.WallTime = time.Since(start)
+	r.stats.PairsOnGPU = int(atomic.LoadInt64(&r.pairsGPU))
+	r.stats.PairsOnCPU = int(atomic.LoadInt64(&r.pairsCPU))
+	r.stats.PairsFiltered = r.stats.PairsOnGPU + r.stats.PairsOnCPU
+	r.stats.TilesProcessed = len(tasks)
+	r.stats.ParserBusy = time.Duration(atomic.LoadInt64(&r.parserBusy))
+	r.stats.BuilderBusy = time.Duration(atomic.LoadInt64(&r.builderBusy))
+	r.stats.FilterBusy = time.Duration(atomic.LoadInt64(&r.filterBusy))
+	r.stats.AggregatorBusy = time.Duration(atomic.LoadInt64(&r.aggBusy))
+	if cfg.Device != nil {
+		r.stats.KernelLaunches = cfg.Device.Launches()
+		r.stats.DeviceSeconds = cfg.Device.BusySeconds()
+	}
+	res.Stats = r.stats
+	return res, r.firstErr
+}
+
+// stageDone closes done once the core stages have drained, then waits for
+// all goroutines (including migrators) to exit.
+func (r *run) stageDone(done, waitDone chan struct{}) chan struct{} {
+	finished := make(chan struct{})
+	go func() {
+		// The aggregator is the last core stage: it returns only after
+		// pairBuf is drained. Poll drain state cheaply.
+		for !r.pairBuf.isDrained() {
+			time.Sleep(200 * time.Microsecond)
+		}
+		close(done)
+		<-waitDone
+		close(finished)
+	}()
+	return finished
+}
+
+// finishParseTask records that one input task has fully left the parser
+// stage (successfully or not) and closes the parsed buffer after the last
+// one.
+func (r *run) finishParseTask() {
+	if atomic.AddInt64(&r.pendingParse, -1) == 0 {
+		r.parsedBuf.close()
+	}
+}
+
+// parserWorker drains fileBuf, parsing tile files on the CPU.
+func (r *run) parserWorker() {
+	for {
+		task, ok := r.fileBuf.get()
+		if !ok {
+			return
+		}
+		start := time.Now()
+		a, err := parser.Parse(task.RawA)
+		if err != nil {
+			r.fail(fmt.Errorf("pipeline: tile %d set A: %w", task.Tile, err))
+			r.finishParseTask()
+			continue
+		}
+		b, err := parser.Parse(task.RawB)
+		if err != nil {
+			r.fail(fmt.Errorf("pipeline: tile %d set B: %w", task.Tile, err))
+			r.finishParseTask()
+			continue
+		}
+		atomic.AddInt64(&r.parserBusy, int64(time.Since(start)))
+		r.parsedBuf.put(parsedTask{image: task.Image, tile: task.Tile, a: a, b: b})
+		r.finishParseTask()
+	}
+}
+
+// builderWorker builds Hilbert R-trees over each parsed tile.
+func (r *run) builderWorker() {
+	for {
+		task, ok := r.parsedBuf.get()
+		if !ok {
+			return
+		}
+		start := time.Now()
+		ea := make([]rtree.Entry, len(task.a))
+		for i, p := range task.a {
+			ea[i] = rtree.Entry{MBR: p.MBR(), ID: int32(i)}
+		}
+		eb := make([]rtree.Entry, len(task.b))
+		for i, p := range task.b {
+			eb[i] = rtree.Entry{MBR: p.MBR(), ID: int32(i)}
+		}
+		bt := builtTask{
+			parsedTask: task,
+			ta:         rtree.Build(ea, rtree.Options{}),
+			tb:         rtree.Build(eb, rtree.Options{}),
+		}
+		atomic.AddInt64(&r.builderBusy, int64(time.Since(start)))
+		r.builtBuf.put(bt)
+	}
+}
+
+// filterWorker joins the two indexes of each tile into the polygon-pair
+// array the aggregator consumes.
+func (r *run) filterWorker() {
+	for {
+		task, ok := r.builtBuf.get()
+		if !ok {
+			return
+		}
+		start := time.Now()
+		joined, _ := rtree.Join(task.ta, task.tb, nil)
+		pairs := make([]pixelbox.Pair, len(joined))
+		for i, pr := range joined {
+			pairs[i] = pixelbox.Pair{P: task.a[pr.A], Q: task.b[pr.B]}
+		}
+		atomic.AddInt64(&r.filterBusy, int64(time.Since(start)))
+		r.mu.Lock()
+		r.candidates += len(pairs)
+		r.mu.Unlock()
+		r.pairBuf.put(pairTask{image: task.image, tile: task.tile, pairs: pairs})
+	}
+}
+
+// aggregatorWorker batches pair tasks and runs PixelBox, consolidating all
+// kernel launches into a single device client (§4.1: "a single instance of
+// the aggregator consolidates all kernel invocations").
+func (r *run) aggregatorWorker() {
+	for {
+		task, ok := r.pairBuf.get()
+		if !ok {
+			return
+		}
+		batch := task.pairs
+		// Batch more tasks opportunistically up to the target.
+		for len(batch) < r.cfg.BatchPairs {
+			extra, ok := r.pairBuf.tryGet()
+			if !ok {
+				break
+			}
+			batch = append(batch, extra.pairs...)
+		}
+		start := time.Now()
+		if r.cfg.Device != nil {
+			results, _, _ := pixelbox.RunGPU(r.cfg.Device, batch, r.cfg.PixelBox)
+			r.accumulate(results, true)
+		} else {
+			results := pixelbox.RunCPUParallel(batch, r.cfg.CPU)
+			r.accumulate(results, false)
+		}
+		atomic.AddInt64(&r.aggBusy, int64(time.Since(start)))
+	}
+}
+
+// aggregatorMigrator sleeps until the aggregator's input buffer fills (GPU
+// congestion), then steals the smallest task and executes it with
+// PixelBox-CPU.
+func (r *run) aggregatorMigrator(done chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		case <-r.pairBuf.fullCh:
+		}
+		for r.pairBuf.isFull() {
+			task, ok := r.pairBuf.stealMin(func(t pairTask) int { return len(t.pairs) })
+			if !ok {
+				break
+			}
+			atomic.AddInt64(&r.stats.TasksToCPU, 1)
+			results := pixelbox.RunCPUParallel(task.pairs, r.cfg.CPU)
+			r.accumulate(results, false)
+		}
+	}
+}
+
+// parserMigrator sleeps until the aggregator's input buffer runs empty (GPU
+// idle), then steals a file task from the parser's input buffer and parses
+// it on the GPU.
+func (r *run) parserMigrator(done chan struct{}) {
+	if r.cfg.Device == nil {
+		<-done
+		return
+	}
+	// Calibrate host parse throughput lazily from parser busy counters; a
+	// fixed conservative default until data exists.
+	for {
+		select {
+		case <-done:
+			return
+		case <-r.pairBuf.emptyCh:
+		}
+		task, ok := r.fileBuf.stealMin(func(t FileTask) int { return len(t.RawA) + len(t.RawB) })
+		if !ok {
+			continue
+		}
+		atomic.AddInt64(&r.stats.TasksToGPU, 1)
+		a, _, errA := parser.GPUParse(r.cfg.Device, task.RawA, 150e6)
+		b, _, errB := parser.GPUParse(r.cfg.Device, task.RawB, 150e6)
+		if errA != nil || errB != nil {
+			if errA == nil {
+				errA = errB
+			}
+			r.fail(fmt.Errorf("pipeline: gpu parse tile %d: %w", task.Tile, errA))
+			r.finishParseTask()
+			continue
+		}
+		r.parsedBuf.put(parsedTask{image: task.Image, tile: task.Tile, a: a, b: b})
+		r.finishParseTask()
+	}
+}

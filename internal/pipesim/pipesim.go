@@ -1,0 +1,442 @@
+// Package pipesim models the performance of the SCCG execution schemes on
+// the paper's hardware platforms using discrete-event simulation. The
+// functional pipeline (package pipeline) runs the computation for real; this
+// package answers the scheduling questions of §5.5-§5.7 — how do NoPipe-S /
+// NoPipe-M / Pipelined compare, and what does dynamic task migration buy on
+// a given platform — for multi-core, multi-GPU machines the reproduction
+// host does not have.
+//
+// Inputs are per-tile service times calibrated from real single-core
+// measurements (CPU stages) and the GPU simulator (aggregator kernels); see
+// internal/experiments.Calibrate.
+package pipesim
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+)
+
+// TileCost carries the calibrated service times of one image tile's journey
+// through the pipeline.
+type TileCost struct {
+	// ParseSec, BuildSec, FilterSec are single-core CPU seconds for the
+	// tile's two polygon files.
+	ParseSec  float64
+	BuildSec  float64
+	FilterSec float64
+	// GPUAggSec is the device compute time of PixelBox over the tile's
+	// pair array, excluding per-launch fixed overhead (batching amortises
+	// that).
+	GPUAggSec float64
+	// CPUAggSec is the single-core PixelBox-CPU time for the tile.
+	CPUAggSec float64
+	// GPUParseSec is the device time to parse the tile's files with
+	// GPU-Parser, whose throughput the paper measures as comparable to the
+	// (multi-threaded) CPU parser stage — roughly ParseSec divided by the
+	// parser worker count.
+	GPUParseSec float64
+	// Pairs is the tile's filtered pair count (migration picks the
+	// smallest tasks).
+	Pairs int
+}
+
+// Platform describes the modelled machine.
+type Platform struct {
+	Name string
+	// Cores is the number of CPU worker threads the machine sustains
+	// (physical cores, plus SMT yield folded in by the caller).
+	Cores int
+	// GPUs is the number of GPU devices.
+	GPUs int
+	// GPUSpeed scales device service times: 1.0 is the calibrated GTX 580;
+	// lower is slower (Config-III de-tunes the kernel; the M2050 is a
+	// slower part).
+	GPUSpeed float64
+	// LaunchOverhead is the fixed host-device cost per kernel launch
+	// (launch + transfer latency), paid once per batch.
+	LaunchOverhead float64
+	// ContextSwitch is the device cost paid whenever a different execution
+	// stream than the previous one takes the GPU — the "resource contention
+	// and low execution efficiency" of uncontrolled kernel invocations
+	// (§4). A single consolidating aggregator never pays it.
+	ContextSwitch float64
+}
+
+// T1500 returns the paper's workstation platform: 4-core i7-860 plus one
+// GTX 580.
+func T1500() Platform {
+	return Platform{Name: "T1500", Cores: 4, GPUs: 1, GPUSpeed: 1.0, LaunchOverhead: 40e-6, ContextSwitch: 5e-5}
+}
+
+// EC2 returns the paper's cc-GPU EC2 instance: dual X5570 (8 cores, 16
+// hardware threads modelled as 10 effective workers) and gpus Tesla M2050s
+// (≈ 65% of GTX 580 throughput).
+func EC2(gpus int) Platform {
+	return Platform{Name: fmt.Sprintf("EC2-%dGPU", gpus), Cores: 10, GPUs: gpus, GPUSpeed: 0.65, LaunchOverhead: 40e-6, ContextSwitch: 5e-5}
+}
+
+// Scheme selects the execution scheme of Table 1.
+type Scheme int
+
+// Execution schemes.
+const (
+	// NoPipeS runs the four stages sequentially per tile in one stream.
+	NoPipeS Scheme = iota
+	// NoPipeM runs multiple independent NoPipeS streams (uncoordinated
+	// GPU use).
+	NoPipeM
+	// Pipelined is the SCCG pipelined framework with a single
+	// GPU-consolidating aggregator.
+	Pipelined
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case NoPipeS:
+		return "NoPipe-S"
+	case NoPipeM:
+		return "NoPipe-M"
+	case Pipelined:
+		return "Pipelined"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Options tunes a simulated run.
+type Options struct {
+	// Migration enables the dynamic task migration component (§4.2).
+	Migration bool
+	// ParserWorkers is the pipelined parser stage width; defaults to
+	// Cores-2 (builder and filter keep a core each).
+	ParserWorkers int
+	// BufferCap is the inter-stage buffer capacity in tasks; defaults 8.
+	BufferCap int
+	// BatchPairs is the aggregator batch target; defaults 1024.
+	BatchPairs int
+	// Streams is the NoPipe-M stream count; defaults to Cores.
+	Streams int
+}
+
+func (o Options) normalized(plat Platform) Options {
+	if o.ParserWorkers <= 0 {
+		// Oversubscribe slightly: the cores resource arbitrates between
+		// parser workers and the (cheap) builder/filter/aggregator hosts.
+		o.ParserWorkers = plat.Cores
+	}
+	if o.BufferCap <= 0 {
+		o.BufferCap = 8
+	}
+	if o.BatchPairs <= 0 {
+		o.BatchPairs = 1024
+	}
+	if o.Streams <= 0 {
+		o.Streams = plat.Cores
+	}
+	return o
+}
+
+// Result reports a simulated run.
+type Result struct {
+	Seconds        float64
+	CPUBusy        float64
+	GPUBusy        float64
+	CPUUtilisation float64
+	GPUUtilisation float64
+	MigratedToCPU  int
+	MigratedToGPU  int
+}
+
+// Throughput returns tiles per simulated second.
+func (r Result) Throughput(tiles int) float64 {
+	if r.Seconds <= 0 {
+		return 0
+	}
+	return float64(tiles) / r.Seconds
+}
+
+// Simulate runs the chosen scheme over the workload on the platform and
+// returns the modelled wall time and utilisation.
+func Simulate(tiles []TileCost, plat Platform, scheme Scheme, opt Options) (Result, error) {
+	opt = opt.normalized(plat)
+	if len(tiles) == 0 {
+		return Result{}, nil
+	}
+	sim := des.New()
+	cores := des.NewResource(sim, "cores", plat.Cores)
+	var gpus *des.Resource
+	if plat.GPUs > 0 {
+		gpus = des.NewResource(sim, "gpus", plat.GPUs)
+	}
+	m := &model{
+		sim: sim, plat: plat, opt: opt,
+		cores: cores, gpus: gpus, tiles: tiles,
+	}
+	switch scheme {
+	case NoPipeS:
+		m.buildNoPipe(1)
+	case NoPipeM:
+		m.buildNoPipe(opt.Streams)
+	case Pipelined:
+		m.buildPipelined()
+	default:
+		return Result{}, fmt.Errorf("pipesim: unknown scheme %v", scheme)
+	}
+	end, err := sim.Run()
+	if err != nil {
+		return Result{}, fmt.Errorf("pipesim: %s on %s: %w", scheme, plat.Name, err)
+	}
+	res := Result{
+		Seconds:       end,
+		CPUBusy:       cores.BusySeconds(),
+		MigratedToCPU: m.migratedToCPU,
+		MigratedToGPU: m.migratedToGPU,
+	}
+	if gpus != nil {
+		res.GPUBusy = gpus.BusySeconds()
+		if end > 0 {
+			res.GPUUtilisation = res.GPUBusy / (end * float64(plat.GPUs))
+		}
+	}
+	if end > 0 {
+		res.CPUUtilisation = res.CPUBusy / (end * float64(plat.Cores))
+	}
+	return res, nil
+}
+
+// model holds the wiring of one simulated run.
+type model struct {
+	sim   *des.Sim
+	plat  Platform
+	opt   Options
+	cores *des.Resource
+	gpus  *des.Resource
+	tiles []TileCost
+
+	migratedToCPU int
+	migratedToGPU int
+
+	// lastGPUOwner tracks which execution stream last held a device;
+	// switching owners pays the platform's context-switch cost.
+	lastGPUOwner string
+}
+
+// gpuSecs scales a calibrated device time by the platform's GPU speed.
+func (m *model) gpuSecs(t float64) float64 {
+	if m.plat.GPUSpeed <= 0 {
+		return t
+	}
+	return t / m.plat.GPUSpeed
+}
+
+// gpuServiceTime returns the device occupancy for a launch by `owner`,
+// including launch overhead and any context-switch penalty.
+func (m *model) gpuServiceTime(owner string, computeSec float64) float64 {
+	d := m.plat.LaunchOverhead + m.gpuSecs(computeSec)
+	if m.lastGPUOwner != owner && m.lastGPUOwner != "" {
+		d += m.plat.ContextSwitch
+	}
+	m.lastGPUOwner = owner
+	return d
+}
+
+// aggregateOnGPU occupies one device for a batch, blocking the caller.
+func (m *model) aggregateOnGPU(p *des.Proc, owner string, batchGPUSec float64) {
+	m.gpus.Use(p, m.gpuServiceTime(owner, batchGPUSec))
+}
+
+// buildNoPipe wires `streams` independent sequential workers over a
+// round-robin tile partition. Every stream parses, builds, filters on a CPU
+// core and then aggregates on the GPU tile by tile — the uncoordinated
+// device use that caps NoPipe-M's CPU utilisation (§5.5).
+func (m *model) buildNoPipe(streams int) {
+	for s := 0; s < streams; s++ {
+		s := s
+		name := fmt.Sprintf("stream-%d", s)
+		m.sim.Spawn(name, func(p *des.Proc) {
+			for i := s; i < len(m.tiles); i += streams {
+				tc := m.tiles[i]
+				m.cores.Use(p, tc.ParseSec+tc.BuildSec+tc.FilterSec)
+				if m.gpus != nil {
+					m.aggregateOnGPU(p, name, tc.GPUAggSec)
+				} else {
+					m.cores.Use(p, tc.CPUAggSec)
+				}
+			}
+		})
+	}
+}
+
+// pipeTask flows through the simulated pipeline.
+type pipeTask struct {
+	tc TileCost
+}
+
+// buildPipelined wires the four-stage pipeline with bounded buffers, one
+// GPU-consolidating aggregator, and (optionally) the two migration
+// processes.
+func (m *model) buildPipelined() {
+	opt := m.opt
+	fileQ := des.NewQueue[pipeTask](m.sim, len(m.tiles))
+	parsedQ := des.NewQueue[pipeTask](m.sim, opt.BufferCap)
+	builtQ := des.NewQueue[pipeTask](m.sim, opt.BufferCap)
+	pairQ := des.NewQueue[pipeTask](m.sim, opt.BufferCap)
+
+	fullTrig := des.NewTrigger(m.sim)
+	emptyTrig := des.NewTrigger(m.sim)
+	if opt.Migration {
+		pairQ.FullSignal = fullTrig.Fire
+		pairQ.EmptySignal = emptyTrig.Fire
+	}
+
+	// Input feed: all tile files are on disk up front.
+	pendingParse := len(m.tiles)
+	finishParse := func() {
+		pendingParse--
+		if pendingParse == 0 {
+			parsedQ.Close()
+		}
+	}
+	m.sim.Spawn("feed", func(p *des.Proc) {
+		for _, tc := range m.tiles {
+			fileQ.Put(p, pipeTask{tc: tc})
+		}
+		fileQ.Close()
+	})
+
+	// Parser workers.
+	for w := 0; w < opt.ParserWorkers; w++ {
+		m.sim.Spawn(fmt.Sprintf("parser-%d", w), func(p *des.Proc) {
+			for {
+				t, ok := fileQ.Get(p)
+				if !ok {
+					return
+				}
+				m.cores.Use(p, t.tc.ParseSec)
+				parsedQ.Put(p, t)
+				finishParse()
+			}
+		})
+	}
+
+	// Builder (single worker).
+	m.sim.Spawn("builder", func(p *des.Proc) {
+		for {
+			t, ok := parsedQ.Get(p)
+			if !ok {
+				builtQ.Close()
+				return
+			}
+			m.cores.Use(p, t.tc.BuildSec)
+			builtQ.Put(p, t)
+		}
+	})
+
+	// Filter (single worker).
+	m.sim.Spawn("filter", func(p *des.Proc) {
+		for {
+			t, ok := builtQ.Get(p)
+			if !ok {
+				pairQ.Close()
+				return
+			}
+			m.cores.Use(p, t.tc.FilterSec)
+			pairQ.Put(p, t)
+		}
+	})
+
+	// Aggregator: batches buffered tasks, consolidating kernel launches.
+	m.sim.Spawn("aggregator", func(p *des.Proc) {
+		for {
+			t, ok := pairQ.Get(p)
+			if !ok {
+				fullTrig.Stop()
+				emptyTrig.Stop()
+				return
+			}
+			batchGPU := t.tc.GPUAggSec
+			batchPairs := t.tc.Pairs
+			for batchPairs < opt.BatchPairs {
+				extra, ok := pairQ.TryGet()
+				if !ok {
+					break
+				}
+				batchGPU += extra.tc.GPUAggSec
+				batchPairs += extra.tc.Pairs
+			}
+			if m.gpus != nil {
+				// Dispatch asynchronously so a second device (Config-II)
+				// can overlap with the next batch. The pipelined scheme
+				// owns the device from one process context ("sccg"), so
+				// alternating between aggregation and GPU-parsing kernels
+				// pays no context switch.
+				m.gpus.UseAsync(p, m.gpuServiceTime("sccg", batchGPU))
+			} else {
+				m.cores.Use(p, t.tc.CPUAggSec)
+			}
+		}
+	})
+
+	if !opt.Migration {
+		return
+	}
+
+	// Aggregator migration thread: woken when the aggregator input buffer
+	// fills; steals the smallest tasks and runs the parallel PixelBox-CPU
+	// (the paper's work-stealing TBB port) across several cores at once.
+	aggWorkers := m.plat.Cores / 2
+	if aggWorkers < 1 {
+		aggWorkers = 1
+	}
+	m.sim.Spawn("migrate-to-cpu", func(p *des.Proc) {
+		for fullTrig.Await(p) {
+			// Genuine GPU congestion: the buffer is at capacity while every
+			// device is occupied. A full buffer right after a batch drain
+			// with idle devices is just the batching rhythm, not congestion.
+			for pairQ.IsFull() && m.gpus != nil && m.gpus.InUse() >= m.plat.GPUs {
+				t, ok := pairQ.StealMin(func(t pipeTask) float64 { return float64(t.tc.Pairs) })
+				if !ok {
+					break
+				}
+				m.migratedToCPU++
+				for w := 0; w < aggWorkers; w++ {
+					m.cores.Acquire(p)
+				}
+				p.Delay(t.tc.CPUAggSec / float64(aggWorkers))
+				for w := 0; w < aggWorkers; w++ {
+					m.cores.Release()
+				}
+			}
+		}
+	})
+
+	// Parser migration thread: woken when the aggregator input buffer runs
+	// empty (idle GPU); steals parse tasks and runs GPU-Parser.
+	m.sim.Spawn("migrate-to-gpu", func(p *des.Proc) {
+		if m.gpus == nil {
+			return
+		}
+		for emptyTrig.Await(p) {
+			// Level-triggered: keep feeding the device while the
+			// aggregator remains starved; as soon as pair tasks arrive the
+			// migrator yields the GPU back to aggregation.
+			for pairQ.Len() == 0 && !pairQ.Closed() {
+				// Only steal while the parser stage has a deep backlog: a
+				// migrated parse near the drain would put the (slower,
+				// serial) GPU parser on the pipeline's critical path.
+				if fileQ.Len() <= 2*opt.ParserWorkers {
+					break
+				}
+				t, ok := fileQ.StealMin(func(t pipeTask) float64 { return t.tc.ParseSec })
+				if !ok {
+					break
+				}
+				m.migratedToGPU++
+				m.gpus.Use(p, m.gpuServiceTime("sccg", t.tc.GPUParseSec))
+				parsedQ.Put(p, t)
+				finishParse()
+			}
+		}
+	})
+}

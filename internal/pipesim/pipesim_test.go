@@ -1,0 +1,167 @@
+package pipesim
+
+import (
+	"testing"
+)
+
+// syntheticWorkload builds n identical tiles with a workload shape matching
+// the calibrated SCCG profile: parsing dominates CPU work; GPU aggregation
+// is fast; CPU aggregation is ~50x slower than GPU.
+func syntheticWorkload(n int) []TileCost {
+	tiles := make([]TileCost, n)
+	for i := range tiles {
+		tiles[i] = TileCost{
+			ParseSec:    20e-3,
+			BuildSec:    2e-3,
+			FilterSec:   1e-3,
+			GPUAggSec:   1.5e-3,
+			CPUAggSec:   75e-3,
+			GPUParseSec: 5.5e-3,
+			Pairs:       600,
+		}
+	}
+	return tiles
+}
+
+func mustSim(t *testing.T, tiles []TileCost, plat Platform, scheme Scheme, opt Options) Result {
+	t.Helper()
+	res, err := Simulate(tiles, plat, scheme, opt)
+	if err != nil {
+		t.Fatalf("%v on %s: %v", scheme, plat.Name, err)
+	}
+	if res.Seconds <= 0 {
+		t.Fatalf("%v produced no time", scheme)
+	}
+	return res
+}
+
+// TestTable1Ordering reproduces the Table 1 relationship: NoPipe-S slower
+// than NoPipe-M slower than Pipelined.
+func TestTable1Ordering(t *testing.T) {
+	tiles := syntheticWorkload(120)
+	plat := T1500()
+	s := mustSim(t, tiles, plat, NoPipeS, Options{})
+	m := mustSim(t, tiles, plat, NoPipeM, Options{})
+	p := mustSim(t, tiles, plat, Pipelined, Options{})
+	if !(p.Seconds < m.Seconds && m.Seconds < s.Seconds) {
+		t.Fatalf("Table 1 ordering violated: S=%v M=%v P=%v", s.Seconds, m.Seconds, p.Seconds)
+	}
+	// NoPipe-S is a single stream: CPU utilisation far below 1 core of 4.
+	if s.CPUUtilisation > 0.30 {
+		t.Fatalf("NoPipe-S CPU utilisation %v, want ~1/4 or below", s.CPUUtilisation)
+	}
+}
+
+// TestNoPipeMCPUUnderutilised reproduces the §5.5 observation: with
+// uncoordinated GPU use, "all CPU cores were only about 50% saturated".
+func TestNoPipeMCPUUnderutilised(t *testing.T) {
+	// GPU-heavy tiles so streams serialise on the device.
+	tiles := make([]TileCost, 80)
+	for i := range tiles {
+		tiles[i] = TileCost{ParseSec: 5e-3, BuildSec: 1e-3, FilterSec: 1e-3, GPUAggSec: 8e-3, CPUAggSec: 200e-3, Pairs: 500}
+	}
+	res := mustSim(t, tiles, T1500(), NoPipeM, Options{})
+	if res.CPUUtilisation > 0.8 {
+		t.Fatalf("NoPipe-M CPU utilisation %v; device serialisation should throttle it", res.CPUUtilisation)
+	}
+	if res.GPUUtilisation < 0.8 {
+		t.Fatalf("GPU should be the bottleneck, utilisation %v", res.GPUUtilisation)
+	}
+}
+
+// TestMigrationConfigI reproduces Fig. 11 Config-I: on the workstation the
+// aggregator cannot keep the GPU busy, parser tasks migrate to the GPU, and
+// throughput improves substantially.
+func TestMigrationConfigI(t *testing.T) {
+	tiles := syntheticWorkload(160)
+	plat := T1500()
+	off := mustSim(t, tiles, plat, Pipelined, Options{Migration: false})
+	on := mustSim(t, tiles, plat, Pipelined, Options{Migration: true})
+	if on.Seconds >= off.Seconds {
+		t.Fatalf("migration did not help: on=%v off=%v", on.Seconds, off.Seconds)
+	}
+	if on.MigratedToGPU == 0 {
+		t.Fatal("no parser tasks migrated to the idle GPU")
+	}
+	gain := off.Seconds/on.Seconds - 1
+	if gain < 0.10 {
+		t.Fatalf("Config-I migration gain %.0f%%, paper reports ~50%%", gain*100)
+	}
+}
+
+// TestMigrationConfigIII reproduces Fig. 11 Config-III: with a deliberately
+// slowed GPU the aggregator becomes the bottleneck and tasks flow the other
+// way, GPU to CPU.
+func TestMigrationConfigIII(t *testing.T) {
+	tiles := syntheticWorkload(160)
+	plat := EC2(1)
+	plat.GPUSpeed = 0.12 // sub-optimal block size throttles the kernel
+	off := mustSim(t, tiles, plat, Pipelined, Options{Migration: false})
+	on := mustSim(t, tiles, plat, Pipelined, Options{Migration: true})
+	if on.Seconds >= off.Seconds {
+		t.Fatalf("migration did not help: on=%v off=%v", on.Seconds, off.Seconds)
+	}
+	if on.MigratedToCPU == 0 {
+		t.Fatal("no aggregator tasks migrated to CPUs")
+	}
+}
+
+// TestBatchingAmortisesLaunchOverhead: the pipelined aggregator batches,
+// so launch overhead is paid far fewer times than once per tile.
+func TestBatchingAmortisesLaunchOverhead(t *testing.T) {
+	tiles := syntheticWorkload(200)
+	plat := T1500()
+	plat.LaunchOverhead = 5e-3 // exaggerate to make the effect visible
+	noPipe := mustSim(t, tiles, plat, NoPipeS, Options{})
+	piped := mustSim(t, tiles, plat, Pipelined, Options{BatchPairs: 4096})
+	// NoPipe pays 200 x 5ms = 1s of launch overhead alone.
+	if noPipe.Seconds < 1.0 {
+		t.Fatalf("NoPipe-S should pay per-tile launch overhead, got %v", noPipe.Seconds)
+	}
+	if piped.Seconds > noPipe.Seconds*0.8 {
+		t.Fatalf("batching saved too little: piped=%v nopipe=%v", piped.Seconds, noPipe.Seconds)
+	}
+}
+
+func TestTwoGPUsOverlap(t *testing.T) {
+	// GPU-bound workload: two devices should nearly halve the time.
+	tiles := make([]TileCost, 100)
+	for i := range tiles {
+		tiles[i] = TileCost{ParseSec: 1e-3, BuildSec: 0.2e-3, FilterSec: 0.2e-3, GPUAggSec: 10e-3, CPUAggSec: 500e-3, Pairs: 2000}
+	}
+	one := mustSim(t, tiles, Platform{Name: "1gpu", Cores: 8, GPUs: 1, GPUSpeed: 1, LaunchOverhead: 1e-5}, Pipelined, Options{BatchPairs: 2000})
+	two := mustSim(t, tiles, Platform{Name: "2gpu", Cores: 8, GPUs: 2, GPUSpeed: 1, LaunchOverhead: 1e-5}, Pipelined, Options{BatchPairs: 2000})
+	if two.Seconds > one.Seconds*0.7 {
+		t.Fatalf("second GPU bought too little: 1gpu=%v 2gpu=%v", one.Seconds, two.Seconds)
+	}
+}
+
+func TestEmptyWorkload(t *testing.T) {
+	res, err := Simulate(nil, T1500(), Pipelined, Options{})
+	if err != nil || res.Seconds != 0 {
+		t.Fatalf("empty workload: %v, %v", res, err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	tiles := syntheticWorkload(50)
+	a := mustSim(t, tiles, T1500(), Pipelined, Options{Migration: true})
+	b := mustSim(t, tiles, T1500(), Pipelined, Options{Migration: true})
+	if a != b {
+		t.Fatalf("simulation not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if NoPipeS.String() != "NoPipe-S" || NoPipeM.String() != "NoPipe-M" || Pipelined.String() != "Pipelined" {
+		t.Fatal("scheme strings")
+	}
+}
+
+func TestNoGPUFallback(t *testing.T) {
+	tiles := syntheticWorkload(20)
+	res := mustSim(t, tiles, Platform{Name: "cpu-only", Cores: 4, GPUs: 0, GPUSpeed: 1}, Pipelined, Options{})
+	if res.GPUBusy != 0 {
+		t.Fatal("cpu-only platform used a GPU")
+	}
+}

@@ -1,0 +1,276 @@
+package pixelbox_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/clip"
+	"repro/internal/geom"
+	"repro/internal/geomtest"
+	"repro/internal/gpu"
+	"repro/internal/pixelbox"
+)
+
+// randomPairs builds n random overlapping polygon pairs.
+func randomPairs(rng *rand.Rand, n int, size int32) []pixelbox.Pair {
+	pairs := make([]pixelbox.Pair, 0, n)
+	for len(pairs) < n {
+		p := geomtest.RandomPolygon(rng, size)
+		q := geomtest.RandomPolygon(rng, size)
+		if p == nil || q == nil {
+			continue
+		}
+		pairs = append(pairs, pixelbox.Pair{P: p, Q: q})
+	}
+	return pairs
+}
+
+// expected computes the oracle areas for pairs via the sweep overlay.
+func expected(pairs []pixelbox.Pair) []pixelbox.AreaResult {
+	out := make([]pixelbox.AreaResult, len(pairs))
+	for i, pr := range pairs {
+		inter := clip.IntersectionArea(pr.P, pr.Q)
+		out[i] = pixelbox.AreaResult{
+			Intersection: inter,
+			Union:        pr.P.Area() + pr.Q.Area() - inter,
+		}
+	}
+	return out
+}
+
+func checkResults(t *testing.T, label string, got, want []pixelbox.AreaResult, pairs []pixelbox.Pair) {
+	t.Helper()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s pair %d: got %+v, want %+v\np=%v\nq=%v", label, i, got[i], want[i],
+				pairs[i].P.Vertices(), pairs[i].Q.Vertices())
+		}
+	}
+}
+
+// TestGPUVariantsExact verifies the §3.4 accuracy claim for every variant:
+// PixelBox computes areas with no loss of precision relative to the exact
+// overlay ("we validated the correctness of PixelBox by comparing the areas
+// computed by PixelBox with those computed by PostGIS").
+func TestGPUVariantsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	pairs := randomPairs(rng, 60, 28)
+	want := expected(pairs)
+	variants := []pixelbox.Variant{
+		pixelbox.PixelBox,
+		pixelbox.PixelBoxNoSep,
+		pixelbox.PixelOnly,
+		pixelbox.NoOpt,
+		pixelbox.NBC,
+		pixelbox.NBCUR,
+	}
+	for _, v := range variants {
+		dev := gpu.NewDevice(gpu.GTX580())
+		got, _, _ := pixelbox.RunGPU(dev, pairs, pixelbox.Config{Variant: v})
+		checkResults(t, v.Name(), got, want, pairs)
+	}
+}
+
+func TestGPUScaledPolygonsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	base := randomPairs(rng, 10, 20)
+	for _, sf := range []int32{2, 3, 5} {
+		pairs := make([]pixelbox.Pair, len(base))
+		for i, pr := range base {
+			pairs[i] = pixelbox.Pair{P: pr.P.Scale(sf), Q: pr.Q.Scale(sf)}
+		}
+		want := expected(pairs)
+		dev := gpu.NewDevice(gpu.GTX580())
+		got, _, _ := pixelbox.RunGPU(dev, pairs, pixelbox.Config{})
+		checkResults(t, "scaled", got, want, pairs)
+	}
+}
+
+func TestGPUThresholdExtremesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	pairs := randomPairs(rng, 20, 24)
+	want := expected(pairs)
+	for _, T := range []int{2, 8, 64, 512, 4096, 1 << 20} {
+		dev := gpu.NewDevice(gpu.GTX580())
+		got, _, _ := pixelbox.RunGPU(dev, pairs, pixelbox.Config{Threshold: T})
+		checkResults(t, "threshold", got, want, pairs)
+	}
+}
+
+func TestGPUBlockSizesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	pairs := randomPairs(rng, 15, 24)
+	want := expected(pairs)
+	for _, n := range []int{32, 48, 64, 128, 256} {
+		dev := gpu.NewDevice(gpu.GTX580())
+		got, _, _ := pixelbox.RunGPU(dev, pairs, pixelbox.Config{BlockSize: n})
+		checkResults(t, "blocksize", got, want, pairs)
+	}
+}
+
+func TestCPUExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	pairs := randomPairs(rng, 60, 28)
+	want := expected(pairs)
+	got := pixelbox.RunCPU(pairs, pixelbox.CPUConfig{})
+	checkResults(t, "cpu", got, want, pairs)
+	gotPar := pixelbox.RunCPUParallel(pairs, pixelbox.CPUConfig{Workers: 4})
+	checkResults(t, "cpu-parallel", gotPar, want, pairs)
+}
+
+func TestDisjointPairs(t *testing.T) {
+	p := geom.Rect(0, 0, 4, 4)
+	q := geom.Rect(100, 100, 104, 104)
+	pairs := []pixelbox.Pair{{P: p, Q: q}}
+	dev := gpu.NewDevice(gpu.GTX580())
+	got, _, _ := pixelbox.RunGPU(dev, pairs, pixelbox.Config{})
+	if got[0].Intersection != 0 || got[0].Union != 32 {
+		t.Fatalf("disjoint pair result %+v", got[0])
+	}
+	r, ok := got[0].Ratio()
+	if ok || r != 0 {
+		t.Fatal("disjoint pair should not report a ratio")
+	}
+}
+
+func TestIdenticalPair(t *testing.T) {
+	p := geom.MustPolygon([]geom.Point{{X: 0, Y: 0}, {X: 3, Y: 0}, {X: 3, Y: 2}, {X: 2, Y: 2}, {X: 2, Y: 3}, {X: 0, Y: 3}})
+	pairs := []pixelbox.Pair{{P: p, Q: p}}
+	dev := gpu.NewDevice(gpu.GTX580())
+	got, _, _ := pixelbox.RunGPU(dev, pairs, pixelbox.Config{})
+	if got[0].Intersection != p.Area() || got[0].Union != p.Area() {
+		t.Fatalf("self pair %+v, want area %d", got[0], p.Area())
+	}
+	r, ok := got[0].Ratio()
+	if !ok || r != 1 {
+		t.Fatalf("self ratio = %v", r)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	dev := gpu.NewDevice(gpu.GTX580())
+	got, res, xfer := pixelbox.RunGPU(dev, nil, pixelbox.Config{})
+	if len(got) != 0 || res.DeviceSeconds != 0 || xfer != 0 {
+		t.Fatal("empty input should be free")
+	}
+	if out := pixelbox.RunCPU(nil, pixelbox.CPUConfig{}); len(out) != 0 {
+		t.Fatal("cpu empty input")
+	}
+	if out := pixelbox.RunCPUParallel(nil, pixelbox.CPUConfig{}); len(out) != 0 {
+		t.Fatal("cpu parallel empty input")
+	}
+}
+
+// TestQuickGPUMatchesOracle drives the full kernel with testing/quick.
+func TestQuickGPUMatchesOracle(t *testing.T) {
+	dev := gpu.NewDevice(gpu.GTX580())
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := geomtest.RandomPolygon(rng, 20)
+		q := geomtest.RandomPolygon(rng, 20)
+		if p == nil || q == nil {
+			return true
+		}
+		pairs := []pixelbox.Pair{{P: p, Q: q}}
+		got, _, _ := pixelbox.RunGPU(dev, pairs, pixelbox.Config{})
+		inter := clip.IntersectionArea(p, q)
+		return got[0].Intersection == inter && got[0].Union == p.Area()+q.Area()-inter
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Cost-model shape tests: the relationships the paper's figures rest on.
+
+func modelSeconds(t *testing.T, pairs []pixelbox.Pair, cfg pixelbox.Config) float64 {
+	t.Helper()
+	dev := gpu.NewDevice(gpu.GTX580())
+	_, res, _ := pixelbox.RunGPU(dev, pairs, cfg)
+	return res.DeviceSeconds
+}
+
+// TestSamplingBoxesBeatPixelOnlyWhenScaled mirrors Fig. 8: at scale factor 5
+// the sampling-box variants must be far faster than pixelization alone.
+func TestSamplingBoxesBeatPixelOnlyWhenScaled(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	base := randomPairs(rng, 12, 24)
+	scaled := make([]pixelbox.Pair, len(base))
+	for i, pr := range base {
+		scaled[i] = pixelbox.Pair{P: pr.P.Scale(5), Q: pr.Q.Scale(5)}
+	}
+	pixelOnly := modelSeconds(t, scaled, pixelbox.Config{Variant: pixelbox.PixelOnly})
+	noSep := modelSeconds(t, scaled, pixelbox.Config{Variant: pixelbox.PixelBoxNoSep})
+	full := modelSeconds(t, scaled, pixelbox.Config{Variant: pixelbox.PixelBox})
+	if !(full < noSep && noSep < pixelOnly) {
+		t.Fatalf("Fig.8 ordering violated at SF5: PixelBox=%v NoSep=%v PixelOnly=%v", full, noSep, pixelOnly)
+	}
+}
+
+// TestOptimizationLadder mirrors Fig. 9: each implementation optimisation
+// must not slow the kernel down, and the full ladder must beat NoOpt.
+func TestOptimizationLadder(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	base := randomPairs(rng, 12, 24)
+	pairs := make([]pixelbox.Pair, len(base))
+	for i, pr := range base {
+		pairs[i] = pixelbox.Pair{P: pr.P.Scale(3), Q: pr.Q.Scale(3)}
+	}
+	noOpt := modelSeconds(t, pairs, pixelbox.Config{Variant: pixelbox.NoOpt})
+	nbc := modelSeconds(t, pairs, pixelbox.Config{Variant: pixelbox.NBC})
+	nbcur := modelSeconds(t, pairs, pixelbox.Config{Variant: pixelbox.NBCUR})
+	full := modelSeconds(t, pairs, pixelbox.Config{Variant: pixelbox.NBCURSM})
+	if nbc > noOpt || nbcur > nbc || full > nbcur {
+		t.Fatalf("Fig.9 ladder violated: NoOpt=%v NBC=%v NBC-UR=%v NBC-UR-SM=%v", noOpt, nbc, nbcur, full)
+	}
+	if full >= noOpt {
+		t.Fatalf("full optimisation not faster than NoOpt: %v vs %v", full, noOpt)
+	}
+}
+
+// TestThresholdSweetSpot mirrors Fig. 10: extreme thresholds must be slower
+// than the paper's recommended T = n²/2. The pair is a large polygon with
+// interior boundary structure (two offset staircase shapes), so that tiny T
+// forces deep recursion and huge T forces pixelizing a large window.
+func TestThresholdSweetSpot(t *testing.T) {
+	staircase := func(off int32) *geom.Polygon {
+		// A 4-step staircase within a 400x400 extent.
+		base := []geom.Point{
+			{X: 0, Y: 0}, {X: 400, Y: 0}, {X: 400, Y: 100}, {X: 300, Y: 100},
+			{X: 300, Y: 200}, {X: 200, Y: 200}, {X: 200, Y: 300}, {X: 100, Y: 300},
+			{X: 100, Y: 400}, {X: 0, Y: 400},
+		}
+		vs := make([]geom.Point, len(base))
+		for i, v := range base {
+			vs[i] = geom.Point{X: v.X + off, Y: v.Y + off}
+		}
+		return geom.MustPolygon(vs)
+	}
+	pairs := []pixelbox.Pair{{P: staircase(0), Q: staircase(30)}}
+	n := 64
+	sweet := modelSeconds(t, pairs, pixelbox.Config{BlockSize: n, Threshold: n * n / 2})
+	tiny := modelSeconds(t, pairs, pixelbox.Config{BlockSize: n, Threshold: 4})
+	huge := modelSeconds(t, pairs, pixelbox.Config{BlockSize: n, Threshold: 1 << 22})
+	if sweet >= tiny {
+		t.Fatalf("T=n²/2 (%v) not faster than tiny T (%v)", sweet, tiny)
+	}
+	if sweet >= huge {
+		t.Fatalf("T=n²/2 (%v) not faster than huge T (%v)", sweet, huge)
+	}
+}
+
+func TestVariantNames(t *testing.T) {
+	if pixelbox.PixelBox.Name() != "PixelBox" {
+		t.Fatal("PixelBox name")
+	}
+	if pixelbox.PixelOnly.Name() != "PixelOnly" {
+		t.Fatal("PixelOnly name")
+	}
+	if pixelbox.PixelBoxNoSep.Name() != "PixelBox-NoSep" {
+		t.Fatal("NoSep name")
+	}
+	if pixelbox.NoOpt.Name() != "PixelBox-NoOpt" {
+		t.Fatal("NoOpt name")
+	}
+}

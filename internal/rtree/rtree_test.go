@@ -1,0 +1,152 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func randEntries(rng *rand.Rand, n int, space int32) []Entry {
+	entries := make([]Entry, n)
+	for i := range entries {
+		x := rng.Int31n(space)
+		y := rng.Int31n(space)
+		w := 1 + rng.Int31n(16)
+		h := 1 + rng.Int31n(16)
+		entries[i] = Entry{MBR: geom.MBR{MinX: x, MinY: y, MaxX: x + w, MaxY: y + h}, ID: int32(i)}
+	}
+	return entries
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := Build(nil, Options{})
+	if tr.Len() != 0 {
+		t.Fatal("empty tree has entries")
+	}
+	ids, _ := tr.Search(geom.MBR{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}, nil)
+	if len(ids) != 0 {
+		t.Fatal("empty tree returned results")
+	}
+	other := Build(randEntries(rand.New(rand.NewSource(1)), 10, 100), Options{})
+	pairs, _ := Join(tr, other, nil)
+	if len(pairs) != 0 {
+		t.Fatal("join with empty tree returned pairs")
+	}
+}
+
+func TestSearchMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	entries := randEntries(rng, 500, 400)
+	// Build sorts entries in place; keep a copy for the oracle.
+	oracle := make([]Entry, len(entries))
+	copy(oracle, entries)
+	tr := Build(entries, Options{})
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for trial := 0; trial < 50; trial++ {
+		x := rng.Int31n(400)
+		y := rng.Int31n(400)
+		window := geom.MBR{MinX: x, MinY: y, MaxX: x + 1 + rng.Int31n(60), MaxY: y + 1 + rng.Int31n(60)}
+		got, _ := tr.Search(window, nil)
+		var want []int32
+		for _, e := range oracle {
+			if e.MBR.Intersects(window) {
+				want = append(want, e.ID)
+			}
+		}
+		sortIDs(got)
+		sortIDs(want)
+		if !equalIDs(got, want) {
+			t.Fatalf("window %v: got %v, want %v", window, got, want)
+		}
+	}
+}
+
+func TestJoinMatchesNestedLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	ea := randEntries(rng, 300, 300)
+	eb := randEntries(rng, 280, 300)
+	oa := make([]Entry, len(ea))
+	ob := make([]Entry, len(eb))
+	copy(oa, ea)
+	copy(ob, eb)
+	ta := Build(ea, Options{})
+	tb := Build(eb, Options{})
+	got, st := Join(ta, tb, nil)
+	var want []Pair
+	for _, a := range oa {
+		for _, b := range ob {
+			if a.MBR.Intersects(b.MBR) {
+				want = append(want, Pair{A: a.ID, B: b.ID})
+			}
+		}
+	}
+	sortPairs(got)
+	sortPairs(want)
+	if len(got) != len(want) {
+		t.Fatalf("join size %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+	// The join must prune: far fewer entry tests than the full cross
+	// product.
+	if st.EntriesTested >= len(oa)*len(ob) {
+		t.Fatalf("join did not prune: %d tests", st.EntriesTested)
+	}
+}
+
+func TestTreeShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	entries := randEntries(rng, 1000, 1000)
+	tr := Build(entries, Options{Fanout: 10})
+	// 1000 leaves entries / 10 = 100 leaves, /10 = 10 nodes, /10 = 1 root:
+	// height 3, 111 nodes.
+	if tr.Height != 3 {
+		t.Fatalf("height = %d, want 3", tr.Height)
+	}
+	if tr.Nodes != 111 {
+		t.Fatalf("nodes = %d, want 111", tr.Nodes)
+	}
+	if tr.RootMBR().IsEmpty() {
+		t.Fatal("root MBR empty")
+	}
+}
+
+func TestSingleEntry(t *testing.T) {
+	tr := Build([]Entry{{MBR: geom.MBR{MinX: 5, MinY: 5, MaxX: 7, MaxY: 7}, ID: 42}}, Options{})
+	got, _ := tr.Search(geom.MBR{MinX: 6, MinY: 6, MaxX: 8, MaxY: 8}, nil)
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("got %v", got)
+	}
+	got, _ = tr.Search(geom.MBR{MinX: 8, MinY: 8, MaxX: 9, MaxY: 9}, nil)
+	if len(got) != 0 {
+		t.Fatalf("miss returned %v", got)
+	}
+}
+
+func sortIDs(ids []int32) { sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] }) }
+func equalIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+func sortPairs(ps []Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].A != ps[j].A {
+			return ps[i].A < ps[j].A
+		}
+		return ps[i].B < ps[j].B
+	})
+}

@@ -1,0 +1,193 @@
+package sdbms_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/pathology"
+	"repro/internal/sdbms"
+)
+
+func loadSmallDataset(t *testing.T) (*sdbms.DB, string, string) {
+	t.Helper()
+	spec := pathology.Corpus()[0]
+	d := pathology.Generate(spec)
+	a, b := d.GlobalPolygons()
+	db := sdbms.NewDB()
+	if _, err := db.CreateTable("set_1", a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("set_2", b); err != nil {
+		t.Fatal(err)
+	}
+	return db, "set_1", "set_2"
+}
+
+func TestCreateTableErrors(t *testing.T) {
+	db := sdbms.NewDB()
+	if _, err := db.CreateTable("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("t", nil); err == nil {
+		t.Fatal("duplicate table creation succeeded")
+	}
+	if _, err := db.Table("missing"); err == nil {
+		t.Fatal("missing table lookup succeeded")
+	}
+	db.DropTable("t")
+	if _, err := db.Table("t"); err == nil {
+		t.Fatal("dropped table still visible")
+	}
+}
+
+func TestCrossCompareBothFormsAgree(t *testing.T) {
+	db, t1, t2 := loadSmallDataset(t)
+	unopt, err := db.CrossCompare(t1, t2, sdbms.Unoptimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := db.CrossCompare(t1, t2, sdbms.Optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two query forms are rewrites of the same query: identical
+	// results.
+	if unopt.IntersectingPairs != opt.IntersectingPairs {
+		t.Fatalf("intersecting pairs differ: %d vs %d", unopt.IntersectingPairs, opt.IntersectingPairs)
+	}
+	if math.Abs(unopt.Similarity-opt.Similarity) > 1e-12 {
+		t.Fatalf("similarity differs: %v vs %v", unopt.Similarity, opt.Similarity)
+	}
+	if opt.Similarity <= 0.4 || opt.Similarity >= 1 {
+		t.Fatalf("similarity %v implausible for perturbed re-segmentation", opt.Similarity)
+	}
+	if opt.CandidatePairs < opt.IntersectingPairs {
+		t.Fatal("candidates fewer than intersecting pairs")
+	}
+}
+
+func TestCrossCompareSelfSimilarityIsOne(t *testing.T) {
+	spec := pathology.Corpus()[0]
+	d := pathology.Generate(spec)
+	a, _ := d.GlobalPolygons()
+	db := sdbms.NewDB()
+	if _, err := db.CreateTable("a1", a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("a2", a); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.CrossCompare("a1", "a2", sdbms.Optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Comparing a result set with itself: every polygon matches itself
+	// perfectly, though neighbours may add ratios < 1. J' must be high.
+	if res.Similarity < 0.9 {
+		t.Fatalf("self similarity %v, want >= 0.9", res.Similarity)
+	}
+}
+
+// TestProfileShape reproduces the Fig. 2 structure: in the optimised query,
+// Area_Of_Intersection dominates; index work stays a small fraction; the
+// unoptimised query splits its time across ST_Intersects,
+// Area_Of_Intersection and Area_Of_Union.
+func TestProfileShape(t *testing.T) {
+	db, t1, t2 := loadSmallDataset(t)
+	opt, err := db.CrossCompare(t1, t2, sdbms.Optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := opt.Profile
+	total := p.Total()
+	if total <= 0 {
+		t.Fatal("no profiled time")
+	}
+	if frac := float64(p.AreaOfIntersection) / float64(total); frac < 0.5 {
+		t.Fatalf("Area_Of_Intersection fraction %v, want dominant (paper: ~90%%)", frac)
+	}
+	if frac := float64(p.IndexBuild+p.IndexSearch) / float64(total); frac > 0.3 {
+		t.Fatalf("index fraction %v, want small (paper: <6%%)", frac)
+	}
+	if p.AreaOfUnion != 0 {
+		t.Fatal("optimised query must not run ST_Union")
+	}
+	if p.STIntersects != 0 {
+		t.Fatal("optimised query must not run ST_Intersects")
+	}
+
+	// Rebuild tables so index build is re-measured for the unoptimised run.
+	spec := pathology.Corpus()[0]
+	d := pathology.Generate(spec)
+	a, b := d.GlobalPolygons()
+	db2 := sdbms.NewDB()
+	if _, err := db2.CreateTable("u1", a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db2.CreateTable("u2", b); err != nil {
+		t.Fatal(err)
+	}
+	unopt, err := db2.CrossCompare("u1", "u2", sdbms.Unoptimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := unopt.Profile
+	if up.AreaOfUnion == 0 || up.STIntersects == 0 {
+		t.Fatal("unoptimised query must run ST_Union and ST_Intersects")
+	}
+	if up.Total() <= total {
+		t.Fatalf("unoptimised query (%v) should be slower than optimised (%v)", up.Total(), total)
+	}
+}
+
+func TestProfileComponents(t *testing.T) {
+	p := sdbms.Profile{IndexBuild: 1, IndexSearch: 2, STIntersects: 3, AreaOfIntersection: 4, AreaOfUnion: 5, STArea: 6, Other: 7}
+	if p.Total() != 28 {
+		t.Fatalf("total = %v", p.Total())
+	}
+	comps := p.Components()
+	if len(comps) != 7 {
+		t.Fatalf("components = %d", len(comps))
+	}
+	if comps[3].Label != "Area_Of_Intersection" || comps[3].D != 4 {
+		t.Fatalf("component order wrong: %+v", comps[3])
+	}
+}
+
+func TestModelParallelTime(t *testing.T) {
+	single := 100 * time.Second
+	// 16 streams on 8 cores with 25% SMT yield: 10x.
+	got := sdbms.ModelParallelTime(single, 16, 8, 0.25)
+	if got != 10*time.Second {
+		t.Fatalf("16 streams = %v, want 10s", got)
+	}
+	// 4 streams on 8 cores: limited by streams.
+	if got := sdbms.ModelParallelTime(single, 4, 8, 0.25); got != 25*time.Second {
+		t.Fatalf("4 streams = %v", got)
+	}
+	// Degenerate inputs clamp.
+	if got := sdbms.ModelParallelTime(single, 0, 8, 0.25); got != single {
+		t.Fatalf("0 streams = %v", got)
+	}
+}
+
+func TestQueryFormString(t *testing.T) {
+	if sdbms.Unoptimized.String() != "unoptimized" || sdbms.Optimized.String() != "optimized" {
+		t.Fatal("QueryForm strings")
+	}
+}
+
+func TestCrossCompareMissingTables(t *testing.T) {
+	db := sdbms.NewDB()
+	if _, err := db.CrossCompare("a", "b", sdbms.Optimized); err == nil {
+		t.Fatal("missing tables should error")
+	}
+	if _, err := db.CreateTable("a", []*geom.Polygon{geom.Rect(0, 0, 2, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CrossCompare("a", "b", sdbms.Optimized); err == nil {
+		t.Fatal("missing second table should error")
+	}
+}

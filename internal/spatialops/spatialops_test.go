@@ -1,0 +1,149 @@
+package spatialops_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/clip"
+	"repro/internal/geom"
+	"repro/internal/geomtest"
+	"repro/internal/gpu"
+	"repro/internal/pixelbox"
+	"repro/internal/spatialops"
+)
+
+func TestContainsBasics(t *testing.T) {
+	outer := geom.Rect(0, 0, 10, 10)
+	inner := geom.Rect(2, 2, 5, 5)
+	if !spatialops.Contains(outer, inner) {
+		t.Fatal("inner not contained")
+	}
+	if spatialops.Contains(inner, outer) {
+		t.Fatal("containment inverted")
+	}
+	if !spatialops.Contains(outer, outer) {
+		t.Fatal("self containment")
+	}
+	partial := geom.Rect(8, 8, 12, 12)
+	if spatialops.Contains(outer, partial) {
+		t.Fatal("overlapping reported contained")
+	}
+	disjoint := geom.Rect(20, 20, 22, 22)
+	if spatialops.Contains(outer, disjoint) {
+		t.Fatal("disjoint reported contained")
+	}
+}
+
+func TestContainsNonConvex(t *testing.T) {
+	// A U shape does not contain a rectangle spanning its notch.
+	u := geom.MustPolygon([]geom.Point{{X: 0, Y: 0}, {X: 6, Y: 0}, {X: 6, Y: 6}, {X: 4, Y: 6}, {X: 4, Y: 2}, {X: 2, Y: 2}, {X: 2, Y: 6}, {X: 0, Y: 6}})
+	bridge := geom.Rect(1, 3, 5, 5) // spans the notch interior
+	if spatialops.Contains(u, bridge) {
+		t.Fatal("U contains a rectangle bridging its notch")
+	}
+	leg := geom.Rect(0, 0, 2, 6)
+	if !spatialops.Contains(u, leg) {
+		t.Fatal("U does not contain its own leg")
+	}
+}
+
+// TestContainsQuickAgainstBruteForce: Contains must agree with exhaustive
+// pixel subset testing on random polygons.
+func TestContainsQuickAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := geomtest.RandomPolygon(rng, 20)
+		q := geomtest.RandomPolygon(rng, 12)
+		if p == nil || q == nil {
+			return true
+		}
+		want := geomtest.BruteIntersectionArea(p, q) == q.Area()
+		return spatialops.Contains(p, q) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContainsBatchMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var pairs []pixelbox.Pair
+	for len(pairs) < 40 {
+		p := geomtest.RandomPolygon(rng, 24)
+		q := geomtest.RandomPolygon(rng, 12)
+		if p == nil || q == nil {
+			continue
+		}
+		pairs = append(pairs, pixelbox.Pair{P: p, Q: q})
+	}
+	dev := gpu.NewDevice(gpu.GTX580())
+	got, secs, _ := func() ([]bool, float64, error) {
+		v, s := spatialops.ContainsBatch(dev, pairs, pixelbox.Config{})
+		return v, s, nil
+	}()
+	if secs <= 0 {
+		t.Fatal("no device time charged")
+	}
+	for i, pr := range pairs {
+		if got[i] != spatialops.Contains(pr.P, pr.Q) {
+			t.Fatalf("pair %d: batch disagrees with scalar", i)
+		}
+	}
+}
+
+func TestTouchesBasics(t *testing.T) {
+	a := geom.Rect(0, 0, 4, 4)
+	cases := []struct {
+		name string
+		b    *geom.Polygon
+		want bool
+	}{
+		{"edge-adjacent", geom.Rect(4, 0, 8, 4), true},
+		{"corner-adjacent", geom.Rect(4, 4, 8, 8), true},
+		{"overlapping", geom.Rect(2, 2, 6, 6), false},
+		{"disjoint", geom.Rect(6, 0, 8, 4), false},
+		{"contained", geom.Rect(1, 1, 3, 3), false},
+		{"partial shared edge", geom.Rect(4, 1, 8, 3), true},
+		{"self", a, false},
+	}
+	for _, c := range cases {
+		if got := spatialops.Touches(a, c.b); got != c.want {
+			t.Errorf("%s: Touches = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestTouchesTContact(t *testing.T) {
+	// A vertical edge's interior touching a horizontal edge's interior.
+	a := geom.Rect(0, 0, 6, 2)
+	b := geom.Rect(2, 2, 4, 5) // sits on top of a's top edge, strictly inside its span
+	if !spatialops.Touches(a, b) {
+		t.Fatal("stacked rectangles should touch")
+	}
+}
+
+// TestTouchesQuickConsistency: Touches implies zero intersection area and
+// (given MBR contact) boundary contact; overlapping interiors never touch.
+func TestTouchesQuickConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := geomtest.RandomPolygon(rng, 16)
+		q := geomtest.RandomPolygon(rng, 16)
+		if p == nil || q == nil {
+			return true
+		}
+		touches := spatialops.Touches(p, q)
+		inter := clip.IntersectionArea(p, q)
+		if touches && inter != 0 {
+			return false // touching polygons share no interior pixel
+		}
+		if inter > 0 && touches {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

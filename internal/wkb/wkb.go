@@ -1,0 +1,111 @@
+// Package wkb implements the serialized geometry format and calling
+// convention of the SDBMS baseline. PostGIS stores geometries as serialized
+// varlena values and every spatial function call pays to deserialize its
+// arguments into GEOS objects — double-precision coordinates, ring
+// construction and validity checking — before any geometry computation
+// happens, and to serialize results back. That per-tuple protocol cost is a
+// large, real part of what cross-comparing queries spend (§2.3), so the
+// reproduction's baseline pays it too: tables store WKB-encoded polygons and
+// the executor decodes (with full validation) on every operator call.
+package wkb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Format constants, following the WKB layout for a single-ring polygon:
+// byte order marker, geometry type, ring count, point count, points as
+// float64 pairs.
+const (
+	byteOrderLE = 1
+	geomPolygon = 3
+	headerBytes = 1 + 4 + 4 + 4
+	pointBytes  = 16
+)
+
+// Marshal encodes a polygon as WKB (little-endian, single ring, closed:
+// the first vertex is repeated at the end, as WKB requires).
+func Marshal(p *geom.Polygon) []byte {
+	vs := p.Vertices()
+	n := len(vs)
+	out := make([]byte, headerBytes+(n+1)*pointBytes)
+	out[0] = byteOrderLE
+	binary.LittleEndian.PutUint32(out[1:], geomPolygon)
+	binary.LittleEndian.PutUint32(out[5:], 1)
+	binary.LittleEndian.PutUint32(out[9:], uint32(n+1))
+	off := headerBytes
+	put := func(pt geom.Point) {
+		binary.LittleEndian.PutUint64(out[off:], math.Float64bits(float64(pt.X)))
+		binary.LittleEndian.PutUint64(out[off+8:], math.Float64bits(float64(pt.Y)))
+		off += pointBytes
+	}
+	for _, v := range vs {
+		put(v)
+	}
+	put(vs[0])
+	return out
+}
+
+// Unmarshal decodes and fully validates a WKB polygon, the work a spatial
+// function performs on each argument of each call. Coordinates must be
+// integral and in int32 range (the pixel-grid domain).
+func Unmarshal(data []byte) (*geom.Polygon, error) {
+	if len(data) < headerBytes {
+		return nil, fmt.Errorf("wkb: truncated header (%d bytes)", len(data))
+	}
+	if data[0] != byteOrderLE {
+		return nil, fmt.Errorf("wkb: unsupported byte order %d", data[0])
+	}
+	if gt := binary.LittleEndian.Uint32(data[1:]); gt != geomPolygon {
+		return nil, fmt.Errorf("wkb: unsupported geometry type %d", gt)
+	}
+	if rings := binary.LittleEndian.Uint32(data[5:]); rings != 1 {
+		return nil, fmt.Errorf("wkb: expected 1 ring, got %d", rings)
+	}
+	npts := int(binary.LittleEndian.Uint32(data[9:]))
+	if npts < 5 {
+		return nil, fmt.Errorf("wkb: ring has %d points, need at least 5", npts)
+	}
+	if want := headerBytes + npts*pointBytes; len(data) != want {
+		return nil, fmt.Errorf("wkb: length %d, want %d", len(data), want)
+	}
+	vs := make([]geom.Point, npts-1)
+	off := headerBytes
+	for i := 0; i < npts; i++ {
+		x := math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+		y := math.Float64frombits(binary.LittleEndian.Uint64(data[off+8:]))
+		off += pointBytes
+		xi, yi := int64(x), int64(y)
+		if float64(xi) != x || float64(yi) != y {
+			return nil, fmt.Errorf("wkb: non-integral coordinate (%v,%v)", x, y)
+		}
+		if xi < math.MinInt32 || xi > math.MaxInt32 || yi < math.MinInt32 || yi > math.MaxInt32 {
+			return nil, fmt.Errorf("wkb: coordinate out of range (%v,%v)", x, y)
+		}
+		if i == npts-1 {
+			// Closing point must equal the first.
+			if xi != int64(vs[0].X) || yi != int64(vs[0].Y) {
+				return nil, fmt.Errorf("wkb: ring not closed")
+			}
+			break
+		}
+		vs[i] = geom.Point{X: int32(xi), Y: int32(yi)}
+	}
+	// Full validation — rectilinearity, simplicity — the robustness work a
+	// general-purpose geometry library performs before overlay.
+	return geom.NewPolygon(vs)
+}
+
+// MustUnmarshal is Unmarshal that panics on error, for callers that encoded
+// the data themselves.
+func MustUnmarshal(data []byte) *geom.Polygon {
+	p, err := Unmarshal(data)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

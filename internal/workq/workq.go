@@ -1,0 +1,198 @@
+// Package workq provides a work-stealing task pool, the stand-in for the
+// Intel Threading Building Blocks runtime the paper uses to parallelise text
+// parsing and PixelBox-CPU (§5: "Intel Threading Building Blocks, a popular
+// work-stealing software library for task-based parallelization on CPUs").
+//
+// Each worker owns a deque: it pushes and pops its own tasks LIFO (hot cache
+// reuse), and steals FIFO from victims when its deque drains (oldest tasks
+// first, the largest remaining subtrees under recursive decomposition).
+package workq
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Task is a unit of work.
+type Task func()
+
+// Pool is a work-stealing executor. Create with NewPool, submit with Submit
+// or the per-worker Spawn, then Wait for quiescence. A Pool may be reused
+// for multiple Wait cycles and must be closed with Shutdown.
+type Pool struct {
+	workers []*worker
+	wg      sync.WaitGroup // worker goroutine lifetimes
+
+	pending int64 // outstanding tasks
+	idleMu  sync.Mutex
+	idleCv  *sync.Cond
+	done    chan struct{}
+
+	quiesceMu sync.Mutex
+	quiesceCv *sync.Cond
+}
+
+type worker struct {
+	pool *Pool
+	id   int
+	mu   sync.Mutex
+	dq   []Task
+	rng  *rand.Rand
+}
+
+// NewPool creates a pool with n workers (GOMAXPROCS when n <= 0) and starts
+// them.
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{done: make(chan struct{})}
+	p.idleCv = sync.NewCond(&p.idleMu)
+	p.quiesceCv = sync.NewCond(&p.quiesceMu)
+	p.workers = make([]*worker, n)
+	for i := range p.workers {
+		p.workers[i] = &worker{pool: p, id: i, rng: rand.New(rand.NewSource(int64(i) + 1))}
+	}
+	for _, w := range p.workers {
+		p.wg.Add(1)
+		go w.run()
+	}
+	return p
+}
+
+// Size returns the number of workers.
+func (p *Pool) Size() int { return len(p.workers) }
+
+// Submit enqueues a task onto the least-loaded-looking worker deque and
+// wakes an idle worker.
+func (p *Pool) Submit(t Task) {
+	atomic.AddInt64(&p.pending, 1)
+	w := p.workers[rand.Intn(len(p.workers))]
+	w.mu.Lock()
+	w.dq = append(w.dq, t)
+	w.mu.Unlock()
+	p.idleMu.Lock()
+	p.idleCv.Signal()
+	p.idleMu.Unlock()
+}
+
+// Wait blocks until every submitted task (including tasks spawned by tasks)
+// has completed.
+func (p *Pool) Wait() {
+	p.quiesceMu.Lock()
+	for atomic.LoadInt64(&p.pending) != 0 {
+		p.quiesceCv.Wait()
+	}
+	p.quiesceMu.Unlock()
+}
+
+// Shutdown stops all workers after the current tasks finish. Pending tasks
+// that have not started may be dropped; call Wait first for a clean drain.
+func (p *Pool) Shutdown() {
+	close(p.done)
+	p.idleMu.Lock()
+	p.idleCv.Broadcast()
+	p.idleMu.Unlock()
+	p.wg.Wait()
+}
+
+// run is the worker loop: pop own deque LIFO, else steal FIFO, else sleep.
+func (w *worker) run() {
+	defer w.pool.wg.Done()
+	for {
+		t := w.pop()
+		if t == nil {
+			t = w.steal()
+		}
+		if t != nil {
+			t()
+			if atomic.AddInt64(&w.pool.pending, -1) == 0 {
+				w.pool.quiesceMu.Lock()
+				w.pool.quiesceCv.Broadcast()
+				w.pool.quiesceMu.Unlock()
+			}
+			continue
+		}
+		select {
+		case <-w.pool.done:
+			return
+		default:
+		}
+		w.pool.idleMu.Lock()
+		// Re-check for work before sleeping to avoid lost wakeups.
+		if w.anyWork() {
+			w.pool.idleMu.Unlock()
+			continue
+		}
+		select {
+		case <-w.pool.done:
+			w.pool.idleMu.Unlock()
+			return
+		default:
+		}
+		w.pool.idleCv.Wait()
+		w.pool.idleMu.Unlock()
+	}
+}
+
+func (w *worker) anyWork() bool {
+	for _, v := range w.pool.workers {
+		v.mu.Lock()
+		n := len(v.dq)
+		v.mu.Unlock()
+		if n > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// pop takes the newest task from the worker's own deque.
+func (w *worker) pop() Task {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := len(w.dq)
+	if n == 0 {
+		return nil
+	}
+	t := w.dq[n-1]
+	w.dq = w.dq[:n-1]
+	return t
+}
+
+// steal takes the oldest task from a random victim's deque.
+func (w *worker) steal() Task {
+	n := len(w.pool.workers)
+	start := w.rng.Intn(n)
+	for i := 0; i < n; i++ {
+		v := w.pool.workers[(start+i)%n]
+		if v == w {
+			continue
+		}
+		v.mu.Lock()
+		if len(v.dq) > 0 {
+			t := v.dq[0]
+			v.dq = v.dq[1:]
+			v.mu.Unlock()
+			return t
+		}
+		v.mu.Unlock()
+	}
+	return nil
+}
+
+// Parallel runs fn(i) for i in [0, n) across the pool and waits.
+func (p *Pool) Parallel(n int, fn func(i int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		p.Submit(func() {
+			defer wg.Done()
+			fn(i)
+		})
+	}
+	wg.Wait()
+}

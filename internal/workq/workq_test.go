@@ -1,0 +1,82 @@
+package workq
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestSubmitAndWait(t *testing.T) {
+	p := NewPool(4)
+	defer p.Shutdown()
+	var count int64
+	for i := 0; i < 200; i++ {
+		p.Submit(func() { atomic.AddInt64(&count, 1) })
+	}
+	p.Wait()
+	if count != 200 {
+		t.Fatalf("ran %d tasks, want 200", count)
+	}
+}
+
+func TestTasksSpawningTasks(t *testing.T) {
+	p := NewPool(3)
+	defer p.Shutdown()
+	var count int64
+	var spawn func(depth int)
+	spawn = func(depth int) {
+		atomic.AddInt64(&count, 1)
+		if depth > 0 {
+			for i := 0; i < 2; i++ {
+				d := depth - 1
+				p.Submit(func() { spawn(d) })
+			}
+		}
+	}
+	p.Submit(func() { spawn(5) })
+	p.Wait()
+	// A full binary recursion of depth 5: 2^6 - 1 = 63 tasks.
+	if count != 63 {
+		t.Fatalf("ran %d tasks, want 63", count)
+	}
+}
+
+func TestParallel(t *testing.T) {
+	p := NewPool(4)
+	defer p.Shutdown()
+	hits := make([]int64, 100)
+	p.Parallel(100, func(i int) { atomic.AddInt64(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d ran %d times", i, h)
+		}
+	}
+}
+
+func TestReuseAfterWait(t *testing.T) {
+	p := NewPool(2)
+	defer p.Shutdown()
+	var count int64
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 50; i++ {
+			p.Submit(func() { atomic.AddInt64(&count, 1) })
+		}
+		p.Wait()
+	}
+	if count != 150 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestDefaultSize(t *testing.T) {
+	p := NewPool(0)
+	defer p.Shutdown()
+	if p.Size() < 1 {
+		t.Fatal("pool has no workers")
+	}
+}
+
+func TestWaitWithNoTasks(t *testing.T) {
+	p := NewPool(2)
+	defer p.Shutdown()
+	p.Wait() // must not block
+}

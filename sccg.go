@@ -1,0 +1,172 @@
+// Package sccg is the public facade of the SCCG reproduction — "Spatial
+// Cross-comparison on CPUs and GPUs" (Wang et al., PVLDB 5(11), 2012).
+//
+// SCCG cross-compares two sets of segmented micro-anatomic object boundaries
+// (rectilinear integer polygons extracted from pathology images) and reports
+// their Jaccard similarity J' — the mean ratio of intersection area to union
+// area over truly-intersecting polygon pairs. The heavy lifting is done by
+// the PixelBox algorithm (internal/pixelbox) running on a simulated GPU
+// (internal/gpu) or on CPU workers, orchestrated by a four-stage pipeline
+// with dynamic task migration (internal/pipeline).
+//
+// Quick start:
+//
+//	eng := sccg.NewEngine(sccg.Options{})
+//	report, err := eng.CrossCompareDataset(tasks) // tasks from EncodeDataset
+//	fmt.Println(report.Similarity)
+//
+// See examples/ for runnable scenarios and cmd/ for the CLI tools.
+package sccg
+
+import (
+	"repro/internal/clip"
+	"repro/internal/geom"
+	"repro/internal/gpu"
+	"repro/internal/jaccard"
+	"repro/internal/parser"
+	"repro/internal/pathology"
+	"repro/internal/pipeline"
+	"repro/internal/pixelbox"
+	"repro/internal/rtree"
+)
+
+// Re-exported core types, so downstream users work entirely through this
+// package.
+type (
+	// Polygon is a rectilinear integer polygon (a segmented object
+	// boundary).
+	Polygon = geom.Polygon
+	// Point is an integer vertex.
+	Point = geom.Point
+	// MBR is a minimum bounding rectangle.
+	MBR = geom.MBR
+	// Pair is one polygon pair to cross-compare.
+	Pair = pixelbox.Pair
+	// AreaResult is a pair's exact intersection/union pixel counts.
+	AreaResult = pixelbox.AreaResult
+	// FileTask is one image tile's raw text input to the pipeline.
+	FileTask = pipeline.FileTask
+	// Report is a pipeline run's outcome.
+	Report = pipeline.Result
+	// DatasetSpec describes a synthetic dataset.
+	DatasetSpec = pathology.DatasetSpec
+	// Dataset is a generated dataset.
+	Dataset = pathology.Dataset
+)
+
+// NewPolygon validates vertices as a simple rectilinear polygon.
+func NewPolygon(vertices []Point) (*Polygon, error) { return geom.NewPolygon(vertices) }
+
+// ParsePolygons decodes a polygon text file (one `id POLYGON ((x y,...))`
+// per line).
+func ParsePolygons(data []byte) ([]*Polygon, error) { return parser.Parse(data) }
+
+// EncodePolygons serialises polygons into the text file format.
+func EncodePolygons(polys []*Polygon) []byte { return parser.Encode(polys) }
+
+// Options configures an Engine.
+type Options struct {
+	// UseGPU aggregates on the simulated GTX 580 (default true). When
+	// false, PixelBox-CPU runs on Workers goroutines.
+	DisableGPU bool
+	// Workers is the CPU worker count for parsing and CPU aggregation;
+	// defaults to GOMAXPROCS.
+	Workers int
+	// Migration enables dynamic task migration between CPUs and the GPU.
+	Migration bool
+	// PixelBox tunes the kernel (block size, threshold T, variant).
+	PixelBox pixelbox.Config
+}
+
+// Engine cross-compares polygon result sets.
+type Engine struct {
+	opts Options
+	dev  *gpu.Device
+}
+
+// NewEngine creates an engine; with GPU enabled it owns one simulated
+// GTX 580 device.
+func NewEngine(opts Options) *Engine {
+	e := &Engine{opts: opts}
+	if !opts.DisableGPU {
+		e.dev = gpu.NewDevice(gpu.GTX580())
+	}
+	return e
+}
+
+// Device returns the engine's simulated GPU (nil when disabled), exposing
+// busy-time accounting.
+func (e *Engine) Device() *gpu.Device { return e.dev }
+
+// CrossCompareDataset runs the full SCCG pipeline — parse, index, filter,
+// aggregate — over an image's tile files and returns the similarity report.
+func (e *Engine) CrossCompareDataset(tasks []FileTask) (Report, error) {
+	return pipeline.Run(tasks, pipeline.Config{
+		ParserWorkers: e.opts.Workers,
+		Device:        e.dev,
+		PixelBox:      e.opts.PixelBox,
+		Migration:     e.opts.Migration,
+	})
+}
+
+// CrossComparePolygons compares two in-memory result sets directly (index,
+// filter, aggregate; no text parsing) and returns J' with pair counts.
+func (e *Engine) CrossComparePolygons(a, b []*Polygon) (similarity float64, intersecting, candidates int) {
+	pairs := MatchPairs(a, b)
+	results := e.ComputeAreas(pairs)
+	var acc jaccard.Accumulator
+	acc.AddResults(results)
+	sim, _ := acc.Similarity()
+	return sim, acc.Intersecting(), acc.Candidates()
+}
+
+// ComputeAreas computes exact intersection/union areas for polygon pairs
+// using the configured backend.
+func (e *Engine) ComputeAreas(pairs []Pair) []AreaResult {
+	if e.dev != nil {
+		results, _, _ := pixelbox.RunGPU(e.dev, pairs, e.opts.PixelBox)
+		return results
+	}
+	return pixelbox.RunCPUParallel(pairs, pixelbox.CPUConfig{Workers: e.opts.Workers})
+}
+
+// MatchPairs builds Hilbert R-trees over both result sets and returns every
+// pair with intersecting MBRs (the filter stage).
+func MatchPairs(a, b []*Polygon) []Pair {
+	ea := make([]rtree.Entry, len(a))
+	for i, p := range a {
+		ea[i] = rtree.Entry{MBR: p.MBR(), ID: int32(i)}
+	}
+	eb := make([]rtree.Entry, len(b))
+	for i, p := range b {
+		eb[i] = rtree.Entry{MBR: p.MBR(), ID: int32(i)}
+	}
+	joined, _ := rtree.Join(rtree.Build(ea, rtree.Options{}), rtree.Build(eb, rtree.Options{}), nil)
+	pairs := make([]Pair, len(joined))
+	for i, pr := range joined {
+		pairs[i] = Pair{P: a[pr.A], Q: b[pr.B]}
+	}
+	return pairs
+}
+
+// ExactAreas computes a pair's areas with the exact sweep overlay (the
+// GEOS-equivalent reference; bit-identical to PixelBox, far slower).
+func ExactAreas(p, q *Polygon) AreaResult {
+	inter := clip.IntersectionArea(p, q)
+	return AreaResult{Intersection: inter, Union: p.Area() + q.Area() - inter}
+}
+
+// GenerateDataset synthesises a dataset from a spec (see Corpus for the
+// paper-shaped corpus).
+func GenerateDataset(spec DatasetSpec) *Dataset { return pathology.Generate(spec) }
+
+// Corpus returns the 18-dataset synthetic corpus mirroring the paper's
+// evaluation data.
+func Corpus() []DatasetSpec { return pathology.Corpus() }
+
+// Representative returns the corpus dataset playing the role of the paper's
+// oligoastroIII_1.
+func Representative() DatasetSpec { return pathology.Representative() }
+
+// EncodeDataset converts a dataset into pipeline input tasks.
+func EncodeDataset(d *Dataset) []FileTask { return pipeline.EncodeDataset(d) }
