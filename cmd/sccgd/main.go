@@ -1,0 +1,84 @@
+// Command sccgd is the resident SCCG cross-comparison service: a daemon that
+// owns a pool of simulated GPUs plus CPU pipeline workers and serves
+// cross-comparison jobs over HTTP (the paper's §4 service generalised to a
+// multi-device node).
+//
+//	sccgd -addr :8080 -devices 2 -workers 4 -migration
+//
+// Submit a corpus dataset job and poll it:
+//
+//	curl -s -X POST localhost:8080/jobs -d '{"corpus":"oligoastroIII_1"}'
+//	curl -s localhost:8080/jobs/job-000001
+//
+// A repeated submission of the same dataset is answered from the LRU result
+// cache without touching the device pool. See GET /metrics for counters.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sccgd: ")
+
+	var (
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		devices   = flag.Int("devices", 1, "simulated GPU pool size (0 = CPU-only)")
+		workers   = flag.Int("workers", 0, "CPU workers per shard pipeline (default GOMAXPROCS/pipeline default)")
+		migration = flag.Bool("migration", false, "enable dynamic task migration inside shard pipelines")
+		shards    = flag.Int("max-shards", 0, "max shards per job (default: one per device)")
+		queue     = flag.Int("queue", 0, "job queue depth (default 64)")
+		cache     = flag.Int("cache", 0, "result cache entries (default 128, -1 disables)")
+	)
+	flag.Parse()
+
+	svc := sccg.NewService(sccg.ServiceOptions{
+		Devices:    *devices,
+		Workers:    *workers,
+		Migration:  *migration,
+		MaxShards:  *shards,
+		QueueDepth: *queue,
+		CacheSize:  *cache,
+	})
+	defer svc.Close()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("serving on %s (devices=%d workers=%d migration=%v)", *addr, *devices, *workers, *migration)
+
+	select {
+	case <-ctx.Done():
+		log.Print("shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "sccgd:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter, safe for concurrent use.
+type Counter struct {
+	v int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { atomic.AddInt64(&c.v, 1) }
+
+// Add adds d (d must be non-negative for the counter to stay monotonic).
+func (c *Counter) Add(d int64) { atomic.AddInt64(&c.v, d) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return atomic.LoadInt64(&c.v) }
+
+// Gauge is a settable float64 value, safe for concurrent use.
+type Gauge struct {
+	bits uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { atomic.StoreUint64(&g.bits, math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(atomic.LoadUint64(&g.bits)) }
+
+// Registry is a named collection of counters, gauges, and gauge functions,
+// rendered in the Prometheus text exposition format (one `name value` line
+// per metric) for scraping endpoints like sccgd's GET /metrics.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	funcs    map[string]func() float64
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		funcs:    make(map[string]func() float64),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a metric whose value is read live at render time
+// (e.g. a scheduler queue depth or a device's accumulated busy seconds).
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = fn
+}
+
+// Snapshot returns every metric's current value by name.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	funcs := make(map[string]func() float64, len(r.funcs))
+	for n, f := range r.funcs {
+		funcs[n] = f
+	}
+	r.mu.Unlock()
+
+	// Read values outside the lock: gauge funcs may take other locks.
+	snap := make(map[string]float64, len(counters)+len(gauges)+len(funcs))
+	for n, c := range counters {
+		snap[n] = float64(c.Value())
+	}
+	for n, g := range gauges {
+		snap[n] = g.Value()
+	}
+	for n, f := range funcs {
+		snap[n] = f()
+	}
+	return snap
+}
+
+// WriteText renders the registry as `name value` lines sorted by name.
+func (r *Registry) WriteText(w io.Writer) error {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		v := snap[n]
+		var err error
+		if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+			_, err = fmt.Fprintf(w, "%s %d\n", n, int64(v))
+		} else {
+			_, err = fmt.Fprintf(w, "%s %g\n", n, v)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if r.Counter("hits") != c {
+		t.Error("Counter(name) is not idempotent")
+	}
+}
+
+func TestRegistryRender(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(3)
+	r.Gauge("a_value").Set(1.5)
+	r.GaugeFunc("c_live", func() float64 { return 42 })
+
+	snap := r.Snapshot()
+	if snap["b_total"] != 3 || snap["a_value"] != 1.5 || snap["c_live"] != 42 {
+		t.Errorf("snapshot = %v", snap)
+	}
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a_value 1.5\nb_total 3\nc_live 42\n"
+	if b.String() != want {
+		t.Errorf("WriteText = %q, want %q (sorted, integers unpadded)", b.String(), want)
+	}
+}

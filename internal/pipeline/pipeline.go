@@ -113,11 +113,48 @@ type Stats struct {
 type Result struct {
 	// Similarity is J' (Eq. 1) aggregated over all tiles.
 	Similarity float64
+	// RatioSum is the raw sum of per-pair Jaccard ratios (the numerator of
+	// J'). Keeping it alongside Similarity lets shard results merge without
+	// losing precision (see Merge).
+	RatioSum float64
 	// Intersecting and Candidates count truly-intersecting and
 	// MBR-intersecting pairs.
 	Intersecting int
 	Candidates   int
 	Stats        Stats
+}
+
+// Merge combines the results of several pipeline runs over disjoint tile
+// shards of one comparison into the result a single run over the union would
+// have produced. Similarity is recomputed from the summed ratio numerators,
+// so sharding does not change the reported J'; wall time is the maximum
+// across shards (they run concurrently), busy times and counters add.
+func Merge(shards ...Result) Result {
+	var m Result
+	for _, s := range shards {
+		m.RatioSum += s.RatioSum
+		m.Intersecting += s.Intersecting
+		m.Candidates += s.Candidates
+		m.Stats.TilesProcessed += s.Stats.TilesProcessed
+		m.Stats.PairsFiltered += s.Stats.PairsFiltered
+		m.Stats.PairsOnGPU += s.Stats.PairsOnGPU
+		m.Stats.PairsOnCPU += s.Stats.PairsOnCPU
+		m.Stats.TasksToCPU += s.Stats.TasksToCPU
+		m.Stats.TasksToGPU += s.Stats.TasksToGPU
+		m.Stats.KernelLaunches += s.Stats.KernelLaunches
+		m.Stats.DeviceSeconds += s.Stats.DeviceSeconds
+		if s.Stats.WallTime > m.Stats.WallTime {
+			m.Stats.WallTime = s.Stats.WallTime
+		}
+		m.Stats.ParserBusy += s.Stats.ParserBusy
+		m.Stats.BuilderBusy += s.Stats.BuilderBusy
+		m.Stats.FilterBusy += s.Stats.FilterBusy
+		m.Stats.AggregatorBusy += s.Stats.AggregatorBusy
+	}
+	if m.Intersecting > 0 {
+		m.Similarity = m.RatioSum / float64(m.Intersecting)
+	}
+	return m
 }
 
 // EncodeDataset converts a generated dataset into pipeline input tasks
@@ -283,6 +320,7 @@ func (r *run) execute(tasks []FileTask) (Result, error) {
 
 	res := Result{
 		Similarity:   0,
+		RatioSum:     r.ratioSum,
 		Intersecting: r.intersecting,
 		Candidates:   r.candidates,
 	}

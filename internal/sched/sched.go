@@ -1,0 +1,607 @@
+// Package sched is the multi-device job scheduler behind the sccgd service:
+// it owns a pool of simulated GPUs plus CPU pipeline workers, accepts
+// cross-comparison jobs (batches of image-tile file tasks), shards each
+// job's tiles across the device pool, runs every shard through the SCCG
+// pipeline, and merges the shard reports into one job result.
+//
+// This generalises the paper's single-node resident service (one process
+// owning one GPU, §4) to a pool of hybrid CPU–GPU executors: a GPU is an
+// exclusive non-preemptive device, so each device is leased to exactly one
+// shard at a time, and per-device busy time and launch counts are accounted
+// so a load balancer (or the /metrics endpoint) can see skew.
+//
+// Jobs move queued → running → done | failed | canceled. Cancellation is
+// shard-granular: a canceled job stops dispatching new shards immediately,
+// but a shard already on a device runs to completion (kernels are
+// non-preemptive).
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gpu"
+	"repro/internal/pathology"
+	"repro/internal/pipeline"
+	"repro/internal/pixelbox"
+)
+
+// Config wires a scheduler.
+type Config struct {
+	// Devices is the number of simulated GPUs in the pool. 0 means a
+	// CPU-only scheduler (shards run PixelBox-CPU, one at a time).
+	Devices int
+	// GPU is the device model for every pool member; the zero value selects
+	// the paper's GTX 580.
+	GPU gpu.Config
+	// Workers is each shard pipeline's CPU worker count (parser threads and
+	// PixelBox-CPU); 0 uses the pipeline default.
+	Workers int
+	// Migration enables dynamic task migration inside each shard pipeline.
+	Migration bool
+	// PixelBox tunes the kernel.
+	PixelBox pixelbox.Config
+	// MaxShards caps how many shards one job is split into; 0 means one
+	// shard per pool device (or 1 when CPU-only).
+	MaxShards int
+	// QueueDepth is the queued-job limit before Submit rejects; default 64.
+	QueueDepth int
+}
+
+func (c Config) normalized() Config {
+	if c.Devices < 0 {
+		c.Devices = 0
+	}
+	if c.GPU == (gpu.Config{}) {
+		c.GPU = gpu.GTX580()
+	}
+	if c.MaxShards <= 0 {
+		c.MaxShards = c.Devices
+		if c.MaxShards < 1 {
+			c.MaxShards = 1
+		}
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	return c
+}
+
+// State is a job's lifecycle position.
+type State int
+
+const (
+	Queued State = iota
+	Running
+	Done
+	Failed
+	Canceled
+)
+
+// String returns the lowercase wire name used by the HTTP API.
+func (s State) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	case Canceled:
+		return "canceled"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == Done || s == Failed || s == Canceled }
+
+// JobStatus is a point-in-time snapshot of one job.
+type JobStatus struct {
+	ID        string
+	Name      string // dataset or caller-supplied label, may be empty
+	State     State
+	Error     string // set when State == Failed
+	Submitted time.Time
+	Started   time.Time // zero until Running
+	Finished  time.Time // zero until terminal
+	Tiles     int
+	Shards    int   // shards the job was split into (set when Running)
+	DeviceIDs []int // pool devices that executed at least one shard
+	// Report is the merged cross-comparison result, valid when State == Done.
+	Report pipeline.Result
+}
+
+// DeviceStats is the accounting for one pool device.
+type DeviceStats struct {
+	ID          int
+	Name        string
+	Launches    int64   // kernel launches (simulated GPU)
+	BusySeconds float64 // modelled device busy seconds
+	Shards      int64   // shards executed
+	Wall        time.Duration
+}
+
+// Stats is a scheduler-wide snapshot for monitoring.
+type Stats struct {
+	Submitted int64
+	Completed int64
+	Failed    int64
+	Canceled  int64
+	Queued    int
+	Running   int
+	Devices   []DeviceStats
+}
+
+// Errors returned by the scheduler's public API.
+var (
+	ErrClosed    = errors.New("sched: scheduler closed")
+	ErrQueueFull = errors.New("sched: job queue full")
+	ErrNotFound  = errors.New("sched: no such job")
+	ErrTerminal  = errors.New("sched: job already finished")
+	ErrEmptyJob  = errors.New("sched: job has no tasks")
+)
+
+// device is one pool member: a leased executor slot, GPU-backed or CPU-only.
+type device struct {
+	id     int
+	gpu    *gpu.Device // nil for a CPU-only slot
+	shards int64       // atomic
+	wallNS int64       // atomic
+}
+
+type job struct {
+	id        string
+	name      string
+	tasks     []pipeline.FileTask // released on finish; see tiles
+	tiles     int
+	ctx       context.Context
+	cancel    context.CancelFunc
+	done      chan struct{}
+	state     State
+	err       error
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	shards    int
+	devices   map[int]struct{}
+	report    pipeline.Result
+}
+
+// Scheduler is the job service's execution core. Create with New, submit
+// with Submit/SubmitDataset, observe with Job/Jobs/DeviceStats, stop with
+// Close.
+type Scheduler struct {
+	cfg  Config
+	pool chan *device
+	devs []*device
+
+	queue chan *job
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string
+	closed bool
+
+	nextID    int64
+	submitted int64
+	completed int64
+	failed    int64
+	canceled  int64
+	running   int64
+}
+
+// New creates a scheduler and starts its dispatch workers.
+func New(cfg Config) *Scheduler {
+	cfg = cfg.normalized()
+	s := &Scheduler{
+		cfg:   cfg,
+		queue: make(chan *job, cfg.QueueDepth),
+		quit:  make(chan struct{}),
+		jobs:  make(map[string]*job),
+	}
+	slots := cfg.Devices
+	if slots < 1 {
+		slots = 1 // a single CPU-only executor slot
+	}
+	s.pool = make(chan *device, slots)
+	s.devs = make([]*device, slots)
+	for i := 0; i < slots; i++ {
+		d := &device{id: i}
+		if cfg.Devices > 0 {
+			d.gpu = gpu.NewDevice(cfg.GPU)
+		}
+		s.devs[i] = d
+		s.pool <- d
+	}
+	// One runner per executor slot: jobs run concurrently as devices free
+	// up, and a single job can still fan its shards across the whole pool.
+	for i := 0; i < slots; i++ {
+		s.wg.Add(1)
+		go s.runner()
+	}
+	return s
+}
+
+// Config returns the normalized configuration the scheduler runs with.
+func (s *Scheduler) Config() Config { return s.cfg }
+
+// Submit enqueues a cross-comparison job over the given tile tasks and
+// returns its ID. name is an optional label surfaced in job listings.
+func (s *Scheduler) Submit(name string, tasks []pipeline.FileTask) (string, error) {
+	if len(tasks) == 0 {
+		return "", ErrEmptyJob
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		name:      name,
+		tasks:     tasks,
+		tiles:     len(tasks),
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		state:     Queued,
+		submitted: time.Now(),
+		devices:   make(map[int]struct{}),
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancel()
+		return "", ErrClosed
+	}
+	j.id = fmt.Sprintf("job-%06d", atomic.AddInt64(&s.nextID, 1))
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		cancel()
+		return "", ErrQueueFull
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	atomic.AddInt64(&s.submitted, 1)
+	s.mu.Unlock()
+	return j.id, nil
+}
+
+// SubmitDataset generates the dataset described by spec, encodes its tiles,
+// and submits them as one job.
+func (s *Scheduler) SubmitDataset(spec pathology.DatasetSpec) (string, error) {
+	d := pathology.Generate(spec)
+	return s.Submit(spec.Name, pipeline.EncodeDataset(d))
+}
+
+// Cancel requests cancellation of a queued or running job. A queued job is
+// finalized immediately (it stays in the queue; the runner that eventually
+// dequeues it skips it); a running job stops dispatching new shards
+// (in-flight shards complete, their work is discarded).
+func (s *Scheduler) Cancel(id string) error {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return ErrNotFound
+	}
+	if j.state.Terminal() {
+		s.mu.Unlock()
+		return ErrTerminal
+	}
+	queued := j.state == Queued
+	s.mu.Unlock()
+	j.cancel()
+	if queued {
+		// finish is idempotent, so racing a runner that just dequeued the
+		// job is safe: whoever transitions it first wins.
+		s.finish(j, Canceled, nil, pipeline.Result{})
+	}
+	return nil
+}
+
+// Job returns a snapshot of the job with the given ID.
+func (s *Scheduler) Job(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return s.snapshotLocked(j), true
+}
+
+// Jobs returns snapshots of every job in submission order.
+func (s *Scheduler) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.snapshotLocked(s.jobs[id]))
+	}
+	return out
+}
+
+// Wait blocks until the job reaches a terminal state and returns its final
+// snapshot, or fails when ctx expires first.
+func (s *Scheduler) Wait(ctx context.Context, id string) (JobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, ErrNotFound
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return JobStatus{}, ctx.Err()
+	}
+	st, _ := s.Job(id)
+	return st, nil
+}
+
+// DeviceStats returns per-device accounting for the pool.
+func (s *Scheduler) DeviceStats() []DeviceStats {
+	out := make([]DeviceStats, len(s.devs))
+	for i, d := range s.devs {
+		ds := DeviceStats{
+			ID:     d.id,
+			Name:   "cpu",
+			Shards: atomic.LoadInt64(&d.shards),
+			Wall:   time.Duration(atomic.LoadInt64(&d.wallNS)),
+		}
+		if d.gpu != nil {
+			ds.Name = d.gpu.Config().Name
+			ds.Launches = d.gpu.Launches()
+			ds.BusySeconds = d.gpu.BusySeconds()
+		}
+		out[i] = ds
+	}
+	return out
+}
+
+// Stats returns a scheduler-wide snapshot.
+func (s *Scheduler) Stats() Stats {
+	return Stats{
+		Submitted: atomic.LoadInt64(&s.submitted),
+		Completed: atomic.LoadInt64(&s.completed),
+		Failed:    atomic.LoadInt64(&s.failed),
+		Canceled:  atomic.LoadInt64(&s.canceled),
+		Queued:    len(s.queue),
+		Running:   int(atomic.LoadInt64(&s.running)),
+		Devices:   s.DeviceStats(),
+	}
+}
+
+// Close stops the runners after in-flight jobs finish and cancels queued
+// jobs. Submit fails with ErrClosed afterwards.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.quit)
+	s.wg.Wait()
+	// Runners are gone: finalize whatever is still queued.
+	for {
+		select {
+		case j := <-s.queue:
+			s.finish(j, Canceled, nil, pipeline.Result{})
+		default:
+			return
+		}
+	}
+}
+
+func (s *Scheduler) snapshotLocked(j *job) JobStatus {
+	st := JobStatus{
+		ID:        j.id,
+		Name:      j.name,
+		State:     j.state,
+		Submitted: j.submitted,
+		Started:   j.started,
+		Finished:  j.finished,
+		Tiles:     j.tiles,
+		Shards:    j.shards,
+		Report:    j.report,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	for id := range j.devices {
+		st.DeviceIDs = append(st.DeviceIDs, id)
+	}
+	return st
+}
+
+func (s *Scheduler) runner() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case j := <-s.queue:
+			// A Go select picks ready cases at random, so after Close both
+			// branches can be ready and a runner could still dequeue work;
+			// re-check quit so queued jobs are canceled, not executed.
+			select {
+			case <-s.quit:
+				s.finish(j, Canceled, nil, pipeline.Result{})
+				continue
+			default:
+			}
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob executes one job: shard, lease devices, run pipelines, merge.
+func (s *Scheduler) runJob(j *job) {
+	if j.ctx.Err() != nil {
+		s.finish(j, Canceled, nil, pipeline.Result{})
+		return
+	}
+	s.mu.Lock()
+	if j.state.Terminal() {
+		// Cancel finalized the job while it sat in the queue.
+		s.mu.Unlock()
+		return
+	}
+	shards := shardTasks(j.tasks, s.cfg.MaxShards)
+	j.state = Running
+	j.started = time.Now()
+	j.shards = len(shards)
+	s.mu.Unlock()
+	atomic.AddInt64(&s.running, 1)
+	defer atomic.AddInt64(&s.running, -1)
+
+	results := make([]pipeline.Result, len(shards))
+	errs := make([]error, len(shards))
+	ran := make([]bool, len(shards))
+	var wg sync.WaitGroup
+	for i, shard := range shards {
+		// Lease a device per shard; the lease blocks until a pool member is
+		// free, so a job never oversubscribes an exclusive device. Stop
+		// dispatching as soon as the job is canceled or a shard has failed.
+		if j.ctx.Err() != nil {
+			break
+		}
+		var dev *device
+		select {
+		case dev = <-s.pool:
+		case <-j.ctx.Done():
+		}
+		if dev == nil {
+			break
+		}
+		wg.Add(1)
+		go func(i int, shard []pipeline.FileTask, dev *device) {
+			defer wg.Done()
+			defer func() { s.pool <- dev }()
+			start := time.Now()
+			// Pool devices are long-lived, so their launch/busy counters are
+			// cumulative; snapshot around the run to report only this
+			// shard's share (the lease is exclusive, so the delta is exact).
+			var launches0 int64
+			var busy0 float64
+			if dev.gpu != nil {
+				launches0, busy0 = dev.gpu.Launches(), dev.gpu.BusySeconds()
+			}
+			res, err := pipeline.Run(shard, pipeline.Config{
+				ParserWorkers: s.cfg.Workers,
+				Device:        dev.gpu,
+				PixelBox:      s.cfg.PixelBox,
+				Migration:     s.cfg.Migration,
+			})
+			if dev.gpu != nil {
+				res.Stats.KernelLaunches = dev.gpu.Launches() - launches0
+				res.Stats.DeviceSeconds = dev.gpu.BusySeconds() - busy0
+			}
+			atomic.AddInt64(&dev.shards, 1)
+			atomic.AddInt64(&dev.wallNS, int64(time.Since(start)))
+			results[i], errs[i], ran[i] = res, err, true
+			if err != nil {
+				j.cancel() // fail fast: stop dispatching the job's remaining shards
+			}
+			s.mu.Lock()
+			j.devices[dev.id] = struct{}{}
+			s.mu.Unlock()
+		}(i, shard, dev)
+	}
+	wg.Wait()
+
+	var firstErr error
+	complete := true
+	merged := make([]pipeline.Result, 0, len(shards))
+	for i := range shards {
+		if !ran[i] {
+			complete = false
+			continue
+		}
+		if errs[i] != nil && firstErr == nil {
+			firstErr = fmt.Errorf("shard %d/%d: %w", i+1, len(shards), errs[i])
+		}
+		merged = append(merged, results[i])
+	}
+	switch {
+	case firstErr != nil:
+		s.finish(j, Failed, firstErr, pipeline.Result{})
+	case !complete || j.ctx.Err() != nil:
+		// Either shards were never dispatched, or cancellation arrived after
+		// the last shard went out: the work is discarded either way.
+		s.finish(j, Canceled, nil, pipeline.Result{})
+	default:
+		report := pipeline.Merge(merged...)
+		// Merge's WallTime is the max across shards, which assumes they ran
+		// concurrently; with more shards than free devices they serialize,
+		// so report the job's real elapsed time instead.
+		report.Stats.WallTime = time.Since(j.started)
+		s.finish(j, Done, nil, report)
+	}
+}
+
+// finish moves a job to a terminal state. It is idempotent: Cancel can
+// finalize a queued job while a runner races to dequeue it, and only the
+// first finisher takes effect.
+func (s *Scheduler) finish(j *job, state State, err error, report pipeline.Result) {
+	// Bump the outcome counter before the terminal state becomes visible so
+	// a client that polls "done" then scrapes /metrics sees it counted.
+	switch state {
+	case Done:
+		atomic.AddInt64(&s.completed, 1)
+	case Failed:
+		atomic.AddInt64(&s.failed, 1)
+	case Canceled:
+		atomic.AddInt64(&s.canceled, 1)
+	}
+	s.mu.Lock()
+	if j.state.Terminal() {
+		s.mu.Unlock()
+		// Undo the speculative counter bump: someone finished first.
+		switch state {
+		case Done:
+			atomic.AddInt64(&s.completed, -1)
+		case Failed:
+			atomic.AddInt64(&s.failed, -1)
+		case Canceled:
+			atomic.AddInt64(&s.canceled, -1)
+		}
+		return
+	}
+	j.state = state
+	j.err = err
+	j.finished = time.Now()
+	j.report = report
+	j.tasks = nil // release the input payload; finished jobs are kept forever
+	s.mu.Unlock()
+	j.cancel()
+	close(j.done)
+}
+
+// shardTasks splits tasks round-robin into at most maxShards shards, never
+// more than one shard per task. Round-robin keeps shard loads even when tile
+// sizes trend across the dataset.
+func shardTasks(tasks []pipeline.FileTask, maxShards int) [][]pipeline.FileTask {
+	n := maxShards
+	if n > len(tasks) {
+		n = len(tasks)
+	}
+	if n < 1 {
+		n = 1
+	}
+	shards := make([][]pipeline.FileTask, n)
+	for i, t := range tasks {
+		shards[i%n] = append(shards[i%n], t)
+	}
+	return shards
+}

@@ -1,0 +1,242 @@
+package sched
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/gpu"
+	"repro/internal/pathology"
+	"repro/internal/pipeline"
+)
+
+func testTasks(t *testing.T, tiles int) []pipeline.FileTask {
+	t.Helper()
+	spec := pathology.Representative()
+	spec.Tiles = tiles
+	return pipeline.EncodeDataset(pathology.Generate(spec))
+}
+
+// TestShardsAcrossDevices is the tentpole correctness test: a job sharded
+// over two devices must produce the same report a single direct pipeline run
+// produces, and both devices must actually execute work.
+func TestShardsAcrossDevices(t *testing.T) {
+	tasks := testTasks(t, 6)
+
+	direct, err := pipeline.Run(tasks, pipeline.Config{Device: gpu.NewDevice(gpu.GTX580())})
+	if err != nil {
+		t.Fatalf("direct run: %v", err)
+	}
+
+	s := New(Config{Devices: 2})
+	defer s.Close()
+	id, err := s.Submit("rep", tasks)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	st, err := s.Wait(ctx, id)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if st.State != Done {
+		t.Fatalf("job state = %v (err %q), want Done", st.State, st.Error)
+	}
+	if st.Shards != 2 {
+		t.Fatalf("job ran %d shards, want 2", st.Shards)
+	}
+	if len(st.DeviceIDs) < 2 {
+		t.Fatalf("job used devices %v, want 2 distinct devices", st.DeviceIDs)
+	}
+	for _, d := range s.DeviceStats() {
+		if d.Shards == 0 || d.Launches == 0 {
+			t.Errorf("device %d idle (shards=%d launches=%d), want both devices busy",
+				d.ID, d.Shards, d.Launches)
+		}
+	}
+
+	if st.Report.Intersecting != direct.Intersecting || st.Report.Candidates != direct.Candidates {
+		t.Errorf("pair counts (%d, %d) != direct (%d, %d)",
+			st.Report.Intersecting, st.Report.Candidates, direct.Intersecting, direct.Candidates)
+	}
+	if math.Abs(st.Report.Similarity-direct.Similarity) > 1e-9 {
+		t.Errorf("similarity %.12f != direct %.12f", st.Report.Similarity, direct.Similarity)
+	}
+	if st.Report.Stats.TilesProcessed != len(tasks) {
+		t.Errorf("tiles processed = %d, want %d", st.Report.Stats.TilesProcessed, len(tasks))
+	}
+}
+
+// TestReportCountersArePerJob guards against leaking the pool devices'
+// cumulative counters into job reports: two identical jobs on one scheduler
+// must report identical launch counts and near-identical device seconds.
+func TestReportCountersArePerJob(t *testing.T) {
+	tasks := testTasks(t, 4)
+	s := New(Config{Devices: 2})
+	defer s.Close()
+	var reports []pipeline.Result
+	for i := 0; i < 2; i++ {
+		id, err := s.Submit("again", tasks)
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		st, err := s.Wait(context.Background(), id)
+		if err != nil || st.State != Done {
+			t.Fatalf("Wait = %+v, %v", st.State, err)
+		}
+		reports = append(reports, st.Report)
+	}
+	if reports[0].Stats.KernelLaunches == 0 {
+		t.Fatal("first job reports zero kernel launches")
+	}
+	if reports[1].Stats.KernelLaunches != reports[0].Stats.KernelLaunches {
+		t.Errorf("second identical job reports %d launches, first %d — cumulative device counters leaked",
+			reports[1].Stats.KernelLaunches, reports[0].Stats.KernelLaunches)
+	}
+	if reports[1].Stats.DeviceSeconds > 2*reports[0].Stats.DeviceSeconds {
+		t.Errorf("second job device seconds %.6f vs first %.6f — cumulative busy time leaked",
+			reports[1].Stats.DeviceSeconds, reports[0].Stats.DeviceSeconds)
+	}
+}
+
+func TestCPUOnlyScheduler(t *testing.T) {
+	tasks := testTasks(t, 2)
+	s := New(Config{Devices: 0})
+	defer s.Close()
+	id, err := s.Submit("cpu", tasks)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	st, err := s.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if st.State != Done {
+		t.Fatalf("state = %v (err %q), want Done", st.State, st.Error)
+	}
+	if st.Report.Stats.PairsOnGPU != 0 {
+		t.Errorf("CPU-only job reports %d GPU pairs", st.Report.Stats.PairsOnGPU)
+	}
+	if st.Report.Similarity <= 0 {
+		t.Errorf("similarity = %v, want > 0", st.Report.Similarity)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := New(Config{Devices: 1})
+	if _, err := s.Submit("empty", nil); err != ErrEmptyJob {
+		t.Errorf("Submit(nil) err = %v, want ErrEmptyJob", err)
+	}
+	s.Close()
+	if _, err := s.Submit("late", testTasks(t, 1)); err != ErrClosed {
+		t.Errorf("Submit after Close err = %v, want ErrClosed", err)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	// One device, one runner: the second job stays queued while the first
+	// (deliberately large) runs, so canceling it is race-free in practice.
+	s := New(Config{Devices: 1})
+	defer s.Close()
+	first, err := s.Submit("long", testTasks(t, 12))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	second, err := s.Submit("victim", testTasks(t, 2))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if err := s.Cancel(second); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	st, err := s.Wait(context.Background(), second)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if st.State != Canceled {
+		t.Fatalf("canceled job state = %v, want Canceled", st.State)
+	}
+	if fst, err := s.Wait(context.Background(), first); err != nil || fst.State != Done {
+		t.Fatalf("first job state = %v err = %v, want Done", fst.State, err)
+	}
+	if err := s.Cancel(second); err != ErrTerminal {
+		t.Errorf("Cancel(terminal) err = %v, want ErrTerminal", err)
+	}
+	if err := s.Cancel("job-999999"); err != ErrNotFound {
+		t.Errorf("Cancel(unknown) err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestJobsListingOrder(t *testing.T) {
+	s := New(Config{Devices: 1})
+	defer s.Close()
+	var ids []string
+	for i := 0; i < 3; i++ {
+		id, err := s.Submit("j", testTasks(t, 1))
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		if _, err := s.Wait(context.Background(), id); err != nil {
+			t.Fatalf("Wait(%s): %v", id, err)
+		}
+	}
+	jobs := s.Jobs()
+	if len(jobs) != len(ids) {
+		t.Fatalf("Jobs() returned %d entries, want %d", len(jobs), len(ids))
+	}
+	for i, st := range jobs {
+		if st.ID != ids[i] {
+			t.Errorf("Jobs()[%d].ID = %s, want %s (submission order)", i, st.ID, ids[i])
+		}
+	}
+}
+
+func TestShardTasks(t *testing.T) {
+	tasks := testTasks(t, 5)
+	shards := shardTasks(tasks, 8)
+	if len(shards) != 5 {
+		t.Fatalf("shardTasks over-split: %d shards for 5 tasks", len(shards))
+	}
+	shards = shardTasks(tasks, 2)
+	if len(shards) != 2 || len(shards[0]) != 3 || len(shards[1]) != 2 {
+		t.Fatalf("shardTasks(5, 2) = lens %d/%d, want 3/2", len(shards[0]), len(shards[1]))
+	}
+	total := 0
+	for _, sh := range shards {
+		total += len(sh)
+	}
+	if total != len(tasks) {
+		t.Fatalf("shards hold %d tasks, want %d", total, len(tasks))
+	}
+}
+
+// TestMergeMatchesUnsharded checks pipeline.Merge against ground truth on
+// partitioned runs.
+func TestMergeMatchesUnsharded(t *testing.T) {
+	tasks := testTasks(t, 4)
+	whole, err := pipeline.Run(tasks, pipeline.Config{})
+	if err != nil {
+		t.Fatalf("whole run: %v", err)
+	}
+	half1, err := pipeline.Run(tasks[:2], pipeline.Config{})
+	if err != nil {
+		t.Fatalf("half1: %v", err)
+	}
+	half2, err := pipeline.Run(tasks[2:], pipeline.Config{})
+	if err != nil {
+		t.Fatalf("half2: %v", err)
+	}
+	merged := pipeline.Merge(half1, half2)
+	if merged.Intersecting != whole.Intersecting || merged.Candidates != whole.Candidates {
+		t.Errorf("merged counts (%d, %d) != whole (%d, %d)",
+			merged.Intersecting, merged.Candidates, whole.Intersecting, whole.Candidates)
+	}
+	if math.Abs(merged.Similarity-whole.Similarity) > 1e-9 {
+		t.Errorf("merged similarity %.12f != whole %.12f", merged.Similarity, whole.Similarity)
+	}
+}

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is an LRU map from request hash to the job ID that computed
+// (or is computing) that request. Serving the job ID rather than a copied
+// report gives single-flight semantics for free: a duplicate submission that
+// arrives while the first is still running attaches to the in-flight job
+// instead of recomputing.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key   string
+	jobID string
+}
+
+// newResultCache creates a cache holding up to capacity entries; a
+// non-positive capacity disables caching (every lookup misses).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// get returns the job ID cached for key, refreshing its recency.
+func (c *resultCache) get(key string) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return "", false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).jobID, true
+}
+
+// put records key → jobID, evicting the least recently used entry when over
+// capacity.
+func (c *resultCache) put(key, jobID string) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).jobID = jobID
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, jobID: jobID})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+	}
+}
+
+// drop removes key (used when a cached job turns out failed or canceled).
+func (c *resultCache) drop(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.Remove(el)
+		delete(c.items, key)
+	}
+}
+
+// len returns the live entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

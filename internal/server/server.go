@@ -1,0 +1,508 @@
+// Package server exposes the sched job scheduler over HTTP: the API surface
+// of the sccgd daemon. It provides job submission and polling, a synchronous
+// small-comparison endpoint, health and metrics endpoints, and an LRU result
+// cache keyed by dataset-spec hash so repeated cross-comparisons of the same
+// input are answered without recomputation (and without further GPU
+// launches).
+//
+//	POST   /jobs        submit a cross-comparison job
+//	GET    /jobs        list all jobs
+//	GET    /jobs/{id}   poll one job, report included when done
+//	DELETE /jobs/{id}   cancel a queued or running job
+//	POST   /compare     synchronous compare of two small polygon sets
+//	GET    /metrics     counters and gauges in Prometheus text format
+//	GET    /healthz     liveness probe
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/pathology"
+	"repro/internal/pipeline"
+	"repro/internal/sched"
+)
+
+// CompareResult is the synchronous /compare outcome.
+type CompareResult struct {
+	Similarity   float64 `json:"similarity"`
+	Intersecting int     `json:"intersecting"`
+	Candidates   int     `json:"candidates"`
+}
+
+// CompareFunc cross-compares two raw polygon text files synchronously. The
+// facade injects an implementation backed by the engine's error-returning
+// MatchPairs/ComputeAreas variants; when nil, POST /compare answers 501.
+type CompareFunc func(rawA, rawB []byte) (CompareResult, error)
+
+// Options configures a Server.
+type Options struct {
+	// CacheSize is the LRU result-cache capacity in entries; 0 selects the
+	// default of 128, negative disables caching.
+	CacheSize int
+	// Registry receives the server's counters; one is created when nil.
+	Registry *metrics.Registry
+	// Compare backs POST /compare; nil disables the endpoint.
+	Compare CompareFunc
+	// MaxBodyBytes caps request bodies; default 32 MiB.
+	MaxBodyBytes int64
+}
+
+// Server ties the scheduler, cache, and metrics into an http.Handler.
+type Server struct {
+	sched   *sched.Scheduler
+	cache   *resultCache
+	reg     *metrics.Registry
+	compare CompareFunc
+	maxBody int64
+	started time.Time
+
+	requests  *metrics.Counter
+	submits   *metrics.Counter
+	cacheHits *metrics.Counter
+	cacheMiss *metrics.Counter
+	compares  *metrics.Counter
+	badReqs   *metrics.Counter
+}
+
+// New creates a server over the scheduler.
+func New(s *sched.Scheduler, opts Options) *Server {
+	if opts.CacheSize == 0 {
+		opts.CacheSize = 128
+	}
+	if opts.Registry == nil {
+		opts.Registry = metrics.NewRegistry()
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 32 << 20
+	}
+	srv := &Server{
+		sched:   s,
+		cache:   newResultCache(opts.CacheSize),
+		reg:     opts.Registry,
+		compare: opts.Compare,
+		maxBody: opts.MaxBodyBytes,
+		started: time.Now(),
+
+		requests:  opts.Registry.Counter("sccgd_http_requests_total"),
+		submits:   opts.Registry.Counter("sccgd_jobs_submitted_total"),
+		cacheHits: opts.Registry.Counter("sccgd_cache_hits_total"),
+		cacheMiss: opts.Registry.Counter("sccgd_cache_misses_total"),
+		compares:  opts.Registry.Counter("sccgd_compares_total"),
+		badReqs:   opts.Registry.Counter("sccgd_bad_requests_total"),
+	}
+	opts.Registry.GaugeFunc("sccgd_cache_entries", func() float64 { return float64(srv.cache.len()) })
+	return srv
+}
+
+// Registry returns the server's metrics registry.
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// Handler returns the HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.count(s.handleSubmit))
+	mux.HandleFunc("GET /jobs", s.count(s.handleList))
+	mux.HandleFunc("GET /jobs/{id}", s.count(s.handleJob))
+	mux.HandleFunc("DELETE /jobs/{id}", s.count(s.handleCancel))
+	mux.HandleFunc("POST /compare", s.count(s.handleCompare))
+	mux.HandleFunc("GET /metrics", s.count(s.handleMetrics))
+	mux.HandleFunc("GET /healthz", s.count(s.handleHealthz))
+	return mux
+}
+
+func (s *Server) count(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Inc()
+		h(w, r)
+	}
+}
+
+// TaskPayload is one tile's raw polygon files; RawA/RawB are base64 in JSON.
+type TaskPayload struct {
+	Image string `json:"image,omitempty"`
+	Tile  int    `json:"tile"`
+	RawA  []byte `json:"raw_a"`
+	RawB  []byte `json:"raw_b"`
+}
+
+// JobRequest submits one cross-comparison job. Exactly one input form must
+// be set: Corpus (a named corpus dataset), Spec (a full synthetic dataset
+// spec), or Tasks (raw tile files).
+type JobRequest struct {
+	Corpus  string                 `json:"corpus,omitempty"`
+	Spec    *pathology.DatasetSpec `json:"spec,omitempty"`
+	Tasks   []TaskPayload          `json:"tasks,omitempty"`
+	NoCache bool                   `json:"no_cache,omitempty"`
+}
+
+// ReportPayload is the JSON projection of a merged pipeline result.
+type ReportPayload struct {
+	Similarity     float64 `json:"similarity"`
+	Intersecting   int     `json:"intersecting"`
+	Candidates     int     `json:"candidates"`
+	Tiles          int     `json:"tiles"`
+	PairsOnGPU     int     `json:"pairs_on_gpu"`
+	PairsOnCPU     int     `json:"pairs_on_cpu"`
+	TasksToCPU     int64   `json:"tasks_migrated_to_cpu"`
+	TasksToGPU     int64   `json:"tasks_migrated_to_gpu"`
+	KernelLaunches int64   `json:"kernel_launches"`
+	DeviceSeconds  float64 `json:"device_seconds"`
+	WallMillis     float64 `json:"wall_millis"`
+}
+
+func reportPayload(r pipeline.Result) *ReportPayload {
+	return &ReportPayload{
+		Similarity:     r.Similarity,
+		Intersecting:   r.Intersecting,
+		Candidates:     r.Candidates,
+		Tiles:          r.Stats.TilesProcessed,
+		PairsOnGPU:     r.Stats.PairsOnGPU,
+		PairsOnCPU:     r.Stats.PairsOnCPU,
+		TasksToCPU:     r.Stats.TasksToCPU,
+		TasksToGPU:     r.Stats.TasksToGPU,
+		KernelLaunches: r.Stats.KernelLaunches,
+		DeviceSeconds:  r.Stats.DeviceSeconds,
+		WallMillis:     float64(r.Stats.WallTime.Microseconds()) / 1000,
+	}
+}
+
+// JobResponse is the wire form of a job snapshot.
+type JobResponse struct {
+	ID        string         `json:"id"`
+	Name      string         `json:"name,omitempty"`
+	State     string         `json:"state"`
+	Cached    bool           `json:"cached,omitempty"`
+	Error     string         `json:"error,omitempty"`
+	Submitted time.Time      `json:"submitted"`
+	Started   *time.Time     `json:"started,omitempty"`
+	Finished  *time.Time     `json:"finished,omitempty"`
+	Tiles     int            `json:"tiles"`
+	Shards    int            `json:"shards,omitempty"`
+	DeviceIDs []int          `json:"device_ids,omitempty"`
+	Report    *ReportPayload `json:"report,omitempty"`
+}
+
+func jobResponse(st sched.JobStatus, cached bool) JobResponse {
+	resp := JobResponse{
+		ID:        st.ID,
+		Name:      st.Name,
+		State:     st.State.String(),
+		Cached:    cached,
+		Error:     st.Error,
+		Submitted: st.Submitted,
+		Tiles:     st.Tiles,
+		Shards:    st.Shards,
+		DeviceIDs: st.DeviceIDs,
+	}
+	if !st.Started.IsZero() {
+		t := st.Started
+		resp.Started = &t
+	}
+	if !st.Finished.IsZero() {
+		t := st.Finished
+		resp.Finished = &t
+	}
+	if st.State == sched.Done {
+		resp.Report = reportPayload(st.Report)
+	}
+	return resp
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := s.decode(w, r, &req); err != nil {
+		return
+	}
+	if err := checkRequest(req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// Look the request up before materializing it: a cache hit must not pay
+	// for dataset generation.
+	key := ""
+	if !req.NoCache {
+		key = requestKey(req)
+		if id, ok := s.cache.get(key); ok {
+			if st, live := s.sched.Job(id); live && (st.State == sched.Done || !st.State.Terminal()) {
+				s.cacheHits.Inc()
+				writeJSON(w, http.StatusOK, jobResponse(st, true))
+				return
+			}
+			// The cached job failed, was canceled, or vanished: recompute.
+			s.cache.drop(key)
+		}
+		s.cacheMiss.Inc()
+	}
+
+	name, tasks := materializeRequest(req)
+	id, err := s.sched.Submit(name, tasks)
+	switch {
+	case errors.Is(err, sched.ErrQueueFull):
+		s.fail(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, sched.ErrClosed):
+		s.fail(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	s.submits.Inc()
+	if key != "" {
+		s.cache.put(key, id)
+	}
+	st, _ := s.sched.Job(id)
+	writeJSON(w, http.StatusAccepted, jobResponse(st, false))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.sched.Jobs()
+	out := make([]JobResponse, len(jobs))
+	for i, st := range jobs {
+		out[i] = jobResponse(st, false)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.sched.Job(r.PathValue("id"))
+	if !ok {
+		s.fail(w, http.StatusNotFound, sched.ErrNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobResponse(st, false))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	err := s.sched.Cancel(r.PathValue("id"))
+	switch {
+	case errors.Is(err, sched.ErrNotFound):
+		s.fail(w, http.StatusNotFound, err)
+	case errors.Is(err, sched.ErrTerminal):
+		s.fail(w, http.StatusConflict, err)
+	case err != nil:
+		s.fail(w, http.StatusInternalServerError, err)
+	default:
+		st, _ := s.sched.Job(r.PathValue("id"))
+		writeJSON(w, http.StatusOK, jobResponse(st, false))
+	}
+}
+
+// CompareRequest is the synchronous comparison input: two raw polygon text
+// files (base64 in JSON).
+type CompareRequest struct {
+	RawA []byte `json:"raw_a"`
+	RawB []byte `json:"raw_b"`
+}
+
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	if s.compare == nil {
+		s.fail(w, http.StatusNotImplemented, errors.New("compare endpoint not configured"))
+		return
+	}
+	var req CompareRequest
+	if err := s.decode(w, r, &req); err != nil {
+		return
+	}
+	if len(req.RawA) == 0 || len(req.RawB) == 0 {
+		s.fail(w, http.StatusBadRequest, errors.New("raw_a and raw_b are required"))
+		return
+	}
+	res, err := s.compare(req.RawA, req.RawB)
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.compares.Inc()
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WriteText(w)
+	// Scheduler metrics are rendered from one snapshot per scrape rather
+	// than a gauge func per value, which would rebuild the snapshot for
+	// every single line.
+	st := s.sched.Stats()
+	fmt.Fprintf(w, "sccgd_jobs_queued %d\n", st.Queued)
+	fmt.Fprintf(w, "sccgd_jobs_running %d\n", st.Running)
+	fmt.Fprintf(w, "sccgd_jobs_completed_total %d\n", st.Completed)
+	fmt.Fprintf(w, "sccgd_jobs_failed_total %d\n", st.Failed)
+	fmt.Fprintf(w, "sccgd_jobs_canceled_total %d\n", st.Canceled)
+	for _, d := range st.Devices {
+		fmt.Fprintf(w, "sccgd_device_launches_total{device=\"%d\"} %d\n", d.ID, d.Launches)
+		fmt.Fprintf(w, "sccgd_device_busy_seconds{device=\"%d\"} %g\n", d.ID, d.BusySeconds)
+		fmt.Fprintf(w, "sccgd_device_shards_total{device=\"%d\"} %d\n", d.ID, d.Shards)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":             true,
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"devices":        len(s.sched.DeviceStats()),
+	})
+}
+
+// Generation limits for user-supplied dataset specs: a spec is a few dozen
+// bytes but materializes into tiles of polygons, so unbounded values would
+// let one small request exhaust memory or pin the CPU. The corpus tops out
+// at 44 tiles of 52 objects (~2.3k blobs); these caps leave two orders of
+// magnitude of headroom while keeping one request's work bounded.
+const (
+	maxSpecTiles   = 4096
+	maxSpecObjects = 4096
+	maxSpecBlobs   = 1 << 18 // Tiles * Objects product cap
+	maxSpecTile    = 1 << 14
+	maxSpecRadius  = 512 // MeanRadius + RadiusSigma, pixels
+	maxTaskCount   = 65536
+)
+
+// checkRequest validates a JobRequest without materializing it (no dataset
+// generation), so it is cheap to run before the cache lookup.
+func checkRequest(req JobRequest) error {
+	forms := 0
+	if req.Corpus != "" {
+		forms++
+	}
+	if req.Spec != nil {
+		forms++
+	}
+	if len(req.Tasks) > 0 {
+		forms++
+	}
+	if forms != 1 {
+		return errors.New("exactly one of corpus, spec, tasks must be set")
+	}
+	switch {
+	case req.Corpus != "":
+		if _, ok := corpusByName(req.Corpus); !ok {
+			return fmt.Errorf("unknown corpus dataset %q", req.Corpus)
+		}
+	case req.Spec != nil:
+		spec := *req.Spec
+		if spec.Tiles <= 0 || spec.Tiles > maxSpecTiles {
+			return fmt.Errorf("spec.Tiles must be in 1..%d", maxSpecTiles)
+		}
+		g := spec.Gen
+		if g.Objects < 0 || g.Objects > maxSpecObjects {
+			return fmt.Errorf("spec.Gen.Objects must be in 0..%d", maxSpecObjects)
+		}
+		if spec.Tiles*max(g.Objects, 1) > maxSpecBlobs {
+			return fmt.Errorf("spec.Tiles * spec.Gen.Objects must not exceed %d", maxSpecBlobs)
+		}
+		if g.TileSize < 0 || g.TileSize > maxSpecTile {
+			return fmt.Errorf("spec.Gen.TileSize must be in 0..%d", maxSpecTile)
+		}
+		if g.MeanRadius < 0 || g.RadiusSigma < 0 || g.MeanRadius+g.RadiusSigma > maxSpecRadius {
+			return fmt.Errorf("spec.Gen.MeanRadius + RadiusSigma must be in 0..%d", maxSpecRadius)
+		}
+		for name, v := range map[string]float64{
+			"Noise":        g.Noise,
+			"JitterRadius": g.JitterRadius,
+			"DropRate":     g.DropRate,
+		} {
+			if v < 0 || v > 1 {
+				return fmt.Errorf("spec.Gen.%s must be in [0, 1]", name)
+			}
+		}
+		if g.JitterShift < 0 || g.JitterShift > maxSpecRadius {
+			return fmt.Errorf("spec.Gen.JitterShift must be in 0..%d", maxSpecRadius)
+		}
+	default:
+		if len(req.Tasks) > maxTaskCount {
+			return fmt.Errorf("at most %d tasks per job", maxTaskCount)
+		}
+		for i, t := range req.Tasks {
+			if len(t.RawA) == 0 || len(t.RawB) == 0 {
+				return fmt.Errorf("task %d: raw_a and raw_b are required", i)
+			}
+		}
+	}
+	return nil
+}
+
+// materializeRequest turns a checked JobRequest into the tile tasks to run.
+func materializeRequest(req JobRequest) (name string, tasks []pipeline.FileTask) {
+	switch {
+	case req.Corpus != "":
+		spec, _ := corpusByName(req.Corpus)
+		return spec.Name, pipeline.EncodeDataset(pathology.Generate(spec))
+	case req.Spec != nil:
+		spec := *req.Spec
+		if spec.Gen == (pathology.GenConfig{}) {
+			spec.Gen = pathology.DefaultGenConfig()
+		}
+		return spec.Name, pipeline.EncodeDataset(pathology.Generate(spec))
+	default:
+		tasks = make([]pipeline.FileTask, len(req.Tasks))
+		for i, t := range req.Tasks {
+			tasks[i] = pipeline.FileTask{Image: t.Image, Tile: t.Tile, RawA: t.RawA, RawB: t.RawB}
+		}
+		return "upload", tasks
+	}
+}
+
+func corpusByName(name string) (pathology.DatasetSpec, bool) {
+	for _, spec := range pathology.Corpus() {
+		if spec.Name == name {
+			return spec, true
+		}
+	}
+	return pathology.DatasetSpec{}, false
+}
+
+// requestKey hashes the request's semantic identity — the dataset spec for
+// generated inputs, the raw bytes for uploads — into the result-cache key.
+// It reads only the request, never generated data, so it can run before
+// materialization.
+func requestKey(req JobRequest) string {
+	h := sha256.New()
+	switch {
+	case req.Corpus != "":
+		fmt.Fprintf(h, "corpus\x00%s", req.Corpus)
+	case req.Spec != nil:
+		fmt.Fprintf(h, "spec\x00%#v", *req.Spec)
+	default:
+		io.WriteString(h, "tasks")
+		for _, t := range req.Tasks {
+			fmt.Fprintf(h, "\x00%s\x00%d\x00", t.Image, t.Tile)
+			h.Write(t.RawA)
+			h.Write([]byte{0})
+			h.Write(t.RawB)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return err
+	}
+	return nil
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, err error) {
+	if code == http.StatusBadRequest {
+		s.badReqs.Inc()
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,406 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gpu"
+	"repro/internal/pathology"
+	"repro/internal/pipeline"
+	"repro/internal/sched"
+)
+
+func newTestServer(t *testing.T, cfg sched.Config, opts Options) (*Server, *sched.Scheduler, *httptest.Server) {
+	t.Helper()
+	s := sched.New(cfg)
+	srv := New(s, opts)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return srv, s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, buf.Bytes()
+}
+
+func getJSON(t *testing.T, url string, dst any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if dst != nil {
+		if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func pollDone(t *testing.T, base, id string) JobResponse {
+	t.Helper()
+	deadline := time.Now().Add(time.Minute)
+	for {
+		var jr JobResponse
+		getJSON(t, base+"/jobs/"+id, &jr)
+		switch jr.State {
+		case "done", "failed", "canceled":
+			return jr
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %s", id, jr.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSubmitPollFetchRoundTrip drives the full HTTP lifecycle and checks the
+// served similarity against a direct pipeline run over the same tasks.
+func TestSubmitPollFetchRoundTrip(t *testing.T) {
+	_, _, ts := newTestServer(t, sched.Config{Devices: 2}, Options{})
+
+	spec := pathology.Representative()
+	spec.Tiles = 4
+	tasks := pipeline.EncodeDataset(pathology.Generate(spec))
+	direct, err := pipeline.Run(tasks, pipeline.Config{Device: gpu.NewDevice(gpu.GTX580())})
+	if err != nil {
+		t.Fatalf("direct run: %v", err)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/jobs", JobRequest{Spec: &spec})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, body %s", resp.StatusCode, body)
+	}
+	var jr JobResponse
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatalf("unmarshal submit response: %v", err)
+	}
+	if jr.ID == "" || jr.Cached {
+		t.Fatalf("submit response = %+v, want fresh job with ID", jr)
+	}
+
+	done := pollDone(t, ts.URL, jr.ID)
+	if done.State != "done" {
+		t.Fatalf("job ended %s: %s", done.State, done.Error)
+	}
+	if done.Report == nil {
+		t.Fatal("done job has no report")
+	}
+	if math.Abs(done.Report.Similarity-direct.Similarity) > 1e-9 {
+		t.Errorf("served similarity %.12f != direct %.12f", done.Report.Similarity, direct.Similarity)
+	}
+	if done.Report.Intersecting != direct.Intersecting {
+		t.Errorf("intersecting %d != direct %d", done.Report.Intersecting, direct.Intersecting)
+	}
+
+	var list struct {
+		Jobs []JobResponse `json:"jobs"`
+	}
+	getJSON(t, ts.URL+"/jobs", &list)
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != jr.ID {
+		t.Errorf("job list = %+v, want the one submitted job", list.Jobs)
+	}
+
+	var health map[string]any
+	if resp := getJSON(t, ts.URL+"/healthz", &health); resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status = %d", resp.StatusCode)
+	}
+	if health["ok"] != true {
+		t.Errorf("healthz = %v, want ok", health)
+	}
+}
+
+// TestCacheHitSkipsRecompute asserts the LRU cache answers a repeated
+// dataset submission with the original job and, critically, that no
+// additional kernels are launched on any pool device.
+func TestCacheHitSkipsRecompute(t *testing.T) {
+	_, s, ts := newTestServer(t, sched.Config{Devices: 2}, Options{})
+
+	req := JobRequest{Corpus: "oligoastroIII_1"}
+	resp, body := postJSON(t, ts.URL+"/jobs", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, body %s", resp.StatusCode, body)
+	}
+	var first JobResponse
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	done := pollDone(t, ts.URL, first.ID)
+	if done.State != "done" {
+		t.Fatalf("job ended %s: %s", done.State, done.Error)
+	}
+
+	launchesBefore := int64(0)
+	for _, d := range s.DeviceStats() {
+		launchesBefore += d.Launches
+	}
+	if launchesBefore == 0 {
+		t.Fatal("first job launched no kernels")
+	}
+
+	resp, body = postJSON(t, ts.URL+"/jobs", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cached submit status = %d, body %s", resp.StatusCode, body)
+	}
+	var second JobResponse
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached || second.ID != first.ID || second.State != "done" {
+		t.Fatalf("cached response = %+v, want cached done job %s", second, first.ID)
+	}
+	if second.Report == nil || second.Report.Similarity != done.Report.Similarity {
+		t.Error("cached response does not carry the original report")
+	}
+
+	launchesAfter := int64(0)
+	for _, d := range s.DeviceStats() {
+		launchesAfter += d.Launches
+	}
+	if launchesAfter != launchesBefore {
+		t.Errorf("cache hit launched kernels: %d -> %d", launchesBefore, launchesAfter)
+	}
+
+	// NoCache bypasses and recomputes.
+	req.NoCache = true
+	resp, body = postJSON(t, ts.URL+"/jobs", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("no_cache submit status = %d, body %s", resp.StatusCode, body)
+	}
+	var third JobResponse
+	if err := json.Unmarshal(body, &third); err != nil {
+		t.Fatal(err)
+	}
+	if third.Cached || third.ID == first.ID {
+		t.Errorf("no_cache response = %+v, want a fresh job", third)
+	}
+	pollDone(t, ts.URL, third.ID)
+}
+
+func TestSubmitValidation(t *testing.T) {
+	_, _, ts := newTestServer(t, sched.Config{Devices: 1}, Options{})
+
+	cases := []JobRequest{
+		{}, // no input form
+		{Corpus: "oligoastroIII_1", Tasks: []TaskPayload{{RawA: []byte("x"), RawB: []byte("y")}}}, // two forms
+		{Corpus: "no_such_dataset"},
+		{Tasks: []TaskPayload{{RawA: nil, RawB: []byte("y")}}},
+	}
+	for i, req := range cases {
+		resp, body := postJSON(t, ts.URL+"/jobs", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("case %d: status = %d (body %s), want 400", i, resp.StatusCode, body)
+		}
+	}
+
+	if resp := getJSON(t, ts.URL+"/jobs/job-424242", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestRawTaskSubmission(t *testing.T) {
+	_, _, ts := newTestServer(t, sched.Config{Devices: 1}, Options{})
+
+	spec := pathology.Representative()
+	spec.Tiles = 2
+	tasks := pipeline.EncodeDataset(pathology.Generate(spec))
+	payload := make([]TaskPayload, len(tasks))
+	for i, task := range tasks {
+		payload[i] = TaskPayload{Image: task.Image, Tile: task.Tile, RawA: task.RawA, RawB: task.RawB}
+	}
+	resp, body := postJSON(t, ts.URL+"/jobs", JobRequest{Tasks: payload})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, body %s", resp.StatusCode, body)
+	}
+	var jr JobResponse
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatal(err)
+	}
+	done := pollDone(t, ts.URL, jr.ID)
+	if done.State != "done" || done.Report == nil || done.Report.Similarity <= 0 {
+		t.Fatalf("raw task job = %+v, want done with positive similarity", done)
+	}
+
+	// The same bytes resubmitted hit the cache.
+	resp, body = postJSON(t, ts.URL+"/jobs", JobRequest{Tasks: payload})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat status = %d, body %s", resp.StatusCode, body)
+	}
+	var again JobResponse
+	if err := json.Unmarshal(body, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached || again.ID != jr.ID {
+		t.Errorf("repeat = %+v, want cache hit on %s", again, jr.ID)
+	}
+}
+
+func TestCancelEndpoint(t *testing.T) {
+	_, _, ts := newTestServer(t, sched.Config{Devices: 1}, Options{})
+
+	// Fill the single runner with a long job, then cancel a queued one. Both
+	// jobs are pre-encoded client-side so each submit costs ~1ms while the
+	// long job occupies the runner for tens of milliseconds — the victim is
+	// still queued when DELETE lands.
+	encode := func(tiles int, seed int64) []TaskPayload {
+		spec := pathology.Representative()
+		spec.Tiles = tiles
+		spec.Seed = seed
+		tasks := pipeline.EncodeDataset(pathology.Generate(spec))
+		payload := make([]TaskPayload, len(tasks))
+		for i, task := range tasks {
+			payload[i] = TaskPayload{Image: task.Image, Tile: task.Tile, RawA: task.RawA, RawB: task.RawB}
+		}
+		return payload
+	}
+	longTasks := encode(20, 1)
+	victimTasks := encode(1, 99)
+
+	resp, body := postJSON(t, ts.URL+"/jobs", JobRequest{Tasks: longTasks})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, body %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts.URL+"/jobs", JobRequest{Tasks: victimTasks})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, body %s", resp.StatusCode, body)
+	}
+	var victim JobResponse
+	if err := json.Unmarshal(body, &victim); err != nil {
+		t.Fatal(err)
+	}
+
+	delReq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+victim.ID, nil)
+	delResp, err := http.DefaultClient.Do(delReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp.Body.Close()
+	if delResp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status = %d", delResp.StatusCode)
+	}
+	if done := pollDone(t, ts.URL, victim.ID); done.State != "canceled" {
+		t.Errorf("victim state = %s, want canceled", done.State)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, _, ts := newTestServer(t, sched.Config{Devices: 2}, Options{})
+
+	spec := pathology.Representative()
+	spec.Tiles = 2
+	resp, body := postJSON(t, ts.URL+"/jobs", JobRequest{Spec: &spec})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, body %s", resp.StatusCode, body)
+	}
+	var jr JobResponse
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatal(err)
+	}
+	pollDone(t, ts.URL, jr.ID)
+
+	mResp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mResp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(mResp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"sccgd_http_requests_total",
+		"sccgd_jobs_submitted_total 1",
+		"sccgd_jobs_completed_total 1",
+		"sccgd_cache_misses_total 1",
+		`sccgd_device_launches_total{device="0"}`,
+		`sccgd_device_busy_seconds{device="1"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestCompareEndpoint(t *testing.T) {
+	compare := func(rawA, rawB []byte) (CompareResult, error) {
+		if len(rawA) == 0 || len(rawB) == 0 {
+			return CompareResult{}, fmt.Errorf("empty input")
+		}
+		return CompareResult{Similarity: 0.5, Intersecting: 1, Candidates: 2}, nil
+	}
+	_, _, ts := newTestServer(t, sched.Config{Devices: 1}, Options{Compare: compare})
+
+	resp, body := postJSON(t, ts.URL+"/compare", CompareRequest{RawA: []byte("a"), RawB: []byte("b")})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compare status = %d, body %s", resp.StatusCode, body)
+	}
+	var res CompareResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Similarity != 0.5 || res.Intersecting != 1 || res.Candidates != 2 {
+		t.Errorf("compare result = %+v", res)
+	}
+
+	// Unconfigured compare answers 501.
+	_, _, bare := newTestServer(t, sched.Config{Devices: 1}, Options{})
+	resp, _ = postJSON(t, bare.URL+"/compare", CompareRequest{RawA: []byte("a"), RawB: []byte("b")})
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Errorf("unconfigured compare status = %d, want 501", resp.StatusCode)
+	}
+}
+
+func TestCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	c.put("a", "job-1")
+	c.put("b", "job-2")
+	c.put("c", "job-3") // evicts a
+	if _, ok := c.get("a"); ok {
+		t.Error("a survived past capacity")
+	}
+	if id, ok := c.get("b"); !ok || id != "job-2" {
+		t.Errorf("get(b) = %q, %v", id, ok)
+	}
+	c.put("d", "job-4") // evicts c (b was refreshed)
+	if _, ok := c.get("c"); ok {
+		t.Error("c survived, want LRU eviction after b refresh")
+	}
+	if _, ok := c.get("b"); !ok {
+		t.Error("b evicted despite being most recently used")
+	}
+	c.drop("b")
+	if _, ok := c.get("b"); ok {
+		t.Error("b survived drop")
+	}
+	disabled := newResultCache(-1)
+	disabled.put("x", "job-9")
+	if _, ok := disabled.get("x"); ok {
+		t.Error("disabled cache stored an entry")
+	}
+}

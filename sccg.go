@@ -19,6 +19,9 @@
 package sccg
 
 import (
+	"fmt"
+	"net/http"
+
 	"repro/internal/clip"
 	"repro/internal/geom"
 	"repro/internal/gpu"
@@ -28,6 +31,8 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/pixelbox"
 	"repro/internal/rtree"
+	"repro/internal/sched"
+	"repro/internal/server"
 )
 
 // Re-exported core types, so downstream users work entirely through this
@@ -52,6 +57,10 @@ type (
 	DatasetSpec = pathology.DatasetSpec
 	// Dataset is a generated dataset.
 	Dataset = pathology.Dataset
+	// SearchStats counts the R-tree work done by a join or search.
+	SearchStats = rtree.SearchStats
+	// JobStatus is a job snapshot from the service scheduler.
+	JobStatus = sched.JobStatus
 )
 
 // NewPolygon validates vertices as a simple rectilinear polygon.
@@ -112,41 +121,92 @@ func (e *Engine) CrossCompareDataset(tasks []FileTask) (Report, error) {
 // CrossComparePolygons compares two in-memory result sets directly (index,
 // filter, aggregate; no text parsing) and returns J' with pair counts.
 func (e *Engine) CrossComparePolygons(a, b []*Polygon) (similarity float64, intersecting, candidates int) {
-	pairs := MatchPairs(a, b)
-	results := e.ComputeAreas(pairs)
+	sim, hits, cands, _ := e.CrossComparePolygonsErr(a, b)
+	return sim, hits, cands
+}
+
+// CrossComparePolygonsErr is the error-reporting variant of
+// CrossComparePolygons: it rejects nil polygons instead of panicking deep in
+// the aggregation kernel. The service's synchronous /compare endpoint runs
+// through this path.
+func (e *Engine) CrossComparePolygonsErr(a, b []*Polygon) (similarity float64, intersecting, candidates int, err error) {
+	pairs, _, err := MatchPairsErr(a, b)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	results, err := e.ComputeAreasErr(pairs)
+	if err != nil {
+		return 0, 0, 0, err
+	}
 	var acc jaccard.Accumulator
 	acc.AddResults(results)
 	sim, _ := acc.Similarity()
-	return sim, acc.Intersecting(), acc.Candidates()
+	return sim, acc.Intersecting(), acc.Candidates(), nil
 }
 
 // ComputeAreas computes exact intersection/union areas for polygon pairs
-// using the configured backend.
+// using the configured backend. Invalid input (a nil polygon in a pair) is
+// silently tolerated here for backward compatibility; new code should call
+// ComputeAreasErr.
 func (e *Engine) ComputeAreas(pairs []Pair) []AreaResult {
+	results, err := e.ComputeAreasErr(pairs)
+	if err != nil {
+		return nil
+	}
+	return results
+}
+
+// ComputeAreasErr is the validating variant of ComputeAreas: it rejects
+// pairs containing nil polygons up front rather than crashing inside the
+// kernel.
+func (e *Engine) ComputeAreasErr(pairs []Pair) ([]AreaResult, error) {
+	for i, pr := range pairs {
+		if pr.P == nil || pr.Q == nil {
+			return nil, fmt.Errorf("sccg: pair %d contains a nil polygon", i)
+		}
+	}
 	if e.dev != nil {
 		results, _, _ := pixelbox.RunGPU(e.dev, pairs, e.opts.PixelBox)
-		return results
+		return results, nil
 	}
-	return pixelbox.RunCPUParallel(pairs, pixelbox.CPUConfig{Workers: e.opts.Workers})
+	return pixelbox.RunCPUParallel(pairs, pixelbox.CPUConfig{Workers: e.opts.Workers}), nil
 }
 
 // MatchPairs builds Hilbert R-trees over both result sets and returns every
-// pair with intersecting MBRs (the filter stage).
+// pair with intersecting MBRs (the filter stage). Join statistics and input
+// validation are discarded; new code should call MatchPairsErr.
 func MatchPairs(a, b []*Polygon) []Pair {
+	pairs, _, err := MatchPairsErr(a, b)
+	if err != nil {
+		return nil
+	}
+	return pairs
+}
+
+// MatchPairsErr is the validating variant of MatchPairs: it rejects nil
+// polygons and returns the join's R-tree search statistics instead of
+// dropping them.
+func MatchPairsErr(a, b []*Polygon) ([]Pair, SearchStats, error) {
 	ea := make([]rtree.Entry, len(a))
 	for i, p := range a {
+		if p == nil {
+			return nil, SearchStats{}, fmt.Errorf("sccg: result set A polygon %d is nil", i)
+		}
 		ea[i] = rtree.Entry{MBR: p.MBR(), ID: int32(i)}
 	}
 	eb := make([]rtree.Entry, len(b))
 	for i, p := range b {
+		if p == nil {
+			return nil, SearchStats{}, fmt.Errorf("sccg: result set B polygon %d is nil", i)
+		}
 		eb[i] = rtree.Entry{MBR: p.MBR(), ID: int32(i)}
 	}
-	joined, _ := rtree.Join(rtree.Build(ea, rtree.Options{}), rtree.Build(eb, rtree.Options{}), nil)
+	joined, stats := rtree.Join(rtree.Build(ea, rtree.Options{}), rtree.Build(eb, rtree.Options{}), nil)
 	pairs := make([]Pair, len(joined))
 	for i, pr := range joined {
 		pairs[i] = Pair{P: a[pr.A], Q: b[pr.B]}
 	}
-	return pairs
+	return pairs, stats, nil
 }
 
 // ExactAreas computes a pair's areas with the exact sweep overlay (the
@@ -170,3 +230,86 @@ func Representative() DatasetSpec { return pathology.Representative() }
 
 // EncodeDataset converts a dataset into pipeline input tasks.
 func EncodeDataset(d *Dataset) []FileTask { return pipeline.EncodeDataset(d) }
+
+// ServiceOptions configures the resident cross-comparison job service.
+type ServiceOptions struct {
+	// Devices is the simulated-GPU pool size; 0 runs CPU-only.
+	Devices int
+	// Workers is each shard pipeline's CPU worker count.
+	Workers int
+	// Migration enables dynamic task migration inside shard pipelines.
+	Migration bool
+	// PixelBox tunes the kernel.
+	PixelBox pixelbox.Config
+	// MaxShards caps shards per job; 0 means one per device.
+	MaxShards int
+	// QueueDepth bounds the job queue; 0 selects the scheduler default.
+	QueueDepth int
+	// CacheSize is the HTTP result cache capacity; 0 selects the server
+	// default, negative disables caching.
+	CacheSize int
+}
+
+// Service is the resident SCCG job service (paper §4 generalised to a
+// device pool): a multi-device scheduler plus its HTTP API. It is what
+// cmd/sccgd serves.
+type Service struct {
+	sched *sched.Scheduler
+	srv   *server.Server
+}
+
+// NewService builds a running scheduler and its HTTP server. Close the
+// service when done.
+func NewService(opts ServiceOptions) *Service {
+	sc := sched.New(sched.Config{
+		Devices:    opts.Devices,
+		Workers:    opts.Workers,
+		Migration:  opts.Migration,
+		PixelBox:   opts.PixelBox,
+		MaxShards:  opts.MaxShards,
+		QueueDepth: opts.QueueDepth,
+	})
+	// The synchronous /compare endpoint runs on a CPU engine through the
+	// facade's error-returning path, leaving pool devices to the job queue.
+	cmpEng := NewEngine(Options{DisableGPU: true, Workers: opts.Workers})
+	compare := func(rawA, rawB []byte) (server.CompareResult, error) {
+		a, err := parser.Parse(rawA)
+		if err != nil {
+			return server.CompareResult{}, fmt.Errorf("result set A: %w", err)
+		}
+		b, err := parser.Parse(rawB)
+		if err != nil {
+			return server.CompareResult{}, fmt.Errorf("result set B: %w", err)
+		}
+		sim, hits, cands, err := cmpEng.CrossComparePolygonsErr(a, b)
+		if err != nil {
+			return server.CompareResult{}, err
+		}
+		return server.CompareResult{Similarity: sim, Intersecting: hits, Candidates: cands}, nil
+	}
+	return &Service{
+		sched: sc,
+		srv:   server.New(sc, server.Options{CacheSize: opts.CacheSize, Compare: compare}),
+	}
+}
+
+// Handler returns the service's HTTP routing table (POST /jobs,
+// GET /jobs/{id}, GET /jobs, POST /compare, GET /metrics, GET /healthz).
+func (s *Service) Handler() http.Handler { return s.srv.Handler() }
+
+// Scheduler exposes the underlying job scheduler for in-process use.
+func (s *Service) Scheduler() *sched.Scheduler { return s.sched }
+
+// SubmitDataset queues a corpus-style dataset job directly, bypassing HTTP.
+func (s *Service) SubmitDataset(spec DatasetSpec) (string, error) {
+	return s.sched.SubmitDataset(spec)
+}
+
+// Job returns a job snapshot by ID.
+func (s *Service) Job(id string) (JobStatus, bool) { return s.sched.Job(id) }
+
+// Close stops the scheduler; queued jobs are canceled.
+func (s *Service) Close() { s.sched.Close() }
+
+// ErrServiceClosed is returned by scheduler submissions after Close.
+var ErrServiceClosed = sched.ErrClosed

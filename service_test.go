@@ -1,0 +1,189 @@
+package sccg_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// TestServiceMatchesDirectEngine is the PR's acceptance test: a job served
+// by the sccgd service stack returns the same similarity as a direct
+// Engine.CrossCompareDataset call over the same tasks, and a repeated
+// submission is answered from cache without new GPU launches.
+func TestServiceMatchesDirectEngine(t *testing.T) {
+	spec := sccg.Representative()
+	spec.Tiles = 4
+	tasks := sccg.EncodeDataset(sccg.GenerateDataset(spec))
+
+	eng := sccg.NewEngine(sccg.Options{})
+	direct, err := eng.CrossCompareDataset(tasks)
+	if err != nil {
+		t.Fatalf("direct engine run: %v", err)
+	}
+
+	svc := sccg.NewService(sccg.ServiceOptions{Devices: 2})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	submit := func() (code int, jr struct {
+		ID     string `json:"id"`
+		State  string `json:"state"`
+		Cached bool   `json:"cached"`
+		Error  string `json:"error"`
+		Report *struct {
+			Similarity     float64 `json:"similarity"`
+			Intersecting   int     `json:"intersecting"`
+			KernelLaunches int64   `json:"kernel_launches"`
+		} `json:"report"`
+	}) {
+		body, _ := json.Marshal(map[string]any{"spec": spec})
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, jr
+	}
+
+	code, first := submit()
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d", code)
+	}
+	deadline := time.Now().Add(time.Minute)
+	var final sccg.JobStatus
+	for {
+		st, ok := svc.Job(first.ID)
+		if !ok {
+			t.Fatalf("job %s vanished", first.ID)
+		}
+		if st.State.Terminal() {
+			final = st
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %v", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if final.Error != "" {
+		t.Fatalf("job failed: %s", final.Error)
+	}
+	if math.Abs(final.Report.Similarity-direct.Similarity) > 1e-9 {
+		t.Errorf("service similarity %.12f != direct %.12f", final.Report.Similarity, direct.Similarity)
+	}
+	if final.Report.Intersecting != direct.Intersecting || final.Report.Candidates != direct.Candidates {
+		t.Errorf("service pair counts (%d, %d) != direct (%d, %d)",
+			final.Report.Intersecting, final.Report.Candidates, direct.Intersecting, direct.Candidates)
+	}
+
+	launchesBefore := int64(0)
+	for _, d := range svc.Scheduler().DeviceStats() {
+		launchesBefore += d.Launches
+	}
+	code, second := submit()
+	if code != http.StatusOK || !second.Cached || second.ID != first.ID {
+		t.Fatalf("repeat submit = (%d, %+v), want cached hit on %s", code, second, first.ID)
+	}
+	launchesAfter := int64(0)
+	for _, d := range svc.Scheduler().DeviceStats() {
+		launchesAfter += d.Launches
+	}
+	if launchesAfter != launchesBefore {
+		t.Errorf("cached submission launched kernels: %d -> %d", launchesBefore, launchesAfter)
+	}
+}
+
+// TestServiceCompareEndpoint drives POST /compare, which runs through the
+// facade's error-returning MatchPairsErr/ComputeAreasErr path.
+func TestServiceCompareEndpoint(t *testing.T) {
+	svc := sccg.NewService(sccg.ServiceOptions{Devices: 1})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	d := trimmedRep(1)
+	rawA := sccg.EncodePolygons(d.Pairs[0].A)
+	rawB := sccg.EncodePolygons(d.Pairs[0].B)
+
+	eng := sccg.NewEngine(sccg.Options{DisableGPU: true})
+	wantSim, wantHits, wantCands, err := eng.CrossComparePolygonsErr(d.Pairs[0].A, d.Pairs[0].B)
+	if err != nil {
+		t.Fatalf("CrossComparePolygonsErr: %v", err)
+	}
+
+	body, _ := json.Marshal(map[string]any{"raw_a": rawA, "raw_b": rawB})
+	resp, err := http.Post(ts.URL+"/compare", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compare status = %d", resp.StatusCode)
+	}
+	var got struct {
+		Similarity   float64 `json:"similarity"`
+		Intersecting int     `json:"intersecting"`
+		Candidates   int     `json:"candidates"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Similarity-wantSim) > 1e-9 || got.Intersecting != wantHits || got.Candidates != wantCands {
+		t.Errorf("compare = %+v, want (%.12f, %d, %d)", got, wantSim, wantHits, wantCands)
+	}
+
+	// Malformed polygon text is rejected through the error path, not a panic.
+	body, _ = json.Marshal(map[string]any{"raw_a": []byte("not a polygon"), "raw_b": rawB})
+	resp2, err := http.Post(ts.URL+"/compare", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("malformed compare status = %d, want 422", resp2.StatusCode)
+	}
+}
+
+// TestErrVariants checks the validating facade variants reject nil polygons
+// and surface previously-discarded join statistics.
+func TestErrVariants(t *testing.T) {
+	d := trimmedRep(1)
+	a, b := d.Pairs[0].A, d.Pairs[0].B
+
+	pairs, stats, err := sccg.MatchPairsErr(a, b)
+	if err != nil {
+		t.Fatalf("MatchPairsErr: %v", err)
+	}
+	if len(pairs) == 0 || stats.EntriesTested == 0 {
+		t.Errorf("MatchPairsErr = %d pairs, stats %+v; want pairs and join stats", len(pairs), stats)
+	}
+	if got := sccg.MatchPairs(a, b); len(got) != len(pairs) {
+		t.Errorf("legacy MatchPairs returned %d pairs, Err variant %d", len(got), len(pairs))
+	}
+
+	if _, _, err := sccg.MatchPairsErr([]*sccg.Polygon{nil}, b); err == nil {
+		t.Error("MatchPairsErr accepted a nil polygon")
+	}
+
+	eng := sccg.NewEngine(sccg.Options{DisableGPU: true})
+	if _, err := eng.ComputeAreasErr([]sccg.Pair{{P: nil, Q: nil}}); err == nil {
+		t.Error("ComputeAreasErr accepted a nil pair")
+	}
+	results, err := eng.ComputeAreasErr(pairs)
+	if err != nil {
+		t.Fatalf("ComputeAreasErr: %v", err)
+	}
+	if len(results) != len(pairs) {
+		t.Errorf("ComputeAreasErr returned %d results for %d pairs", len(results), len(pairs))
+	}
+}
