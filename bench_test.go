@@ -18,8 +18,18 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/montecarlo"
 	"repro/internal/pathology"
+	"repro/internal/pipeline"
 	"repro/internal/pixelbox"
 )
+
+// skipIfShort gates the long paper-reproduction benchmarks so -short runs
+// (e.g. `go test -short -bench .` while iterating) stay fast.
+func skipIfShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("long benchmark: skipped in -short mode")
+	}
+}
 
 // The algorithm experiments (§5.2-5.4) use a subset of pairs from a few
 // representative tiles, as the paper uses 15724 pairs from two
@@ -45,6 +55,7 @@ func benchSetup() (*pathology.Dataset, []pixelbox.Pair) {
 // profile for both query forms. Reported metric: the optimised query's
 // Area_Of_Intersection share (paper: ~90%).
 func BenchmarkFig2QueryDecomposition(b *testing.B) {
+	skipIfShort(b)
 	d, _ := benchSetup()
 	var share float64
 	for i := 0; i < b.N; i++ {
@@ -62,6 +73,7 @@ func BenchmarkFig2QueryDecomposition(b *testing.B) {
 // of the representative dataset. Reported metrics: speedups over the GEOS
 // baseline (paper: 1.48x for PixelBox-CPU-S, >100x for PixelBox).
 func BenchmarkFig7GEOSvsPixelBox(b *testing.B) {
+	skipIfShort(b)
 	d, _ := benchSetup()
 	var cpuS, gpuBox float64
 	for i := 0; i < b.N; i++ {
@@ -77,6 +89,7 @@ func BenchmarkFig7GEOSvsPixelBox(b *testing.B) {
 // over PixelOnly at SF5 (the paper's box+indirect-union combination wins by
 // a widening margin as polygons grow).
 func BenchmarkFig8ScaleFactors(b *testing.B) {
+	skipIfShort(b)
 	_, pairs := benchSetup()
 	var sf5 float64
 	for i := 0; i < b.N; i++ {
@@ -91,6 +104,7 @@ func BenchmarkFig8ScaleFactors(b *testing.B) {
 // NBC-UR-SM ladder at SF 1, 3, 5. Reported metrics: full-ladder speedups at
 // SF1 and SF5 (paper: 1.14x and 1.30x).
 func BenchmarkFig9Optimizations(b *testing.B) {
+	skipIfShort(b)
 	_, pairs := benchSetup()
 	var sf1, sf5 float64
 	for i := 0; i < b.N; i++ {
@@ -106,6 +120,7 @@ func BenchmarkFig9Optimizations(b *testing.B) {
 // pixelization threshold T at block size 64 for each scale factor. Reported
 // metric: the best threshold at SF5 (paper: in [n²/8, n²] = [512, 4096]).
 func BenchmarkFig10ThresholdSensitivity(b *testing.B) {
+	skipIfShort(b)
 	_, pairs := benchSetup()
 	thresholds := []int{16, 64, 128, 512, 1024, 2048, 4096, 16384, 65536}
 	var best float64
@@ -120,6 +135,7 @@ func BenchmarkFig10ThresholdSensitivity(b *testing.B) {
 // NoPipe-S / NoPipe-M / Pipelined. Reported metrics: each scheme's speedup
 // (paper: 37.07 / 63.64 / 76.02).
 func BenchmarkTable1PipelineSchemes(b *testing.B) {
+	skipIfShort(b)
 	d, _ := benchSetup()
 	var s, m, p float64
 	for i := 0; i < b.N; i++ {
@@ -139,6 +155,7 @@ func BenchmarkTable1PipelineSchemes(b *testing.B) {
 // on the three platform configurations. Reported metrics: normalised
 // throughput per configuration (paper: ~1.5 / ~1.4 / ~1.14).
 func BenchmarkFig11TaskMigration(b *testing.B) {
+	skipIfShort(b)
 	d, _ := benchSetup()
 	var c1, c2, c3 float64
 	for i := 0; i < b.N; i++ {
@@ -158,6 +175,7 @@ func BenchmarkFig11TaskMigration(b *testing.B) {
 // full 18-dataset corpus. Reported metric: the geometric-mean speedup
 // (paper: >18x, range 13-44x).
 func BenchmarkFig12AllDatasets(b *testing.B) {
+	skipIfShort(b)
 	var gm float64
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Fig12(pathology.Corpus())
@@ -201,12 +219,45 @@ func BenchmarkSweepOverlay(b *testing.B) {
 	}
 }
 
+// BenchmarkHybridVsGPUOnly measures the hybrid co-executing aggregator
+// against the single-GPU pipeline on the representative dataset: 2 simulated
+// GPUs plus 4 PixelBox-CPU executors stealing from the shared pair buffer
+// versus 1 GPU alone. Reported metric: the wall-clock speedup (on a CPU-rich
+// host the hybrid configuration must be >= 1x; the similarity is
+// bit-identical by construction and asserted here).
+func BenchmarkHybridVsGPUOnly(b *testing.B) {
+	skipIfShort(b)
+	d, _ := benchSetup()
+	tasks := pipeline.EncodeDataset(d)
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		gpuOnly, err := pipeline.Run(tasks, pipeline.Config{Devices: gpu.NewDevices(1, gpu.GTX580())})
+		if err != nil {
+			b.Fatal(err)
+		}
+		hybrid, err := pipeline.Run(tasks, pipeline.Config{
+			Devices:        gpu.NewDevices(2, gpu.GTX580()),
+			CPUAggregators: 4,
+			BatchPairs:     256,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if hybrid.Similarity != gpuOnly.Similarity {
+			b.Fatalf("hybrid similarity %.17g != gpu-only %.17g", hybrid.Similarity, gpuOnly.Similarity)
+		}
+		speedup = gpuOnly.Stats.WallTime.Seconds() / hybrid.Stats.WallTime.Seconds()
+	}
+	b.ReportMetric(speedup, "hybrid-speedup-x")
+}
+
 // BenchmarkMonteCarloVsPixelBox is the §6 ablation: modelled device time of
 // the Monte Carlo estimator (at a sample budget roughly matching the mean
 // pair pixel count) vs the exact PixelBox kernel. Reported metric: the cost
 // ratio (paper: "repeated casting of random sampling points makes Monte
 // Carlo much more compute-intensive than our optimized PixelBox").
 func BenchmarkMonteCarloVsPixelBox(b *testing.B) {
+	skipIfShort(b)
 	_, pairs := benchSetup()
 	var ratio float64
 	for i := 0; i < b.N; i++ {

@@ -4,7 +4,8 @@
 // of this tool.
 //
 //	bench                 # everything
-//	bench -only fig8      # a single experiment (fig2|fig7|fig8|fig9|fig10|table1|fig11|fig12)
+//	bench -only fig8      # a single experiment (fig2|fig7|fig8|fig9|fig10|table1|fig11|fig12|hybrid)
+//	bench -only hybrid -gpus 2 -cpu-aggs 4   # hybrid co-execution scaling
 package main
 
 import (
@@ -12,10 +13,13 @@ import (
 	"fmt"
 	"log"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/gpu"
 	"repro/internal/metrics"
 	"repro/internal/pathology"
+	"repro/internal/pipeline"
 	"repro/internal/pixelbox"
 )
 
@@ -23,6 +27,8 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bench: ")
 	only := flag.String("only", "", "run a single experiment")
+	gpus := flag.Int("gpus", 2, "hybrid experiment: simulated GPU count")
+	cpuAggs := flag.Int("cpu-aggs", 4, "hybrid experiment: PixelBox-CPU aggregator count")
 	flag.Parse()
 
 	want := func(name string) bool {
@@ -62,6 +68,9 @@ func main() {
 	}
 	if want("fig12") {
 		runFig12()
+	}
+	if want("hybrid") {
+		runHybrid(rep, *gpus, *cpuAggs)
 	}
 }
 
@@ -183,6 +192,53 @@ func runFig11(cal experiments.Calibration) {
 	}
 	fmt.Print(t.String())
 	fmt.Println("\npaper: +50% (Config-I), +40% (Config-II), +14% (Config-III, reversed direction)")
+}
+
+// runHybrid is the post-paper experiment for the hybrid co-executing
+// aggregator: the same dataset aggregated GPU-only, CPU-only, and on the
+// hybrid executor pool. Similarity must be bit-identical across all three;
+// only throughput moves.
+func runHybrid(d *pathology.Dataset, gpus, cpuAggs int) {
+	header(fmt.Sprintf("Hybrid co-execution — %d GPU(s) + %d CPU aggregator(s), work-stealing", gpus, cpuAggs))
+	tasks := pipeline.EncodeDataset(d)
+
+	devices := func(n int) []*gpu.Device { return gpu.NewDevices(n, gpu.GTX580()) }
+	configs := []struct {
+		name string
+		cfg  pipeline.Config
+	}{
+		{"GPU-only (1 device)", pipeline.Config{Devices: devices(1)}},
+		{"CPU-only", pipeline.Config{}},
+		{fmt.Sprintf("hybrid (%dG+%dC)", gpus, cpuAggs),
+			pipeline.Config{Devices: devices(gpus), CPUAggregators: cpuAggs, BatchPairs: 256}},
+	}
+
+	t := metrics.NewTable("configuration", "wall", "pairs/s", "pairs GPU", "pairs CPU", "J'")
+	var base, hybridSecs float64
+	var baseSim float64
+	identical := true
+	for i, c := range configs {
+		res, err := pipeline.Run(tasks, c.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		secs := res.Stats.WallTime.Seconds()
+		if i == 0 {
+			base, baseSim = secs, res.Similarity
+		} else if res.Similarity != baseSim {
+			identical = false
+		}
+		if i == len(configs)-1 {
+			hybridSecs = secs
+		}
+		t.AddRow(c.name, res.Stats.WallTime.Round(time.Microsecond),
+			float64(res.Stats.PairsFiltered)/secs,
+			res.Stats.PairsOnGPU, res.Stats.PairsOnCPU,
+			fmt.Sprintf("%.6f", res.Similarity))
+	}
+	fmt.Print(t.String())
+	fmt.Printf("\nhybrid speedup over GPU-only: %.2fx; similarity bit-identical: %v\n",
+		metrics.Speedup(base, hybridSecs), identical)
 }
 
 func runFig12() {

@@ -1,9 +1,9 @@
 // Command sccgd is the resident SCCG cross-comparison service: a daemon that
 // owns a pool of simulated GPUs plus CPU pipeline workers and serves
 // cross-comparison jobs over HTTP (the paper's §4 service generalised to a
-// multi-device node).
+// multi-device node with hybrid CPU+GPU aggregation).
 //
-//	sccgd -addr :8080 -devices 2 -workers 4 -migration
+//	sccgd -addr :8080 -devices 2 -workers 4 -hybrid-cpu
 //
 // Submit a corpus dataset job and poll it:
 //
@@ -11,7 +11,8 @@
 //	curl -s localhost:8080/jobs/job-000001
 //
 // A repeated submission of the same dataset is answered from the LRU result
-// cache without touching the device pool. See GET /metrics for counters.
+// cache without touching the device pool. See GET /metrics for counters,
+// including per-executor hybrid-aggregator accounting.
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -32,40 +34,66 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sccgd: ")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "sccgd:", err)
+		os.Exit(1)
+	}
+}
 
+// run starts the daemon and blocks until ctx is canceled or the server
+// fails. onReady, when non-nil, receives the bound listen address once the
+// server is accepting connections — integration tests use it with an
+// ephemeral ":0" address.
+func run(ctx context.Context, args []string, onReady func(addr string)) error {
+	fs := flag.NewFlagSet("sccgd", flag.ContinueOnError)
 	var (
-		addr      = flag.String("addr", ":8080", "HTTP listen address")
-		devices   = flag.Int("devices", 1, "simulated GPU pool size (0 = CPU-only)")
-		workers   = flag.Int("workers", 0, "CPU workers per shard pipeline (default GOMAXPROCS/pipeline default)")
-		migration = flag.Bool("migration", false, "enable dynamic task migration inside shard pipelines")
-		shards    = flag.Int("max-shards", 0, "max shards per job (default: one per device)")
-		queue     = flag.Int("queue", 0, "job queue depth (default 64)")
-		cache     = flag.Int("cache", 0, "result cache entries (default 128, -1 disables)")
+		addr      = fs.String("addr", ":8080", "HTTP listen address")
+		devices   = fs.Int("devices", 1, "simulated GPU pool size (0 = CPU-only)")
+		gpusPer   = fs.Int("gpus-per-shard", 0, "GPUs leased per shard pipeline (default 1)")
+		hybrid    = fs.Bool("hybrid-cpu", false, "co-execute PixelBox-CPU aggregators with each shard's GPUs")
+		workers   = fs.Int("workers", 0, "CPU workers per shard pipeline (default GOMAXPROCS/pipeline default)")
+		migration = fs.Bool("migration", false, "enable dynamic task migration inside shard pipelines")
+		shards    = fs.Int("max-shards", 0, "max shards per job (default: one per executor slot)")
+		queue     = fs.Int("queue", 0, "job queue depth (default 64)")
+		cache     = fs.Int("cache", 0, "result cache entries (default 128, -1 disables)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	svc := sccg.NewService(sccg.ServiceOptions{
-		Devices:    *devices,
-		Workers:    *workers,
-		Migration:  *migration,
-		MaxShards:  *shards,
-		QueueDepth: *queue,
-		CacheSize:  *cache,
+		Devices:      *devices,
+		GPUsPerShard: *gpusPer,
+		HybridCPU:    *hybrid,
+		Workers:      *workers,
+		Migration:    *migration,
+		MaxShards:    *shards,
+		QueueDepth:   *queue,
+		CacheSize:    *cache,
 	})
 	defer svc.Close()
 
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
 	srv := &http.Server{
-		Addr:              *addr,
 		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
 	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("serving on %s (devices=%d workers=%d migration=%v)", *addr, *devices, *workers, *migration)
+	go func() { errCh <- srv.Serve(ln) }()
+	log.Printf("serving on %s (devices=%d hybrid-cpu=%v workers=%d migration=%v)",
+		ln.Addr(), *devices, *hybrid, *workers, *migration)
+	if onReady != nil {
+		onReady(ln.Addr().String())
+	}
 
 	select {
 	case <-ctx.Done():
@@ -75,10 +103,11 @@ func main() {
 		if err := srv.Shutdown(shutCtx); err != nil {
 			log.Printf("shutdown: %v", err)
 		}
+		return nil
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintln(os.Stderr, "sccgd:", err)
-			os.Exit(1)
+			return err
 		}
+		return nil
 	}
 }

@@ -1,0 +1,158 @@
+package main
+
+// End-to-end integration test: boot the real daemon (flag parsing, service
+// wiring, HTTP server) on an ephemeral port, submit a job over the wire,
+// poll it to completion, and check the reported similarity against an
+// in-process engine run of the same dataset spec — which must match exactly,
+// because hybrid/sharded aggregation is bit-deterministic.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/pathology"
+)
+
+func TestDaemonEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ready := make(chan string, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-devices", "2",
+			"-hybrid-cpu",
+			"-workers", "2",
+		}, func(addr string) { ready <- addr })
+	}()
+
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-errCh:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not become ready")
+	}
+
+	spec := pathology.DatasetSpec{Name: "e2e", Seed: 20260727, Tiles: 4}
+
+	body, _ := json.Marshal(map[string]any{"spec": spec})
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /jobs: %v", err)
+	}
+	var job struct {
+		ID     string `json:"id"`
+		State  string `json:"state"`
+		Report *struct {
+			Similarity   float64 `json:"similarity"`
+			Intersecting int     `json:"intersecting"`
+			Candidates   int     `json:"candidates"`
+			Executors    []struct {
+				ID   string `json:"id"`
+				Kind string `json:"kind"`
+			} `json:"executors"`
+		} `json:"report"`
+		Error string `json:"error"`
+	}
+	decodeBody(t, resp, &job, http.StatusAccepted)
+	if job.ID == "" {
+		t.Fatal("job response carried no ID")
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for job.State != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %q (error %q)", job.State, job.Error)
+		}
+		if job.State == "failed" || job.State == "canceled" {
+			t.Fatalf("job reached %q: %s", job.State, job.Error)
+		}
+		time.Sleep(20 * time.Millisecond)
+		resp, err = http.Get(base + "/jobs/" + job.ID)
+		if err != nil {
+			t.Fatalf("GET /jobs/%s: %v", job.ID, err)
+		}
+		decodeBody(t, resp, &job, http.StatusOK)
+	}
+	if job.Report == nil {
+		t.Fatal("done job has no report")
+	}
+
+	// The in-process oracle: same spec (with the same default generation
+	// parameters the server fills in), single GPU, no hybrid — similarity
+	// must still match bit-for-bit.
+	espec := spec
+	espec.Gen = pathology.DefaultGenConfig()
+	eng := sccg.NewEngine(sccg.Options{})
+	want, err := eng.CrossCompareDataset(sccg.EncodeDataset(sccg.GenerateDataset(espec)))
+	if err != nil {
+		t.Fatalf("engine run: %v", err)
+	}
+	if job.Report.Similarity != want.Similarity {
+		t.Errorf("daemon similarity %.17g != engine %.17g (must be exact)",
+			job.Report.Similarity, want.Similarity)
+	}
+	if job.Report.Intersecting != want.Intersecting || job.Report.Candidates != want.Candidates {
+		t.Errorf("daemon counts (%d,%d) != engine (%d,%d)",
+			job.Report.Intersecting, job.Report.Candidates, want.Intersecting, want.Candidates)
+	}
+	if len(job.Report.Executors) == 0 {
+		t.Error("report carries no per-executor accounting")
+	} else {
+		kinds := map[string]bool{}
+		for _, e := range job.Report.Executors {
+			kinds[e.Kind] = true
+		}
+		if !kinds["gpu"] || !kinds["cpu"] {
+			t.Errorf("hybrid job should report gpu and cpu executors, got %+v", job.Report.Executors)
+		}
+	}
+
+	// The shared registry surfaces per-executor counters on /metrics.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	metricsText, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metricsText), "sccg_executor_pairs_total") {
+		t.Errorf("/metrics missing hybrid executor accounting:\n%s", metricsText)
+	}
+
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("daemon shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+func decodeBody(t *testing.T, resp *http.Response, dst any, wantCode int) {
+	t.Helper()
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	if resp.StatusCode != wantCode {
+		t.Fatalf("status %d, want %d: %s", resp.StatusCode, wantCode, raw)
+	}
+	if err := json.Unmarshal(raw, dst); err != nil {
+		t.Fatalf("decode %s: %v", raw, err)
+	}
+}

@@ -154,6 +154,16 @@ type Device struct {
 // NewDevice creates a virtual device from a configuration.
 func NewDevice(cfg Config) *Device { return &Device{cfg: cfg} }
 
+// NewDevices creates a pool of n independent virtual devices sharing one
+// configuration — the executor set a hybrid aggregator drives.
+func NewDevices(n int, cfg Config) []*Device {
+	out := make([]*Device, n)
+	for i := range out {
+		out[i] = NewDevice(cfg)
+	}
+	return out
+}
+
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }
 
@@ -169,6 +179,28 @@ func (d *Device) Launches() int64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.launches
+}
+
+// Snapshot is a point-in-time copy of a device's cumulative accounting.
+type Snapshot struct {
+	BusySeconds float64
+	Launches    int64
+	Transfers   int64
+	BytesMoved  int64 // bytes over PCIe
+}
+
+// Stats returns the device's cumulative accounting in one consistent read,
+// so callers bracketing a run (e.g. the scheduler attributing shard work)
+// do not interleave half-updated counters.
+func (d *Device) Stats() Snapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return Snapshot{
+		BusySeconds: d.busy,
+		Launches:    d.launches,
+		Transfers:   d.transfers,
+		BytesMoved:  d.moved,
+	}
 }
 
 // Kernel is the body of a GPU kernel: it is invoked once per thread block

@@ -5,9 +5,31 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
+
+// Label renders a Prometheus-style metric name with label pairs, e.g.
+// Label("pairs_total", "executor", "gpu0") = `pairs_total{executor="gpu0"}`.
+// Registries key metrics by the full rendered name, so labelled series are
+// independent metrics that sort together in the text exposition.
+func Label(name string, kv ...string) string {
+	if len(kv) < 2 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
 
 // Counter is a monotonically increasing counter, safe for concurrent use.
 type Counter struct {

@@ -1,0 +1,78 @@
+package parser
+
+import (
+	"testing"
+)
+
+// FuzzParse drives the FSM parser with arbitrary byte input. The contract
+// under test: Parse must never panic — malformed segmentation output is an
+// error, not a crash — and any input it accepts must round-trip through
+// Encode back to the same polygons.
+func FuzzParse(f *testing.F) {
+	// Seed corpus: one valid line plus the malformed shapes segmentation
+	// pipelines actually emit (truncation, bad keywords, stray separators,
+	// sign/overflow games, missing newlines).
+	seeds := []string{
+		"0 POLYGON ((0 0,0 4,4 4,4 0))\n",
+		"",
+		"\n\n",
+		"0",
+		"0 ",
+		"0 POLYGON",
+		"0 POLYGON (",
+		"0 POLYGON ((",
+		"0 POLYGON ((0",
+		"0 POLYGON ((0 ",
+		"0 POLYGON ((0 0",
+		"0 POLYGON ((0 0,",
+		"0 POLYGON ((0 0))",
+		"0 POLYGON ((0 0,0 4,4 4,4 0))",    // no trailing newline
+		"0 POLYGON ((0 0,0 4,4 4,4 0)) \n", // trailing junk
+		"0 polygon ((0 0,0 4,4 4,4 0))\n",
+		"abc POLYGON ((0 0,0 4,4 4,4 0))\n",
+		"0 POLYGON ((-0 -0,-0 4,4 4,4 -0))\n",
+		"0 POLYGON ((- 0,0 4,4 4,4 0))\n",
+		"0 POLYGON ((0 0,,0 4,4 4,4 0))\n",
+		"0 POLYGON ((0 0 0,0 4,4 4,4 0))\n",
+		"0 POLYGON ((99999999999999999999 0,0 4,4 4,4 0))\n",
+		"0 POLYGON ((-99999999999999999999 0,0 4,4 4,4 0))\n",
+		"0 POLYGON ((2147483647 2147483647,2147483647 2147483651,2147483651 2147483651,2147483651 2147483647))\n",
+		"0 POLYGON ((0 0,0 4,4 4,4 0)))\n",
+		"0 POLYGON ((0 0,1 1,2 2))\n", // non-rectilinear
+		"0 POLYGON ((0 0,0 4))\n",     // too few vertices
+		"0 POLYGON ((0 0,0 4,0 0,0 4))\n",
+		"1 POLYGON ((5 5,5 9,9 9,9 5))\n2 POLYGON ((0 0,0 2,2 2,2 0))\n",
+		"0 POLYGON\t((0 0,0 4,4 4,4 0))\n",
+		"\x000 POLYGON ((0 0,0 4,4 4,4 0))\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		polys, err := Parse(data) // must not panic on any input
+		if err != nil {
+			return
+		}
+		// Accepted input must round-trip: encoding the parsed polygons and
+		// re-parsing yields the same geometry.
+		enc := Encode(polys)
+		again, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("round-trip re-parse failed: %v\ninput: %q\nencoded: %q", err, data, enc)
+		}
+		if len(again) != len(polys) {
+			t.Fatalf("round-trip count %d != %d", len(again), len(polys))
+		}
+		for i := range polys {
+			a, b := polys[i].Vertices(), again[i].Vertices()
+			if len(a) != len(b) {
+				t.Fatalf("polygon %d: vertex count %d != %d", i, len(b), len(a))
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("polygon %d vertex %d: %v != %v", i, j, b[j], a[j])
+				}
+			}
+		}
+	})
+}

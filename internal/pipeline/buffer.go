@@ -106,6 +106,24 @@ func (b *buffer[T]) tryGet() (item T, ok bool) {
 func (b *buffer[T]) stealMin(weight func(T) int) (item T, ok bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	return b.takeMinLocked(weight)
+}
+
+// getMin blocks until an item is available (or the buffer is closed and
+// drained, reporting ok=false) and removes the item minimising weight. It is
+// the blocking form of stealMin used by the slower executors of the hybrid
+// aggregator, which always prefer the cheapest task in the buffer.
+func (b *buffer[T]) getMin(weight func(T) int) (item T, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.items) == 0 && !b.closed {
+		notify(b.emptyCh)
+		b.notEmpty.Wait()
+	}
+	return b.takeMinLocked(weight)
+}
+
+func (b *buffer[T]) takeMinLocked(weight func(T) int) (item T, ok bool) {
 	if len(b.items) == 0 {
 		return item, false
 	}

@@ -8,18 +8,27 @@
 // polygon files segmented from one tile; a builder task indexes the two
 // parsed polygon sets; a filter task joins the two indexes into an array of
 // MBR-intersecting polygon pairs; the aggregator batches pair arrays and
-// computes areas with PixelBox on the GPU (or PixelBox-CPU when tasks are
-// migrated), folding the Jaccard ratios into the image's similarity score.
+// computes areas with PixelBox.
+//
+// The aggregator is a hybrid executor pool (see hybrid.go): N simulated GPU
+// devices and M PixelBox-CPU workers co-execute, stealing pair batches from
+// the shared aggregator input buffer under a cost-model-driven policy that
+// generalises the paper's buffer-pressure migration heuristic. Because
+// PixelBox areas are exact integer pixel counts and Jaccard ratios are
+// accumulated per tile in canonical order, the reported similarity is
+// bit-identical no matter which executors computed which tiles.
 package pipeline
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/geom"
 	"repro/internal/gpu"
+	"repro/internal/metrics"
 	"repro/internal/parser"
 	"repro/internal/pathology"
 	"repro/internal/pixelbox"
@@ -64,19 +73,36 @@ type Config struct {
 	// BufferCap is the capacity of each inter-stage buffer in tasks;
 	// defaults to 8.
 	BufferCap int
-	// BatchPairs is the aggregator's batching target: it groups buffered
-	// tasks until at least this many pairs are in hand before launching a
-	// kernel (GPU input data batching, §4.1); defaults to 1024.
+	// BatchPairs is the aggregator's batching target: an executor groups
+	// buffered tasks until its claim target (derived from this value by the
+	// stealing policy) is in hand before launching a kernel (GPU input data
+	// batching, §4.1); defaults to 1024.
 	BatchPairs int
-	// Device is the GPU the aggregator drives. When nil the aggregator
-	// falls back to PixelBox-CPU entirely.
+	// Device is a single GPU for the aggregator (the original single-device
+	// form). It is folded into Devices during normalization.
 	Device *gpu.Device
+	// Devices is the simulated GPU set the hybrid aggregator drives, one
+	// executor goroutine per device (each device stays an exclusively-owned,
+	// non-preemptive client, §4.1). Empty means no GPU executors.
+	Devices []*gpu.Device
+	// CPUAggregators is the number of PixelBox-CPU executors co-executing
+	// with the GPU executors in the hybrid aggregator. When no devices are
+	// configured, one CPU aggregator always runs (using CPU.Workers
+	// goroutines) so the pipeline degrades to PixelBox-CPU exactly as
+	// before.
+	CPUAggregators int
 	// PixelBox configures the GPU kernel.
 	PixelBox pixelbox.Config
-	// CPU configures PixelBox-CPU for migrated (or fallback) tasks.
+	// CPU configures PixelBox-CPU for CPU executors and migrated tasks.
 	CPU pixelbox.CPUConfig
-	// Migration enables the dynamic task migration component.
+	// Migration enables the dynamic task migration component (§4.2).
 	Migration bool
+	// Registry, when set, receives per-executor accounting (batches, pairs,
+	// measured throughput) under names labelled with ExecutorLabel+id.
+	Registry *metrics.Registry
+	// ExecutorLabel prefixes executor IDs in Registry metric labels, so
+	// several pipelines (e.g. scheduler shards) stay distinguishable.
+	ExecutorLabel string
 }
 
 func (c Config) normalized() Config {
@@ -88,6 +114,16 @@ func (c Config) normalized() Config {
 	}
 	if c.BatchPairs <= 0 {
 		c.BatchPairs = 1024
+	}
+	if c.Device != nil {
+		c.Devices = append([]*gpu.Device{c.Device}, c.Devices...)
+		c.Device = nil
+	}
+	if c.CPUAggregators < 0 {
+		c.CPUAggregators = 0
+	}
+	if len(c.Devices) == 0 && c.CPUAggregators == 0 {
+		c.CPUAggregators = 1
 	}
 	return c
 }
@@ -107,6 +143,19 @@ type Stats struct {
 	BuilderBusy    time.Duration
 	FilterBusy     time.Duration
 	AggregatorBusy time.Duration
+	// Executors is the per-executor accounting of the hybrid aggregator.
+	Executors []ExecutorStats
+}
+
+// TileRatio is one tile's contribution to J': the tile's Jaccard ratio sum
+// folded in pair order. Keeping per-tile partials lets any combination of
+// runs and shards recompute the dataset similarity in one canonical order,
+// making the result bit-identical across executor configurations.
+type TileRatio struct {
+	Image        string
+	Tile         int
+	RatioSum     float64
+	Intersecting int
 }
 
 // Result is the cross-comparison outcome for one image's two result sets.
@@ -114,26 +163,33 @@ type Result struct {
 	// Similarity is J' (Eq. 1) aggregated over all tiles.
 	Similarity float64
 	// RatioSum is the raw sum of per-pair Jaccard ratios (the numerator of
-	// J'). Keeping it alongside Similarity lets shard results merge without
-	// losing precision (see Merge).
+	// J'), folded over TileRatios in canonical tile order.
 	RatioSum float64
 	// Intersecting and Candidates count truly-intersecting and
 	// MBR-intersecting pairs.
 	Intersecting int
 	Candidates   int
-	Stats        Stats
+	// TileRatios holds the per-tile partial sums in canonical (image, tile)
+	// order; Merge uses them to keep shard merging bit-exact.
+	TileRatios []TileRatio
+	Stats      Stats
 }
 
 // Merge combines the results of several pipeline runs over disjoint tile
 // shards of one comparison into the result a single run over the union would
-// have produced. Similarity is recomputed from the summed ratio numerators,
-// so sharding does not change the reported J'; wall time is the maximum
-// across shards (they run concurrently), busy times and counters add.
+// have produced. Similarity is recomputed from the per-tile ratio partials
+// re-sorted into canonical order, so sharding changes neither the value nor
+// the bits of the reported J'; wall time is the maximum across shards (they
+// run concurrently), busy times and counters add.
 func Merge(shards ...Result) Result {
 	var m Result
+	tileBased := true
 	for _, s := range shards {
-		m.RatioSum += s.RatioSum
-		m.Intersecting += s.Intersecting
+		if len(s.TileRatios) == 0 && (s.RatioSum != 0 || s.Intersecting != 0) {
+			// A hand-built result without tile partials: fall back to
+			// order-dependent summing for the whole merge.
+			tileBased = false
+		}
 		m.Candidates += s.Candidates
 		m.Stats.TilesProcessed += s.Stats.TilesProcessed
 		m.Stats.PairsFiltered += s.Stats.PairsFiltered
@@ -150,11 +206,39 @@ func Merge(shards ...Result) Result {
 		m.Stats.BuilderBusy += s.Stats.BuilderBusy
 		m.Stats.FilterBusy += s.Stats.FilterBusy
 		m.Stats.AggregatorBusy += s.Stats.AggregatorBusy
+		m.Stats.Executors = append(m.Stats.Executors, s.Stats.Executors...)
+	}
+	if tileBased {
+		for _, s := range shards {
+			m.TileRatios = append(m.TileRatios, s.TileRatios...)
+		}
+		sortTileRatios(m.TileRatios)
+		for _, tr := range m.TileRatios {
+			m.RatioSum += tr.RatioSum
+			m.Intersecting += tr.Intersecting
+		}
+	} else {
+		for _, s := range shards {
+			m.RatioSum += s.RatioSum
+			m.Intersecting += s.Intersecting
+		}
 	}
 	if m.Intersecting > 0 {
 		m.Similarity = m.RatioSum / float64(m.Intersecting)
 	}
 	return m
+}
+
+func sortTileRatios(trs []TileRatio) {
+	// Stable so that duplicate (image, tile) keys — which disjoint shards
+	// never produce, but hand-built results might — keep their argument
+	// order and the float fold stays deterministic.
+	sort.SliceStable(trs, func(i, j int) bool {
+		if trs[i].Image != trs[j].Image {
+			return trs[i].Image < trs[j].Image
+		}
+		return trs[i].Tile < trs[j].Tile
+	})
 }
 
 // EncodeDataset converts a generated dataset into pipeline input tasks
@@ -181,6 +265,19 @@ func Run(tasks []FileTask, cfg Config) (Result, error) {
 	return p.execute(tasks)
 }
 
+// tileKey identifies one tile's accumulator.
+type tileKey struct {
+	image string
+	tile  int
+}
+
+// tileAgg is one tile's ratio partial, folded in pair order by whichever
+// executor processed the tile.
+type tileAgg struct {
+	ratioSum float64
+	hits     int
+}
+
 // run carries one pipeline execution's shared state.
 type run struct {
 	cfg Config
@@ -190,11 +287,12 @@ type run struct {
 	builtBuf  *buffer[builtTask]
 	pairBuf   *buffer[pairTask]
 
-	mu           sync.Mutex
-	ratioSum     float64
-	intersecting int
-	candidates   int
-	firstErr     error
+	executors []*executor
+
+	mu         sync.Mutex
+	tiles      map[tileKey]*tileAgg
+	candidates int
+	firstErr   error
 
 	// pendingParse counts input tasks not yet pushed past the parser
 	// stage; the parsed buffer closes when it reaches zero, which makes
@@ -215,7 +313,12 @@ func (r *run) fail(err error) {
 	r.mu.Unlock()
 }
 
-func (r *run) accumulate(results []pixelbox.AreaResult, onGPU bool) {
+// accumulateTask folds one whole tile task's pair results into the tile's
+// accumulator. The fold runs in the task's pair order and tasks never split
+// tiles, so each tile's partial sum is independent of which executor
+// computed it and of batch composition — the root of the pipeline's
+// bit-exact determinism.
+func (r *run) accumulateTask(t pairTask, results []pixelbox.AreaResult, onGPU bool) {
 	var sum float64
 	var hits int
 	for _, ar := range results {
@@ -224,9 +327,15 @@ func (r *run) accumulate(results []pixelbox.AreaResult, onGPU bool) {
 			hits++
 		}
 	}
+	key := tileKey{image: t.image, tile: t.tile}
 	r.mu.Lock()
-	r.ratioSum += sum
-	r.intersecting += hits
+	agg := r.tiles[key]
+	if agg == nil {
+		agg = &tileAgg{}
+		r.tiles[key] = agg
+	}
+	agg.ratioSum += sum
+	agg.hits += hits
 	r.mu.Unlock()
 	if onGPU {
 		atomic.AddInt64(&r.pairsGPU, int64(len(results)))
@@ -241,6 +350,8 @@ func (r *run) execute(tasks []FileTask) (Result, error) {
 	r.parsedBuf = newBuffer[parsedTask](cfg.BufferCap)
 	r.builtBuf = newBuffer[builtTask](cfg.BufferCap)
 	r.pairBuf = newBuffer[pairTask](cfg.BufferCap)
+	r.tiles = make(map[tileKey]*tileAgg)
+	r.executors = buildExecutors(cfg)
 
 	start := time.Now()
 	done := make(chan struct{})
@@ -279,12 +390,16 @@ func (r *run) execute(tasks []FileTask) (Result, error) {
 		r.pairBuf.close()
 	}()
 
-	// Stage 4: aggregator (single consumer consolidating all GPU access).
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		r.aggregatorWorker()
-	}()
+	// Stage 4: aggregator — the hybrid executor pool. Each simulated GPU is
+	// driven by exactly one goroutine (consolidated device access, §4.1);
+	// CPU executors co-execute, all stealing from the shared pair buffer.
+	for _, e := range r.executors {
+		wg.Add(1)
+		go func(e *executor) {
+			defer wg.Done()
+			r.executorWorker(e)
+		}(e)
+	}
 
 	// Migration threads (§4.2): asleep until buffer transitions wake them.
 	if cfg.Migration {
@@ -311,21 +426,34 @@ func (r *run) execute(tasks []FileTask) (Result, error) {
 		wg.Wait()
 		close(waitDone)
 	}()
-	// The aggregator exits when pairBuf drains; done must be closed once
-	// the main stages have all finished so migrators unblock. Detect via a
-	// monitor goroutine on the aggregator-specific portion of wg: simplest
-	// correct scheme is closing done when every stage goroutine except the
-	// migrators has returned; track with a separate WaitGroup.
+	// The executors exit when pairBuf drains; done must be closed once the
+	// main stages have all finished so migrators unblock.
 	<-r.stageDone(done, waitDone)
 
-	res := Result{
-		Similarity:   0,
-		RatioSum:     r.ratioSum,
-		Intersecting: r.intersecting,
-		Candidates:   r.candidates,
+	res := r.finalize(tasks, start)
+	return res, r.firstErr
+}
+
+// finalize folds the per-tile partials in canonical order and assembles the
+// result and statistics.
+func (r *run) finalize(tasks []FileTask, start time.Time) Result {
+	res := Result{TileRatios: make([]TileRatio, 0, len(r.tiles))}
+	for key, agg := range r.tiles {
+		res.TileRatios = append(res.TileRatios, TileRatio{
+			Image:        key.image,
+			Tile:         key.tile,
+			RatioSum:     agg.ratioSum,
+			Intersecting: agg.hits,
+		})
 	}
-	if r.intersecting > 0 {
-		res.Similarity = r.ratioSum / float64(r.intersecting)
+	sortTileRatios(res.TileRatios)
+	for _, tr := range res.TileRatios {
+		res.RatioSum += tr.RatioSum
+		res.Intersecting += tr.Intersecting
+	}
+	res.Candidates = r.candidates
+	if res.Intersecting > 0 {
+		res.Similarity = res.RatioSum / float64(res.Intersecting)
 	}
 	r.stats.WallTime = time.Since(start)
 	r.stats.PairsOnGPU = int(atomic.LoadInt64(&r.pairsGPU))
@@ -336,12 +464,31 @@ func (r *run) execute(tasks []FileTask) (Result, error) {
 	r.stats.BuilderBusy = time.Duration(atomic.LoadInt64(&r.builderBusy))
 	r.stats.FilterBusy = time.Duration(atomic.LoadInt64(&r.filterBusy))
 	r.stats.AggregatorBusy = time.Duration(atomic.LoadInt64(&r.aggBusy))
-	if cfg.Device != nil {
-		r.stats.KernelLaunches = cfg.Device.Launches()
-		r.stats.DeviceSeconds = cfg.Device.BusySeconds()
+	for _, dev := range r.cfg.Devices {
+		r.stats.KernelLaunches += dev.Launches()
+		r.stats.DeviceSeconds += dev.BusySeconds()
 	}
+	for _, e := range r.executors {
+		r.stats.Executors = append(r.stats.Executors, e.snapshot())
+	}
+	r.publishMetrics()
 	res.Stats = r.stats
-	return res, r.firstErr
+	return res
+}
+
+// publishMetrics surfaces per-executor accounting through the configured
+// metrics registry.
+func (r *run) publishMetrics() {
+	reg := r.cfg.Registry
+	if reg == nil {
+		return
+	}
+	for _, e := range r.executors {
+		id := r.cfg.ExecutorLabel + e.id
+		reg.Counter(metrics.Label("sccg_executor_batches_total", "executor", id)).Add(atomic.LoadInt64(&e.batches))
+		reg.Counter(metrics.Label("sccg_executor_pairs_total", "executor", id)).Add(atomic.LoadInt64(&e.pairs))
+		reg.Gauge(metrics.Label("sccg_executor_pairs_per_sec", "executor", id)).Set(e.throughput())
+	}
 }
 
 // stageDone closes done once the core stages have drained, then waits for
@@ -349,7 +496,7 @@ func (r *run) execute(tasks []FileTask) (Result, error) {
 func (r *run) stageDone(done, waitDone chan struct{}) chan struct{} {
 	finished := make(chan struct{})
 	go func() {
-		// The aggregator is the last core stage: it returns only after
+		// The executors are the last core stage: they return only after
 		// pairBuf is drained. Poll drain state cheaply.
 		for !r.pairBuf.isDrained() {
 			time.Sleep(200 * time.Microsecond)
@@ -444,36 +591,6 @@ func (r *run) filterWorker() {
 	}
 }
 
-// aggregatorWorker batches pair tasks and runs PixelBox, consolidating all
-// kernel launches into a single device client (§4.1: "a single instance of
-// the aggregator consolidates all kernel invocations").
-func (r *run) aggregatorWorker() {
-	for {
-		task, ok := r.pairBuf.get()
-		if !ok {
-			return
-		}
-		batch := task.pairs
-		// Batch more tasks opportunistically up to the target.
-		for len(batch) < r.cfg.BatchPairs {
-			extra, ok := r.pairBuf.tryGet()
-			if !ok {
-				break
-			}
-			batch = append(batch, extra.pairs...)
-		}
-		start := time.Now()
-		if r.cfg.Device != nil {
-			results, _, _ := pixelbox.RunGPU(r.cfg.Device, batch, r.cfg.PixelBox)
-			r.accumulate(results, true)
-		} else {
-			results := pixelbox.RunCPUParallel(batch, r.cfg.CPU)
-			r.accumulate(results, false)
-		}
-		atomic.AddInt64(&r.aggBusy, int64(time.Since(start)))
-	}
-}
-
 // aggregatorMigrator sleeps until the aggregator's input buffer fills (GPU
 // congestion), then steals the smallest task and executes it with
 // PixelBox-CPU.
@@ -491,7 +608,7 @@ func (r *run) aggregatorMigrator(done chan struct{}) {
 			}
 			atomic.AddInt64(&r.stats.TasksToCPU, 1)
 			results := pixelbox.RunCPUParallel(task.pairs, r.cfg.CPU)
-			r.accumulate(results, false)
+			r.accumulateTask(task, results, false)
 		}
 	}
 }
@@ -500,10 +617,11 @@ func (r *run) aggregatorMigrator(done chan struct{}) {
 // idle), then steals a file task from the parser's input buffer and parses
 // it on the GPU.
 func (r *run) parserMigrator(done chan struct{}) {
-	if r.cfg.Device == nil {
+	if len(r.cfg.Devices) == 0 {
 		<-done
 		return
 	}
+	dev := r.cfg.Devices[0]
 	// Calibrate host parse throughput lazily from parser busy counters; a
 	// fixed conservative default until data exists.
 	for {
@@ -517,8 +635,8 @@ func (r *run) parserMigrator(done chan struct{}) {
 			continue
 		}
 		atomic.AddInt64(&r.stats.TasksToGPU, 1)
-		a, _, errA := parser.GPUParse(r.cfg.Device, task.RawA, 150e6)
-		b, _, errB := parser.GPUParse(r.cfg.Device, task.RawB, 150e6)
+		a, _, errA := parser.GPUParse(dev, task.RawA, 150e6)
+		b, _, errB := parser.GPUParse(dev, task.RawB, 150e6)
 		if errA != nil || errB != nil {
 			if errA == nil {
 				errA = errB

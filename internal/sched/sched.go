@@ -1,14 +1,16 @@
 // Package sched is the multi-device job scheduler behind the sccgd service:
 // it owns a pool of simulated GPUs plus CPU pipeline workers, accepts
 // cross-comparison jobs (batches of image-tile file tasks), shards each
-// job's tiles across the device pool, runs every shard through the SCCG
-// pipeline, and merges the shard reports into one job result.
+// job's tiles across the executor-slot pool, runs every shard through the
+// SCCG pipeline, and merges the shard reports into one job result.
 //
 // This generalises the paper's single-node resident service (one process
-// owning one GPU, §4) to a pool of hybrid CPU–GPU executors: a GPU is an
-// exclusive non-preemptive device, so each device is leased to exactly one
-// shard at a time, and per-device busy time and launch counts are accounted
-// so a load balancer (or the /metrics endpoint) can see skew.
+// owning one GPU, §4) to a pool of hybrid CPU–GPU executor slots: each slot
+// leases an executor SET — GPUsPerShard exclusive non-preemptive devices
+// plus, with HybridCPU, co-executing PixelBox-CPU workers — to exactly one
+// shard at a time. Per-slot busy time and launch counts are accounted so a
+// load balancer (or the /metrics endpoint) can see skew, and per-executor
+// pipeline accounting flows into the optional metrics Registry.
 //
 // Jobs move queued → running → done | failed | canceled. Cancellation is
 // shard-granular: a canceled job stops dispatching new shards immediately,
@@ -25,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/gpu"
+	"repro/internal/metrics"
 	"repro/internal/pathology"
 	"repro/internal/pipeline"
 	"repro/internal/pixelbox"
@@ -38,18 +41,28 @@ type Config struct {
 	// GPU is the device model for every pool member; the zero value selects
 	// the paper's GTX 580.
 	GPU gpu.Config
+	// GPUsPerShard is how many pool GPUs one shard's hybrid pipeline drives
+	// concurrently; default 1 (the original one-device-per-shard layout).
+	// Devices are grouped into ceil(Devices/GPUsPerShard) executor slots.
+	GPUsPerShard int
 	// Workers is each shard pipeline's CPU worker count (parser threads and
 	// PixelBox-CPU); 0 uses the pipeline default.
 	Workers int
+	// HybridCPU co-executes PixelBox-CPU aggregator workers alongside each
+	// shard's GPUs (the hybrid work-stealing aggregator). The CPU executor
+	// count is Workers, or 2 when Workers is unset.
+	HybridCPU bool
 	// Migration enables dynamic task migration inside each shard pipeline.
 	Migration bool
 	// PixelBox tunes the kernel.
 	PixelBox pixelbox.Config
 	// MaxShards caps how many shards one job is split into; 0 means one
-	// shard per pool device (or 1 when CPU-only).
+	// shard per executor slot.
 	MaxShards int
 	// QueueDepth is the queued-job limit before Submit rejects; default 64.
 	QueueDepth int
+	// Registry, when set, receives per-executor pipeline accounting.
+	Registry *metrics.Registry
 }
 
 func (c Config) normalized() Config {
@@ -59,16 +72,39 @@ func (c Config) normalized() Config {
 	if c.GPU == (gpu.Config{}) {
 		c.GPU = gpu.GTX580()
 	}
+	if c.GPUsPerShard <= 0 {
+		c.GPUsPerShard = 1
+	}
+	if c.Devices > 0 && c.GPUsPerShard > c.Devices {
+		c.GPUsPerShard = c.Devices
+	}
 	if c.MaxShards <= 0 {
-		c.MaxShards = c.Devices
-		if c.MaxShards < 1 {
-			c.MaxShards = 1
-		}
+		c.MaxShards = c.slots()
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
 	}
 	return c
+}
+
+// slots returns the executor-slot count for a normalized config.
+func (c Config) slots() int {
+	if c.Devices <= 0 {
+		return 1 // a single CPU-only executor slot
+	}
+	return (c.Devices + c.GPUsPerShard - 1) / c.GPUsPerShard
+}
+
+// cpuAggregators returns the per-shard CPU executor count implied by the
+// config.
+func (c Config) cpuAggregators() int {
+	if !c.HybridCPU {
+		return 0
+	}
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return 2
 }
 
 // State is a job's lifecycle position.
@@ -118,12 +154,14 @@ type JobStatus struct {
 	Report pipeline.Result
 }
 
-// DeviceStats is the accounting for one pool device.
+// DeviceStats is the accounting for one pool executor slot (its GPU set, or
+// a CPU-only slot).
 type DeviceStats struct {
 	ID          int
 	Name        string
-	Launches    int64   // kernel launches (simulated GPU)
-	BusySeconds float64 // modelled device busy seconds
+	GPUs        int     // simulated GPUs leased by this slot
+	Launches    int64   // kernel launches summed over the slot's GPUs
+	BusySeconds float64 // modelled device busy seconds summed over the slot's GPUs
 	Shards      int64   // shards executed
 	Wall        time.Duration
 }
@@ -148,12 +186,23 @@ var (
 	ErrEmptyJob  = errors.New("sched: job has no tasks")
 )
 
-// device is one pool member: a leased executor slot, GPU-backed or CPU-only.
+// device is one pool member: a leased executor slot owning a (possibly
+// empty) set of exclusive GPUs; an empty set is a CPU-only slot.
 type device struct {
 	id     int
-	gpu    *gpu.Device // nil for a CPU-only slot
-	shards int64       // atomic
-	wallNS int64       // atomic
+	gpus   []*gpu.Device
+	shards int64 // atomic
+	wallNS int64 // atomic
+}
+
+// stats sums the slot's cumulative GPU accounting.
+func (d *device) stats() (launches int64, busy float64) {
+	for _, g := range d.gpus {
+		s := g.Stats()
+		launches += s.Launches
+		busy += s.BusySeconds
+	}
+	return launches, busy
 }
 
 type job struct {
@@ -208,17 +257,20 @@ func New(cfg Config) *Scheduler {
 		quit:  make(chan struct{}),
 		jobs:  make(map[string]*job),
 	}
-	slots := cfg.Devices
-	if slots < 1 {
-		slots = 1 // a single CPU-only executor slot
-	}
+	slots := cfg.slots()
 	s.pool = make(chan *device, slots)
 	s.devs = make([]*device, slots)
+	remaining := cfg.Devices
 	for i := 0; i < slots; i++ {
 		d := &device{id: i}
-		if cfg.Devices > 0 {
-			d.gpu = gpu.NewDevice(cfg.GPU)
+		n := cfg.GPUsPerShard
+		if n > remaining {
+			n = remaining
 		}
+		for g := 0; g < n; g++ {
+			d.gpus = append(d.gpus, gpu.NewDevice(cfg.GPU))
+		}
+		remaining -= n
 		s.devs[i] = d
 		s.pool <- d
 	}
@@ -354,13 +406,16 @@ func (s *Scheduler) DeviceStats() []DeviceStats {
 		ds := DeviceStats{
 			ID:     d.id,
 			Name:   "cpu",
+			GPUs:   len(d.gpus),
 			Shards: atomic.LoadInt64(&d.shards),
 			Wall:   time.Duration(atomic.LoadInt64(&d.wallNS)),
 		}
-		if d.gpu != nil {
-			ds.Name = d.gpu.Config().Name
-			ds.Launches = d.gpu.Launches()
-			ds.BusySeconds = d.gpu.BusySeconds()
+		if len(d.gpus) > 0 {
+			ds.Name = d.gpus[0].Config().Name
+			if len(d.gpus) > 1 {
+				ds.Name = fmt.Sprintf("%dx %s", len(d.gpus), ds.Name)
+			}
+			ds.Launches, ds.BusySeconds = d.stats()
 		}
 		out[i] = ds
 	}
@@ -492,20 +547,21 @@ func (s *Scheduler) runJob(j *job) {
 			// Pool devices are long-lived, so their launch/busy counters are
 			// cumulative; snapshot around the run to report only this
 			// shard's share (the lease is exclusive, so the delta is exact).
-			var launches0 int64
-			var busy0 float64
-			if dev.gpu != nil {
-				launches0, busy0 = dev.gpu.Launches(), dev.gpu.BusySeconds()
-			}
+			launches0, busy0 := dev.stats()
 			res, err := pipeline.Run(shard, pipeline.Config{
-				ParserWorkers: s.cfg.Workers,
-				Device:        dev.gpu,
-				PixelBox:      s.cfg.PixelBox,
-				Migration:     s.cfg.Migration,
+				ParserWorkers:  s.cfg.Workers,
+				Devices:        dev.gpus,
+				CPUAggregators: s.cfg.cpuAggregators(),
+				CPU:            pixelbox.CPUConfig{Workers: s.cfg.Workers},
+				PixelBox:       s.cfg.PixelBox,
+				Migration:      s.cfg.Migration,
+				Registry:       s.cfg.Registry,
+				ExecutorLabel:  fmt.Sprintf("slot%d/", dev.id),
 			})
-			if dev.gpu != nil {
-				res.Stats.KernelLaunches = dev.gpu.Launches() - launches0
-				res.Stats.DeviceSeconds = dev.gpu.BusySeconds() - busy0
+			if len(dev.gpus) > 0 {
+				launches1, busy1 := dev.stats()
+				res.Stats.KernelLaunches = launches1 - launches0
+				res.Stats.DeviceSeconds = busy1 - busy0
 			}
 			atomic.AddInt64(&dev.shards, 1)
 			atomic.AddInt64(&dev.wallNS, int64(time.Since(start)))

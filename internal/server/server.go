@@ -143,23 +143,35 @@ type JobRequest struct {
 	NoCache bool                   `json:"no_cache,omitempty"`
 }
 
+// ExecutorPayload is the JSON projection of one hybrid-aggregator
+// executor's accounting.
+type ExecutorPayload struct {
+	ID          string  `json:"id"`
+	Kind        string  `json:"kind"`
+	Batches     int64   `json:"batches"`
+	Pairs       int64   `json:"pairs"`
+	BusyMillis  float64 `json:"busy_millis"`
+	PairsPerSec float64 `json:"pairs_per_sec"`
+}
+
 // ReportPayload is the JSON projection of a merged pipeline result.
 type ReportPayload struct {
-	Similarity     float64 `json:"similarity"`
-	Intersecting   int     `json:"intersecting"`
-	Candidates     int     `json:"candidates"`
-	Tiles          int     `json:"tiles"`
-	PairsOnGPU     int     `json:"pairs_on_gpu"`
-	PairsOnCPU     int     `json:"pairs_on_cpu"`
-	TasksToCPU     int64   `json:"tasks_migrated_to_cpu"`
-	TasksToGPU     int64   `json:"tasks_migrated_to_gpu"`
-	KernelLaunches int64   `json:"kernel_launches"`
-	DeviceSeconds  float64 `json:"device_seconds"`
-	WallMillis     float64 `json:"wall_millis"`
+	Similarity     float64           `json:"similarity"`
+	Intersecting   int               `json:"intersecting"`
+	Candidates     int               `json:"candidates"`
+	Tiles          int               `json:"tiles"`
+	PairsOnGPU     int               `json:"pairs_on_gpu"`
+	PairsOnCPU     int               `json:"pairs_on_cpu"`
+	TasksToCPU     int64             `json:"tasks_migrated_to_cpu"`
+	TasksToGPU     int64             `json:"tasks_migrated_to_gpu"`
+	KernelLaunches int64             `json:"kernel_launches"`
+	DeviceSeconds  float64           `json:"device_seconds"`
+	WallMillis     float64           `json:"wall_millis"`
+	Executors      []ExecutorPayload `json:"executors,omitempty"`
 }
 
 func reportPayload(r pipeline.Result) *ReportPayload {
-	return &ReportPayload{
+	p := &ReportPayload{
 		Similarity:     r.Similarity,
 		Intersecting:   r.Intersecting,
 		Candidates:     r.Candidates,
@@ -172,6 +184,17 @@ func reportPayload(r pipeline.Result) *ReportPayload {
 		DeviceSeconds:  r.Stats.DeviceSeconds,
 		WallMillis:     float64(r.Stats.WallTime.Microseconds()) / 1000,
 	}
+	for _, e := range r.Stats.Executors {
+		p.Executors = append(p.Executors, ExecutorPayload{
+			ID:          e.ID,
+			Kind:        e.Kind,
+			Batches:     e.Batches,
+			Pairs:       e.Pairs,
+			BusyMillis:  float64(e.Busy.Microseconds()) / 1000,
+			PairsPerSec: e.PairsPerSec,
+		})
+	}
+	return p
 }
 
 // JobResponse is the wire form of a job snapshot.

@@ -21,11 +21,13 @@ package sccg
 import (
 	"fmt"
 	"net/http"
+	"runtime"
 
 	"repro/internal/clip"
 	"repro/internal/geom"
 	"repro/internal/gpu"
 	"repro/internal/jaccard"
+	"repro/internal/metrics"
 	"repro/internal/parser"
 	"repro/internal/pathology"
 	"repro/internal/pipeline"
@@ -78,6 +80,13 @@ type Options struct {
 	// UseGPU aggregates on the simulated GTX 580 (default true). When
 	// false, PixelBox-CPU runs on Workers goroutines.
 	DisableGPU bool
+	// GPUs is the simulated GPU count the hybrid aggregator co-executes on;
+	// defaults to 1 when GPU is enabled. Ignored when DisableGPU is set.
+	GPUs int
+	// HybridCPU co-executes PixelBox-CPU aggregator workers alongside the
+	// GPUs under the cost-model stealing policy. The similarity is
+	// bit-identical to a single-device run; only throughput changes.
+	HybridCPU bool
 	// Workers is the CPU worker count for parsing and CPU aggregation;
 	// defaults to GOMAXPROCS.
 	Workers int
@@ -90,31 +99,60 @@ type Options struct {
 // Engine cross-compares polygon result sets.
 type Engine struct {
 	opts Options
-	dev  *gpu.Device
+	devs []*gpu.Device
 }
 
-// NewEngine creates an engine; with GPU enabled it owns one simulated
-// GTX 580 device.
+// NewEngine creates an engine; with GPU enabled it owns Options.GPUs
+// simulated GTX 580 devices (one by default).
 func NewEngine(opts Options) *Engine {
 	e := &Engine{opts: opts}
 	if !opts.DisableGPU {
-		e.dev = gpu.NewDevice(gpu.GTX580())
+		n := opts.GPUs
+		if n <= 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			e.devs = append(e.devs, gpu.NewDevice(gpu.GTX580()))
+		}
 	}
 	return e
 }
 
-// Device returns the engine's simulated GPU (nil when disabled), exposing
-// busy-time accounting.
-func (e *Engine) Device() *gpu.Device { return e.dev }
+// Device returns the engine's first simulated GPU (nil when disabled),
+// exposing busy-time accounting.
+func (e *Engine) Device() *gpu.Device {
+	if len(e.devs) == 0 {
+		return nil
+	}
+	return e.devs[0]
+}
+
+// Devices returns all of the engine's simulated GPUs (empty when disabled).
+func (e *Engine) Devices() []*gpu.Device { return e.devs }
+
+// cpuAggregators returns the hybrid CPU executor count implied by the
+// options.
+func (e *Engine) cpuAggregators() int {
+	if !e.opts.HybridCPU {
+		return 0
+	}
+	if e.opts.Workers > 0 {
+		return e.opts.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // CrossCompareDataset runs the full SCCG pipeline — parse, index, filter,
-// aggregate — over an image's tile files and returns the similarity report.
+// hybrid aggregate — over an image's tile files and returns the similarity
+// report.
 func (e *Engine) CrossCompareDataset(tasks []FileTask) (Report, error) {
 	return pipeline.Run(tasks, pipeline.Config{
-		ParserWorkers: e.opts.Workers,
-		Device:        e.dev,
-		PixelBox:      e.opts.PixelBox,
-		Migration:     e.opts.Migration,
+		ParserWorkers:  e.opts.Workers,
+		Devices:        e.devs,
+		CPUAggregators: e.cpuAggregators(),
+		CPU:            pixelbox.CPUConfig{Workers: e.opts.Workers},
+		PixelBox:       e.opts.PixelBox,
+		Migration:      e.opts.Migration,
 	})
 }
 
@@ -165,8 +203,8 @@ func (e *Engine) ComputeAreasErr(pairs []Pair) ([]AreaResult, error) {
 			return nil, fmt.Errorf("sccg: pair %d contains a nil polygon", i)
 		}
 	}
-	if e.dev != nil {
-		results, _, _ := pixelbox.RunGPU(e.dev, pairs, e.opts.PixelBox)
+	if dev := e.Device(); dev != nil {
+		results, _, _ := pixelbox.RunGPU(dev, pairs, e.opts.PixelBox)
 		return results, nil
 	}
 	return pixelbox.RunCPUParallel(pairs, pixelbox.CPUConfig{Workers: e.opts.Workers}), nil
@@ -235,13 +273,19 @@ func EncodeDataset(d *Dataset) []FileTask { return pipeline.EncodeDataset(d) }
 type ServiceOptions struct {
 	// Devices is the simulated-GPU pool size; 0 runs CPU-only.
 	Devices int
+	// GPUsPerShard is how many pool GPUs one shard's hybrid pipeline drives
+	// concurrently; 0 selects the scheduler default of 1.
+	GPUsPerShard int
+	// HybridCPU co-executes PixelBox-CPU aggregators alongside each shard's
+	// GPUs (work-stealing hybrid aggregation).
+	HybridCPU bool
 	// Workers is each shard pipeline's CPU worker count.
 	Workers int
 	// Migration enables dynamic task migration inside shard pipelines.
 	Migration bool
 	// PixelBox tunes the kernel.
 	PixelBox pixelbox.Config
-	// MaxShards caps shards per job; 0 means one per device.
+	// MaxShards caps shards per job; 0 means one per executor slot.
 	MaxShards int
 	// QueueDepth bounds the job queue; 0 selects the scheduler default.
 	QueueDepth int
@@ -261,13 +305,20 @@ type Service struct {
 // NewService builds a running scheduler and its HTTP server. Close the
 // service when done.
 func NewService(opts ServiceOptions) *Service {
+	// One registry is shared by the scheduler's shard pipelines (per-executor
+	// accounting) and the HTTP server (request counters), so GET /metrics
+	// exposes both.
+	reg := metrics.NewRegistry()
 	sc := sched.New(sched.Config{
-		Devices:    opts.Devices,
-		Workers:    opts.Workers,
-		Migration:  opts.Migration,
-		PixelBox:   opts.PixelBox,
-		MaxShards:  opts.MaxShards,
-		QueueDepth: opts.QueueDepth,
+		Devices:      opts.Devices,
+		GPUsPerShard: opts.GPUsPerShard,
+		HybridCPU:    opts.HybridCPU,
+		Workers:      opts.Workers,
+		Migration:    opts.Migration,
+		PixelBox:     opts.PixelBox,
+		MaxShards:    opts.MaxShards,
+		QueueDepth:   opts.QueueDepth,
+		Registry:     reg,
 	})
 	// The synchronous /compare endpoint runs on a CPU engine through the
 	// facade's error-returning path, leaving pool devices to the job queue.
@@ -289,7 +340,7 @@ func NewService(opts ServiceOptions) *Service {
 	}
 	return &Service{
 		sched: sc,
-		srv:   server.New(sc, server.Options{CacheSize: opts.CacheSize, Compare: compare}),
+		srv:   server.New(sc, server.Options{CacheSize: opts.CacheSize, Compare: compare, Registry: reg}),
 	}
 }
 
