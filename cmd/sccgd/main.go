@@ -13,6 +13,13 @@
 // A repeated submission of the same dataset is answered from the LRU result
 // cache without touching the device pool. See GET /metrics for counters,
 // including per-executor hybrid-aggregator accounting.
+//
+// With -data-dir the daemon owns a persistent content-addressed dataset
+// store: PUT /datasets ingests segmented polygon sets as WKB tile segments,
+// jobs can then be submitted by dataset_id, results are cached by content
+// hash, and a restart recovers every stored dataset from its manifest:
+//
+//	sccgd -addr :8080 -devices 2 -data-dir /var/lib/sccgd
 package main
 
 import (
@@ -58,12 +65,26 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 		shards    = fs.Int("max-shards", 0, "max shards per job (default: one per executor slot)")
 		queue     = fs.Int("queue", 0, "job queue depth (default 64)")
 		cache     = fs.Int("cache", 0, "result cache entries (default 128, -1 disables)")
+		dataDir   = fs.String("data-dir", "", "persistent dataset store directory (enables /datasets and jobs by dataset_id)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
 		}
 		return err
+	}
+
+	var st *sccg.Store
+	if *dataDir != "" {
+		var err error
+		st, err = sccg.OpenStore(*dataDir)
+		if err != nil {
+			return fmt.Errorf("open data dir: %w", err)
+		}
+		log.Printf("data dir %s: recovered %d dataset(s)", *dataDir, st.Len())
+		for _, serr := range st.Skipped() {
+			log.Printf("data dir: skipped unrecoverable dataset: %v", serr)
+		}
 	}
 
 	svc := sccg.NewService(sccg.ServiceOptions{
@@ -75,6 +96,7 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 		MaxShards:    *shards,
 		QueueDepth:   *queue,
 		CacheSize:    *cache,
+		Store:        st,
 	})
 	defer svc.Close()
 

@@ -156,3 +156,166 @@ func decodeBody(t *testing.T, resp *http.Response, dst any, wantCode int) {
 		t.Fatalf("decode %s: %v", raw, err)
 	}
 }
+
+// TestDaemonDatasetPersistence is the store's end-to-end acceptance test:
+// ingest a dataset over HTTP, restart the daemon against the same -data-dir,
+// submit a job by dataset ID against the recovered store, check the
+// similarity bit-for-bit against the in-process engine, and check that a
+// second submission is served from the content-hash cache without another
+// kernel launch.
+func TestDaemonDatasetPersistence(t *testing.T) {
+	dataDir := t.TempDir()
+
+	boot := func(t *testing.T) (base string, stop func()) {
+		t.Helper()
+		ctx, cancel := context.WithCancel(context.Background())
+		ready := make(chan string, 1)
+		errCh := make(chan error, 1)
+		go func() {
+			errCh <- run(ctx, []string{
+				"-addr", "127.0.0.1:0",
+				"-devices", "1",
+				"-data-dir", dataDir,
+			}, func(addr string) { ready <- addr })
+		}()
+		select {
+		case addr := <-ready:
+			base = "http://" + addr
+		case err := <-errCh:
+			t.Fatalf("daemon exited before ready: %v", err)
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon did not become ready")
+		}
+		return base, func() {
+			cancel()
+			select {
+			case err := <-errCh:
+				if err != nil {
+					t.Fatalf("daemon shutdown: %v", err)
+				}
+			case <-time.After(15 * time.Second):
+				t.Fatal("daemon did not shut down")
+			}
+		}
+	}
+
+	spec := pathology.DatasetSpec{Name: "persist-e2e", Seed: 42, Tiles: 3,
+		Gen: pathology.DefaultGenConfig()}
+	d := pathology.Generate(spec)
+
+	// Boot 1: ingest the dataset over HTTP.
+	base, stop := boot(t)
+	payload := make([]map[string]any, len(d.Pairs))
+	for i, tp := range d.Pairs {
+		payload[i] = map[string]any{
+			"image": tp.Image,
+			"tile":  tp.Index,
+			"raw_a": sccg.EncodePolygons(tp.A),
+			"raw_b": sccg.EncodePolygons(tp.B),
+		}
+	}
+	body, err := json.Marshal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPut, base+"/datasets?name=persist-e2e", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("PUT /datasets: %v", err)
+	}
+	var man struct {
+		ID    string `json:"id"`
+		Name  string `json:"name"`
+		Tiles int    `json:"tiles"`
+	}
+	decodeBody(t, resp, &man, http.StatusOK)
+	if man.ID == "" || man.Tiles != 3 {
+		t.Fatalf("ingest response %+v, want 3-tile dataset with content ID", man)
+	}
+	stop()
+
+	// Boot 2: same data dir, the dataset must be recovered from its
+	// manifest; run a job against it by content ID.
+	base, stop = boot(t)
+	defer stop()
+
+	var stat struct {
+		ID string `json:"id"`
+	}
+	resp, err = http.Get(base + "/datasets/" + man.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, resp, &stat, http.StatusOK)
+	if stat.ID != man.ID {
+		t.Fatalf("recovered dataset stat %+v, want ID %s", stat, man.ID)
+	}
+
+	submit := func() (code int, job struct {
+		ID     string `json:"id"`
+		State  string `json:"state"`
+		Cached bool   `json:"cached"`
+		Error  string `json:"error"`
+		Report *struct {
+			Similarity   float64 `json:"similarity"`
+			Intersecting int     `json:"intersecting"`
+		} `json:"report"`
+	}) {
+		body, _ := json.Marshal(map[string]any{"dataset_id": man.ID})
+		resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST /jobs: %v", err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if err := json.Unmarshal(raw, &job); err != nil {
+			t.Fatalf("decode %s: %v", raw, err)
+		}
+		return resp.StatusCode, job
+	}
+
+	code, job := submit()
+	if code != http.StatusAccepted {
+		t.Fatalf("job by dataset_id status = %d", code)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for job.State != "done" {
+		if job.State == "failed" || job.State == "canceled" || time.Now().After(deadline) {
+			t.Fatalf("job state %q: %s", job.State, job.Error)
+		}
+		time.Sleep(20 * time.Millisecond)
+		resp, err := http.Get(base + "/jobs/" + job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err := json.Unmarshal(raw, &job); err != nil {
+			t.Fatalf("decode %s: %v", raw, err)
+		}
+	}
+	if job.Report == nil {
+		t.Fatal("done job has no report")
+	}
+
+	// Bit-for-bit against the in-process engine over the same polygons.
+	eng := sccg.NewEngine(sccg.Options{})
+	want, err := eng.CrossCompareDataset(sccg.EncodeDataset(d))
+	if err != nil {
+		t.Fatalf("engine run: %v", err)
+	}
+	if job.Report.Similarity != want.Similarity || job.Report.Intersecting != want.Intersecting {
+		t.Errorf("store-backed job (%.17g, %d) != engine (%.17g, %d); must be exact",
+			job.Report.Similarity, job.Report.Intersecting, want.Similarity, want.Intersecting)
+	}
+
+	// Second submission: a content-hash cache hit, no recompute.
+	firstID := job.ID
+	code, cached := submit()
+	if code != http.StatusOK || !cached.Cached || cached.ID != firstID || cached.State != "done" {
+		t.Fatalf("resubmission = %d %+v, want cached done job %s", code, cached, firstID)
+	}
+}

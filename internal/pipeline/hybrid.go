@@ -16,6 +16,7 @@ package pipeline
 import (
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -28,6 +29,39 @@ const (
 	ExecGPU = "gpu"
 	ExecCPU = "cpu"
 )
+
+// ThroughputMemory carries measured executor throughput (EWMA pairs/sec)
+// across pipeline runs, keyed by labelled executor ID. A scheduler shares
+// one memory across all of a slot's jobs so a new run's first claims are
+// sized from the slot's measured history instead of resetting to the static
+// priors every time. Safe for concurrent use.
+type ThroughputMemory struct {
+	mu sync.Mutex
+	tp map[string]float64
+}
+
+// NewThroughputMemory returns an empty throughput memory.
+func NewThroughputMemory() *ThroughputMemory {
+	return &ThroughputMemory{tp: make(map[string]float64)}
+}
+
+// Prior returns the remembered throughput for a labelled executor ID.
+func (m *ThroughputMemory) Prior(id string) (float64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok := m.tp[id]
+	return v, ok
+}
+
+// Record stores an executor's measured throughput for future runs.
+func (m *ThroughputMemory) Record(id string, pairsPerSec float64) {
+	if pairsPerSec <= 0 {
+		return
+	}
+	m.mu.Lock()
+	m.tp[id] = pairsPerSec
+	m.mu.Unlock()
+}
 
 // ExecutorStats reports one hybrid-aggregator executor's work.
 type ExecutorStats struct {
@@ -100,12 +134,24 @@ func (e *executor) snapshot() ExecutorStats {
 // RunCPUParallel worker count, preserving the original fallback behaviour.
 func buildExecutors(cfg Config) []*executor {
 	var execs []*executor
+	// Warm start: a remembered measurement for this labelled executor beats
+	// the static prior — first claims are then sized from the executor's
+	// real history instead of converging from scratch every run.
+	prior := func(id string, static float64) uint64 {
+		if cfg.Warmth != nil {
+			if v, ok := cfg.Warmth.Prior(cfg.ExecutorLabel + id); ok {
+				return math.Float64bits(v)
+			}
+		}
+		return math.Float64bits(static)
+	}
 	for i, dev := range cfg.Devices {
+		id := fmt.Sprintf("gpu%d", i)
 		execs = append(execs, &executor{
-			id:     fmt.Sprintf("gpu%d", i),
+			id:     id,
 			kind:   ExecGPU,
 			dev:    dev,
-			tpBits: math.Float64bits(gpuThroughputPrior),
+			tpBits: prior(id, gpuThroughputPrior),
 		})
 	}
 	cpuCfg := cfg.CPU
@@ -116,11 +162,12 @@ func buildExecutors(cfg Config) []*executor {
 		cpuCfg.Workers = 1
 	}
 	for i := 0; i < cfg.CPUAggregators; i++ {
+		id := fmt.Sprintf("cpu%d", i)
 		execs = append(execs, &executor{
-			id:     fmt.Sprintf("cpu%d", i),
+			id:     id,
 			kind:   ExecCPU,
 			cpu:    cpuCfg,
-			tpBits: math.Float64bits(cpuThroughputPrior),
+			tpBits: prior(id, cpuThroughputPrior),
 		})
 	}
 	return execs

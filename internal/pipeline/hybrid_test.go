@@ -152,3 +152,36 @@ func TestClaimTargetScalesWithThroughput(t *testing.T) {
 		t.Errorf("slow claim = %d, want ~100 (10%% of fast)", got)
 	}
 }
+
+// TestWarmthSeedsExecutors checks the warm-start path: a remembered
+// measurement for a labelled executor replaces the static prior at pool
+// construction, while executors without history keep the static seed, and a
+// run with a Warmth configured records its measurements back.
+func TestWarmthSeedsExecutors(t *testing.T) {
+	warm := NewThroughputMemory()
+	warm.Record("shard/gpu0", 123456)
+	cfg := Config{
+		Devices:        devices(1),
+		CPUAggregators: 1,
+		ExecutorLabel:  "shard/",
+		Warmth:         warm,
+	}.normalized()
+	execs := buildExecutors(cfg)
+	if len(execs) != 2 {
+		t.Fatalf("built %d executors, want 2", len(execs))
+	}
+	if tp := execs[0].throughput(); tp != 123456 {
+		t.Errorf("gpu0 seeded with %v, want remembered 123456", tp)
+	}
+	if tp := execs[1].throughput(); tp != cpuThroughputPrior {
+		t.Errorf("cpu0 seeded with %v, want static prior %v (no history)", tp, cpuThroughputPrior)
+	}
+
+	// A full run must deposit measurements for the executors that worked.
+	if _, err := Run(hybridDataset(t), Config{ExecutorLabel: "warmrun/", Warmth: warm}); err != nil {
+		t.Fatal(err)
+	}
+	if tp, ok := warm.Prior("warmrun/cpu0"); !ok || tp <= 0 {
+		t.Errorf("Prior(warmrun/cpu0) = %v, %v; want a positive measurement", tp, ok)
+	}
+}

@@ -103,6 +103,11 @@ type Config struct {
 	// ExecutorLabel prefixes executor IDs in Registry metric labels, so
 	// several pipelines (e.g. scheduler shards) stay distinguishable.
 	ExecutorLabel string
+	// Warmth, when set, seeds each executor's throughput EWMA from its
+	// remembered measurement (keyed by ExecutorLabel+id) and records the
+	// final measurement back after the run, so first claim sizes carry over
+	// across jobs instead of resetting to the static priors.
+	Warmth *ThroughputMemory
 }
 
 func (c Config) normalized() Config {
@@ -470,6 +475,11 @@ func (r *run) finalize(tasks []FileTask, start time.Time) Result {
 	}
 	for _, e := range r.executors {
 		r.stats.Executors = append(r.stats.Executors, e.snapshot())
+		// Only executors that actually processed a batch measured anything;
+		// an idle executor must not overwrite its remembered throughput.
+		if r.cfg.Warmth != nil && atomic.LoadInt64(&e.batches) > 0 {
+			r.cfg.Warmth.Record(r.cfg.ExecutorLabel+e.id, e.throughput())
+		}
 	}
 	r.publishMetrics()
 	res.Stats = r.stats

@@ -22,6 +22,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -106,6 +107,31 @@ func (c Config) cpuAggregators() int {
 	}
 	return 2
 }
+
+// TaskSource hands the scheduler a job's tiles lazily: Len and Weight are
+// cheap metadata reads (a stored dataset serves them straight from its
+// manifest), while Task materializes one tile's pipeline input on demand.
+// Shards therefore carry tile handles, not encoded datasets — each shard
+// goroutine materializes only its own tiles right before running, so a job
+// over a large stored dataset never holds the whole encoded input in memory.
+type TaskSource interface {
+	// Len is the tile count.
+	Len() int
+	// Weight is tile i's cost proxy for sharding: its encoded byte size.
+	Weight(i int) int64
+	// Task materializes tile i's pipeline input.
+	Task(i int) (pipeline.FileTask, error)
+}
+
+// memSource adapts an in-memory task slice to the TaskSource contract.
+type memSource []pipeline.FileTask
+
+func (m memSource) Len() int                              { return len(m) }
+func (m memSource) Weight(i int) int64                    { return int64(len(m[i].RawA) + len(m[i].RawB)) }
+func (m memSource) Task(i int) (pipeline.FileTask, error) { return m[i], nil }
+
+// Tasks wraps fully materialized tile tasks as a TaskSource.
+func Tasks(tasks []pipeline.FileTask) TaskSource { return memSource(tasks) }
 
 // State is a job's lifecycle position.
 type State int
@@ -208,7 +234,7 @@ func (d *device) stats() (launches int64, busy float64) {
 type job struct {
 	id        string
 	name      string
-	tasks     []pipeline.FileTask // released on finish; see tiles
+	src       TaskSource // released on finish; see tiles
 	tiles     int
 	ctx       context.Context
 	cancel    context.CancelFunc
@@ -235,6 +261,10 @@ type Scheduler struct {
 	quit  chan struct{}
 	wg    sync.WaitGroup
 
+	// warm carries each slot executor's measured throughput EWMA across
+	// jobs, so a new job's first claims are sized from history.
+	warm *pipeline.ThroughputMemory
+
 	mu     sync.Mutex
 	jobs   map[string]*job
 	order  []string
@@ -256,6 +286,7 @@ func New(cfg Config) *Scheduler {
 		queue: make(chan *job, cfg.QueueDepth),
 		quit:  make(chan struct{}),
 		jobs:  make(map[string]*job),
+		warm:  pipeline.NewThroughputMemory(),
 	}
 	slots := cfg.slots()
 	s.pool = make(chan *device, slots)
@@ -292,11 +323,20 @@ func (s *Scheduler) Submit(name string, tasks []pipeline.FileTask) (string, erro
 	if len(tasks) == 0 {
 		return "", ErrEmptyJob
 	}
+	return s.SubmitSource(name, memSource(tasks))
+}
+
+// SubmitSource enqueues a job whose tiles are materialized lazily from src
+// (e.g. handles into a stored dataset). Each shard reads only its own tiles.
+func (s *Scheduler) SubmitSource(name string, src TaskSource) (string, error) {
+	if src == nil || src.Len() == 0 {
+		return "", ErrEmptyJob
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
 		name:      name,
-		tasks:     tasks,
-		tiles:     len(tasks),
+		src:       src,
+		tiles:     src.Len(),
 		ctx:       ctx,
 		cancel:    cancel,
 		done:      make(chan struct{}),
@@ -512,7 +552,12 @@ func (s *Scheduler) runJob(j *job) {
 		s.mu.Unlock()
 		return
 	}
-	shards := shardTasks(j.tasks, s.cfg.MaxShards)
+	// Capture the source under the lock: finish() releases j.src on any
+	// terminal transition, and Cancel can finalize the job concurrently with
+	// the shard goroutines below (it saw the job still queued before this
+	// runner marked it running).
+	src := j.src
+	shards := shardTasks(src, s.cfg.MaxShards)
 	j.state = Running
 	j.started = time.Now()
 	j.shards = len(shards)
@@ -540,10 +585,27 @@ func (s *Scheduler) runJob(j *job) {
 			break
 		}
 		wg.Add(1)
-		go func(i int, shard []pipeline.FileTask, dev *device) {
+		go func(i int, idxs []int, dev *device) {
 			defer wg.Done()
 			defer func() { s.pool <- dev }()
 			start := time.Now()
+			// Materialize only this shard's tiles from the source — for a
+			// stored dataset that means reading just these tiles' byte
+			// ranges out of the segment file.
+			shard := make([]pipeline.FileTask, 0, len(idxs))
+			for _, ix := range idxs {
+				t, terr := src.Task(ix)
+				if terr != nil {
+					errs[i] = fmt.Errorf("materialize tile %d: %w", ix, terr)
+					ran[i] = true
+					j.cancel() // fail fast, as with a pipeline error
+					s.mu.Lock()
+					j.devices[dev.id] = struct{}{}
+					s.mu.Unlock()
+					return
+				}
+				shard = append(shard, t)
+			}
 			// Pool devices are long-lived, so their launch/busy counters are
 			// cumulative; snapshot around the run to report only this
 			// shard's share (the lease is exclusive, so the delta is exact).
@@ -557,6 +619,7 @@ func (s *Scheduler) runJob(j *job) {
 				Migration:      s.cfg.Migration,
 				Registry:       s.cfg.Registry,
 				ExecutorLabel:  fmt.Sprintf("slot%d/", dev.id),
+				Warmth:         s.warm,
 			})
 			if len(dev.gpus) > 0 {
 				launches1, busy1 := dev.stats()
@@ -638,26 +701,51 @@ func (s *Scheduler) finish(j *job, state State, err error, report pipeline.Resul
 	j.err = err
 	j.finished = time.Now()
 	j.report = report
-	j.tasks = nil // release the input payload; finished jobs are kept forever
+	j.src = nil // release the input source; finished jobs are kept forever
 	s.mu.Unlock()
 	j.cancel()
 	close(j.done)
 }
 
-// shardTasks splits tasks round-robin into at most maxShards shards, never
-// more than one shard per task. Round-robin keeps shard loads even when tile
-// sizes trend across the dataset.
-func shardTasks(tasks []pipeline.FileTask, maxShards int) [][]pipeline.FileTask {
+// shardTasks splits the source's tile indices into at most maxShards
+// shards, never more than one shard per tile, weighting each shard by
+// encoded tile byte size so shard finish times even out when tile sizes are
+// skewed (round-robin by count let one segment-heavy shard serialize the
+// job's tail). Longest-processing-time greedy: tiles are considered
+// heaviest first and each goes to the currently lightest shard; ties break
+// on lowest index, keeping the split deterministic for a given source.
+func shardTasks(src TaskSource, maxShards int) [][]int {
 	n := maxShards
-	if n > len(tasks) {
-		n = len(tasks)
+	if n > src.Len() {
+		n = src.Len()
 	}
 	if n < 1 {
 		n = 1
 	}
-	shards := make([][]pipeline.FileTask, n)
-	for i, t := range tasks {
-		shards[i%n] = append(shards[i%n], t)
+	order := make([]int, src.Len())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return src.Weight(order[a]) > src.Weight(order[b])
+	})
+	shards := make([][]int, n)
+	loads := make([]int64, n)
+	for _, ix := range order {
+		lightest := 0
+		for sh := 1; sh < n; sh++ {
+			if loads[sh] < loads[lightest] {
+				lightest = sh
+			}
+		}
+		shards[lightest] = append(shards[lightest], ix)
+		loads[lightest] += src.Weight(ix)
+	}
+	// Tiles within a shard run in index order; determinism of the merged
+	// result never depends on it (tile-canonical folding), but ordered
+	// reads keep store access sequential within each shard.
+	for _, sh := range shards {
+		sort.Ints(sh)
 	}
 	return shards
 }

@@ -196,22 +196,100 @@ func TestJobsListingOrder(t *testing.T) {
 	}
 }
 
+// weightSource is a TaskSource with explicit per-tile weights for shard
+// policy tests.
+type weightSource []int64
+
+func (w weightSource) Len() int           { return len(w) }
+func (w weightSource) Weight(i int) int64 { return w[i] }
+func (w weightSource) Task(i int) (pipeline.FileTask, error) {
+	return pipeline.FileTask{Tile: i}, nil
+}
+
 func TestShardTasks(t *testing.T) {
 	tasks := testTasks(t, 5)
-	shards := shardTasks(tasks, 8)
+	shards := shardTasks(Tasks(tasks), 8)
 	if len(shards) != 5 {
 		t.Fatalf("shardTasks over-split: %d shards for 5 tasks", len(shards))
 	}
-	shards = shardTasks(tasks, 2)
-	if len(shards) != 2 || len(shards[0]) != 3 || len(shards[1]) != 2 {
-		t.Fatalf("shardTasks(5, 2) = lens %d/%d, want 3/2", len(shards[0]), len(shards[1]))
+	shards = shardTasks(Tasks(tasks), 2)
+	if len(shards) != 2 {
+		t.Fatalf("shardTasks(5, 2) = %d shards, want 2", len(shards))
 	}
-	total := 0
+	seen := make(map[int]bool)
 	for _, sh := range shards {
-		total += len(sh)
+		for _, ix := range sh {
+			if seen[ix] {
+				t.Fatalf("tile %d assigned to two shards", ix)
+			}
+			seen[ix] = true
+		}
 	}
-	if total != len(tasks) {
-		t.Fatalf("shards hold %d tasks, want %d", total, len(tasks))
+	if len(seen) != len(tasks) {
+		t.Fatalf("shards hold %d tiles, want %d", len(seen), len(tasks))
+	}
+}
+
+// TestShardTasksWeighted checks the throughput-weighted split: one huge tile
+// plus many small ones must not share a shard with other work, and the byte
+// loads of the shards must come out far more even than a round-robin count
+// split would make them.
+func TestShardTasksWeighted(t *testing.T) {
+	src := weightSource{1000, 10, 10, 10, 10, 10, 10, 10, 10, 10, 10}
+	shards := shardTasks(src, 2)
+	if len(shards) != 2 {
+		t.Fatalf("got %d shards, want 2", len(shards))
+	}
+	loads := make([]int64, len(shards))
+	for i, sh := range shards {
+		for _, ix := range sh {
+			loads[i] += src.Weight(ix)
+		}
+	}
+	// LPT on these weights: the heavy tile alone on one shard, every small
+	// tile on the other — 1000 vs 100.
+	heavy, light := loads[0], loads[1]
+	if heavy < light {
+		heavy, light = light, heavy
+	}
+	if heavy != 1000 || light != 100 {
+		t.Fatalf("weighted shard loads = %v, want [1000 100]", loads)
+	}
+	// Determinism: same source, same split.
+	again := shardTasks(src, 2)
+	for i := range shards {
+		if len(again[i]) != len(shards[i]) {
+			t.Fatalf("shardTasks is not deterministic: %v vs %v", again, shards)
+		}
+		for k := range shards[i] {
+			if again[i][k] != shards[i][k] {
+				t.Fatalf("shardTasks is not deterministic: %v vs %v", again, shards)
+			}
+		}
+	}
+}
+
+// TestWarmStartCarriesThroughput checks the executor-pool warm start: after
+// a first job measures slot throughput, the scheduler's memory holds the
+// EWMA under the slot-labelled executor ID so the next job's executors seed
+// from it instead of the static prior.
+func TestWarmStartCarriesThroughput(t *testing.T) {
+	s := New(Config{Devices: 1, Workers: 2})
+	defer s.Close()
+	id, err := s.Submit("warm", testTasks(t, 4))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	st, err := s.Wait(context.Background(), id)
+	if err != nil || st.State != Done {
+		t.Fatalf("job: state=%v err=%v", st.State, err)
+	}
+	tp, ok := s.warm.Prior("slot0/gpu0")
+	if !ok {
+		t.Fatal("warm memory holds no measurement for slot0/gpu0 after a completed job")
+	}
+	if tp <= 0 {
+		t.Fatalf("remembered throughput %v, want > 0", tp)
 	}
 }
 

@@ -1,0 +1,205 @@
+package server
+
+// Dataset lifecycle endpoints over the content-addressed store:
+//
+//	PUT    /datasets        ingest a dataset (streaming; ?name= labels it)
+//	GET    /datasets        list stored datasets
+//	GET    /datasets/{id}   stat one dataset, tile index included
+//	DELETE /datasets/{id}   remove a dataset
+//
+// Ingestion streams: the body is a JSON array of tile payloads (the same
+// shape as JobRequest.Tasks) decoded one element at a time; each tile's raw
+// text is run through the existing parser and appended to the store's
+// segment file before the next element is read, so a dataset bounded only
+// by the request-size cap never materializes whole in memory. The response
+// carries the content-addressed dataset ID: re-ingesting identical polygon
+// sets (any tile order, any text formatting) yields the same ID and no
+// second copy.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/parser"
+	"repro/internal/store"
+)
+
+// DatasetTile is the wire form of one tile's manifest entry.
+type DatasetTile struct {
+	Image     string `json:"image,omitempty"`
+	Tile      int    `json:"tile"`
+	PolygonsA int    `json:"polygons_a"`
+	PolygonsB int    `json:"polygons_b"`
+	Bytes     int64  `json:"bytes"`
+}
+
+// DatasetResponse is the wire form of a stored dataset's manifest.
+type DatasetResponse struct {
+	ID           string        `json:"id"`
+	Name         string        `json:"name,omitempty"`
+	Created      time.Time     `json:"created"`
+	Tiles        int           `json:"tiles"`
+	Polygons     int64         `json:"polygons"`
+	SegmentBytes int64         `json:"segment_bytes"`
+	TileIndex    []DatasetTile `json:"tile_index,omitempty"`
+}
+
+func datasetResponse(man *store.Manifest, withTiles bool) DatasetResponse {
+	resp := DatasetResponse{
+		ID:           man.ID,
+		Name:         man.Name,
+		Created:      man.Created,
+		Tiles:        len(man.Tiles),
+		Polygons:     man.Polygons,
+		SegmentBytes: man.SegmentBytes,
+	}
+	if withTiles {
+		resp.TileIndex = make([]DatasetTile, len(man.Tiles))
+		for i, ti := range man.Tiles {
+			resp.TileIndex[i] = DatasetTile{
+				Image:     ti.Image,
+				Tile:      ti.Tile,
+				PolygonsA: ti.CountA,
+				PolygonsB: ti.CountB,
+				Bytes:     ti.Bytes(),
+			}
+		}
+	}
+	return resp
+}
+
+// requireStore answers 501 when the daemon runs without a data directory.
+func (s *Server) requireStore(w http.ResponseWriter) bool {
+	if s.store == nil {
+		s.fail(w, http.StatusNotImplemented,
+			errors.New("no dataset store configured (start sccgd with -data-dir)"))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handlePutDataset(w http.ResponseWriter, r *http.Request) {
+	if !s.requireStore(w) {
+		return
+	}
+	wtr, err := s.store.NewWriter(r.URL.Query().Get("name"))
+	if err != nil {
+		s.ingestFails.Inc()
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	committed := false
+	defer func() {
+		if !committed {
+			wtr.Abort()
+		}
+	}()
+
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	dec.DisallowUnknownFields()
+	if tok, err := dec.Token(); err != nil || tok != json.Delim('[') {
+		s.fail(w, http.StatusBadRequest, errors.New("body must be a JSON array of tile payloads"))
+		return
+	}
+	n := 0
+	for dec.More() {
+		if n >= maxTaskCount {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("at most %d tiles per dataset", maxTaskCount))
+			return
+		}
+		var tp TaskPayload
+		if err := dec.Decode(&tp); err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("tile %d: %w", n, err))
+			return
+		}
+		if len(tp.RawA) == 0 || len(tp.RawB) == 0 {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("tile %d: raw_a and raw_b are required", n))
+			return
+		}
+		a, err := parser.Parse(tp.RawA)
+		if err != nil {
+			s.fail(w, http.StatusUnprocessableEntity, fmt.Errorf("tile %d set A: %w", n, err))
+			return
+		}
+		b, err := parser.Parse(tp.RawB)
+		if err != nil {
+			s.fail(w, http.StatusUnprocessableEntity, fmt.Errorf("tile %d set B: %w", n, err))
+			return
+		}
+		if err := wtr.AddTile(tp.Image, tp.Tile, a, b); err != nil {
+			// Duplicate tiles (and nil polygons, which parsing precludes
+			// here) are client faults; anything else is a segment write
+			// failure on our side.
+			code := http.StatusInternalServerError
+			if errors.Is(err, store.ErrDuplicateTile) {
+				code = http.StatusBadRequest
+			} else {
+				s.ingestFails.Inc()
+			}
+			s.fail(w, code, err)
+			return
+		}
+		n++
+	}
+	if tok, err := dec.Token(); err != nil || tok != json.Delim(']') {
+		s.fail(w, http.StatusBadRequest, errors.New("malformed tile array"))
+		return
+	}
+	man, err := wtr.Commit()
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, store.ErrEmpty) {
+			code = http.StatusBadRequest
+		} else {
+			s.ingestFails.Inc()
+		}
+		s.fail(w, code, err)
+		return
+	}
+	committed = true
+	s.ingests.Inc()
+	writeJSON(w, http.StatusOK, datasetResponse(man, true))
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	if !s.requireStore(w) {
+		return
+	}
+	mans := s.store.List()
+	out := make([]DatasetResponse, len(mans))
+	for i, man := range mans {
+		out[i] = datasetResponse(man, false)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": out})
+}
+
+func (s *Server) handleStatDataset(w http.ResponseWriter, r *http.Request) {
+	if !s.requireStore(w) {
+		return
+	}
+	man, ok := s.store.Get(r.PathValue("id"))
+	if !ok {
+		s.fail(w, http.StatusNotFound, store.ErrNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, datasetResponse(man, true))
+}
+
+func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
+	if !s.requireStore(w) {
+		return
+	}
+	id := r.PathValue("id")
+	if err := s.store.Delete(id); err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, store.ErrNotFound) {
+			code = http.StatusNotFound
+		}
+		s.fail(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": id})
+}

@@ -1,0 +1,286 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/pathology"
+	"repro/internal/sched"
+	"repro/internal/store"
+)
+
+func testStore(t *testing.T) *store.Store {
+	t.Helper()
+	s, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	return s
+}
+
+// datasetPayload encodes a generated dataset as the PUT /datasets body.
+func datasetPayload(t *testing.T, d *pathology.Dataset) []byte {
+	t.Helper()
+	tiles := make([]TaskPayload, len(d.Pairs))
+	for i, tp := range d.Pairs {
+		tiles[i] = TaskPayload{
+			Image: tp.Image,
+			Tile:  tp.Index,
+			RawA:  parser.Encode(tp.A),
+			RawB:  parser.Encode(tp.B),
+		}
+	}
+	raw, err := json.Marshal(tiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func putDataset(t *testing.T, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("PUT %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// TestDatasetLifecycle walks the full dataset CRUD surface: ingest, list,
+// stat, job by content ID, cached resubmission, delete, and the 404s after.
+func TestDatasetLifecycle(t *testing.T) {
+	st := testStore(t)
+	_, _, ts := newTestServer(t, sched.Config{Devices: 1}, Options{Store: st})
+
+	spec := pathology.Representative()
+	spec.Tiles = 3
+	d := pathology.Generate(spec)
+
+	resp, body := putDataset(t, ts.URL+"/datasets?name=lifecycle", datasetPayload(t, d))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT /datasets status = %d, body %s", resp.StatusCode, body)
+	}
+	var man DatasetResponse
+	if err := json.Unmarshal(body, &man); err != nil {
+		t.Fatal(err)
+	}
+	if !store.ValidateID(man.ID) || man.Name != "lifecycle" || man.Tiles != 3 || len(man.TileIndex) != 3 {
+		t.Fatalf("ingest response = %+v, want 3-tile dataset named lifecycle", man)
+	}
+
+	// Idempotent re-ingest: same content, same ID, still one dataset.
+	resp, body = putDataset(t, ts.URL+"/datasets?name=other", datasetPayload(t, d))
+	var again DatasetResponse
+	if err := json.Unmarshal(body, &again); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || again.ID != man.ID {
+		t.Fatalf("re-ingest returned %d id %s, want 200 with %s", resp.StatusCode, again.ID, man.ID)
+	}
+
+	var list struct {
+		Datasets []DatasetResponse `json:"datasets"`
+	}
+	getJSON(t, ts.URL+"/datasets", &list)
+	if len(list.Datasets) != 1 || list.Datasets[0].ID != man.ID {
+		t.Fatalf("GET /datasets = %+v, want exactly the ingested dataset", list)
+	}
+
+	var stat DatasetResponse
+	if resp := getJSON(t, ts.URL+"/datasets/"+man.ID, &stat); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stat status = %d", resp.StatusCode)
+	}
+	if stat.ID != man.ID || len(stat.TileIndex) != 3 {
+		t.Fatalf("stat = %+v, want full tile index", stat)
+	}
+
+	// Job by content ID.
+	resp, body = postJSON(t, ts.URL+"/jobs", JobRequest{DatasetID: man.ID})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("job by dataset_id status = %d, body %s", resp.StatusCode, body)
+	}
+	var job JobResponse
+	if err := json.Unmarshal(body, &job); err != nil {
+		t.Fatal(err)
+	}
+	if job.Name != "lifecycle" {
+		t.Errorf("job name %q, want the dataset's name", job.Name)
+	}
+	done := pollDone(t, ts.URL, job.ID)
+	if done.State != "done" {
+		t.Fatalf("store-backed job ended %s: %s", done.State, done.Error)
+	}
+
+	// Resubmission is served from the content-hash cache.
+	resp, body = postJSON(t, ts.URL+"/jobs", JobRequest{DatasetID: man.ID})
+	var cached JobResponse
+	if err := json.Unmarshal(body, &cached); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !cached.Cached || cached.ID != job.ID {
+		t.Fatalf("resubmission = %d %+v, want cache hit on job %s", resp.StatusCode, cached, job.ID)
+	}
+
+	// Delete, then everything 404s.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/datasets/"+man.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE status = %d", dresp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/datasets/"+man.ID, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("stat after delete = %d, want 404", resp.StatusCode)
+	}
+	resp, body = postJSON(t, ts.URL+"/jobs", JobRequest{DatasetID: man.ID, NoCache: true})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("job on deleted dataset = %d (%s), want 404", resp.StatusCode, body)
+	}
+}
+
+// TestSpecJobSharesContentCache: submitting a generated spec ingests it into
+// the store, and a later job for the resulting dataset ID hits the same
+// content-hash cache entry without recomputation.
+func TestSpecJobSharesContentCache(t *testing.T) {
+	st := testStore(t)
+	_, _, ts := newTestServer(t, sched.Config{Devices: 1}, Options{Store: st})
+
+	spec := pathology.Representative()
+	spec.Tiles = 2
+	resp, body := postJSON(t, ts.URL+"/jobs", JobRequest{Spec: &spec})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("spec submit status = %d, body %s", resp.StatusCode, body)
+	}
+	var job JobResponse
+	if err := json.Unmarshal(body, &job); err != nil {
+		t.Fatal(err)
+	}
+	if pollDone(t, ts.URL, job.ID).State != "done" {
+		t.Fatal("spec job did not complete")
+	}
+
+	// The generated content is now stored and addressable.
+	var list struct {
+		Datasets []DatasetResponse `json:"datasets"`
+	}
+	getJSON(t, ts.URL+"/datasets", &list)
+	if len(list.Datasets) != 1 {
+		t.Fatalf("spec submission ingested %d datasets, want 1", len(list.Datasets))
+	}
+	dsID := list.Datasets[0].ID
+
+	// A dataset_id job for the same content is a cache hit on the spec job.
+	resp, body = postJSON(t, ts.URL+"/jobs", JobRequest{DatasetID: dsID})
+	var cached JobResponse
+	if err := json.Unmarshal(body, &cached); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !cached.Cached || cached.ID != job.ID {
+		t.Fatalf("dataset_id job = %d %+v, want content-hash cache hit on %s", resp.StatusCode, cached, job.ID)
+	}
+
+	// And so is a repeat of the spec itself (resolved through specIDs).
+	resp, body = postJSON(t, ts.URL+"/jobs", JobRequest{Spec: &spec})
+	var repeat JobResponse
+	if err := json.Unmarshal(body, &repeat); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !repeat.Cached || repeat.ID != job.ID {
+		t.Fatalf("spec repeat = %d %+v, want cache hit on %s", resp.StatusCode, repeat, job.ID)
+	}
+}
+
+// TestDatasetEndpointsWithoutStore: a daemon without -data-dir answers 501
+// on the whole dataset surface and on dataset_id jobs.
+func TestDatasetEndpointsWithoutStore(t *testing.T) {
+	_, _, ts := newTestServer(t, sched.Config{Devices: 0}, Options{})
+	if resp := getJSON(t, ts.URL+"/datasets", nil); resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("GET /datasets without store = %d, want 501", resp.StatusCode)
+	}
+	id := strings.Repeat("ab", 32)
+	resp, _ := postJSON(t, ts.URL+"/jobs", JobRequest{DatasetID: id})
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("dataset_id job without store = %d, want 501", resp.StatusCode)
+	}
+}
+
+// TestPutDatasetValidation: malformed bodies and unparseable polygon text
+// fail with clear statuses and leave nothing behind in the store.
+func TestPutDatasetValidation(t *testing.T) {
+	st := testStore(t)
+	_, _, ts := newTestServer(t, sched.Config{Devices: 0}, Options{Store: st})
+
+	cases := []struct {
+		name string
+		body string
+		code int
+	}{
+		{"not an array", `{"tiles": []}`, http.StatusBadRequest},
+		{"empty array", `[]`, http.StatusBadRequest},
+		{"missing raw", `[{"tile": 0}]`, http.StatusBadRequest},
+		{"bad polygon text", `[{"tile": 0, "raw_a": "bm90IGEgcG9seWdvbg==", "raw_b": "bm90IGEgcG9seWdvbg=="}]`,
+			http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		resp, body := putDataset(t, ts.URL+"/datasets", []byte(tc.body))
+		if resp.StatusCode != tc.code {
+			t.Errorf("%s: status = %d (%s), want %d", tc.name, resp.StatusCode, body, tc.code)
+		}
+	}
+	if st.Len() != 0 {
+		t.Fatalf("failed ingests left %d datasets in the store", st.Len())
+	}
+}
+
+// TestSpecJobHitsStoredDatasetResult is the reverse direction of content
+// unification: a dataset-ID job computes first, and a spec job generating
+// the very same content must be answered from that cached result (the
+// submit path re-checks the cache after ingest pins the content address).
+func TestSpecJobHitsStoredDatasetResult(t *testing.T) {
+	st := testStore(t)
+	_, _, ts := newTestServer(t, sched.Config{Devices: 1}, Options{Store: st})
+
+	spec := pathology.Representative()
+	spec.Tiles = 2
+	man, err := st.IngestDataset(pathology.Generate(spec))
+	if err != nil {
+		t.Fatalf("IngestDataset: %v", err)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/jobs", JobRequest{DatasetID: man.ID})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("dataset job status = %d, body %s", resp.StatusCode, body)
+	}
+	var job JobResponse
+	if err := json.Unmarshal(body, &job); err != nil {
+		t.Fatal(err)
+	}
+	if pollDone(t, ts.URL, job.ID).State != "done" {
+		t.Fatal("dataset job did not complete")
+	}
+
+	resp, body = postJSON(t, ts.URL+"/jobs", JobRequest{Spec: &spec})
+	var specJob JobResponse
+	if err := json.Unmarshal(body, &specJob); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !specJob.Cached || specJob.ID != job.ID {
+		t.Fatalf("spec job = %d %+v, want cache hit on dataset job %s", resp.StatusCode, specJob, job.ID)
+	}
+}

@@ -1,0 +1,78 @@
+package server
+
+// FuzzJobRequest hardens the job-submission surface the same way FuzzParse
+// hardens the polygon text format: arbitrary JSON bodies must never panic
+// the decoder, the spec validation limits, or the cache-key hasher, and
+// every accepted request must satisfy the invariants the handlers rely on.
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+)
+
+func FuzzJobRequest(f *testing.F) {
+	f.Add([]byte(`{"corpus":"oligoastroIII_1"}`))
+	f.Add([]byte(`{"spec":{"Name":"x","Seed":1,"Tiles":2}}`))
+	f.Add([]byte(`{"spec":{"Name":"x","Tiles":4096,"Gen":{"Objects":4096,"TileSize":16384}}}`))
+	f.Add([]byte(`{"tasks":[{"tile":0,"raw_a":"MA==","raw_b":"MA=="}]}`))
+	f.Add([]byte(`{"dataset_id":"` + strings.Repeat("ab", 32) + `"}`))
+	f.Add([]byte(`{"dataset_id":"../../etc/passwd"}`))
+	f.Add([]byte(`{"dataset_id":"` + strings.Repeat("AB", 32) + `"}`))
+	f.Add([]byte(`{"corpus":"a","spec":{"Name":"b","Tiles":1}}`))
+	f.Add([]byte(`{"spec":{"Tiles":-1}}`))
+	f.Add([]byte(`{"spec":{"Tiles":1,"Gen":{"Noise":1e308,"MeanRadius":-1}}}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		var req JobRequest
+		if err := dec.Decode(&req); err != nil {
+			return // rejected at the decode layer, as the handler would
+		}
+		err := checkRequest(req)
+		// The cache-key hasher runs on pre-validation requests in the
+		// handler path, so it must tolerate anything that decodes.
+		_ = requestKey(req)
+		if err != nil {
+			return
+		}
+		// Invariants of accepted requests.
+		forms := 0
+		if req.Corpus != "" {
+			forms++
+		}
+		if req.Spec != nil {
+			forms++
+		}
+		if len(req.Tasks) > 0 {
+			forms++
+		}
+		if req.DatasetID != "" {
+			forms++
+		}
+		if forms != 1 {
+			t.Fatalf("checkRequest accepted %d input forms: %+v", forms, req)
+		}
+		if req.DatasetID != "" && !store.ValidateID(req.DatasetID) {
+			t.Fatalf("checkRequest accepted malformed dataset ID %q", req.DatasetID)
+		}
+		if req.Spec != nil {
+			if req.Spec.Tiles <= 0 || req.Spec.Tiles > maxSpecTiles {
+				t.Fatalf("checkRequest accepted spec.Tiles = %d", req.Spec.Tiles)
+			}
+			if req.Spec.Tiles*max(req.Spec.Gen.Objects, 1) > maxSpecBlobs {
+				t.Fatalf("checkRequest accepted blob product %d * %d",
+					req.Spec.Tiles, req.Spec.Gen.Objects)
+			}
+		}
+		if len(req.Tasks) > maxTaskCount {
+			t.Fatalf("checkRequest accepted %d tasks", len(req.Tasks))
+		}
+	})
+}

@@ -5,13 +5,24 @@
 // input are answered without recomputation (and without further GPU
 // launches).
 //
-//	POST   /jobs        submit a cross-comparison job
-//	GET    /jobs        list all jobs
-//	GET    /jobs/{id}   poll one job, report included when done
-//	DELETE /jobs/{id}   cancel a queued or running job
-//	POST   /compare     synchronous compare of two small polygon sets
-//	GET    /metrics     counters and gauges in Prometheus text format
-//	GET    /healthz     liveness probe
+//	POST   /jobs          submit a cross-comparison job
+//	GET    /jobs          list all jobs
+//	GET    /jobs/{id}     poll one job, report included when done
+//	DELETE /jobs/{id}     cancel a queued or running job
+//	PUT    /datasets      ingest a dataset into the store (streaming)
+//	GET    /datasets      list stored datasets
+//	GET    /datasets/{id} stat one stored dataset
+//	DELETE /datasets/{id} remove a stored dataset
+//	POST   /compare       synchronous compare of two small polygon sets
+//	GET    /metrics       counters and gauges in Prometheus text format
+//	GET    /healthz       liveness probe
+//
+// When a store is configured, the result cache keys on dataset *content*
+// hashes rather than request-spec hashes: a generated spec/corpus job is
+// ingested into the store on first materialization and its cache entry
+// re-keyed to the content ID, so a later job submitted by dataset_id against
+// the very same polygons hits the same entry — and the ID's content
+// addressing makes the hit exact by construction.
 package server
 
 import (
@@ -21,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"time"
 
@@ -28,6 +40,7 @@ import (
 	"repro/internal/pathology"
 	"repro/internal/pipeline"
 	"repro/internal/sched"
+	"repro/internal/store"
 )
 
 // CompareResult is the synchronous /compare outcome.
@@ -53,23 +66,35 @@ type Options struct {
 	Compare CompareFunc
 	// MaxBodyBytes caps request bodies; default 32 MiB.
 	MaxBodyBytes int64
+	// Store, when set, backs the /datasets endpoints, jobs by dataset_id,
+	// and content-hash result caching. Nil disables all three (the
+	// endpoints answer 501).
+	Store *store.Store
 }
 
-// Server ties the scheduler, cache, and metrics into an http.Handler.
+// Server ties the scheduler, store, cache, and metrics into an
+// http.Handler.
 type Server struct {
-	sched   *sched.Scheduler
-	cache   *resultCache
+	sched *sched.Scheduler
+	store *store.Store
+	cache *resultCache
+	// specIDs remembers which content-addressed dataset a generated
+	// spec/corpus request materialized into, so repeats of the spec resolve
+	// to the content-hash cache key without regenerating anything.
+	specIDs *resultCache
 	reg     *metrics.Registry
 	compare CompareFunc
 	maxBody int64
 	started time.Time
 
-	requests  *metrics.Counter
-	submits   *metrics.Counter
-	cacheHits *metrics.Counter
-	cacheMiss *metrics.Counter
-	compares  *metrics.Counter
-	badReqs   *metrics.Counter
+	requests    *metrics.Counter
+	submits     *metrics.Counter
+	cacheHits   *metrics.Counter
+	cacheMiss   *metrics.Counter
+	compares    *metrics.Counter
+	badReqs     *metrics.Counter
+	ingests     *metrics.Counter
+	ingestFails *metrics.Counter
 }
 
 // New creates a server over the scheduler.
@@ -85,20 +110,27 @@ func New(s *sched.Scheduler, opts Options) *Server {
 	}
 	srv := &Server{
 		sched:   s,
+		store:   opts.Store,
 		cache:   newResultCache(opts.CacheSize),
+		specIDs: newResultCache(1024),
 		reg:     opts.Registry,
 		compare: opts.Compare,
 		maxBody: opts.MaxBodyBytes,
 		started: time.Now(),
 
-		requests:  opts.Registry.Counter("sccgd_http_requests_total"),
-		submits:   opts.Registry.Counter("sccgd_jobs_submitted_total"),
-		cacheHits: opts.Registry.Counter("sccgd_cache_hits_total"),
-		cacheMiss: opts.Registry.Counter("sccgd_cache_misses_total"),
-		compares:  opts.Registry.Counter("sccgd_compares_total"),
-		badReqs:   opts.Registry.Counter("sccgd_bad_requests_total"),
+		requests:    opts.Registry.Counter("sccgd_http_requests_total"),
+		submits:     opts.Registry.Counter("sccgd_jobs_submitted_total"),
+		cacheHits:   opts.Registry.Counter("sccgd_cache_hits_total"),
+		cacheMiss:   opts.Registry.Counter("sccgd_cache_misses_total"),
+		compares:    opts.Registry.Counter("sccgd_compares_total"),
+		badReqs:     opts.Registry.Counter("sccgd_bad_requests_total"),
+		ingests:     opts.Registry.Counter("sccgd_datasets_ingested_total"),
+		ingestFails: opts.Registry.Counter("sccgd_dataset_ingest_failures_total"),
 	}
 	opts.Registry.GaugeFunc("sccgd_cache_entries", func() float64 { return float64(srv.cache.len()) })
+	if srv.store != nil {
+		opts.Registry.GaugeFunc("sccgd_datasets", func() float64 { return float64(srv.store.Len()) })
+	}
 	return srv
 }
 
@@ -112,6 +144,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs", s.count(s.handleList))
 	mux.HandleFunc("GET /jobs/{id}", s.count(s.handleJob))
 	mux.HandleFunc("DELETE /jobs/{id}", s.count(s.handleCancel))
+	mux.HandleFunc("PUT /datasets", s.count(s.handlePutDataset))
+	mux.HandleFunc("GET /datasets", s.count(s.handleListDatasets))
+	mux.HandleFunc("GET /datasets/{id}", s.count(s.handleStatDataset))
+	mux.HandleFunc("DELETE /datasets/{id}", s.count(s.handleDeleteDataset))
 	mux.HandleFunc("POST /compare", s.count(s.handleCompare))
 	mux.HandleFunc("GET /metrics", s.count(s.handleMetrics))
 	mux.HandleFunc("GET /healthz", s.count(s.handleHealthz))
@@ -135,12 +171,14 @@ type TaskPayload struct {
 
 // JobRequest submits one cross-comparison job. Exactly one input form must
 // be set: Corpus (a named corpus dataset), Spec (a full synthetic dataset
-// spec), or Tasks (raw tile files).
+// spec), Tasks (raw tile files), or DatasetID (a dataset previously
+// ingested into the store via PUT /datasets).
 type JobRequest struct {
-	Corpus  string                 `json:"corpus,omitempty"`
-	Spec    *pathology.DatasetSpec `json:"spec,omitempty"`
-	Tasks   []TaskPayload          `json:"tasks,omitempty"`
-	NoCache bool                   `json:"no_cache,omitempty"`
+	Corpus    string                 `json:"corpus,omitempty"`
+	Spec      *pathology.DatasetSpec `json:"spec,omitempty"`
+	Tasks     []TaskPayload          `json:"tasks,omitempty"`
+	DatasetID string                 `json:"dataset_id,omitempty"`
+	NoCache   bool                   `json:"no_cache,omitempty"`
 }
 
 // ExecutorPayload is the JSON projection of one hybrid-aggregator
@@ -248,26 +286,51 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-
-	// Look the request up before materializing it: a cache hit must not pay
-	// for dataset generation.
-	key := ""
-	if !req.NoCache {
-		key = requestKey(req)
-		if id, ok := s.cache.get(key); ok {
-			if st, live := s.sched.Job(id); live && (st.State == sched.Done || !st.State.Terminal()) {
-				s.cacheHits.Inc()
-				writeJSON(w, http.StatusOK, jobResponse(st, true))
-				return
-			}
-			// The cached job failed, was canceled, or vanished: recompute.
-			s.cache.drop(key)
-		}
-		s.cacheMiss.Inc()
+	if req.DatasetID != "" && !s.requireStore(w) {
+		return
 	}
 
-	name, tasks := materializeRequest(req)
-	id, err := s.sched.Submit(name, tasks)
+	// Look the request up before materializing it: a cache hit must not pay
+	// for dataset generation or store reads. cacheKey resolves to the
+	// dataset content hash whenever it can.
+	key := ""
+	if !req.NoCache {
+		key = s.cacheKey(req)
+		if resp, ok := s.cachedResponse(key); ok {
+			s.cacheHits.Inc()
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		// The miss is counted only once the job is really submitted: the
+		// re-key path below may still turn this request into a hit.
+	}
+
+	name, src, contentKey, err := s.materializeRequest(req)
+	if err != nil {
+		code := http.StatusUnprocessableEntity
+		if errors.Is(err, store.ErrNotFound) {
+			code = http.StatusNotFound
+		}
+		s.fail(w, code, err)
+		return
+	}
+	if key != "" && contentKey != "" && contentKey != key {
+		// Materialization pinned the content address (e.g. a spec was
+		// ingested into the store): cache under it, so a later submission
+		// of the same content by dataset_id hits this entry — and re-check
+		// the cache, since this very content may already have a result
+		// computed under another request form.
+		key = contentKey
+		if resp, ok := s.cachedResponse(key); ok {
+			s.cacheHits.Inc()
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+	}
+	if key != "" {
+		s.cacheMiss.Inc()
+	}
+	id, err := s.sched.SubmitSource(name, src)
 	switch {
 	case errors.Is(err, sched.ErrQueueFull):
 		s.fail(w, http.StatusServiceUnavailable, err)
@@ -285,6 +348,42 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	st, _ := s.sched.Job(id)
 	writeJSON(w, http.StatusAccepted, jobResponse(st, false))
+}
+
+// datasetKey is the result-cache key of a content-addressed dataset: the
+// content hash itself, namespaced apart from request-hash keys.
+func datasetKey(id string) string { return "dataset\x00" + id }
+
+// cachedResponse resolves a cache key to a servable job response. A cached
+// job that failed, was canceled, or vanished is evicted and reported as a
+// miss so the caller recomputes.
+func (s *Server) cachedResponse(key string) (JobResponse, bool) {
+	id, ok := s.cache.get(key)
+	if !ok {
+		return JobResponse{}, false
+	}
+	if st, live := s.sched.Job(id); live && (st.State == sched.Done || !st.State.Terminal()) {
+		return jobResponse(st, true), true
+	}
+	s.cache.drop(key)
+	return JobResponse{}, false
+}
+
+// cacheKey resolves a request to its result-cache key without materializing
+// anything. Dataset jobs key on the content hash directly; generated
+// requests whose content address is already known (a previous submission
+// ingested them) resolve through specIDs to the same content key.
+func (s *Server) cacheKey(req JobRequest) string {
+	if req.DatasetID != "" {
+		return datasetKey(req.DatasetID)
+	}
+	key := requestKey(req)
+	if s.store != nil && (req.Corpus != "" || req.Spec != nil) {
+		if dsID, ok := s.specIDs.get(key); ok {
+			return datasetKey(dsID)
+		}
+	}
+	return key
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -403,10 +502,17 @@ func checkRequest(req JobRequest) error {
 	if len(req.Tasks) > 0 {
 		forms++
 	}
+	if req.DatasetID != "" {
+		forms++
+	}
 	if forms != 1 {
-		return errors.New("exactly one of corpus, spec, tasks must be set")
+		return errors.New("exactly one of corpus, spec, tasks, dataset_id must be set")
 	}
 	switch {
+	case req.DatasetID != "":
+		if !store.ValidateID(req.DatasetID) {
+			return fmt.Errorf("dataset_id %q is not a content hash (64 lowercase hex digits)", req.DatasetID)
+		}
 	case req.Corpus != "":
 		if _, ok := corpusByName(req.Corpus); !ok {
 			return fmt.Errorf("unknown corpus dataset %q", req.Corpus)
@@ -454,25 +560,60 @@ func checkRequest(req JobRequest) error {
 	return nil
 }
 
-// materializeRequest turns a checked JobRequest into the tile tasks to run.
-func materializeRequest(req JobRequest) (name string, tasks []pipeline.FileTask) {
-	switch {
-	case req.Corpus != "":
-		spec, _ := corpusByName(req.Corpus)
-		return spec.Name, pipeline.EncodeDataset(pathology.Generate(spec))
-	case req.Spec != nil:
-		spec := *req.Spec
-		if spec.Gen == (pathology.GenConfig{}) {
-			spec.Gen = pathology.DefaultGenConfig()
+// materializeRequest turns a checked JobRequest into the task source to
+// run. Dataset jobs come back as lazy store tile handles; generated
+// requests are, when a store is configured, ingested so their results can
+// be cached (and later requested) by content hash — contentKey carries that
+// resolved cache key, empty when the content address is unknown.
+func (s *Server) materializeRequest(req JobRequest) (name string, src sched.TaskSource, contentKey string, err error) {
+	if req.DatasetID != "" {
+		ds, err := s.store.OpenDataset(req.DatasetID)
+		if err != nil {
+			return "", nil, "", err
 		}
-		return spec.Name, pipeline.EncodeDataset(pathology.Generate(spec))
-	default:
-		tasks = make([]pipeline.FileTask, len(req.Tasks))
-		for i, t := range req.Tasks {
-			tasks[i] = pipeline.FileTask{Image: t.Image, Tile: t.Tile, RawA: t.RawA, RawB: t.RawB}
-		}
-		return "upload", tasks
+		man := ds.Manifest()
+		return man.DisplayName(), ds.Source(), datasetKey(man.ID), nil
 	}
+	if req.Corpus != "" || req.Spec != nil {
+		var spec pathology.DatasetSpec
+		if req.Corpus != "" {
+			spec, _ = corpusByName(req.Corpus)
+		} else {
+			spec = *req.Spec
+			if spec.Gen == (pathology.GenConfig{}) {
+				spec.Gen = pathology.DefaultGenConfig()
+			}
+		}
+		d := pathology.Generate(spec)
+		if s.store != nil {
+			specKey := requestKey(req)
+			if dsID, ok := s.specIDs.get(specKey); ok {
+				if _, live := s.store.Get(dsID); live {
+					// This spec's content is already stored: skip the
+					// re-encode/re-write that Commit's dedup would discard.
+					contentKey = datasetKey(dsID)
+				}
+			}
+			if contentKey == "" {
+				// Persist the generated content; on failure the job still
+				// runs, degrading to request-hash caching — but visibly.
+				if man, ierr := s.store.IngestDataset(d); ierr == nil {
+					s.ingests.Inc()
+					s.specIDs.put(specKey, man.ID)
+					contentKey = datasetKey(man.ID)
+				} else {
+					s.ingestFails.Inc()
+					log.Printf("server: ingest of generated dataset %q failed: %v", spec.Name, ierr)
+				}
+			}
+		}
+		return spec.Name, sched.Tasks(pipeline.EncodeDataset(d)), contentKey, nil
+	}
+	tasks := make([]pipeline.FileTask, len(req.Tasks))
+	for i, t := range req.Tasks {
+		tasks[i] = pipeline.FileTask{Image: t.Image, Tile: t.Tile, RawA: t.RawA, RawB: t.RawB}
+	}
+	return "upload", sched.Tasks(tasks), "", nil
 }
 
 func corpusByName(name string) (pathology.DatasetSpec, bool) {

@@ -1,0 +1,684 @@
+// Package store is the persistent, content-addressed dataset store behind
+// the sccgd daemon: the substrate that turns the service from a
+// benchmark-on-request toy into a system serving stored collections of
+// segmented pathology boundaries (the paper's actual workload).
+//
+// A dataset is persisted as one append-only segment file of WKB-encoded
+// polygons (reusing internal/wkb, the SDBMS baseline's serialized geometry
+// format) plus a JSON manifest recording, per image tile, the byte
+// offset/size and polygon count of each of the tile's two result sets. The
+// dataset ID is the hex SHA-256 of the canonical tile content — per-tile
+// digests folded in (image, tile) order — so the ID is stable across ingest
+// order and text-formatting differences, identical polygon sets deduplicate
+// to one copy, and a result cache keyed on the ID is exact by construction.
+//
+// Readers are lazy and per-tile: a scheduler shard holding a handle to a
+// stored dataset reads only its own tiles' byte ranges, never the whole
+// segment file. Ingestion is streaming and log-structured: tiles are
+// appended to a temp segment as they arrive (LogBase-style raw appends),
+// hashed incrementally, and the dataset directory is committed with one
+// rename, so a crashed ingest leaves only a temp directory that the next
+// Open sweeps away.
+package store
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+
+	"crypto/sha256"
+
+	"repro/internal/geom"
+	"repro/internal/parser"
+	"repro/internal/pathology"
+	"repro/internal/pipeline"
+	"repro/internal/wkb"
+)
+
+const (
+	manifestFile = "manifest.json"
+	segmentFile  = "segments.wkb"
+	tmpPrefix    = "tmp-"
+	// recLenBytes frames each polygon in a segment: a little-endian uint32
+	// byte length precedes the WKB payload.
+	recLenBytes = 4
+)
+
+// Errors returned by the store's public API.
+var (
+	ErrNotFound = errors.New("store: no such dataset")
+	ErrEmpty    = errors.New("store: dataset has no tiles")
+	// ErrDuplicateTile marks an ingest containing the same (image, tile)
+	// twice — a client fault, unlike the I/O errors AddTile can also return.
+	ErrDuplicateTile = errors.New("store: duplicate tile in ingest")
+)
+
+var idPattern = regexp.MustCompile(`^[0-9a-f]{64}$`)
+
+// ValidateID reports whether id is syntactically a dataset ID (the lowercase
+// hex SHA-256 of the dataset's canonical tile content).
+func ValidateID(id string) bool { return idPattern.MatchString(id) }
+
+// TileInfo locates one tile's two polygon sets inside the segment file.
+type TileInfo struct {
+	Image  string `json:"image"`
+	Tile   int    `json:"tile"`
+	OffA   int64  `json:"off_a"`
+	LenA   int64  `json:"len_a"`
+	CountA int    `json:"count_a"`
+	OffB   int64  `json:"off_b"`
+	LenB   int64  `json:"len_b"`
+	CountB int    `json:"count_b"`
+	// Digest is the hex SHA-256 of the tile's canonical content (identity
+	// plus both sets' exact bytes, every variable-length field
+	// length-prefixed so the encoding is injective). The dataset ID folds
+	// these, and every ReadTile re-verifies against it, so size-preserving
+	// segment corruption cannot serve wrong polygons under a content
+	// address.
+	Digest string `json:"digest"`
+}
+
+// Bytes is the tile's total encoded segment size, the sharding weight.
+func (ti TileInfo) Bytes() int64 { return ti.LenA + ti.LenB }
+
+// Manifest describes one stored dataset. Treat it as immutable once
+// returned by the store.
+type Manifest struct {
+	// ID is the content address: hex SHA-256 over the per-tile digests in
+	// canonical (image, tile) order.
+	ID string `json:"id"`
+	// Name is caller metadata (not part of the content hash).
+	Name         string     `json:"name,omitempty"`
+	Created      time.Time  `json:"created"`
+	SegmentBytes int64      `json:"segment_bytes"`
+	Polygons     int64      `json:"polygons"`
+	Tiles        []TileInfo `json:"tiles"`
+}
+
+// DisplayName returns the dataset's name, falling back to a short
+// content-ID tag for unnamed datasets. Job listings use it as the label.
+func (m *Manifest) DisplayName() string {
+	if m.Name != "" {
+		return m.Name
+	}
+	return "dataset-" + m.ID[:12]
+}
+
+// Store is a directory of content-addressed datasets. All methods are safe
+// for concurrent use.
+type Store struct {
+	dir string
+
+	mu       sync.RWMutex
+	datasets map[string]*Manifest
+	skipped  []error
+}
+
+// Open opens (creating if needed) the store rooted at dir and recovers its
+// datasets by re-scanning manifests. Leftover temp directories from crashed
+// ingests are removed; a dataset whose manifest or segment fails validation
+// is skipped — not fatal to the daemon — and reported via Skipped.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create %s: %w", dir, err)
+	}
+	s := &Store{dir: dir, datasets: make(map[string]*Manifest)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: scan %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if len(name) > len(tmpPrefix) && name[:len(tmpPrefix)] == tmpPrefix {
+			os.RemoveAll(filepath.Join(dir, name)) // crashed ingest
+			continue
+		}
+		if !ValidateID(name) {
+			continue
+		}
+		man, err := loadManifest(filepath.Join(dir, name), name)
+		if err != nil {
+			s.skipped = append(s.skipped, fmt.Errorf("store: dataset %s: %w", name, err))
+			continue
+		}
+		s.datasets[man.ID] = man
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Len returns the number of recovered datasets.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.datasets)
+}
+
+// Skipped returns the validation errors of datasets Open refused to recover.
+func (s *Store) Skipped() []error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]error(nil), s.skipped...)
+}
+
+// Get returns the manifest of the dataset with the given content ID.
+func (s *Store) Get(id string) (*Manifest, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	man, ok := s.datasets[id]
+	return man, ok
+}
+
+// List returns every dataset manifest, sorted by name then ID.
+func (s *Store) List() []*Manifest {
+	s.mu.RLock()
+	out := make([]*Manifest, 0, len(s.datasets))
+	for _, man := range s.datasets {
+		out = append(out, man)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Delete removes a dataset from the index and from disk. Tile reads already
+// holding the segment file finish; new reads fail. The directory is moved
+// aside atomically under the lock before removal, so a concurrent re-ingest
+// of identical content (whose Commit renames under the same lock) can never
+// publish into a path a half-finished removal is still walking.
+func (s *Store) Delete(id string) error {
+	s.mu.Lock()
+	if _, ok := s.datasets[id]; !ok {
+		s.mu.Unlock()
+		return ErrNotFound
+	}
+	trash, err := os.MkdirTemp(s.dir, tmpPrefix)
+	if err == nil {
+		err = os.Rename(filepath.Join(s.dir, id), filepath.Join(trash, id))
+	}
+	if err != nil {
+		// Nothing moved: keep the dataset indexed and report the failure.
+		s.mu.Unlock()
+		if trash != "" {
+			os.RemoveAll(trash)
+		}
+		return fmt.Errorf("store: delete %s: %w", id, err)
+	}
+	delete(s.datasets, id)
+	s.mu.Unlock()
+	// Out of the namespace; a crash mid-removal leaves only a tmp- dir the
+	// next Open sweeps away.
+	if err := os.RemoveAll(trash); err != nil {
+		return fmt.Errorf("store: delete %s: %w", id, err)
+	}
+	return nil
+}
+
+// IngestTile is one tile's two parsed result sets handed to Ingest.
+type IngestTile struct {
+	Image string
+	Tile  int
+	A, B  []*geom.Polygon
+}
+
+// Ingest persists the tiles as one dataset and returns its manifest.
+// Content-addressing makes it idempotent: re-ingesting identical polygon
+// sets (in any tile order) returns the existing manifest without writing a
+// second copy.
+func (s *Store) Ingest(name string, tiles []IngestTile) (*Manifest, error) {
+	w, err := s.NewWriter(name)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range tiles {
+		if err := w.AddTile(t.Image, t.Tile, t.A, t.B); err != nil {
+			w.Abort()
+			return nil, err
+		}
+	}
+	return w.Commit()
+}
+
+// IngestDataset persists a generated pathology dataset under its spec name.
+func (s *Store) IngestDataset(d *pathology.Dataset) (*Manifest, error) {
+	w, err := s.NewWriter(d.Spec.Name)
+	if err != nil {
+		return nil, err
+	}
+	for _, tp := range d.Pairs {
+		if err := w.AddTile(tp.Image, tp.Index, tp.A, tp.B); err != nil {
+			w.Abort()
+			return nil, err
+		}
+	}
+	return w.Commit()
+}
+
+// tileKey orders and deduplicates tiles within one ingest.
+type tileKey struct {
+	image string
+	tile  int
+}
+
+type tileEntry struct {
+	info   TileInfo
+	digest [sha256.Size]byte
+}
+
+// tileDigest hashes one tile's canonical content. Every variable-length
+// field is length-prefixed (decimal, fixed separators), so no crafted image
+// name or polygon byte sequence can make two different tiles encode to the
+// same hash input.
+func tileDigest(info TileInfo, segA, segB []byte) [sha256.Size]byte {
+	h := sha256.New()
+	fmt.Fprintf(h, "tile\x00%d:%s\x00%d\x00A%d:%d\x00", len(info.Image), info.Image, info.Tile, info.CountA, len(segA))
+	h.Write(segA)
+	fmt.Fprintf(h, "\x00B%d:%d\x00", info.CountB, len(segB))
+	h.Write(segB)
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return sum
+}
+
+// Writer is a streaming ingest: tiles are appended to a temp segment file
+// as they arrive and hashed incrementally, so an arbitrarily large dataset
+// is ingested holding only one tile in memory. Commit seals the dataset
+// under its content ID with a single rename.
+type Writer struct {
+	s       *Store
+	name    string
+	tmp     string
+	f       *os.File
+	off     int64
+	entries []tileEntry
+	seen    map[tileKey]struct{}
+	polys   int64
+}
+
+// NewWriter starts a streaming ingest of a new dataset called name.
+func (s *Store) NewWriter(name string) (*Writer, error) {
+	tmp, err := os.MkdirTemp(s.dir, tmpPrefix)
+	if err != nil {
+		return nil, fmt.Errorf("store: ingest temp dir: %w", err)
+	}
+	f, err := os.Create(filepath.Join(tmp, segmentFile))
+	if err != nil {
+		os.RemoveAll(tmp)
+		return nil, fmt.Errorf("store: ingest segment: %w", err)
+	}
+	return &Writer{s: s, name: name, tmp: tmp, f: f, seen: make(map[tileKey]struct{})}, nil
+}
+
+// encodeSet frames a polygon set as length-prefixed WKB records.
+func encodeSet(polys []*geom.Polygon) ([]byte, error) {
+	var out []byte
+	for i, p := range polys {
+		if p == nil {
+			return nil, fmt.Errorf("store: polygon %d is nil", i)
+		}
+		rec := wkb.Marshal(p)
+		var ln [recLenBytes]byte
+		binary.LittleEndian.PutUint32(ln[:], uint32(len(rec)))
+		out = append(out, ln[:]...)
+		out = append(out, rec...)
+	}
+	return out, nil
+}
+
+// AddTile appends one tile's two result sets to the dataset.
+func (w *Writer) AddTile(image string, tile int, a, b []*geom.Polygon) error {
+	key := tileKey{image: image, tile: tile}
+	if _, dup := w.seen[key]; dup {
+		return fmt.Errorf("%w: %s/%d", ErrDuplicateTile, image, tile)
+	}
+	segA, err := encodeSet(a)
+	if err != nil {
+		return fmt.Errorf("store: tile %s/%d set A: %w", image, tile, err)
+	}
+	segB, err := encodeSet(b)
+	if err != nil {
+		return fmt.Errorf("store: tile %s/%d set B: %w", image, tile, err)
+	}
+	info := TileInfo{
+		Image: image, Tile: tile,
+		OffA: w.off, LenA: int64(len(segA)), CountA: len(a),
+		OffB: w.off + int64(len(segA)), LenB: int64(len(segB)), CountB: len(b),
+	}
+	if _, err := w.f.Write(segA); err != nil {
+		return fmt.Errorf("store: append tile %s/%d: %w", image, tile, err)
+	}
+	if _, err := w.f.Write(segB); err != nil {
+		return fmt.Errorf("store: append tile %s/%d: %w", image, tile, err)
+	}
+	w.off = info.OffB + info.LenB
+
+	// The tile digest covers identity and both sets' exact bytes; the
+	// dataset ID folds these in canonical order at Commit, so arrival order
+	// cannot change the content address.
+	var e tileEntry
+	e.info = info
+	e.digest = tileDigest(info, segA, segB)
+	e.info.Digest = hex.EncodeToString(e.digest[:])
+	w.entries = append(w.entries, e)
+	w.seen[key] = struct{}{}
+	w.polys += int64(len(a) + len(b))
+	return nil
+}
+
+// Abort discards the in-progress ingest.
+func (w *Writer) Abort() {
+	if w.f != nil {
+		w.f.Close()
+		w.f = nil
+	}
+	if w.tmp != "" {
+		os.RemoveAll(w.tmp)
+		w.tmp = ""
+	}
+}
+
+// Commit computes the content ID, writes the manifest, and publishes the
+// dataset directory atomically. If the store already holds the content, the
+// existing manifest is returned and the temp copy discarded.
+func (w *Writer) Commit() (*Manifest, error) {
+	defer w.Abort()
+	if len(w.entries) == 0 {
+		return nil, ErrEmpty
+	}
+	sort.Slice(w.entries, func(i, j int) bool {
+		a, b := w.entries[i].info, w.entries[j].info
+		if a.Image != b.Image {
+			return a.Image < b.Image
+		}
+		return a.Tile < b.Tile
+	})
+	idh := sha256.New()
+	for _, e := range w.entries {
+		idh.Write(e.digest[:])
+	}
+	id := hex.EncodeToString(idh.Sum(nil))
+
+	man := &Manifest{
+		ID:           id,
+		Name:         w.name,
+		Created:      time.Now().UTC(),
+		SegmentBytes: w.off,
+		Polygons:     w.polys,
+		Tiles:        make([]TileInfo, len(w.entries)),
+	}
+	for i, e := range w.entries {
+		man.Tiles[i] = e.info
+	}
+
+	if err := w.f.Sync(); err != nil {
+		return nil, fmt.Errorf("store: sync segment: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return nil, fmt.Errorf("store: close segment: %w", err)
+	}
+	w.f = nil
+	raw, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("store: encode manifest: %w", err)
+	}
+	if err := writeFileSync(filepath.Join(w.tmp, manifestFile), raw); err != nil {
+		return nil, fmt.Errorf("store: write manifest: %w", err)
+	}
+
+	s := w.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.datasets[id]; ok {
+		return existing, nil // content already stored; deferred Abort drops the temp copy
+	}
+	if err := os.Rename(w.tmp, filepath.Join(s.dir, id)); err != nil {
+		return nil, fmt.Errorf("store: publish dataset %s: %w", id, err)
+	}
+	w.tmp = ""
+	// Make the rename itself durable: without a directory fsync a power
+	// failure can roll back the publish after the caller was handed the ID.
+	if d, err := os.Open(s.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	s.datasets[id] = man
+	return man, nil
+}
+
+// writeFileSync writes data and fsyncs before closing, so a crash after
+// Commit returns cannot leave a committed dataset with a torn manifest.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// loadManifest reads and validates one dataset directory during recovery.
+func loadManifest(dir, id string) (*Manifest, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return nil, fmt.Errorf("read manifest: %w", err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return nil, fmt.Errorf("decode manifest: %w", err)
+	}
+	if man.ID != id {
+		return nil, fmt.Errorf("manifest ID %q does not match directory %q", man.ID, id)
+	}
+	if len(man.Tiles) == 0 {
+		return nil, errors.New("manifest lists no tiles")
+	}
+	st, err := os.Stat(filepath.Join(dir, segmentFile))
+	if err != nil {
+		return nil, fmt.Errorf("stat segment: %w", err)
+	}
+	if st.Size() != man.SegmentBytes {
+		return nil, fmt.Errorf("segment is %d bytes, manifest says %d", st.Size(), man.SegmentBytes)
+	}
+	seen := make(map[tileKey]struct{}, len(man.Tiles))
+	for _, ti := range man.Tiles {
+		// Same uniqueness invariant the Writer enforces: a duplicated
+		// (image, tile) entry would double-count that tile in every job.
+		key := tileKey{image: ti.Image, tile: ti.Tile}
+		if _, dup := seen[key]; dup {
+			return nil, fmt.Errorf("tile %s/%d listed twice in manifest", ti.Image, ti.Tile)
+		}
+		seen[key] = struct{}{}
+		// Overflow-safe bounds: Len <= total and Off <= total-Len, so a
+		// manifest with huge offsets cannot wrap Off+Len negative and slip
+		// past into a later make([]byte, Len) panic.
+		if ti.CountA < 0 || ti.CountB < 0 ||
+			ti.LenA < 0 || ti.LenA > man.SegmentBytes || ti.OffA < 0 || ti.OffA > man.SegmentBytes-ti.LenA ||
+			ti.LenB < 0 || ti.LenB > man.SegmentBytes || ti.OffB < 0 || ti.OffB > man.SegmentBytes-ti.LenB {
+			return nil, fmt.Errorf("tile %s/%d byte range out of bounds", ti.Image, ti.Tile)
+		}
+		// Each polygon record costs at least its length prefix, so a count
+		// beyond LenX/recLenBytes is unsatisfiable — reject it here rather
+		// than letting decodeSet size a slice from a crafted manifest.
+		if int64(ti.CountA) > ti.LenA/recLenBytes || int64(ti.CountB) > ti.LenB/recLenBytes {
+			return nil, fmt.Errorf("tile %s/%d polygon count exceeds its byte range", ti.Image, ti.Tile)
+		}
+		if !idPattern.MatchString(ti.Digest) {
+			return nil, fmt.Errorf("tile %s/%d carries no content digest", ti.Image, ti.Tile)
+		}
+	}
+	sort.Slice(man.Tiles, func(i, j int) bool {
+		if man.Tiles[i].Image != man.Tiles[j].Image {
+			return man.Tiles[i].Image < man.Tiles[j].Image
+		}
+		return man.Tiles[i].Tile < man.Tiles[j].Tile
+	})
+	// Recovery must enforce the invariant Commit established: the dataset ID
+	// is the fold of the per-tile digests in canonical order. A manifest
+	// whose tile list doesn't hash back to the directory's content address
+	// (swapped in from another dataset, partially restored) is rejected.
+	idh := sha256.New()
+	for _, ti := range man.Tiles {
+		raw, err := hex.DecodeString(ti.Digest)
+		if err != nil {
+			return nil, fmt.Errorf("tile %s/%d digest is not hex: %v", ti.Image, ti.Tile, err)
+		}
+		idh.Write(raw)
+	}
+	if got := hex.EncodeToString(idh.Sum(nil)); got != id {
+		return nil, fmt.Errorf("manifest tile digests fold to %s, not the directory's content address", got)
+	}
+	return &man, nil
+}
+
+// Dataset is a lazy reader over one stored dataset: each ReadTile opens the
+// segment file and reads only that tile's byte ranges, so a scheduler shard
+// touches only its own tiles and deleting a dataset mid-job fails that job
+// cleanly instead of leaking a handle.
+type Dataset struct {
+	dir string
+	man *Manifest
+}
+
+// OpenDataset returns a lazy per-tile reader for the dataset.
+func (s *Store) OpenDataset(id string) (*Dataset, error) {
+	man, ok := s.Get(id)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return &Dataset{dir: filepath.Join(s.dir, id), man: man}, nil
+}
+
+// Manifest returns the dataset's manifest.
+func (d *Dataset) Manifest() *Manifest { return d.man }
+
+// ReadTile decodes tile i's two polygon sets from the segment file, first
+// re-verifying the tile's content digest (so size-preserving corruption is
+// caught even when the bytes still decode), then fully validating every WKB
+// record (the SDBMS deserialization protocol cost).
+func (d *Dataset) ReadTile(i int) (a, b []*geom.Polygon, err error) {
+	if i < 0 || i >= len(d.man.Tiles) {
+		return nil, nil, fmt.Errorf("store: dataset %s has no tile index %d", d.man.ID, i)
+	}
+	ti := d.man.Tiles[i]
+	f, err := os.Open(filepath.Join(d.dir, segmentFile))
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: dataset %s: %w", d.man.ID, err)
+	}
+	defer f.Close()
+	segA, err := d.readRange(f, ti, "A", ti.OffA, ti.LenA)
+	if err != nil {
+		return nil, nil, err
+	}
+	segB, err := d.readRange(f, ti, "B", ti.OffB, ti.LenB)
+	if err != nil {
+		return nil, nil, err
+	}
+	sum := tileDigest(ti, segA, segB)
+	if hex.EncodeToString(sum[:]) != ti.Digest {
+		return nil, nil, fmt.Errorf("store: dataset %s tile %s/%d corrupt: content digest mismatch",
+			d.man.ID, ti.Image, ti.Tile)
+	}
+	if a, err = d.decodeSet(ti, "A", segA, ti.CountA); err != nil {
+		return nil, nil, err
+	}
+	if b, err = d.decodeSet(ti, "B", segB, ti.CountB); err != nil {
+		return nil, nil, err
+	}
+	return a, b, nil
+}
+
+func (d *Dataset) readRange(f *os.File, ti TileInfo, set string, off, ln int64) ([]byte, error) {
+	buf := make([]byte, ln)
+	if _, err := f.ReadAt(buf, off); err != nil {
+		return nil, fmt.Errorf("store: dataset %s tile %s/%d set %s corrupt: read %d bytes at %d: %v",
+			d.man.ID, ti.Image, ti.Tile, set, ln, off, err)
+	}
+	return buf, nil
+}
+
+func (d *Dataset) decodeSet(ti TileInfo, set string, buf []byte, count int) ([]*geom.Polygon, error) {
+	corrupt := func(format string, args ...any) error {
+		return fmt.Errorf("store: dataset %s tile %s/%d set %s corrupt: %s",
+			d.man.ID, ti.Image, ti.Tile, set, fmt.Sprintf(format, args...))
+	}
+	polys := make([]*geom.Polygon, 0, count)
+	for i := 0; i < count; i++ {
+		if len(buf) < recLenBytes {
+			return nil, corrupt("truncated record header for polygon %d", i)
+		}
+		n := int64(binary.LittleEndian.Uint32(buf))
+		if n > int64(len(buf)-recLenBytes) {
+			return nil, corrupt("polygon %d claims %d bytes, only %d remain", i, n, len(buf)-recLenBytes)
+		}
+		p, err := wkb.Unmarshal(buf[recLenBytes : recLenBytes+n])
+		if err != nil {
+			return nil, corrupt("polygon %d: %v", i, err)
+		}
+		polys = append(polys, p)
+		buf = buf[recLenBytes+n:]
+	}
+	if len(buf) != 0 {
+		return nil, corrupt("%d trailing bytes after %d polygons", len(buf), count)
+	}
+	return polys, nil
+}
+
+// Source returns the dataset as a lazily-materializing task source: the
+// scheduler shards over tile handles (weights come straight from the
+// manifest) and each shard encodes only its own tiles into pipeline input.
+// The text encoding is canonical, so a store-served task is byte-identical
+// to the task pipeline.EncodeDataset would have produced from the same
+// polygons.
+func (d *Dataset) Source() *DatasetSource { return &DatasetSource{d: d} }
+
+// DatasetSource adapts a stored dataset to the scheduler's task-source
+// contract (Len/Weight/Task) without the scheduler importing the store.
+type DatasetSource struct {
+	d *Dataset
+}
+
+// Len returns the tile count.
+func (src *DatasetSource) Len() int { return len(src.d.man.Tiles) }
+
+// Weight returns tile i's encoded byte size, the sharding weight.
+func (src *DatasetSource) Weight(i int) int64 { return src.d.man.Tiles[i].Bytes() }
+
+// Task materializes tile i as pipeline input.
+func (src *DatasetSource) Task(i int) (pipeline.FileTask, error) {
+	a, b, err := src.d.ReadTile(i)
+	if err != nil {
+		return pipeline.FileTask{}, err
+	}
+	ti := src.d.man.Tiles[i]
+	return pipeline.FileTask{
+		Image: ti.Image,
+		Tile:  ti.Tile,
+		RawA:  parser.Encode(a),
+		RawB:  parser.Encode(b),
+	}, nil
+}

@@ -1,0 +1,363 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/pathology"
+	"repro/internal/pipeline"
+	"repro/internal/sched"
+	"repro/internal/wkb"
+)
+
+func testDataset(t *testing.T, tiles int) *pathology.Dataset {
+	t.Helper()
+	spec := pathology.Representative()
+	spec.Tiles = tiles
+	return pathology.Generate(spec)
+}
+
+func openStore(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s
+}
+
+// TestRoundTripByteIdentical is the core durability property: every polygon
+// read back from a stored dataset re-marshals to exactly the WKB bytes that
+// were written, and a store-served pipeline task is byte-identical to the
+// task EncodeDataset builds from the same polygons in memory.
+func TestRoundTripByteIdentical(t *testing.T) {
+	d := testDataset(t, 3)
+	s := openStore(t, t.TempDir())
+	man, err := s.IngestDataset(d)
+	if err != nil {
+		t.Fatalf("IngestDataset: %v", err)
+	}
+	if !ValidateID(man.ID) {
+		t.Fatalf("manifest ID %q is not a valid content hash", man.ID)
+	}
+	if len(man.Tiles) != len(d.Pairs) {
+		t.Fatalf("manifest has %d tiles, dataset has %d", len(man.Tiles), len(d.Pairs))
+	}
+
+	ds, err := s.OpenDataset(man.ID)
+	if err != nil {
+		t.Fatalf("OpenDataset: %v", err)
+	}
+	want := pipeline.EncodeDataset(d)
+	for i, tp := range d.Pairs {
+		a, b, err := ds.ReadTile(i)
+		if err != nil {
+			t.Fatalf("ReadTile(%d): %v", i, err)
+		}
+		if len(a) != len(tp.A) || len(b) != len(tp.B) {
+			t.Fatalf("tile %d read %d/%d polygons, want %d/%d", i, len(a), len(b), len(tp.A), len(tp.B))
+		}
+		for j := range a {
+			if !bytes.Equal(wkb.Marshal(a[j]), wkb.Marshal(tp.A[j])) {
+				t.Fatalf("tile %d set A polygon %d WKB differs after round trip", i, j)
+			}
+		}
+		task, err := ds.Source().Task(i)
+		if err != nil {
+			t.Fatalf("Source().Task(%d): %v", i, err)
+		}
+		if task.Image != want[i].Image || task.Tile != want[i].Tile ||
+			!bytes.Equal(task.RawA, want[i].RawA) || !bytes.Equal(task.RawB, want[i].RawB) {
+			t.Fatalf("store-served task %d differs from EncodeDataset task", i)
+		}
+		if got := ds.Source().Weight(i); got != man.Tiles[i].Bytes() || got <= 0 {
+			t.Fatalf("Weight(%d) = %d, want manifest tile bytes %d", i, got, man.Tiles[i].Bytes())
+		}
+	}
+}
+
+// TestContentIDStableAcrossIngestOrder: the dataset ID hashes canonical tile
+// content, so ingesting the same tiles in reverse order — under a different
+// name — deduplicates to the same stored dataset.
+func TestContentIDStableAcrossIngestOrder(t *testing.T) {
+	d := testDataset(t, 4)
+	s := openStore(t, t.TempDir())
+
+	tiles := make([]IngestTile, len(d.Pairs))
+	for i, tp := range d.Pairs {
+		tiles[i] = IngestTile{Image: tp.Image, Tile: tp.Index, A: tp.A, B: tp.B}
+	}
+	first, err := s.Ingest("forward", tiles)
+	if err != nil {
+		t.Fatalf("Ingest forward: %v", err)
+	}
+	rev := make([]IngestTile, len(tiles))
+	for i := range tiles {
+		rev[i] = tiles[len(tiles)-1-i]
+	}
+	second, err := s.Ingest("backward", rev)
+	if err != nil {
+		t.Fatalf("Ingest backward: %v", err)
+	}
+	if first.ID != second.ID {
+		t.Fatalf("ingest order changed the content ID: %s vs %s", first.ID, second.ID)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("store holds %d datasets after duplicate ingest, want 1", s.Len())
+	}
+	if second.Name != "forward" {
+		t.Errorf("dedup returned name %q, want the stored dataset's %q", second.Name, "forward")
+	}
+}
+
+// TestRecoveryRescan: a second Open over the same directory recovers the
+// manifest and serves identical tile reads.
+func TestRecoveryRescan(t *testing.T) {
+	d := testDataset(t, 2)
+	dir := t.TempDir()
+	man, err := openStore(t, dir).IngestDataset(d)
+	if err != nil {
+		t.Fatalf("IngestDataset: %v", err)
+	}
+
+	s2 := openStore(t, dir)
+	if len(s2.Skipped()) != 0 {
+		t.Fatalf("recovery skipped datasets: %v", s2.Skipped())
+	}
+	got, ok := s2.Get(man.ID)
+	if !ok {
+		t.Fatalf("dataset %s not recovered", man.ID)
+	}
+	if got.Name != man.Name || got.SegmentBytes != man.SegmentBytes || got.Polygons != man.Polygons {
+		t.Fatalf("recovered manifest differs: %+v vs %+v", got, man)
+	}
+	ds, err := s2.OpenDataset(man.ID)
+	if err != nil {
+		t.Fatalf("OpenDataset after recovery: %v", err)
+	}
+	if _, _, err := ds.ReadTile(0); err != nil {
+		t.Fatalf("ReadTile after recovery: %v", err)
+	}
+}
+
+// TestCorruptSegmentRejected: a flipped byte inside a stored polygon must
+// surface as a clear per-tile error naming the dataset, not a panic or a
+// silently wrong polygon.
+func TestCorruptSegmentRejected(t *testing.T) {
+	d := testDataset(t, 1)
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	man, err := s.IngestDataset(d)
+	if err != nil {
+		t.Fatalf("IngestDataset: %v", err)
+	}
+	seg := filepath.Join(dir, man.ID, "segments.wkb")
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(seg, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ds, err := s.OpenDataset(man.ID)
+	if err != nil {
+		t.Fatalf("OpenDataset: %v", err)
+	}
+	_, _, err = ds.ReadTile(0)
+	if err == nil {
+		t.Fatal("ReadTile returned no error over a corrupted segment")
+	}
+	if !strings.Contains(err.Error(), man.ID) || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corruption error %q does not name the dataset and corruption", err)
+	}
+}
+
+// TestTruncatedSegmentSkippedOnOpen: recovery refuses a dataset whose
+// segment file does not match its manifest, reporting why, without failing
+// the whole store.
+func TestTruncatedSegmentSkippedOnOpen(t *testing.T) {
+	d := testDataset(t, 2)
+	dir := t.TempDir()
+	man, err := openStore(t, dir).IngestDataset(d)
+	if err != nil {
+		t.Fatalf("IngestDataset: %v", err)
+	}
+	seg := filepath.Join(dir, man.ID, "segments.wkb")
+	if err := os.Truncate(seg, man.SegmentBytes/2); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openStore(t, dir)
+	if _, ok := s2.Get(man.ID); ok {
+		t.Fatal("truncated dataset was recovered as valid")
+	}
+	skipped := s2.Skipped()
+	if len(skipped) != 1 || !strings.Contains(skipped[0].Error(), "segment") {
+		t.Fatalf("Skipped() = %v, want one clear segment-size error", skipped)
+	}
+}
+
+// TestCorruptManifestSkipped: unparseable manifest JSON is likewise skipped
+// with a clear reason.
+func TestCorruptManifestSkipped(t *testing.T) {
+	d := testDataset(t, 1)
+	dir := t.TempDir()
+	man, err := openStore(t, dir).IngestDataset(d)
+	if err != nil {
+		t.Fatalf("IngestDataset: %v", err)
+	}
+	manPath := filepath.Join(dir, man.ID, "manifest.json")
+	if err := os.WriteFile(manPath, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openStore(t, dir)
+	if s2.Len() != 0 {
+		t.Fatal("dataset with corrupt manifest was recovered")
+	}
+	if skipped := s2.Skipped(); len(skipped) != 1 || !strings.Contains(skipped[0].Error(), "manifest") {
+		t.Fatalf("Skipped() = %v, want one clear manifest error", skipped)
+	}
+}
+
+// TestStoreBackedJobMatchesPipeline: a scheduler job running over lazy
+// store tile handles must reproduce a direct in-memory pipeline run of the
+// same dataset bit-for-bit.
+func TestStoreBackedJobMatchesPipeline(t *testing.T) {
+	d := testDataset(t, 4)
+	s := openStore(t, t.TempDir())
+	man, err := s.IngestDataset(d)
+	if err != nil {
+		t.Fatalf("IngestDataset: %v", err)
+	}
+	ds, err := s.OpenDataset(man.ID)
+	if err != nil {
+		t.Fatalf("OpenDataset: %v", err)
+	}
+
+	sc := sched.New(sched.Config{Devices: 2, Workers: 2})
+	defer sc.Close()
+	id, err := sc.SubmitSource(man.Name, ds.Source())
+	if err != nil {
+		t.Fatalf("SubmitSource: %v", err)
+	}
+	st, err := sc.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if st.State != sched.Done {
+		t.Fatalf("job state %v (error %q), want done", st.State, st.Error)
+	}
+
+	direct, err := pipeline.Run(pipeline.EncodeDataset(d), pipeline.Config{})
+	if err != nil {
+		t.Fatalf("direct pipeline run: %v", err)
+	}
+	if st.Report.Similarity != direct.Similarity {
+		t.Errorf("store-backed job similarity %v != direct %v (must be bit-identical)",
+			st.Report.Similarity, direct.Similarity)
+	}
+	if st.Report.Intersecting != direct.Intersecting || st.Report.Candidates != direct.Candidates {
+		t.Errorf("store-backed job counts (%d, %d) != direct (%d, %d)",
+			st.Report.Intersecting, st.Report.Candidates, direct.Intersecting, direct.Candidates)
+	}
+}
+
+// TestDeleteRemovesDataset: Delete drops the index entry and the directory;
+// a lazy reader opened before the delete fails cleanly on its next read.
+func TestDeleteRemovesDataset(t *testing.T) {
+	d := testDataset(t, 1)
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	man, err := s.IngestDataset(d)
+	if err != nil {
+		t.Fatalf("IngestDataset: %v", err)
+	}
+	ds, err := s.OpenDataset(man.ID)
+	if err != nil {
+		t.Fatalf("OpenDataset: %v", err)
+	}
+	if err := s.Delete(man.ID); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, ok := s.Get(man.ID); ok {
+		t.Fatal("deleted dataset still indexed")
+	}
+	if _, err := os.Stat(filepath.Join(dir, man.ID)); !os.IsNotExist(err) {
+		t.Fatalf("dataset directory survives delete: %v", err)
+	}
+	if _, _, err := ds.ReadTile(0); err == nil {
+		t.Fatal("reading a deleted dataset succeeded")
+	}
+	if err := s.Delete(man.ID); err != ErrNotFound {
+		t.Fatalf("second Delete = %v, want ErrNotFound", err)
+	}
+}
+
+// TestEmptyIngestRejected: committing zero tiles is an error and leaves no
+// temp debris behind.
+func TestEmptyIngestRejected(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	if _, err := s.Ingest("empty", nil); err != ErrEmpty {
+		t.Fatalf("Ingest(nil) = %v, want ErrEmpty", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("empty ingest left %d entries in the store dir", len(entries))
+	}
+}
+
+// TestDuplicateTileRejected: one ingest cannot contain the same (image,
+// tile) twice — the content address would be ambiguous.
+func TestDuplicateTileRejected(t *testing.T) {
+	d := testDataset(t, 1)
+	s := openStore(t, t.TempDir())
+	tp := d.Pairs[0]
+	tiles := []IngestTile{
+		{Image: tp.Image, Tile: tp.Index, A: tp.A, B: tp.B},
+		{Image: tp.Image, Tile: tp.Index, A: tp.A, B: tp.B},
+	}
+	if _, err := s.Ingest("dup", tiles); err == nil || !strings.Contains(err.Error(), "duplicate tile") {
+		t.Fatalf("duplicate-tile ingest error = %v, want a clear duplicate error", err)
+	}
+}
+
+// TestManifestDigestFoldVerified: recovery recomputes the dataset ID from
+// the manifest's per-tile digests; a manifest whose tile list no longer
+// folds to the directory's content address is rejected.
+func TestManifestDigestFoldVerified(t *testing.T) {
+	d := testDataset(t, 1)
+	dir := t.TempDir()
+	man, err := openStore(t, dir).IngestDataset(d)
+	if err != nil {
+		t.Fatalf("IngestDataset: %v", err)
+	}
+	manPath := filepath.Join(dir, man.ID, "manifest.json")
+	raw, err := os.ReadFile(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(raw), man.Tiles[0].Digest, strings.Repeat("0", 64), 1)
+	if tampered == string(raw) {
+		t.Fatal("test setup: tile digest not found in manifest JSON")
+	}
+	if err := os.WriteFile(manPath, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openStore(t, dir)
+	if _, ok := s2.Get(man.ID); ok {
+		t.Fatal("dataset with tampered tile digest was recovered")
+	}
+	if skipped := s2.Skipped(); len(skipped) != 1 || !strings.Contains(skipped[0].Error(), "content address") {
+		t.Fatalf("Skipped() = %v, want a content-address fold error", skipped)
+	}
+}

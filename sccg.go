@@ -35,6 +35,7 @@ import (
 	"repro/internal/rtree"
 	"repro/internal/sched"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 // Re-exported core types, so downstream users work entirely through this
@@ -63,6 +64,11 @@ type (
 	SearchStats = rtree.SearchStats
 	// JobStatus is a job snapshot from the service scheduler.
 	JobStatus = sched.JobStatus
+	// Store is the persistent content-addressed dataset store.
+	Store = store.Store
+	// DatasetManifest describes one stored dataset (content ID, per-tile
+	// byte layout).
+	DatasetManifest = store.Manifest
 )
 
 // NewPolygon validates vertices as a simple rectilinear polygon.
@@ -269,6 +275,18 @@ func Representative() DatasetSpec { return pathology.Representative() }
 // EncodeDataset converts a dataset into pipeline input tasks.
 func EncodeDataset(d *Dataset) []FileTask { return pipeline.EncodeDataset(d) }
 
+// OpenStore opens (creating if needed) the persistent dataset store rooted
+// at dir, recovering previously ingested datasets by re-scanning their
+// manifests.
+func OpenStore(dir string) (*Store, error) { return store.Open(dir) }
+
+// IngestDataset persists a generated dataset into the store and returns its
+// content-addressed manifest. Ingestion is idempotent: identical polygon
+// content maps to the same dataset ID.
+func IngestDataset(st *Store, d *Dataset) (*DatasetManifest, error) {
+	return st.IngestDataset(d)
+}
+
 // ServiceOptions configures the resident cross-comparison job service.
 type ServiceOptions struct {
 	// Devices is the simulated-GPU pool size; 0 runs CPU-only.
@@ -292,6 +310,9 @@ type ServiceOptions struct {
 	// CacheSize is the HTTP result cache capacity; 0 selects the server
 	// default, negative disables caching.
 	CacheSize int
+	// Store, when set, backs the /datasets endpoints, jobs by dataset ID,
+	// and content-hash result caching (see OpenStore).
+	Store *Store
 }
 
 // Service is the resident SCCG job service (paper §4 generalised to a
@@ -299,6 +320,7 @@ type ServiceOptions struct {
 // cmd/sccgd serves.
 type Service struct {
 	sched *sched.Scheduler
+	store *Store
 	srv   *server.Server
 }
 
@@ -340,7 +362,13 @@ func NewService(opts ServiceOptions) *Service {
 	}
 	return &Service{
 		sched: sc,
-		srv:   server.New(sc, server.Options{CacheSize: opts.CacheSize, Compare: compare, Registry: reg}),
+		store: opts.Store,
+		srv: server.New(sc, server.Options{
+			CacheSize: opts.CacheSize,
+			Compare:   compare,
+			Registry:  reg,
+			Store:     opts.Store,
+		}),
 	}
 }
 
@@ -354,6 +382,22 @@ func (s *Service) Scheduler() *sched.Scheduler { return s.sched }
 // SubmitDataset queues a corpus-style dataset job directly, bypassing HTTP.
 func (s *Service) SubmitDataset(spec DatasetSpec) (string, error) {
 	return s.sched.SubmitDataset(spec)
+}
+
+// Store exposes the service's dataset store (nil when none is configured).
+func (s *Service) Store() *Store { return s.store }
+
+// SubmitStored queues a job over a stored dataset by content ID, bypassing
+// HTTP. Shards materialize lazily from the store's tile segments.
+func (s *Service) SubmitStored(datasetID string) (string, error) {
+	if s.store == nil {
+		return "", fmt.Errorf("sccg: service has no dataset store")
+	}
+	ds, err := s.store.OpenDataset(datasetID)
+	if err != nil {
+		return "", err
+	}
+	return s.sched.SubmitSource(ds.Manifest().DisplayName(), ds.Source())
 }
 
 // Job returns a job snapshot by ID.

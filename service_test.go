@@ -2,6 +2,7 @@ package sccg_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math"
 	"net/http"
@@ -185,5 +186,59 @@ func TestErrVariants(t *testing.T) {
 	}
 	if len(results) != len(pairs) {
 		t.Errorf("ComputeAreasErr returned %d results for %d pairs", len(results), len(pairs))
+	}
+}
+
+// TestStoreBackedJobMatchesCrossCompare drives the facade's store surface:
+// a dataset ingested through OpenStore/IngestDataset and executed as a
+// store-backed job must reproduce the in-process CrossComparePolygons
+// result over the same polygon sets bit-for-bit (single tile, so the two
+// paths fold ratios in the same order).
+func TestStoreBackedJobMatchesCrossCompare(t *testing.T) {
+	st, err := sccg.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	spec := sccg.Representative()
+	spec.Tiles = 1
+	d := sccg.GenerateDataset(spec)
+	man, err := sccg.IngestDataset(st, d)
+	if err != nil {
+		t.Fatalf("IngestDataset: %v", err)
+	}
+
+	svc := sccg.NewService(sccg.ServiceOptions{Devices: 1, Store: st})
+	defer svc.Close()
+	if svc.Store() != st {
+		t.Fatal("Service.Store() does not expose the configured store")
+	}
+	id, err := svc.SubmitStored(man.ID)
+	if err != nil {
+		t.Fatalf("SubmitStored: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	job, err := svc.Scheduler().Wait(ctx, id)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if job.Error != "" {
+		t.Fatalf("store-backed job failed: %s", job.Error)
+	}
+
+	eng := sccg.NewEngine(sccg.Options{})
+	sim, hits, cands := eng.CrossComparePolygons(d.Pairs[0].A, d.Pairs[0].B)
+	if job.Report.Similarity != sim {
+		t.Errorf("store-backed similarity %.17g != CrossComparePolygons %.17g (must be exact)",
+			job.Report.Similarity, sim)
+	}
+	if job.Report.Intersecting != hits || job.Report.Candidates != cands {
+		t.Errorf("store-backed counts (%d, %d) != CrossComparePolygons (%d, %d)",
+			job.Report.Intersecting, job.Report.Candidates, hits, cands)
+	}
+
+	// An unknown content ID fails up front, not at run time.
+	if _, err := svc.SubmitStored("0000000000000000000000000000000000000000000000000000000000000000"); err == nil {
+		t.Error("SubmitStored accepted an unknown dataset ID")
 	}
 }
