@@ -17,9 +17,19 @@
 // With -data-dir the daemon owns a persistent content-addressed dataset
 // store: PUT /datasets ingests segmented polygon sets as WKB tile segments,
 // jobs can then be submitted by dataset_id, results are cached by content
-// hash, and a restart recovers every stored dataset from its manifest:
+// hash (and persisted beside the manifests, so a restart answers repeats
+// without recompute), and a restart recovers every stored dataset from its
+// manifest:
 //
 //	sccgd -addr :8080 -devices 2 -data-dir /var/lib/sccgd
+//
+// The store also opens the cross-comparison workload — one algorithm's
+// stored results against another's over the same tiles:
+//
+//	curl -s -X POST localhost:8080/jobs -d '{"dataset_a":"<id1>","dataset_b":"<id2>"}'
+//	curl -s -X POST localhost:8080/matrix -d '{"datasets":["<id1>","<id2>","<id3>"]}'
+//	curl -s localhost:8080/matrix/mx-000001
+//	curl -s localhost:8080/datasets/<id1>/tiles/0
 package main
 
 import (

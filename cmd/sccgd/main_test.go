@@ -319,3 +319,202 @@ func TestDaemonDatasetPersistence(t *testing.T) {
 		t.Fatalf("resubmission = %d %+v, want cached done job %s", code, cached, firstID)
 	}
 }
+
+// TestDaemonMatrixEndToEnd is the cross-comparison subsystem's acceptance
+// test: PUT three variant segmentations of the same slide, POST /matrix,
+// poll the run to completion, verify every off-diagonal cell bit-for-bit
+// against in-process CrossComparePolygons over the same polygons, then
+// restart the daemon on the same data dir and check a repeat matrix is
+// answered entirely from the persisted cache without submitting any job.
+func TestDaemonMatrixEndToEnd(t *testing.T) {
+	dataDir := t.TempDir()
+
+	boot := func(t *testing.T) (base string, stop func()) {
+		t.Helper()
+		ctx, cancel := context.WithCancel(context.Background())
+		ready := make(chan string, 1)
+		errCh := make(chan error, 1)
+		go func() {
+			errCh <- run(ctx, []string{
+				"-addr", "127.0.0.1:0",
+				"-devices", "2",
+				"-data-dir", dataDir,
+			}, func(addr string) { ready <- addr })
+		}()
+		select {
+		case addr := <-ready:
+			base = "http://" + addr
+		case err := <-errCh:
+			t.Fatalf("daemon exited before ready: %v", err)
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon did not become ready")
+		}
+		return base, func() {
+			cancel()
+			select {
+			case err := <-errCh:
+				if err != nil {
+					t.Fatalf("daemon shutdown: %v", err)
+				}
+			case <-time.After(15 * time.Second):
+				t.Fatal("daemon did not shut down")
+			}
+		}
+	}
+
+	// Three single-tile variants of the same slide: identical tile keys,
+	// different polygons, so the 3×3 matrix compares algorithm outputs and
+	// CrossComparePolygons is an exact per-cell oracle.
+	var datasets []*pathology.Dataset
+	for seed := int64(1); seed <= 3; seed++ {
+		spec := pathology.DatasetSpec{Name: "mx-e2e", Seed: seed, Tiles: 1,
+			Gen: pathology.DefaultGenConfig()}
+		datasets = append(datasets, pathology.Generate(spec))
+	}
+
+	base, stop := boot(t)
+	ids := make([]string, len(datasets))
+	for i, d := range datasets {
+		payload := make([]map[string]any, len(d.Pairs))
+		for j, tp := range d.Pairs {
+			payload[j] = map[string]any{
+				"image": tp.Image,
+				"tile":  tp.Index,
+				"raw_a": sccg.EncodePolygons(tp.A),
+				"raw_b": sccg.EncodePolygons(tp.B),
+			}
+		}
+		body, _ := json.Marshal(payload)
+		req, _ := http.NewRequest(http.MethodPut, base+"/datasets", bytes.NewReader(body))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("PUT /datasets: %v", err)
+		}
+		var man struct {
+			ID string `json:"id"`
+		}
+		decodeBody(t, resp, &man, http.StatusOK)
+		ids[i] = man.ID
+	}
+
+	type matrixStatus struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		Cells [][]struct {
+			State      string  `json:"state"`
+			Cached     bool    `json:"cached"`
+			Error      string  `json:"error"`
+			Similarity float64 `json:"similarity"`
+			Intersect  int     `json:"intersecting"`
+			Candidates int     `json:"candidates"`
+		} `json:"cells"`
+		Group struct {
+			Done     int  `json:"done"`
+			Terminal bool `json:"terminal"`
+		} `json:"group"`
+	}
+
+	runMatrix := func(base string) matrixStatus {
+		body, _ := json.Marshal(map[string]any{"datasets": ids})
+		resp, err := http.Post(base+"/matrix", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST /matrix: %v", err)
+		}
+		var mst matrixStatus
+		decodeBody(t, resp, &mst, http.StatusAccepted)
+		deadline := time.Now().Add(60 * time.Second)
+		for mst.State == "running" {
+			if time.Now().After(deadline) {
+				t.Fatalf("matrix %s stuck running", mst.ID)
+			}
+			time.Sleep(20 * time.Millisecond)
+			resp, err := http.Get(base + "/matrix/" + mst.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			decodeBody(t, resp, &mst, http.StatusOK)
+		}
+		return mst
+	}
+
+	mst := runMatrix(base)
+	if mst.State != "done" {
+		t.Fatalf("matrix ended %s: %+v", mst.State, mst)
+	}
+	if mst.Group.Done != 3 || !mst.Group.Terminal {
+		t.Errorf("matrix group = %+v, want 3 done members, terminal", mst.Group)
+	}
+
+	// Oracle: the engine's CrossComparePolygons over dataset i's set A and
+	// dataset j's set B — exactly the cross-cell semantics.
+	eng := sccg.NewEngine(sccg.Options{})
+	for i := 0; i < 3; i++ {
+		if mst.Cells[i][i].State != "self" {
+			t.Errorf("diagonal cell [%d][%d] = %q, want self", i, i, mst.Cells[i][i].State)
+		}
+		for j := 0; j < 3; j++ {
+			if i == j {
+				continue
+			}
+			c := mst.Cells[i][j]
+			if c.State != "done" {
+				t.Fatalf("cell [%d][%d] = %q: %s", i, j, c.State, c.Error)
+			}
+			if c.Similarity != mst.Cells[j][i].Similarity {
+				t.Errorf("matrix asymmetric at [%d][%d]", i, j)
+			}
+			// Cell (i,j) with i<j was computed as cross(ids[i], ids[j]);
+			// the mirror carries the same report.
+			a, b := i, j
+			if i > j {
+				a, b = j, i
+			}
+			sim, hits, cands := eng.CrossComparePolygons(datasets[a].Pairs[0].A, datasets[b].Pairs[0].B)
+			if c.Similarity != sim || c.Intersect != hits || c.Candidates != cands {
+				t.Errorf("cell [%d][%d] = (%.17g, %d, %d), CrossComparePolygons = (%.17g, %d, %d); must be exact",
+					i, j, c.Similarity, c.Intersect, c.Candidates, sim, hits, cands)
+			}
+		}
+	}
+	stop()
+
+	// Restart on the same data dir: the repeat matrix must be answered
+	// entirely from the persisted cache — same values, zero jobs submitted.
+	base, stop = boot(t)
+	defer stop()
+	again := runMatrix(base)
+	if again.State != "done" {
+		t.Fatalf("post-restart matrix ended %s: %+v", again.State, again)
+	}
+	for i := range again.Cells {
+		for j := range again.Cells[i] {
+			if i == j {
+				continue
+			}
+			if !again.Cells[i][j].Cached {
+				t.Errorf("post-restart cell [%d][%d] not served from cache", i, j)
+			}
+			if again.Cells[i][j].Similarity != mst.Cells[i][j].Similarity {
+				t.Errorf("post-restart cell [%d][%d] similarity drifted", i, j)
+			}
+		}
+	}
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsText, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metricsText), "sccgd_jobs_submitted_total 0") {
+		t.Errorf("post-restart matrix submitted jobs; metrics:\n%s", grepLine(string(metricsText), "sccgd_jobs_submitted_total"))
+	}
+}
+
+func grepLine(text, substr string) string {
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, substr) {
+			return line
+		}
+	}
+	return "(metric absent)"
+}

@@ -1,0 +1,508 @@
+package compare
+
+// K-way matrix runs: given K stored dataset IDs, plan the K·(K−1)/2
+// unordered pairwise cells, submit each cell through the service's
+// cache-aware job submitter (so repeated content is answered without
+// recompute — including from the persisted cache after a restart), fan the
+// remaining cells out with bounded concurrency, and aggregate the per-cell
+// outcomes into a symmetric similarity matrix.
+//
+// Each run is one scheduler job group: cell jobs submitted for the run are
+// owned members, cache-hit attachments are shared members, and cancelling
+// the run cancels the owned members while merely detaching from the shared
+// ones. Cell (i,j) is computed once as cross(ids[i], ids[j]) with i < j and
+// mirrored into (j,i); the diagonal is the self-comparison, which by the
+// cross semantics (set A of the left dataset vs set B of the right) is the
+// dataset's own embedded A-vs-B job — it is not part of the plan, and the
+// status marks it "self".
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/pipeline"
+	"repro/internal/sched"
+)
+
+// Cell states surfaced in a matrix status.
+const (
+	CellPending  = "pending"
+	CellRunning  = "running"
+	CellDone     = "done"
+	CellFailed   = "failed"
+	CellCanceled = "canceled"
+	CellSelf     = "self" // diagonal placeholder, never computed
+)
+
+// Run states.
+const (
+	RunRunning  = "running"
+	RunDone     = "done"
+	RunFailed   = "failed"
+	RunCanceled = "canceled"
+)
+
+// SubmitOutcome is what the cache-aware submitter returns for one cell.
+type SubmitOutcome struct {
+	// JobID is the live scheduler job computing (or having computed) the
+	// cell; empty when a persisted report answered without a job.
+	JobID string
+	// Cached marks answers served from the result cache (live or persisted).
+	Cached bool
+	// Report is set when the cell was answered terminal-immediately from a
+	// persisted report; the run records it without waiting on any job.
+	Report *pipeline.Result
+	// Tiles and the unmatched counts describe the cell's tile pairing.
+	Tiles      int
+	UnmatchedA int
+	UnmatchedB int
+}
+
+// SubmitFunc submits (or resolves from cache) one pairwise cell job
+// comparing dataset idA's set A against dataset idB's set B.
+type SubmitFunc func(idA, idB string) (SubmitOutcome, error)
+
+// ManagerConfig wires a matrix manager.
+type ManagerConfig struct {
+	// Scheduler is where cell jobs run and groups live.
+	Scheduler *sched.Scheduler
+	// Submit is the cache-aware cell submitter (the HTTP server's job
+	// submission path).
+	Submit SubmitFunc
+	// Concurrency bounds how many cells are in flight per run; default 4.
+	Concurrency int
+}
+
+// Errors returned by the manager API.
+var (
+	ErrNoRun       = errors.New("compare: no such matrix run")
+	ErrRunTerminal = errors.New("compare: matrix run already finished")
+	ErrClosed      = errors.New("compare: matrix manager closed")
+)
+
+// Manager owns the matrix runs of one service instance.
+type Manager struct {
+	cfg ManagerConfig
+
+	mu     sync.Mutex
+	runs   map[string]*Run
+	order  []string
+	closed bool
+
+	nextID int64
+}
+
+// NewManager creates a matrix manager.
+func NewManager(cfg ManagerConfig) *Manager {
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 4
+	}
+	return &Manager{cfg: cfg, runs: make(map[string]*Run)}
+}
+
+// Start plans and launches a matrix run over the dataset IDs. The caller is
+// expected to have verified the IDs exist; duplicate IDs are rejected here
+// because a duplicated dataset would make two cells aliases of each other
+// and the matrix no longer K-way.
+func (m *Manager) Start(name string, ids []string) (*Run, error) {
+	if len(ids) < 2 {
+		return nil, fmt.Errorf("compare: a matrix needs at least 2 datasets, got %d", len(ids))
+	}
+	seen := make(map[string]struct{}, len(ids))
+	for _, id := range ids {
+		if _, dup := seen[id]; dup {
+			return nil, fmt.Errorf("compare: dataset %s listed twice", id)
+		}
+		seen[id] = struct{}{}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Run{
+		m:       m,
+		name:    name,
+		ids:     append([]string(nil), ids...),
+		created: time.Now(),
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		state:   RunRunning,
+	}
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			r.cells = append(r.cells, &cell{i: i, j: j, state: CellPending})
+		}
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		cancel()
+		return nil, ErrClosed
+	}
+	r.id = fmt.Sprintf("mx-%06d", atomic.AddInt64(&m.nextID, 1))
+	r.group = m.cfg.Scheduler.NewGroup(r.id + ": " + r.label())
+	m.runs[r.id] = r
+	m.order = append(m.order, r.id)
+	m.mu.Unlock()
+
+	go r.execute(m.cfg)
+	return r, nil
+}
+
+// Get returns the run with the given ID.
+func (m *Manager) Get(id string) (*Run, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.runs[id]
+	return r, ok
+}
+
+// Runs returns every run in start order.
+func (m *Manager) Runs() []*Run {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Run, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.runs[id])
+	}
+	return out
+}
+
+// Cancel cancels a running matrix: pending cells are abandoned, owned member
+// jobs are canceled through the run's job group.
+func (m *Manager) Cancel(id string) error {
+	r, ok := m.Get(id)
+	if !ok {
+		return ErrNoRun
+	}
+	return r.Cancel()
+}
+
+// Close cancels every non-terminal run; further Starts fail.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	m.closed = true
+	runs := make([]*Run, 0, len(m.order))
+	for _, id := range m.order {
+		runs = append(runs, m.runs[id])
+	}
+	m.mu.Unlock()
+	for _, r := range runs {
+		_ = r.Cancel()
+	}
+}
+
+// cell is one planned pairwise comparison; guarded by its run's mutex.
+type cell struct {
+	i, j       int
+	state      string
+	jobID      string
+	cached     bool
+	errMsg     string
+	tiles      int
+	unmatchedA int
+	unmatchedB int
+	report     *pipeline.Result // set when state == done
+}
+
+// Run is one in-flight or finished matrix run.
+type Run struct {
+	m       *Manager
+	id      string
+	name    string
+	ids     []string
+	created time.Time
+	group   *sched.Group
+	ctx     context.Context
+	cancel  context.CancelFunc
+	done    chan struct{}
+
+	mu              sync.Mutex
+	cells           []*cell
+	state           string
+	finished        time.Time
+	cancelRequested bool
+}
+
+// ID returns the run's manager-assigned ID.
+func (r *Run) ID() string { return r.id }
+
+// Done returns a channel closed when the run reaches a terminal state.
+func (r *Run) Done() <-chan struct{} { return r.done }
+
+func (r *Run) label() string {
+	if r.name != "" {
+		return r.name
+	}
+	return fmt.Sprintf("%d-way matrix", len(r.ids))
+}
+
+// Cancel stops the run: no further cells are submitted and owned member
+// jobs are canceled. Idempotent on running runs; terminal runs report
+// ErrRunTerminal.
+func (r *Run) Cancel() error {
+	r.mu.Lock()
+	if r.state != RunRunning {
+		r.mu.Unlock()
+		return ErrRunTerminal
+	}
+	r.cancelRequested = true
+	r.mu.Unlock()
+	r.cancel()
+	r.group.Cancel()
+	return nil
+}
+
+// execute drives the run to completion: submit cells with bounded
+// concurrency, wait for their jobs, finalize.
+func (r *Run) execute(cfg ManagerConfig) {
+	sem := make(chan struct{}, cfg.Concurrency)
+	var wg sync.WaitGroup
+	for _, c := range r.cells {
+		if r.ctx.Err() != nil {
+			r.setCellCanceled(c, "matrix canceled before cell submission")
+			continue
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-r.ctx.Done():
+			r.setCellCanceled(c, "matrix canceled before cell submission")
+			continue
+		}
+		wg.Add(1)
+		go func(c *cell) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			r.runCell(c, cfg)
+		}(c)
+	}
+	wg.Wait()
+	r.group.Seal()
+	r.finalize()
+}
+
+// maxCellAttempts bounds resubmissions of a cell whose job was canceled
+// out from under the run (an attached shared job canceled by its owning
+// run, or a direct DELETE /jobs/{id}).
+const maxCellAttempts = 3
+
+// runCell submits one cell and tracks its job to a terminal state.
+func (r *Run) runCell(c *cell, cfg ManagerConfig) {
+	for attempt := 1; ; attempt++ {
+		out, err := cfg.Submit(r.ids[c.i], r.ids[c.j])
+		if err != nil {
+			if r.ctx.Err() != nil {
+				r.setCellCanceled(c, "matrix canceled")
+				return
+			}
+			r.mu.Lock()
+			c.state = CellFailed
+			c.errMsg = err.Error()
+			r.mu.Unlock()
+			return
+		}
+
+		r.mu.Lock()
+		c.cached = out.Cached
+		c.tiles = out.Tiles
+		c.unmatchedA = out.UnmatchedA
+		c.unmatchedB = out.UnmatchedB
+		c.jobID = out.JobID
+		if out.Report != nil {
+			// Persisted-cache answer: terminal immediately, no live job.
+			c.state = CellDone
+			c.report = out.Report
+			r.mu.Unlock()
+			return
+		}
+		c.state = CellRunning
+		r.mu.Unlock()
+
+		// Owned means submitted for this run: cache hits attach to a job
+		// some other submission created, and cancelling this matrix must
+		// not cancel a job others depend on.
+		if addErr := r.group.Add(out.JobID, !out.Cached); addErr != nil {
+			// The run was canceled between submit and attach; the job
+			// escaped the group's cancel fan-out, so cancel it here if it
+			// is ours.
+			if !out.Cached {
+				_ = cfg.Scheduler.Cancel(out.JobID)
+			}
+			r.setCellCanceled(c, "matrix canceled")
+			return
+		}
+
+		st, err := cfg.Scheduler.Wait(r.ctx, out.JobID)
+		if err != nil {
+			// Run canceled while waiting. The group cancel already reached
+			// the job if it is owned; record the freshest snapshot without
+			// blocking on in-flight shards.
+			if snap, ok := cfg.Scheduler.Job(out.JobID); ok && snap.State.Terminal() {
+				r.recordFinal(c, snap)
+				return
+			}
+			r.setCellCanceled(c, "matrix canceled")
+			return
+		}
+		if st.State == sched.Canceled && r.ctx.Err() == nil && attempt < maxCellAttempts {
+			// The job was canceled but this run wasn't: the cell attached
+			// to another run's job that got canceled, or someone canceled
+			// the job directly. The cache evicts canceled jobs, so a
+			// resubmit computes the cell fresh instead of poisoning the
+			// whole run with a cancellation it never asked for. Drop the
+			// dead attempt from the group so it doesn't inflate the run's
+			// aggregates.
+			r.group.Remove(out.JobID)
+			continue
+		}
+		r.recordFinal(c, st)
+		return
+	}
+}
+
+// recordFinal maps a terminal job snapshot onto the cell.
+func (r *Run) recordFinal(c *cell, st sched.JobStatus) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch st.State {
+	case sched.Done:
+		c.state = CellDone
+		rep := st.Report
+		c.report = &rep
+		if c.tiles == 0 {
+			c.tiles = st.Tiles
+		}
+	case sched.Failed:
+		c.state = CellFailed
+		c.errMsg = st.Error
+	default:
+		c.state = CellCanceled
+	}
+}
+
+func (r *Run) setCellCanceled(c *cell, reason string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c.state = CellCanceled
+	if c.errMsg == "" {
+		c.errMsg = reason
+	}
+}
+
+// finalize computes the run's terminal state from its cells.
+func (r *Run) finalize() {
+	r.mu.Lock()
+	state := RunDone
+	for _, c := range r.cells {
+		switch c.state {
+		case CellFailed, CellCanceled:
+			state = RunFailed
+		}
+	}
+	if r.cancelRequested {
+		state = RunCanceled
+	}
+	r.state = state
+	r.finished = time.Now()
+	r.mu.Unlock()
+	close(r.done)
+}
+
+// CellView is the wire form of one matrix cell.
+type CellView struct {
+	State      string  `json:"state"`
+	JobID      string  `json:"job_id,omitempty"`
+	Cached     bool    `json:"cached,omitempty"`
+	Error      string  `json:"error,omitempty"`
+	Tiles      int     `json:"tiles,omitempty"`
+	UnmatchedA int     `json:"unmatched_a,omitempty"`
+	UnmatchedB int     `json:"unmatched_b,omitempty"`
+	Similarity float64 `json:"similarity"`
+	Intersect  int     `json:"intersecting"`
+	Candidates int     `json:"candidates"`
+}
+
+// Status is a point-in-time snapshot of a matrix run: the K×K cell grid
+// (diagonal marked self, off-diagonal mirrored from the computed upper
+// triangle) plus the run's job-group aggregate.
+type Status struct {
+	ID       string     `json:"id"`
+	Name     string     `json:"name,omitempty"`
+	State    string     `json:"state"`
+	Datasets []string   `json:"datasets"`
+	Created  time.Time  `json:"created"`
+	Finished *time.Time `json:"finished,omitempty"`
+	// Cells is the symmetric K×K grid. Cell {i,j} is computed once, in the
+	// upper-triangle orientation (dataset i's set A against dataset j's
+	// set B for i < j), and the lower triangle holds a verbatim copy of
+	// that computed cell — including its unmatched counts, which read in
+	// the computed orientation. The uncomputed reverse orientation is a
+	// different comparison and is never presented as run (see ROADMAP's
+	// set-selectable comparisons follow-on).
+	Cells [][]CellView `json:"cells"`
+	// PlannedCells / TerminalCells track progress over the K·(K−1)/2 plan.
+	PlannedCells  int               `json:"planned_cells"`
+	TerminalCells int               `json:"terminal_cells"`
+	Group         sched.GroupStatus `json:"group"`
+}
+
+// Status snapshots the run.
+func (r *Run) Status() Status {
+	r.mu.Lock()
+	k := len(r.ids)
+	st := Status{
+		ID:           r.id,
+		Name:         r.name,
+		State:        r.state,
+		Datasets:     append([]string(nil), r.ids...),
+		Created:      r.created,
+		PlannedCells: len(r.cells),
+	}
+	if !r.finished.IsZero() {
+		t := r.finished
+		st.Finished = &t
+	}
+	st.Cells = make([][]CellView, k)
+	for i := range st.Cells {
+		st.Cells[i] = make([]CellView, k)
+		st.Cells[i][i] = CellView{State: CellSelf}
+	}
+	for _, c := range r.cells {
+		v := CellView{
+			State:      c.state,
+			JobID:      c.jobID,
+			Cached:     c.cached,
+			Error:      c.errMsg,
+			Tiles:      c.tiles,
+			UnmatchedA: c.unmatchedA,
+			UnmatchedB: c.unmatchedB,
+		}
+		if c.report != nil {
+			v.Similarity = c.report.Similarity
+			v.Intersect = c.report.Intersecting
+			v.Candidates = c.report.Candidates
+		}
+		switch c.state {
+		case CellDone, CellFailed, CellCanceled:
+			st.TerminalCells++
+		}
+		st.Cells[c.i][c.j] = v
+		// The mirror is a verbatim copy of the computed cell: swapping the
+		// unmatched counts would present the reverse orientation — a
+		// comparison that was never run — as computed.
+		st.Cells[c.j][c.i] = v
+	}
+	r.mu.Unlock()
+	st.Group = r.group.Status()
+	return st
+}
+
+// SortRunsByID orders run snapshots deterministically (used by listings).
+func SortRunsByID(runs []Status) {
+	sort.Slice(runs, func(i, j int) bool { return runs[i].ID < runs[j].ID })
+}

@@ -1,0 +1,345 @@
+package compare
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/pipeline"
+	"repro/internal/sched"
+	"repro/internal/store"
+)
+
+// directSubmit is a cache-less cell submitter over a store and scheduler.
+func directSubmit(t *testing.T, s *store.Store, sc *sched.Scheduler, calls *int64) SubmitFunc {
+	return func(idA, idB string) (SubmitOutcome, error) {
+		if calls != nil {
+			atomic.AddInt64(calls, 1)
+		}
+		dsA, err := s.OpenDataset(idA)
+		if err != nil {
+			return SubmitOutcome{}, err
+		}
+		dsB, err := s.OpenDataset(idB)
+		if err != nil {
+			return SubmitOutcome{}, err
+		}
+		src, match := NewSource(dsA, dsB)
+		id, err := sc.SubmitSource("cell", src)
+		if err != nil {
+			return SubmitOutcome{}, err
+		}
+		return SubmitOutcome{
+			JobID:      id,
+			Tiles:      len(match.Pairs),
+			UnmatchedA: len(match.OnlyA),
+			UnmatchedB: len(match.OnlyB),
+		}, nil
+	}
+}
+
+func waitRun(t *testing.T, r *Run) Status {
+	t.Helper()
+	select {
+	case <-r.Done():
+	case <-time.After(time.Minute):
+		t.Fatalf("matrix run %s did not finish", r.ID())
+	}
+	return r.Status()
+}
+
+// TestMatrixSymmetricAndExact: a K=3 run produces a symmetric 3×3 status
+// whose off-diagonal cells are bit-identical to independently submitted
+// pairwise jobs, with the diagonal marked self and the job group terminal.
+func TestMatrixSymmetricAndExact(t *testing.T) {
+	s := testStore(t)
+	sc := sched.New(sched.Config{Devices: 2})
+	t.Cleanup(sc.Close)
+
+	ids := []string{
+		ingestVariant(t, s, "slideM", 11, 3).ID,
+		ingestVariant(t, s, "slideM", 22, 3).ID,
+		ingestVariant(t, s, "slideM", 33, 3).ID,
+	}
+
+	m := NewManager(ManagerConfig{Scheduler: sc, Submit: directSubmit(t, s, sc, nil), Concurrency: 2})
+	run, err := m.Start("exactness", ids)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	st := waitRun(t, run)
+	if st.State != RunDone {
+		t.Fatalf("run ended %s, cells %+v", st.State, st.Cells)
+	}
+	if st.PlannedCells != 3 || st.TerminalCells != 3 {
+		t.Fatalf("planned/terminal = %d/%d, want 3/3", st.PlannedCells, st.TerminalCells)
+	}
+	if len(st.Cells) != 3 {
+		t.Fatalf("cell grid is %d×?, want 3×3", len(st.Cells))
+	}
+
+	for i := 0; i < 3; i++ {
+		if st.Cells[i][i].State != CellSelf {
+			t.Errorf("diagonal cell [%d][%d] state %q, want self", i, i, st.Cells[i][i].State)
+		}
+		for j := 0; j < 3; j++ {
+			if i == j {
+				continue
+			}
+			c, mirror := st.Cells[i][j], st.Cells[j][i]
+			if c.State != CellDone {
+				t.Fatalf("cell [%d][%d] state %q: %s", i, j, c.State, c.Error)
+			}
+			if c.Similarity != mirror.Similarity || c.JobID != mirror.JobID {
+				t.Errorf("cell [%d][%d] not mirrored: %v/%s vs %v/%s",
+					i, j, c.Similarity, c.JobID, mirror.Similarity, mirror.JobID)
+			}
+		}
+	}
+
+	// Independent pairwise jobs, same orientation as the plan (i < j).
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			dsA, _ := s.OpenDataset(ids[i])
+			dsB, _ := s.OpenDataset(ids[j])
+			src, _ := NewSource(dsA, dsB)
+			jobID, err := sc.SubmitSource("oracle", src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := waitJob(t, sc, jobID)
+			got := st.Cells[i][j]
+			if got.Similarity != want.Report.Similarity ||
+				got.Intersect != want.Report.Intersecting ||
+				got.Candidates != want.Report.Candidates {
+				t.Errorf("cell [%d][%d] = (%.17g, %d, %d), independent job = (%.17g, %d, %d)",
+					i, j, got.Similarity, got.Intersect, got.Candidates,
+					want.Report.Similarity, want.Report.Intersecting, want.Report.Candidates)
+			}
+		}
+	}
+
+	g := st.Group
+	if !g.Terminal || g.Done != 3 || g.Members != 3 {
+		t.Errorf("group = %+v, want 3 done members, terminal", g)
+	}
+}
+
+// TestMatrixCachedCells: cells answered with a ready report (the persisted
+// cache path) complete without any scheduler job.
+func TestMatrixCachedCells(t *testing.T) {
+	sc := sched.New(sched.Config{})
+	t.Cleanup(sc.Close)
+	rep := pipeline.Result{Similarity: 0.5, RatioSum: 1, Intersecting: 2, Candidates: 3}
+	m := NewManager(ManagerConfig{
+		Scheduler: sc,
+		Submit: func(idA, idB string) (SubmitOutcome, error) {
+			return SubmitOutcome{Cached: true, Report: &rep, Tiles: 4}, nil
+		},
+	})
+	ids := []string{testID('a'), testID('b'), testID('c')}
+	run, err := m.Start("cached", ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitRun(t, run)
+	if st.State != RunDone {
+		t.Fatalf("run ended %s", st.State)
+	}
+	for i := range st.Cells {
+		for j := range st.Cells[i] {
+			if i == j {
+				continue
+			}
+			c := st.Cells[i][j]
+			if c.State != CellDone || !c.Cached || c.JobID != "" || c.Similarity != 0.5 {
+				t.Fatalf("cell [%d][%d] = %+v, want cached done with similarity 0.5", i, j, c)
+			}
+		}
+	}
+	if st.Group.Members != 0 {
+		t.Errorf("cached run attached %d jobs to its group, want 0", st.Group.Members)
+	}
+}
+
+func testID(b byte) string {
+	id := make([]byte, 64)
+	for i := range id {
+		id[i] = b
+	}
+	return string(id)
+}
+
+// gatedSource blocks task materialization until released, making
+// cancellation timing deterministic.
+type gatedSource struct {
+	release <-chan struct{}
+	task    pipeline.FileTask
+}
+
+func (g *gatedSource) Len() int         { return 1 }
+func (g *gatedSource) Weight(int) int64 { return 1 }
+func (g *gatedSource) Task(int) (pipeline.FileTask, error) {
+	<-g.release
+	return g.task, nil
+}
+
+// TestMatrixCellResubmitsAfterExternalCancel: a cell whose member job is
+// canceled from outside the run (another run cancelling a shared job, or a
+// direct job DELETE) is resubmitted instead of poisoning the whole matrix
+// with a cancellation it never asked for.
+func TestMatrixCellResubmitsAfterExternalCancel(t *testing.T) {
+	s := testStore(t)
+	sc := sched.New(sched.Config{})
+	t.Cleanup(sc.Close)
+	release := make(chan struct{})
+	var once sync.Once
+	t.Cleanup(func() { once.Do(func() { close(release) }) })
+
+	man := ingestVariant(t, s, "slideR", 9, 1)
+	ds, err := s.OpenDataset(man.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := ds.Source().Task(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var attempts int64
+	firstJob := make(chan string, 1)
+	m := NewManager(ManagerConfig{
+		Scheduler: sc,
+		Submit: func(idA, idB string) (SubmitOutcome, error) {
+			n := atomic.AddInt64(&attempts, 1)
+			if n == 1 {
+				// First attempt: a job that blocks until released, so the
+				// test can cancel it while the cell waits.
+				id, err := sc.SubmitSource("doomed", &gatedSource{release: release, task: task})
+				if err != nil {
+					return SubmitOutcome{}, err
+				}
+				firstJob <- id
+				return SubmitOutcome{JobID: id, Tiles: 1}, nil
+			}
+			id, err := sc.SubmitSource("retry", ds.Source())
+			if err != nil {
+				return SubmitOutcome{}, err
+			}
+			return SubmitOutcome{JobID: id, Tiles: 1}, nil
+		},
+	})
+	run, err := m.Start("resubmit", []string{testID('4'), testID('5')})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doomed string
+	select {
+	case doomed = <-firstJob:
+	case <-time.After(10 * time.Second):
+		t.Fatal("first attempt never submitted")
+	}
+	if err := sc.Cancel(doomed); err != nil { // an outside cancel, not the run's
+		t.Fatalf("Cancel(%s): %v", doomed, err)
+	}
+	once.Do(func() { close(release) })
+
+	st := waitRun(t, run)
+	if st.State != RunDone {
+		t.Fatalf("run ended %s, want done after resubmit: %+v", st.State, st.Cells)
+	}
+	if got := atomic.LoadInt64(&attempts); got != 2 {
+		t.Fatalf("cell was submitted %d times, want 2 (original + resubmit)", got)
+	}
+	if c := st.Cells[0][1]; c.State != CellDone || c.JobID == doomed {
+		t.Fatalf("cell = %+v, want done under a fresh job", c)
+	}
+	if st.Group.Members != 1 || st.Group.CanceledJobs != 0 || st.Group.Done != 1 {
+		t.Fatalf("group = %+v, want only the fresh job (dead attempt removed)", st.Group)
+	}
+}
+
+// TestMatrixCancelCancelsMembers is the cancellation acceptance test:
+// cancelling a matrix cancels its in-flight member job and abandons the
+// cells not yet submitted.
+func TestMatrixCancelCancelsMembers(t *testing.T) {
+	s := testStore(t)
+	sc := sched.New(sched.Config{})
+	t.Cleanup(sc.Close)
+	release := make(chan struct{})
+	var once sync.Once
+	t.Cleanup(func() { once.Do(func() { close(release) }) })
+
+	man := ingestVariant(t, s, "slideC", 5, 1)
+	ds, err := s.OpenDataset(man.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := ds.Source().Task(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var submitted int64
+	submitStarted := make(chan string, 1)
+	m := NewManager(ManagerConfig{
+		Scheduler:   sc,
+		Concurrency: 1, // cells 2 and 3 stay queued behind the gated cell
+		Submit: func(idA, idB string) (SubmitOutcome, error) {
+			atomic.AddInt64(&submitted, 1)
+			id, err := sc.SubmitSource("gated", &gatedSource{release: release, task: task})
+			if err != nil {
+				return SubmitOutcome{}, err
+			}
+			submitStarted <- id
+			return SubmitOutcome{JobID: id, Tiles: 1}, nil
+		},
+	})
+	run, err := m.Start("cancelme", []string{testID('1'), testID('2'), testID('3')})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var jobID string
+	select {
+	case jobID = <-submitStarted:
+	case <-time.After(10 * time.Second):
+		t.Fatal("first cell never submitted")
+	}
+	if err := run.Cancel(); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	once.Do(func() { close(release) }) // let the in-flight shard drain
+
+	st := waitRun(t, run)
+	if st.State != RunCanceled {
+		t.Fatalf("run ended %s, want canceled", st.State)
+	}
+	if got := atomic.LoadInt64(&submitted); got != 1 {
+		t.Fatalf("%d cells were submitted after cancel, want only the first", got)
+	}
+	member := waitJob(t, sc, jobID)
+	if member.State != sched.Canceled {
+		t.Fatalf("member job ended %s, want canceled", member.State)
+	}
+	canceledCells := 0
+	for i := range st.Cells {
+		for j := range st.Cells[i] {
+			if i != j && st.Cells[i][j].State == CellCanceled {
+				canceledCells++
+			}
+		}
+	}
+	if canceledCells != 6 { // 3 planned cells, each mirrored
+		t.Errorf("%d canceled cell views, want all 6", canceledCells)
+	}
+	if !st.Group.Canceled {
+		t.Errorf("group not marked canceled: %+v", st.Group)
+	}
+
+	// A terminal run rejects a second cancel.
+	if err := run.Cancel(); err != ErrRunTerminal {
+		t.Errorf("second Cancel = %v, want ErrRunTerminal", err)
+	}
+}

@@ -44,6 +44,17 @@ type FileTask struct {
 	RawB  []byte
 }
 
+// PolyTask is the pre-parsed pipeline input: one tile's two result sets as
+// decoded polygon slices. Stored datasets, whose WKB records were fully
+// validated at ingest, enter through RunParsed with PolyTasks and skip the
+// parser stage entirely — the polygons are the same values text parsing
+// would produce, so the report stays bit-identical to the FileTask path.
+type PolyTask struct {
+	Image string
+	Tile  int
+	A, B  []*geom.Polygon
+}
+
 // parsedTask is the parser stage output.
 type parsedTask struct {
 	image string
@@ -267,7 +278,30 @@ func EncodeDataset(d *pathology.Dataset) []FileTask {
 func Run(tasks []FileTask, cfg Config) (Result, error) {
 	cfg = cfg.normalized()
 	p := &run{cfg: cfg}
-	return p.execute(tasks)
+	return p.execute(tasks, nil)
+}
+
+// RunParsed executes the pipeline over pre-parsed tile tasks, skipping the
+// parser stage: tiles enter at the builder. The store's read path uses it so
+// already-validated datasets never pay the text re-encode/re-parse cost.
+// Nil polygons are rejected up front (text parsing can never produce them,
+// so the later stages assume their absence).
+func RunParsed(tasks []PolyTask, cfg Config) (Result, error) {
+	for _, t := range tasks {
+		for i, p := range t.A {
+			if p == nil {
+				return Result{}, fmt.Errorf("pipeline: tile %s/%d set A polygon %d is nil", t.Image, t.Tile, i)
+			}
+		}
+		for i, p := range t.B {
+			if p == nil {
+				return Result{}, fmt.Errorf("pipeline: tile %s/%d set B polygon %d is nil", t.Image, t.Tile, i)
+			}
+		}
+	}
+	cfg = cfg.normalized()
+	p := &run{cfg: cfg}
+	return p.execute(nil, tasks)
 }
 
 // tileKey identifies one tile's accumulator.
@@ -349,7 +383,7 @@ func (r *run) accumulateTask(t pairTask, results []pixelbox.AreaResult, onGPU bo
 	}
 }
 
-func (r *run) execute(tasks []FileTask) (Result, error) {
+func (r *run) execute(files []FileTask, parsed []PolyTask) (Result, error) {
 	cfg := r.cfg
 	r.fileBuf = newBuffer[FileTask](cfg.BufferCap)
 	r.parsedBuf = newBuffer[parsedTask](cfg.BufferCap)
@@ -358,6 +392,7 @@ func (r *run) execute(tasks []FileTask) (Result, error) {
 	r.tiles = make(map[tileKey]*tileAgg)
 	r.executors = buildExecutors(cfg)
 
+	total := len(files) + len(parsed)
 	start := time.Now()
 	done := make(chan struct{})
 
@@ -365,9 +400,10 @@ func (r *run) execute(tasks []FileTask) (Result, error) {
 
 	// Stage 1: parser (multi-threaded). The parsed buffer closes when the
 	// pending-task counter drains, not when the workers exit, because the
-	// parser migrator is an alternative producer.
-	atomic.StoreInt64(&r.pendingParse, int64(len(tasks)))
-	if len(tasks) == 0 {
+	// parser migrator and the pre-parsed feed below are alternative
+	// producers.
+	atomic.StoreInt64(&r.pendingParse, int64(total))
+	if total == 0 {
 		r.parsedBuf.close()
 	}
 	for w := 0; w < cfg.ParserWorkers; w++ {
@@ -419,8 +455,14 @@ func (r *run) execute(tasks []FileTask) (Result, error) {
 		}()
 	}
 
-	// Feed the input and drain the pipeline.
-	for _, t := range tasks {
+	// Feed the input and drain the pipeline. Pre-parsed tiles enter past the
+	// parser stage; finishParseTask keeps the parsed buffer's close
+	// accounting uniform across both feeds.
+	for _, t := range parsed {
+		r.parsedBuf.put(parsedTask{image: t.Image, tile: t.Tile, a: t.A, b: t.B})
+		r.finishParseTask()
+	}
+	for _, t := range files {
 		r.fileBuf.put(t)
 	}
 	r.fileBuf.close()
@@ -435,13 +477,13 @@ func (r *run) execute(tasks []FileTask) (Result, error) {
 	// main stages have all finished so migrators unblock.
 	<-r.stageDone(done, waitDone)
 
-	res := r.finalize(tasks, start)
+	res := r.finalize(total, start)
 	return res, r.firstErr
 }
 
 // finalize folds the per-tile partials in canonical order and assembles the
 // result and statistics.
-func (r *run) finalize(tasks []FileTask, start time.Time) Result {
+func (r *run) finalize(total int, start time.Time) Result {
 	res := Result{TileRatios: make([]TileRatio, 0, len(r.tiles))}
 	for key, agg := range r.tiles {
 		res.TileRatios = append(res.TileRatios, TileRatio{
@@ -464,7 +506,7 @@ func (r *run) finalize(tasks []FileTask, start time.Time) Result {
 	r.stats.PairsOnGPU = int(atomic.LoadInt64(&r.pairsGPU))
 	r.stats.PairsOnCPU = int(atomic.LoadInt64(&r.pairsCPU))
 	r.stats.PairsFiltered = r.stats.PairsOnGPU + r.stats.PairsOnCPU
-	r.stats.TilesProcessed = len(tasks)
+	r.stats.TilesProcessed = total
 	r.stats.ParserBusy = time.Duration(atomic.LoadInt64(&r.parserBusy))
 	r.stats.BuilderBusy = time.Duration(atomic.LoadInt64(&r.builderBusy))
 	r.stats.FilterBusy = time.Duration(atomic.LoadInt64(&r.filterBusy))

@@ -123,6 +123,17 @@ type TaskSource interface {
 	Task(i int) (pipeline.FileTask, error)
 }
 
+// PolySource is an optional TaskSource extension for inputs whose tiles are
+// already decoded polygon sets (stored datasets, cross-dataset pair
+// readers). Shards from a PolySource run through pipeline.RunParsed,
+// skipping the parser stage — the polygons were validated where they were
+// decoded, and the report stays bit-identical to the text path.
+type PolySource interface {
+	TaskSource
+	// PolyTask materializes tile i as pre-parsed pipeline input.
+	PolyTask(i int) (pipeline.PolyTask, error)
+}
+
 // memSource adapts an in-memory task slice to the TaskSource contract.
 type memSource []pipeline.FileTask
 
@@ -271,6 +282,7 @@ type Scheduler struct {
 	closed bool
 
 	nextID    int64
+	nextGroup int64
 	submitted int64
 	completed int64
 	failed    int64
@@ -589,28 +601,7 @@ func (s *Scheduler) runJob(j *job) {
 			defer wg.Done()
 			defer func() { s.pool <- dev }()
 			start := time.Now()
-			// Materialize only this shard's tiles from the source — for a
-			// stored dataset that means reading just these tiles' byte
-			// ranges out of the segment file.
-			shard := make([]pipeline.FileTask, 0, len(idxs))
-			for _, ix := range idxs {
-				t, terr := src.Task(ix)
-				if terr != nil {
-					errs[i] = fmt.Errorf("materialize tile %d: %w", ix, terr)
-					ran[i] = true
-					j.cancel() // fail fast, as with a pipeline error
-					s.mu.Lock()
-					j.devices[dev.id] = struct{}{}
-					s.mu.Unlock()
-					return
-				}
-				shard = append(shard, t)
-			}
-			// Pool devices are long-lived, so their launch/busy counters are
-			// cumulative; snapshot around the run to report only this
-			// shard's share (the lease is exclusive, so the delta is exact).
-			launches0, busy0 := dev.stats()
-			res, err := pipeline.Run(shard, pipeline.Config{
+			pcfg := pipeline.Config{
 				ParserWorkers:  s.cfg.Workers,
 				Devices:        dev.gpus,
 				CPUAggregators: s.cfg.cpuAggregators(),
@@ -620,7 +611,26 @@ func (s *Scheduler) runJob(j *job) {
 				Registry:       s.cfg.Registry,
 				ExecutorLabel:  fmt.Sprintf("slot%d/", dev.id),
 				Warmth:         s.warm,
-			})
+			}
+			// Pool devices are long-lived, so their launch/busy counters are
+			// cumulative; snapshot around the run to report only this
+			// shard's share (the lease is exclusive, so the delta is exact).
+			launches0, busy0 := dev.stats()
+			// Materialize only this shard's tiles from the source — for a
+			// stored dataset that means reading just these tiles' byte
+			// ranges out of the segment file. Pre-parsed sources skip the
+			// pipeline's parser stage entirely.
+			res, err, executed := s.runShard(src, idxs, pcfg)
+			if !executed {
+				// Materialization failure: no pipeline ran at all.
+				errs[i] = err
+				ran[i] = true
+				j.cancel() // fail fast, as with a pipeline error
+				s.mu.Lock()
+				j.devices[dev.id] = struct{}{}
+				s.mu.Unlock()
+				return
+			}
 			if len(dev.gpus) > 0 {
 				launches1, busy1 := dev.stats()
 				res.Stats.KernelLaunches = launches1 - launches0
@@ -667,6 +677,35 @@ func (s *Scheduler) runJob(j *job) {
 		report.Stats.WallTime = time.Since(j.started)
 		s.finish(j, Done, nil, report)
 	}
+}
+
+// runShard materializes one shard's tiles and runs them through the
+// pipeline. Sources carrying decoded polygons (PolySource) enter the
+// pipeline past the parser stage; executed reports whether a pipeline ran at
+// all (false means materialization failed and err describes the tile).
+func (s *Scheduler) runShard(src TaskSource, idxs []int, pcfg pipeline.Config) (res pipeline.Result, err error, executed bool) {
+	if ps, ok := src.(PolySource); ok {
+		shard := make([]pipeline.PolyTask, 0, len(idxs))
+		for _, ix := range idxs {
+			t, terr := ps.PolyTask(ix)
+			if terr != nil {
+				return pipeline.Result{}, fmt.Errorf("materialize tile %d: %w", ix, terr), false
+			}
+			shard = append(shard, t)
+		}
+		res, err = pipeline.RunParsed(shard, pcfg)
+		return res, err, true
+	}
+	shard := make([]pipeline.FileTask, 0, len(idxs))
+	for _, ix := range idxs {
+		t, terr := src.Task(ix)
+		if terr != nil {
+			return pipeline.Result{}, fmt.Errorf("materialize tile %d: %w", ix, terr), false
+		}
+		shard = append(shard, t)
+	}
+	res, err = pipeline.Run(shard, pcfg)
+	return res, err, true
 }
 
 // finish moves a job to a terminal state. It is idempotent: Cancel can

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/parser"
@@ -110,7 +111,10 @@ func (s *Server) handlePutDataset(w http.ResponseWriter, r *http.Request) {
 			s.fail(w, http.StatusBadRequest, fmt.Errorf("at most %d tiles per dataset", maxTaskCount))
 			return
 		}
-		var tp TaskPayload
+		// Elements decode as TilePayload — the superset GET /tiles/{n}
+		// serves — so tile reads re-PUT verbatim (the read-only counts are
+		// ignored) while unknown fields still reject typos.
+		var tp TilePayload
 		if err := dec.Decode(&tp); err != nil {
 			s.fail(w, http.StatusBadRequest, fmt.Errorf("tile %d: %w", n, err))
 			return
@@ -186,6 +190,63 @@ func (s *Server) handleStatDataset(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, datasetResponse(man, true))
+}
+
+// TilePayload is the wire form of one stored tile's content: the two
+// result sets re-encoded as canonical polygon text (base64 in JSON, the
+// same shape PUT /datasets ingests), enabling client-side spot checks and
+// dataset-to-dataset diffing.
+type TilePayload struct {
+	Index     int    `json:"index"`
+	Image     string `json:"image,omitempty"`
+	Tile      int    `json:"tile"`
+	PolygonsA int    `json:"polygons_a"`
+	PolygonsB int    `json:"polygons_b"`
+	RawA      []byte `json:"raw_a"`
+	RawB      []byte `json:"raw_b"`
+}
+
+// handleReadTile serves GET /datasets/{id}/tiles/{n}: tile n (an index into
+// the dataset's canonical tile order, as listed by GET /datasets/{id}) read
+// straight from the segment file's byte ranges, digest-verified, and
+// re-encoded as polygon text.
+func (s *Server) handleReadTile(w http.ResponseWriter, r *http.Request) {
+	if !s.requireStore(w) {
+		return
+	}
+	n, err := strconv.Atoi(r.PathValue("n"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("tile index %q is not a number", r.PathValue("n")))
+		return
+	}
+	ds, err := s.store.OpenDataset(r.PathValue("id"))
+	if err != nil {
+		s.fail(w, http.StatusNotFound, err)
+		return
+	}
+	man := ds.Manifest()
+	if n < 0 || n >= len(man.Tiles) {
+		s.fail(w, http.StatusNotFound,
+			fmt.Errorf("dataset %s has tiles 0..%d, not %d", man.ID, len(man.Tiles)-1, n))
+		return
+	}
+	a, b, err := ds.ReadTile(n)
+	if err != nil {
+		// The tile exists in the manifest but its bytes failed verification:
+		// a storage fault, not a client one.
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	ti := man.Tiles[n]
+	writeJSON(w, http.StatusOK, TilePayload{
+		Index:     n,
+		Image:     ti.Image,
+		Tile:      ti.Tile,
+		PolygonsA: len(a),
+		PolygonsB: len(b),
+		RawA:      parser.Encode(a),
+		RawB:      parser.Encode(b),
+	})
 }
 
 func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {

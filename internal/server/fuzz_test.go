@@ -22,6 +22,11 @@ func FuzzJobRequest(f *testing.F) {
 	f.Add([]byte(`{"dataset_id":"` + strings.Repeat("ab", 32) + `"}`))
 	f.Add([]byte(`{"dataset_id":"../../etc/passwd"}`))
 	f.Add([]byte(`{"dataset_id":"` + strings.Repeat("AB", 32) + `"}`))
+	f.Add([]byte(`{"dataset_a":"` + strings.Repeat("ab", 32) + `","dataset_b":"` + strings.Repeat("cd", 32) + `"}`))
+	f.Add([]byte(`{"dataset_a":"` + strings.Repeat("ab", 32) + `"}`))
+	f.Add([]byte(`{"dataset_b":"` + strings.Repeat("ab", 32) + `"}`))
+	f.Add([]byte(`{"dataset_a":"x","dataset_b":"y"}`))
+	f.Add([]byte(`{"dataset_a":"` + strings.Repeat("ab", 32) + `","dataset_b":"` + strings.Repeat("ab", 32) + `","dataset_id":"` + strings.Repeat("ab", 32) + `"}`))
 	f.Add([]byte(`{"corpus":"a","spec":{"Name":"b","Tiles":1}}`))
 	f.Add([]byte(`{"spec":{"Tiles":-1}}`))
 	f.Add([]byte(`{"spec":{"Tiles":1,"Gen":{"Noise":1e308,"MeanRadius":-1}}}`))
@@ -56,11 +61,19 @@ func FuzzJobRequest(f *testing.F) {
 		if req.DatasetID != "" {
 			forms++
 		}
+		if req.DatasetA != "" || req.DatasetB != "" {
+			forms++
+		}
 		if forms != 1 {
 			t.Fatalf("checkRequest accepted %d input forms: %+v", forms, req)
 		}
 		if req.DatasetID != "" && !store.ValidateID(req.DatasetID) {
 			t.Fatalf("checkRequest accepted malformed dataset ID %q", req.DatasetID)
+		}
+		if req.DatasetA != "" || req.DatasetB != "" {
+			if !store.ValidateID(req.DatasetA) || !store.ValidateID(req.DatasetB) {
+				t.Fatalf("checkRequest accepted malformed cross pair %q/%q", req.DatasetA, req.DatasetB)
+			}
 		}
 		if req.Spec != nil {
 			if req.Spec.Tiles <= 0 || req.Spec.Tiles > maxSpecTiles {
@@ -73,6 +86,49 @@ func FuzzJobRequest(f *testing.F) {
 		}
 		if len(req.Tasks) > maxTaskCount {
 			t.Fatalf("checkRequest accepted %d tasks", len(req.Tasks))
+		}
+	})
+}
+
+// FuzzMatrixRequest hardens the matrix surface: arbitrary dataset-ID lists
+// must never panic validation, and every accepted request satisfies the
+// invariants the orchestrator relies on (2..max valid, distinct IDs).
+func FuzzMatrixRequest(f *testing.F) {
+	idA := strings.Repeat("ab", 32)
+	idB := strings.Repeat("cd", 32)
+	f.Add([]byte(`{"datasets":["` + idA + `","` + idB + `"]}`))
+	f.Add([]byte(`{"datasets":["` + idA + `","` + idB + `","` + strings.Repeat("ef", 32) + `"],"name":"x"}`))
+	f.Add([]byte(`{"datasets":["` + idA + `"]}`))
+	f.Add([]byte(`{"datasets":["` + idA + `","` + idA + `"]}`))
+	f.Add([]byte(`{"datasets":["../../etc/passwd","` + idB + `"]}`))
+	f.Add([]byte(`{"datasets":[]}`))
+	f.Add([]byte(`{"datasets":null}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		var req MatrixRequest
+		if err := dec.Decode(&req); err != nil {
+			return // rejected at the decode layer, as the handler would
+		}
+		if err := checkMatrixRequest(req); err != nil {
+			return
+		}
+		// Invariants of accepted requests.
+		if len(req.Datasets) < 2 || len(req.Datasets) > maxMatrixDatasets {
+			t.Fatalf("checkMatrixRequest accepted %d datasets", len(req.Datasets))
+		}
+		seen := map[string]struct{}{}
+		for _, id := range req.Datasets {
+			if !store.ValidateID(id) {
+				t.Fatalf("checkMatrixRequest accepted malformed ID %q", id)
+			}
+			if _, dup := seen[id]; dup {
+				t.Fatalf("checkMatrixRequest accepted duplicate ID %q", id)
+			}
+			seen[id] = struct{}{}
 		}
 	})
 }

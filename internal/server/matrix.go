@@ -1,0 +1,177 @@
+package server
+
+// K-way similarity matrix endpoints over the compare subsystem:
+//
+//	POST   /matrix       start a run: {"datasets": ["<id>", ...], "name"?: "..."}
+//	GET    /matrix       list runs
+//	GET    /matrix/{id}  poll one run (K×K cell grid, group aggregate)
+//	DELETE /matrix/{id}  cancel a run (cancels its remaining member jobs)
+//
+// A run plans the K·(K−1)/2 unordered pairwise cells, resolves each through
+// the cache-aware job submission path (repeat content — including across
+// daemon restarts, via the persisted cache — is never recomputed), and fans
+// the rest out as scheduler jobs under one cancellable job group.
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/compare"
+	"repro/internal/store"
+)
+
+// MatrixRequest starts a matrix run over stored datasets.
+type MatrixRequest struct {
+	Datasets []string `json:"datasets"`
+	Name     string   `json:"name,omitempty"`
+}
+
+// maxMatrixDatasets caps K; the cell count grows quadratically and
+// 16 datasets already mean 120 pairwise jobs.
+const maxMatrixDatasets = 16
+
+// checkMatrixRequest validates a matrix request without touching the store.
+func checkMatrixRequest(req MatrixRequest) error {
+	if len(req.Datasets) < 2 {
+		return errors.New("a matrix needs at least 2 datasets")
+	}
+	if len(req.Datasets) > maxMatrixDatasets {
+		return fmt.Errorf("at most %d datasets per matrix", maxMatrixDatasets)
+	}
+	seen := make(map[string]struct{}, len(req.Datasets))
+	for i, id := range req.Datasets {
+		if !store.ValidateID(id) {
+			return fmt.Errorf("datasets[%d] %q is not a content hash (64 lowercase hex digits)", i, id)
+		}
+		if _, dup := seen[id]; dup {
+			return fmt.Errorf("datasets[%d] %s listed twice", i, id)
+		}
+		seen[id] = struct{}{}
+	}
+	return nil
+}
+
+// requireMatrix answers 501 when the daemon runs without a store (matrix
+// runs exist only over stored datasets).
+func (s *Server) requireMatrix(w http.ResponseWriter) bool {
+	if s.matrix == nil {
+		s.fail(w, http.StatusNotImplemented,
+			errors.New("no dataset store configured (start sccgd with -data-dir)"))
+		return false
+	}
+	return true
+}
+
+// startMatrix validates and starts a matrix run; code carries the HTTP
+// status on failure. Shared by the HTTP handler and SubmitMatrix.
+func (s *Server) startMatrix(req MatrixRequest) (run *compare.Run, code int, err error) {
+	if s.matrix == nil {
+		return nil, http.StatusNotImplemented,
+			errors.New("no dataset store configured (start sccgd with -data-dir)")
+	}
+	if err := checkMatrixRequest(req); err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	for _, id := range req.Datasets {
+		if _, ok := s.store.Get(id); !ok {
+			return nil, http.StatusNotFound, fmt.Errorf("dataset %s: %w", id, store.ErrNotFound)
+		}
+	}
+	run, err = s.matrix.Start(req.Name, req.Datasets)
+	if err != nil {
+		return nil, http.StatusServiceUnavailable, err
+	}
+	s.matrixRuns.Inc()
+	return run, http.StatusAccepted, nil
+}
+
+// SubmitMatrix validates and starts a matrix run over the dataset IDs,
+// returning the run ID. It is the non-HTTP entry the facade uses.
+func (s *Server) SubmitMatrix(ids []string, name string) (string, error) {
+	run, _, err := s.startMatrix(MatrixRequest{Datasets: ids, Name: name})
+	if err != nil {
+		return "", err
+	}
+	return run.ID(), nil
+}
+
+// Matrix returns a run's status snapshot.
+func (s *Server) Matrix(id string) (compare.Status, bool) {
+	if s.matrix == nil {
+		return compare.Status{}, false
+	}
+	run, ok := s.matrix.Get(id)
+	if !ok {
+		return compare.Status{}, false
+	}
+	return run.Status(), true
+}
+
+// CancelMatrix cancels a run.
+func (s *Server) CancelMatrix(id string) error {
+	if s.matrix == nil {
+		return compare.ErrNoRun
+	}
+	return s.matrix.Cancel(id)
+}
+
+func (s *Server) handleStartMatrix(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMatrix(w) {
+		return
+	}
+	var req MatrixRequest
+	if err := s.decode(w, r, &req); err != nil {
+		return
+	}
+	run, code, err := s.startMatrix(req)
+	if err != nil {
+		s.fail(w, code, err)
+		return
+	}
+	writeJSON(w, code, run.Status())
+}
+
+func (s *Server) handleListMatrices(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMatrix(w) {
+		return
+	}
+	runs := s.matrix.Runs()
+	out := make([]compare.Status, len(runs))
+	for i, run := range runs {
+		out[i] = run.Status()
+	}
+	compare.SortRunsByID(out)
+	writeJSON(w, http.StatusOK, map[string]any{"matrices": out})
+}
+
+func (s *Server) handleGetMatrix(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMatrix(w) {
+		return
+	}
+	run, ok := s.matrix.Get(r.PathValue("id"))
+	if !ok {
+		s.fail(w, http.StatusNotFound, compare.ErrNoRun)
+		return
+	}
+	writeJSON(w, http.StatusOK, run.Status())
+}
+
+func (s *Server) handleCancelMatrix(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMatrix(w) {
+		return
+	}
+	run, ok := s.matrix.Get(r.PathValue("id"))
+	if !ok {
+		s.fail(w, http.StatusNotFound, compare.ErrNoRun)
+		return
+	}
+	switch err := run.Cancel(); {
+	case errors.Is(err, compare.ErrRunTerminal):
+		s.fail(w, http.StatusConflict, err)
+	case err != nil:
+		s.fail(w, http.StatusInternalServerError, err)
+	default:
+		writeJSON(w, http.StatusOK, run.Status())
+	}
+}

@@ -1,0 +1,193 @@
+package server
+
+// Persistent result cache: content-hash → report JSON stored beside the
+// dataset manifests (under <data-dir>/cache/), so a restarted daemon
+// answers repeat jobs — and repeat matrix cells — without recompute. The
+// in-memory LRU stays the first-level cache (it carries live job IDs and
+// single-flight semantics); the disk layer is the durable second level,
+// written when a cache-keyed job completes and loaded wholesale on boot.
+//
+// Entries are validated on load the way manifests are: a corrupt entry is
+// skipped with a logged reason, never served. Validation re-folds the
+// report's per-tile ratio partials in canonical order and requires the fold
+// to reproduce the stored ratio sum, pair counts, and similarity exactly —
+// the same invariant that makes sharded execution bit-deterministic makes a
+// tampered or torn cache entry detectable.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+// persistEntry is one cached result on disk.
+type persistEntry struct {
+	// Key is the result-cache key (content-hash derived); the entry's file
+	// name is the SHA-256 of this key, and load rejects entries whose key
+	// does not hash back to the file that held them.
+	Key    string          `json:"key"`
+	Name   string          `json:"name,omitempty"`
+	Cross  *CrossPayload   `json:"cross,omitempty"`
+	Saved  time.Time       `json:"saved"`
+	Report pipeline.Result `json:"report"`
+}
+
+// reportDisk is the on-disk cache: an in-memory index over one JSON file
+// per entry, loaded at boot.
+type reportDisk struct {
+	dir string
+
+	mu      sync.Mutex
+	entries map[string]*persistEntry
+}
+
+// entryFile names the file holding key's entry.
+func entryFile(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:]) + ".json"
+}
+
+// openReportDisk loads the cache directory (creating it if needed) and
+// returns the skip reasons of entries that failed validation.
+func openReportDisk(dir string) (*reportDisk, []error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, []error{fmt.Errorf("create cache dir %s: %w", dir, err)}
+	}
+	rd := &reportDisk{dir: dir, entries: make(map[string]*persistEntry)}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, []error{fmt.Errorf("scan cache dir %s: %w", dir, err)}
+	}
+	var skipped []error
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			skipped = append(skipped, fmt.Errorf("cache entry %s: %w", name, err))
+			continue
+		}
+		var e persistEntry
+		if err := json.Unmarshal(raw, &e); err != nil {
+			skipped = append(skipped, fmt.Errorf("cache entry %s: %w", name, err))
+			continue
+		}
+		if err := validateEntry(&e); err != nil {
+			skipped = append(skipped, fmt.Errorf("cache entry %s: %w", name, err))
+			continue
+		}
+		if entryFile(e.Key) != name {
+			skipped = append(skipped, fmt.Errorf("cache entry %s: key does not hash to its file name", name))
+			continue
+		}
+		rd.entries[e.Key] = &e
+	}
+	return rd, skipped
+}
+
+// validateEntry rejects reports that cannot have been produced by the
+// pipeline: the per-tile partials must re-fold, in canonical order, to the
+// stored aggregate exactly.
+func validateEntry(e *persistEntry) error {
+	if e.Key == "" {
+		return errors.New("missing cache key")
+	}
+	r := &e.Report
+	if math.IsNaN(r.Similarity) || math.IsInf(r.Similarity, 0) {
+		return errors.New("similarity is not finite")
+	}
+	if r.Intersecting < 0 || r.Candidates < 0 || r.Intersecting > r.Candidates {
+		return errors.New("pair counts are inconsistent")
+	}
+	if len(r.TileRatios) > 0 {
+		var sum float64
+		hits := 0
+		for i, tr := range r.TileRatios {
+			if i > 0 {
+				prev := r.TileRatios[i-1]
+				if tr.Image < prev.Image || (tr.Image == prev.Image && tr.Tile <= prev.Tile) {
+					return errors.New("tile partials out of canonical order")
+				}
+			}
+			sum += tr.RatioSum
+			hits += tr.Intersecting
+		}
+		if hits != r.Intersecting {
+			return fmt.Errorf("tile partials carry %d intersecting pairs, report says %d", hits, r.Intersecting)
+		}
+		if sum != r.RatioSum {
+			return errors.New("tile partials do not fold to the report's ratio sum")
+		}
+	}
+	if r.Intersecting > 0 {
+		if r.Similarity != r.RatioSum/float64(r.Intersecting) {
+			return errors.New("similarity does not equal ratio sum over intersecting pairs")
+		}
+	} else if r.Similarity != 0 {
+		return errors.New("nonzero similarity with no intersecting pairs")
+	}
+	return nil
+}
+
+// get returns the entry cached for key.
+func (rd *reportDisk) get(key string) (*persistEntry, bool) {
+	rd.mu.Lock()
+	defer rd.mu.Unlock()
+	e, ok := rd.entries[key]
+	return e, ok
+}
+
+// len returns the live entry count.
+func (rd *reportDisk) len() int {
+	rd.mu.Lock()
+	defer rd.mu.Unlock()
+	return len(rd.entries)
+}
+
+// put records the entry in memory and writes it to disk atomically (temp
+// file + rename, fsynced, like the store's manifests). The disk write runs
+// outside the lock — lookups must not stall behind an fsync — which is safe
+// because two concurrent puts of one key hold bit-identical reports (the
+// key is a content address), so either rename wins harmlessly. The
+// in-memory index is updated even when the write fails: the entry is still
+// valid for this process, it just won't survive a restart.
+func (rd *reportDisk) put(e *persistEntry) error {
+	raw, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encode cache entry: %w", err)
+	}
+	rd.mu.Lock()
+	rd.entries[e.Key] = e
+	rd.mu.Unlock()
+	f, err := os.CreateTemp(rd.dir, "tmp-*")
+	if err != nil {
+		return fmt.Errorf("write cache entry: %w", err)
+	}
+	tmp := f.Name()
+	if _, err := f.Write(raw); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, filepath.Join(rd.dir, entryFile(e.Key)))
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("write cache entry: %w", err)
+	}
+	return nil
+}

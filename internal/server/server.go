@@ -5,27 +5,42 @@
 // input are answered without recomputation (and without further GPU
 // launches).
 //
-//	POST   /jobs          submit a cross-comparison job
-//	GET    /jobs          list all jobs
-//	GET    /jobs/{id}     poll one job, report included when done
-//	DELETE /jobs/{id}     cancel a queued or running job
-//	PUT    /datasets      ingest a dataset into the store (streaming)
-//	GET    /datasets      list stored datasets
-//	GET    /datasets/{id} stat one stored dataset
-//	DELETE /datasets/{id} remove a stored dataset
-//	POST   /compare       synchronous compare of two small polygon sets
-//	GET    /metrics       counters and gauges in Prometheus text format
-//	GET    /healthz       liveness probe
+//	POST   /jobs                    submit a cross-comparison job
+//	GET    /jobs                    list all jobs
+//	GET    /jobs/{id}               poll one job, report included when done
+//	DELETE /jobs/{id}               cancel a queued or running job
+//	PUT    /datasets                ingest a dataset into the store (streaming)
+//	GET    /datasets                list stored datasets
+//	GET    /datasets/{id}           stat one stored dataset
+//	GET    /datasets/{id}/tiles/{n} read one stored tile's polygon text
+//	DELETE /datasets/{id}           remove a stored dataset
+//	POST   /matrix                  start a K-way similarity matrix run
+//	GET    /matrix                  list matrix runs
+//	GET    /matrix/{id}             poll one matrix run
+//	DELETE /matrix/{id}             cancel a matrix run
+//	POST   /compare                 synchronous compare of two small polygon sets
+//	GET    /metrics                 counters and gauges in Prometheus text format
+//	GET    /healthz                 liveness probe
 //
 // When a store is configured, the result cache keys on dataset *content*
 // hashes rather than request-spec hashes: a generated spec/corpus job is
 // ingested into the store on first materialization and its cache entry
 // re-keyed to the content ID, so a later job submitted by dataset_id against
 // the very same polygons hits the same entry — and the ID's content
-// addressing makes the hit exact by construction.
+// addressing makes the hit exact by construction. Completed cache-keyed
+// reports are additionally persisted as JSON beside the store's manifests
+// and reloaded on boot, so a restarted daemon answers repeats without
+// recompute (see persist.go).
+//
+// Cross-dataset jobs ({"dataset_a", "dataset_b"}) compare dataset_a's set-A
+// polygons against dataset_b's set-B polygons over the tile keys the two
+// datasets share; tiles present on only one side are reported in the job's
+// "cross" block. K-way matrix runs (POST /matrix) fan all pairwise cells
+// out through the same cache-aware submission path (see matrix.go).
 package server
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -34,8 +49,11 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"path/filepath"
+	"sync"
 	"time"
 
+	"repro/internal/compare"
 	"repro/internal/metrics"
 	"repro/internal/pathology"
 	"repro/internal/pipeline"
@@ -67,9 +85,13 @@ type Options struct {
 	// MaxBodyBytes caps request bodies; default 32 MiB.
 	MaxBodyBytes int64
 	// Store, when set, backs the /datasets endpoints, jobs by dataset_id,
-	// and content-hash result caching. Nil disables all three (the
-	// endpoints answer 501).
+	// cross-dataset jobs, matrix runs, and content-hash result caching
+	// (including the persisted layer under <store>/cache). Nil disables
+	// them (the endpoints answer 501).
 	Store *store.Store
+	// MatrixConcurrency bounds how many cells of one matrix run are in
+	// flight at once; 0 selects the default of 4.
+	MatrixConcurrency int
 }
 
 // Server ties the scheduler, store, cache, and metrics into an
@@ -82,19 +104,39 @@ type Server struct {
 	// spec/corpus request materialized into, so repeats of the spec resolve
 	// to the content-hash cache key without regenerating anything.
 	specIDs *resultCache
+	// persist is the durable content-hash → report layer beneath the LRU;
+	// nil when no store is configured or caching is disabled.
+	persist *reportDisk
+	// matrix orchestrates K-way similarity matrix runs; nil without a store.
+	matrix  *compare.Manager
 	reg     *metrics.Registry
 	compare CompareFunc
 	maxBody int64
 	started time.Time
 
+	// crossMu guards crossByJob: per-job cross-dataset pairing metadata
+	// (matched/unmatched tile counts) attached to job responses.
+	crossMu    sync.Mutex
+	crossByJob map[string]*CrossPayload
+
+	// persistWG tracks in-flight persistWhenDone goroutines so shutdown
+	// can drain them instead of losing half-written cache entries.
+	// persistMu serializes spawning against Drain: once draining, no new
+	// persister may Add from zero concurrently with Wait.
+	persistMu       sync.Mutex
+	persistDraining bool
+	persistWG       sync.WaitGroup
+
 	requests    *metrics.Counter
 	submits     *metrics.Counter
 	cacheHits   *metrics.Counter
+	persistHits *metrics.Counter
 	cacheMiss   *metrics.Counter
 	compares    *metrics.Counter
 	badReqs     *metrics.Counter
 	ingests     *metrics.Counter
 	ingestFails *metrics.Counter
+	matrixRuns  *metrics.Counter
 }
 
 // New creates a server over the scheduler.
@@ -109,29 +151,69 @@ func New(s *sched.Scheduler, opts Options) *Server {
 		opts.MaxBodyBytes = 32 << 20
 	}
 	srv := &Server{
-		sched:   s,
-		store:   opts.Store,
-		cache:   newResultCache(opts.CacheSize),
-		specIDs: newResultCache(1024),
-		reg:     opts.Registry,
-		compare: opts.Compare,
-		maxBody: opts.MaxBodyBytes,
-		started: time.Now(),
+		sched:      s,
+		store:      opts.Store,
+		cache:      newResultCache(opts.CacheSize),
+		specIDs:    newResultCache(1024),
+		reg:        opts.Registry,
+		compare:    opts.Compare,
+		maxBody:    opts.MaxBodyBytes,
+		started:    time.Now(),
+		crossByJob: make(map[string]*CrossPayload),
 
 		requests:    opts.Registry.Counter("sccgd_http_requests_total"),
 		submits:     opts.Registry.Counter("sccgd_jobs_submitted_total"),
 		cacheHits:   opts.Registry.Counter("sccgd_cache_hits_total"),
+		persistHits: opts.Registry.Counter("sccgd_cache_persisted_hits_total"),
 		cacheMiss:   opts.Registry.Counter("sccgd_cache_misses_total"),
 		compares:    opts.Registry.Counter("sccgd_compares_total"),
 		badReqs:     opts.Registry.Counter("sccgd_bad_requests_total"),
 		ingests:     opts.Registry.Counter("sccgd_datasets_ingested_total"),
 		ingestFails: opts.Registry.Counter("sccgd_dataset_ingest_failures_total"),
+		matrixRuns:  opts.Registry.Counter("sccgd_matrix_runs_total"),
 	}
 	opts.Registry.GaugeFunc("sccgd_cache_entries", func() float64 { return float64(srv.cache.len()) })
 	if srv.store != nil {
 		opts.Registry.GaugeFunc("sccgd_datasets", func() float64 { return float64(srv.store.Len()) })
+		if opts.CacheSize > 0 {
+			// The durable cache layer lives beside the manifests; corrupt
+			// entries are skipped (and logged), never served.
+			rd, skipped := openReportDisk(filepath.Join(srv.store.Dir(), "cache"))
+			for _, err := range skipped {
+				log.Printf("server: skipped persisted result: %v", err)
+			}
+			srv.persist = rd
+			if rd != nil {
+				opts.Registry.GaugeFunc("sccgd_cache_persisted_entries", func() float64 { return float64(rd.len()) })
+			}
+		}
+		srv.matrix = compare.NewManager(compare.ManagerConfig{
+			Scheduler:   s,
+			Submit:      srv.submitCell,
+			Concurrency: opts.MatrixConcurrency,
+		})
 	}
 	return srv
+}
+
+// Close stops background orchestration (matrix runs); it does not close the
+// scheduler, which the caller owns. Call before closing the scheduler.
+func (s *Server) Close() {
+	if s.matrix != nil {
+		s.matrix.Close()
+	}
+}
+
+// Drain blocks until background persist writes have finished; submissions
+// that complete after Drain starts skip persisting. Persisters wait for
+// their job's terminal state, so call this only after the scheduler has
+// closed (which finalizes every job) — otherwise a persister waiting on a
+// queued job would block Drain indefinitely.
+func (s *Server) Drain() {
+	s.persistMu.Lock()
+	s.persistDraining = true
+	s.persistMu.Unlock()
+	s.persistWG.Wait()
 }
 
 // Registry returns the server's metrics registry.
@@ -147,7 +229,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("PUT /datasets", s.count(s.handlePutDataset))
 	mux.HandleFunc("GET /datasets", s.count(s.handleListDatasets))
 	mux.HandleFunc("GET /datasets/{id}", s.count(s.handleStatDataset))
+	mux.HandleFunc("GET /datasets/{id}/tiles/{n}", s.count(s.handleReadTile))
 	mux.HandleFunc("DELETE /datasets/{id}", s.count(s.handleDeleteDataset))
+	mux.HandleFunc("POST /matrix", s.count(s.handleStartMatrix))
+	mux.HandleFunc("GET /matrix", s.count(s.handleListMatrices))
+	mux.HandleFunc("GET /matrix/{id}", s.count(s.handleGetMatrix))
+	mux.HandleFunc("DELETE /matrix/{id}", s.count(s.handleCancelMatrix))
 	mux.HandleFunc("POST /compare", s.count(s.handleCompare))
 	mux.HandleFunc("GET /metrics", s.count(s.handleMetrics))
 	mux.HandleFunc("GET /healthz", s.count(s.handleHealthz))
@@ -171,14 +258,49 @@ type TaskPayload struct {
 
 // JobRequest submits one cross-comparison job. Exactly one input form must
 // be set: Corpus (a named corpus dataset), Spec (a full synthetic dataset
-// spec), Tasks (raw tile files), or DatasetID (a dataset previously
-// ingested into the store via PUT /datasets).
+// spec), Tasks (raw tile files), DatasetID (a dataset previously ingested
+// into the store via PUT /datasets), or the DatasetA/DatasetB pair (a
+// cross-dataset comparison of two stored datasets: A's set-A polygons
+// against B's set-B polygons over their shared tile keys).
 type JobRequest struct {
 	Corpus    string                 `json:"corpus,omitempty"`
 	Spec      *pathology.DatasetSpec `json:"spec,omitempty"`
 	Tasks     []TaskPayload          `json:"tasks,omitempty"`
 	DatasetID string                 `json:"dataset_id,omitempty"`
+	DatasetA  string                 `json:"dataset_a,omitempty"`
+	DatasetB  string                 `json:"dataset_b,omitempty"`
 	NoCache   bool                   `json:"no_cache,omitempty"`
+}
+
+// CrossPayload describes a cross-dataset job's tile pairing: how many tile
+// keys matched and what fell outside the intersection — unmatched tiles are
+// reported, never silently dropped.
+type CrossPayload struct {
+	DatasetA     string `json:"dataset_a"`
+	DatasetB     string `json:"dataset_b"`
+	MatchedTiles int    `json:"matched_tiles"`
+	UnmatchedA   int    `json:"unmatched_a"`
+	UnmatchedB   int    `json:"unmatched_b"`
+	// Samples carry at most crossSampleKeys unmatched keys per side, enough
+	// to locate a divergence without ballooning job responses.
+	UnmatchedASample []compare.TileKey `json:"unmatched_a_sample,omitempty"`
+	UnmatchedBSample []compare.TileKey `json:"unmatched_b_sample,omitempty"`
+}
+
+const crossSampleKeys = 8
+
+// crossPayload summarizes a tile match for the wire.
+func crossPayload(idA, idB string, m compare.Match) *CrossPayload {
+	cp := &CrossPayload{
+		DatasetA:     idA,
+		DatasetB:     idB,
+		MatchedTiles: len(m.Pairs),
+		UnmatchedA:   len(m.OnlyA),
+		UnmatchedB:   len(m.OnlyB),
+	}
+	cp.UnmatchedASample = append(cp.UnmatchedASample, m.OnlyA[:min(len(m.OnlyA), crossSampleKeys)]...)
+	cp.UnmatchedBSample = append(cp.UnmatchedBSample, m.OnlyB[:min(len(m.OnlyB), crossSampleKeys)]...)
+	return cp
 }
 
 // ExecutorPayload is the JSON projection of one hybrid-aggregator
@@ -248,10 +370,21 @@ type JobResponse struct {
 	Tiles     int            `json:"tiles"`
 	Shards    int            `json:"shards,omitempty"`
 	DeviceIDs []int          `json:"device_ids,omitempty"`
+	Cross     *CrossPayload  `json:"cross,omitempty"`
 	Report    *ReportPayload `json:"report,omitempty"`
 }
 
-func jobResponse(st sched.JobStatus, cached bool) JobResponse {
+// jobResponse projects a job snapshot to the wire, attaching cross-dataset
+// pairing metadata when the job is a cross comparison.
+func (s *Server) jobResponse(st sched.JobStatus, cached bool) JobResponse {
+	resp := baseJobResponse(st, cached)
+	s.crossMu.Lock()
+	resp.Cross = s.crossByJob[st.ID]
+	s.crossMu.Unlock()
+	return resp
+}
+
+func baseJobResponse(st sched.JobStatus, cached bool) JobResponse {
 	resp := JobResponse{
 		ID:        st.ID,
 		Name:      st.Name,
@@ -282,12 +415,37 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := s.decode(w, r, &req); err != nil {
 		return
 	}
-	if err := checkRequest(req); err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+	sub, err := s.submitRequest(req)
+	if err != nil {
+		s.fail(w, sub.code, err)
 		return
 	}
-	if req.DatasetID != "" && !s.requireStore(w) {
-		return
+	writeJSON(w, sub.code, sub.resp)
+}
+
+// submission is the outcome of one job-submission request, shared by the
+// HTTP handler and the matrix orchestrator's cell submitter.
+type submission struct {
+	resp JobResponse
+	code int
+	// jobID is the live scheduler job behind resp; empty when a persisted
+	// report answered without one.
+	jobID string
+	// report is the full pipeline result for persisted-cache answers.
+	report *pipeline.Result
+	// cross is the pairing metadata attached to resp, when any.
+	cross *CrossPayload
+}
+
+// submitRequest resolves a job request through the cache layers or submits
+// it to the scheduler. On error, submission.code carries the HTTP status.
+func (s *Server) submitRequest(req JobRequest) (submission, error) {
+	if err := checkRequest(req); err != nil {
+		return submission{code: http.StatusBadRequest}, err
+	}
+	if (req.DatasetID != "" || req.DatasetA != "") && s.store == nil {
+		return submission{code: http.StatusNotImplemented},
+			errors.New("no dataset store configured (start sccgd with -data-dir)")
 	}
 
 	// Look the request up before materializing it: a cache hit must not pay
@@ -296,23 +454,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	key := ""
 	if !req.NoCache {
 		key = s.cacheKey(req)
-		if resp, ok := s.cachedResponse(key); ok {
-			s.cacheHits.Inc()
-			writeJSON(w, http.StatusOK, resp)
-			return
+		if sub, ok := s.resolveCached(key); ok {
+			return sub, nil
 		}
 		// The miss is counted only once the job is really submitted: the
 		// re-key path below may still turn this request into a hit.
 	}
 
-	name, src, contentKey, err := s.materializeRequest(req)
+	name, src, contentKey, cross, err := s.materializeRequest(req)
 	if err != nil {
 		code := http.StatusUnprocessableEntity
 		if errors.Is(err, store.ErrNotFound) {
 			code = http.StatusNotFound
 		}
-		s.fail(w, code, err)
-		return
+		return submission{code: code}, err
 	}
 	if key != "" && contentKey != "" && contentKey != key {
 		// Materialization pinned the content address (e.g. a spec was
@@ -321,10 +476,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// the cache, since this very content may already have a result
 		// computed under another request form.
 		key = contentKey
-		if resp, ok := s.cachedResponse(key); ok {
-			s.cacheHits.Inc()
-			writeJSON(w, http.StatusOK, resp)
-			return
+		if sub, ok := s.resolveCached(key); ok {
+			return sub, nil
 		}
 	}
 	if key != "" {
@@ -332,27 +485,122 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	id, err := s.sched.SubmitSource(name, src)
 	switch {
-	case errors.Is(err, sched.ErrQueueFull):
-		s.fail(w, http.StatusServiceUnavailable, err)
-		return
-	case errors.Is(err, sched.ErrClosed):
-		s.fail(w, http.StatusServiceUnavailable, err)
-		return
+	case errors.Is(err, sched.ErrQueueFull), errors.Is(err, sched.ErrClosed):
+		return submission{code: http.StatusServiceUnavailable}, err
 	case err != nil:
-		s.fail(w, http.StatusBadRequest, err)
-		return
+		return submission{code: http.StatusBadRequest}, err
 	}
 	s.submits.Inc()
+	if cross != nil {
+		s.crossMu.Lock()
+		s.crossByJob[id] = cross
+		s.crossMu.Unlock()
+	}
 	if key != "" {
 		s.cache.put(key, id)
+		if s.persist != nil {
+			// Persist the report once the job completes, so a restarted
+			// daemon answers this content without recompute. The draining
+			// check under the mutex keeps the Add from racing Drain's Wait.
+			s.persistMu.Lock()
+			if !s.persistDraining {
+				s.persistWG.Add(1)
+				go func() {
+					defer s.persistWG.Done()
+					s.persistWhenDone(key, id, name, cross)
+				}()
+			}
+			s.persistMu.Unlock()
+		}
 	}
 	st, _ := s.sched.Job(id)
-	writeJSON(w, http.StatusAccepted, jobResponse(st, false))
+	return submission{resp: s.jobResponse(st, false), code: http.StatusAccepted, jobID: id, cross: cross}, nil
+}
+
+// resolveCached answers a cache key from the live LRU first, then from the
+// persisted layer.
+func (s *Server) resolveCached(key string) (submission, bool) {
+	if resp, ok := s.cachedResponse(key); ok {
+		s.cacheHits.Inc()
+		return submission{resp: resp, code: http.StatusOK, jobID: resp.ID, cross: resp.Cross}, true
+	}
+	if s.persist != nil {
+		if e, ok := s.persist.get(key); ok {
+			s.cacheHits.Inc()
+			s.persistHits.Inc()
+			return submission{resp: persistedResponse(key, e), code: http.StatusOK, report: &e.Report, cross: e.Cross}, true
+		}
+	}
+	return submission{}, false
+}
+
+// persistedResponse synthesizes a done job response from a persisted
+// report. The ID is stable for the key but not pollable — the response
+// already carries the full report.
+func persistedResponse(key string, e *persistEntry) JobResponse {
+	saved := e.Saved
+	return JobResponse{
+		ID:        "cached-" + entryFile(key)[:12],
+		Name:      e.Name,
+		State:     sched.Done.String(),
+		Cached:    true,
+		Submitted: saved,
+		Finished:  &saved,
+		Tiles:     e.Report.Stats.TilesProcessed,
+		Cross:     e.Cross,
+		Report:    reportPayload(e.Report),
+	}
+}
+
+// persistWhenDone waits for a cache-keyed job to finish and writes its
+// report to the durable cache layer.
+func (s *Server) persistWhenDone(key, jobID, name string, cross *CrossPayload) {
+	st, err := s.sched.Wait(context.Background(), jobID)
+	if err != nil || st.State != sched.Done {
+		return
+	}
+	e := &persistEntry{Key: key, Name: name, Cross: cross, Saved: time.Now().UTC(), Report: st.Report}
+	if perr := s.persist.put(e); perr != nil {
+		log.Printf("server: persist result for job %s: %v", jobID, perr)
+	}
+}
+
+// submitCell is the matrix orchestrator's cell submitter: one pairwise
+// cross-dataset job through the full cache-aware submission path.
+func (s *Server) submitCell(idA, idB string) (compare.SubmitOutcome, error) {
+	sub, err := s.submitRequest(JobRequest{DatasetA: idA, DatasetB: idB})
+	if err != nil {
+		return compare.SubmitOutcome{}, err
+	}
+	out := compare.SubmitOutcome{
+		JobID:  sub.jobID,
+		Cached: sub.resp.Cached,
+		Report: sub.report,
+		Tiles:  sub.resp.Tiles,
+	}
+	if sub.cross != nil {
+		out.Tiles = sub.cross.MatchedTiles
+		out.UnmatchedA = sub.cross.UnmatchedA
+		out.UnmatchedB = sub.cross.UnmatchedB
+	}
+	return out, nil
 }
 
 // datasetKey is the result-cache key of a content-addressed dataset: the
 // content hash itself, namespaced apart from request-hash keys.
 func datasetKey(id string) string { return "dataset\x00" + id }
+
+// crossKey is the result-cache key of a cross-dataset comparison. The key
+// is ordered — cross(a,b) compares a's set A against b's set B, a different
+// comparison from cross(b,a) — except that a self-comparison IS the
+// dataset's own embedded A-vs-B job, so it shares the single-dataset key
+// (and therefore its cache entries, in both directions).
+func crossKey(idA, idB string) string {
+	if idA == idB {
+		return datasetKey(idA)
+	}
+	return "cross\x00" + idA + "\x00" + idB
+}
 
 // cachedResponse resolves a cache key to a servable job response. A cached
 // job that failed, was canceled, or vanished is evicted and reported as a
@@ -363,7 +611,7 @@ func (s *Server) cachedResponse(key string) (JobResponse, bool) {
 		return JobResponse{}, false
 	}
 	if st, live := s.sched.Job(id); live && (st.State == sched.Done || !st.State.Terminal()) {
-		return jobResponse(st, true), true
+		return s.jobResponse(st, true), true
 	}
 	s.cache.drop(key)
 	return JobResponse{}, false
@@ -376,6 +624,9 @@ func (s *Server) cachedResponse(key string) (JobResponse, bool) {
 func (s *Server) cacheKey(req JobRequest) string {
 	if req.DatasetID != "" {
 		return datasetKey(req.DatasetID)
+	}
+	if req.DatasetA != "" {
+		return crossKey(req.DatasetA, req.DatasetB)
 	}
 	key := requestKey(req)
 	if s.store != nil && (req.Corpus != "" || req.Spec != nil) {
@@ -390,7 +641,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	jobs := s.sched.Jobs()
 	out := make([]JobResponse, len(jobs))
 	for i, st := range jobs {
-		out[i] = jobResponse(st, false)
+		out[i] = s.jobResponse(st, false)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
 }
@@ -401,7 +652,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusNotFound, sched.ErrNotFound)
 		return
 	}
-	writeJSON(w, http.StatusOK, jobResponse(st, false))
+	writeJSON(w, http.StatusOK, s.jobResponse(st, false))
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
@@ -415,7 +666,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusInternalServerError, err)
 	default:
 		st, _ := s.sched.Job(r.PathValue("id"))
-		writeJSON(w, http.StatusOK, jobResponse(st, false))
+		writeJSON(w, http.StatusOK, s.jobResponse(st, false))
 	}
 }
 
@@ -492,6 +743,9 @@ const (
 // checkRequest validates a JobRequest without materializing it (no dataset
 // generation), so it is cheap to run before the cache lookup.
 func checkRequest(req JobRequest) error {
+	if (req.DatasetA != "") != (req.DatasetB != "") {
+		return errors.New("dataset_a and dataset_b must be set together")
+	}
 	forms := 0
 	if req.Corpus != "" {
 		forms++
@@ -505,10 +759,20 @@ func checkRequest(req JobRequest) error {
 	if req.DatasetID != "" {
 		forms++
 	}
+	if req.DatasetA != "" {
+		forms++
+	}
 	if forms != 1 {
-		return errors.New("exactly one of corpus, spec, tasks, dataset_id must be set")
+		return errors.New("exactly one of corpus, spec, tasks, dataset_id, dataset_a+dataset_b must be set")
 	}
 	switch {
+	case req.DatasetA != "":
+		if !store.ValidateID(req.DatasetA) {
+			return fmt.Errorf("dataset_a %q is not a content hash (64 lowercase hex digits)", req.DatasetA)
+		}
+		if !store.ValidateID(req.DatasetB) {
+			return fmt.Errorf("dataset_b %q is not a content hash (64 lowercase hex digits)", req.DatasetB)
+		}
 	case req.DatasetID != "":
 		if !store.ValidateID(req.DatasetID) {
 			return fmt.Errorf("dataset_id %q is not a content hash (64 lowercase hex digits)", req.DatasetID)
@@ -561,18 +825,34 @@ func checkRequest(req JobRequest) error {
 }
 
 // materializeRequest turns a checked JobRequest into the task source to
-// run. Dataset jobs come back as lazy store tile handles; generated
-// requests are, when a store is configured, ingested so their results can
-// be cached (and later requested) by content hash — contentKey carries that
-// resolved cache key, empty when the content address is unknown.
-func (s *Server) materializeRequest(req JobRequest) (name string, src sched.TaskSource, contentKey string, err error) {
+// run. Dataset jobs come back as lazy store tile handles; cross-dataset
+// jobs as lazy tile-pair handles over the two segment files (cross carries
+// the pairing report); generated requests are, when a store is configured,
+// ingested so their results can be cached (and later requested) by content
+// hash — contentKey carries that resolved cache key, empty when the content
+// address is unknown.
+func (s *Server) materializeRequest(req JobRequest) (name string, src sched.TaskSource, contentKey string, cross *CrossPayload, err error) {
+	if req.DatasetA != "" {
+		name, csrc, match, self, err := compare.OpenPair(s.store, req.DatasetA, req.DatasetB)
+		if err != nil {
+			return "", nil, "", nil, err
+		}
+		if self {
+			// A self-comparison is the dataset's own embedded A-vs-B job
+			// (same cache key, bit-identical report), so no cross block:
+			// the response contract must not depend on which request form
+			// populated the shared cache entry.
+			return name, csrc, crossKey(req.DatasetA, req.DatasetB), nil, nil
+		}
+		return name, csrc, crossKey(req.DatasetA, req.DatasetB), crossPayload(req.DatasetA, req.DatasetB, match), nil
+	}
 	if req.DatasetID != "" {
 		ds, err := s.store.OpenDataset(req.DatasetID)
 		if err != nil {
-			return "", nil, "", err
+			return "", nil, "", nil, err
 		}
 		man := ds.Manifest()
-		return man.DisplayName(), ds.Source(), datasetKey(man.ID), nil
+		return man.DisplayName(), ds.Source(), datasetKey(man.ID), nil, nil
 	}
 	if req.Corpus != "" || req.Spec != nil {
 		var spec pathology.DatasetSpec
@@ -607,13 +887,13 @@ func (s *Server) materializeRequest(req JobRequest) (name string, src sched.Task
 				}
 			}
 		}
-		return spec.Name, sched.Tasks(pipeline.EncodeDataset(d)), contentKey, nil
+		return spec.Name, sched.Tasks(pipeline.EncodeDataset(d)), contentKey, nil, nil
 	}
 	tasks := make([]pipeline.FileTask, len(req.Tasks))
 	for i, t := range req.Tasks {
 		tasks[i] = pipeline.FileTask{Image: t.Image, Tile: t.Tile, RawA: t.RawA, RawB: t.RawB}
 	}
-	return "upload", sched.Tasks(tasks), "", nil
+	return "upload", sched.Tasks(tasks), "", nil, nil
 }
 
 func corpusByName(name string) (pathology.DatasetSpec, bool) {

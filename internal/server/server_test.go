@@ -279,32 +279,40 @@ func TestCancelEndpoint(t *testing.T) {
 		return payload
 	}
 	longTasks := encode(20, 1)
-	victimTasks := encode(1, 99)
 
-	resp, body := postJSON(t, ts.URL+"/jobs", JobRequest{Tasks: longTasks})
-	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("submit status = %d, body %s", resp.StatusCode, body)
-	}
-	resp, body = postJSON(t, ts.URL+"/jobs", JobRequest{Tasks: victimTasks})
-	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("submit status = %d, body %s", resp.StatusCode, body)
-	}
-	var victim JobResponse
-	if err := json.Unmarshal(body, &victim); err != nil {
-		t.Fatal(err)
-	}
+	// The schedule is timing-based (the runner can drain both jobs before
+	// DELETE lands under scheduler jitter), so losing the race retries with
+	// a fresh victim rather than flaking.
+	for attempt := 1; ; attempt++ {
+		resp, body := postJSON(t, ts.URL+"/jobs", JobRequest{Tasks: longTasks, NoCache: true})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit status = %d, body %s", resp.StatusCode, body)
+		}
+		resp, body = postJSON(t, ts.URL+"/jobs", JobRequest{Tasks: encode(1, 99+int64(attempt))})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit status = %d, body %s", resp.StatusCode, body)
+		}
+		var victim JobResponse
+		if err := json.Unmarshal(body, &victim); err != nil {
+			t.Fatal(err)
+		}
 
-	delReq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+victim.ID, nil)
-	delResp, err := http.DefaultClient.Do(delReq)
-	if err != nil {
-		t.Fatal(err)
-	}
-	delResp.Body.Close()
-	if delResp.StatusCode != http.StatusOK {
-		t.Fatalf("cancel status = %d", delResp.StatusCode)
-	}
-	if done := pollDone(t, ts.URL, victim.ID); done.State != "canceled" {
-		t.Errorf("victim state = %s, want canceled", done.State)
+		delReq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+victim.ID, nil)
+		delResp, err := http.DefaultClient.Do(delReq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delResp.Body.Close()
+		if delResp.StatusCode == http.StatusConflict && attempt < 5 {
+			continue // both jobs finished before the cancel; try again
+		}
+		if delResp.StatusCode != http.StatusOK {
+			t.Fatalf("cancel status = %d (attempt %d)", delResp.StatusCode, attempt)
+		}
+		if done := pollDone(t, ts.URL, victim.ID); done.State != "canceled" {
+			t.Errorf("victim state = %s, want canceled", done.State)
+		}
+		return
 	}
 }
 

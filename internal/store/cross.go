@@ -1,0 +1,50 @@
+package store
+
+// Cross-dataset pair reading: the storage primitive behind the compare
+// subsystem's dataset_a-vs-dataset_b jobs. A cross comparison pairs tiles by
+// (image, tile) key across two stored datasets and compares the FIRST
+// dataset's set-A polygons against the SECOND dataset's set-B polygons —
+// with dataset_a == dataset_b this degenerates exactly to the dataset's own
+// embedded A-vs-B comparison, which is what makes cross results directly
+// comparable (and cacheable) against single-dataset jobs.
+
+import "repro/internal/geom"
+
+// CrossReader reads matched tile pairs across two stored datasets. Each
+// ReadPair digest-verifies both tiles before decoding, exactly like the
+// single-dataset read path, but decodes only the set actually compared from
+// each side (set A from the first dataset, set B from the second).
+type CrossReader struct {
+	a, b *Dataset
+}
+
+// NewCrossReader returns a pair reader over the two datasets. The datasets
+// may be the same handle (a self-comparison).
+func NewCrossReader(a, b *Dataset) *CrossReader { return &CrossReader{a: a, b: b} }
+
+// A returns the first dataset (the set-A side).
+func (r *CrossReader) A() *Dataset { return r.a }
+
+// B returns the second dataset (the set-B side).
+func (r *CrossReader) B() *Dataset { return r.b }
+
+// ReadPair reads the cross pair (set A of the first dataset's tile ia, set B
+// of the second dataset's tile ib). Both tiles' content digests are
+// re-verified over their full byte ranges; only the compared set is decoded.
+func (r *CrossReader) ReadPair(ia, ib int) (setA, setB []*geom.Polygon, err error) {
+	tiA, segA, _, err := r.a.readVerified(ia)
+	if err != nil {
+		return nil, nil, err
+	}
+	if setA, err = r.a.decodeSet(tiA, "A", segA, tiA.CountA); err != nil {
+		return nil, nil, err
+	}
+	tiB, _, segB, err := r.b.readVerified(ib)
+	if err != nil {
+		return nil, nil, err
+	}
+	if setB, err = r.b.decodeSet(tiB, "B", segB, tiB.CountB); err != nil {
+		return nil, nil, err
+	}
+	return setA, setB, nil
+}

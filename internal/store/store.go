@@ -581,27 +581,9 @@ func (d *Dataset) Manifest() *Manifest { return d.man }
 // caught even when the bytes still decode), then fully validating every WKB
 // record (the SDBMS deserialization protocol cost).
 func (d *Dataset) ReadTile(i int) (a, b []*geom.Polygon, err error) {
-	if i < 0 || i >= len(d.man.Tiles) {
-		return nil, nil, fmt.Errorf("store: dataset %s has no tile index %d", d.man.ID, i)
-	}
-	ti := d.man.Tiles[i]
-	f, err := os.Open(filepath.Join(d.dir, segmentFile))
-	if err != nil {
-		return nil, nil, fmt.Errorf("store: dataset %s: %w", d.man.ID, err)
-	}
-	defer f.Close()
-	segA, err := d.readRange(f, ti, "A", ti.OffA, ti.LenA)
+	ti, segA, segB, err := d.readVerified(i)
 	if err != nil {
 		return nil, nil, err
-	}
-	segB, err := d.readRange(f, ti, "B", ti.OffB, ti.LenB)
-	if err != nil {
-		return nil, nil, err
-	}
-	sum := tileDigest(ti, segA, segB)
-	if hex.EncodeToString(sum[:]) != ti.Digest {
-		return nil, nil, fmt.Errorf("store: dataset %s tile %s/%d corrupt: content digest mismatch",
-			d.man.ID, ti.Image, ti.Tile)
 	}
 	if a, err = d.decodeSet(ti, "A", segA, ti.CountA); err != nil {
 		return nil, nil, err
@@ -610,6 +592,34 @@ func (d *Dataset) ReadTile(i int) (a, b []*geom.Polygon, err error) {
 		return nil, nil, err
 	}
 	return a, b, nil
+}
+
+// readVerified reads tile i's raw segment byte ranges and re-verifies the
+// tile's content digest. The digest covers both sets jointly, so both ranges
+// are always read even when the caller decodes only one — verification is
+// never skipped on the cross-dataset read path.
+func (d *Dataset) readVerified(i int) (ti TileInfo, segA, segB []byte, err error) {
+	if i < 0 || i >= len(d.man.Tiles) {
+		return TileInfo{}, nil, nil, fmt.Errorf("store: dataset %s has no tile index %d", d.man.ID, i)
+	}
+	ti = d.man.Tiles[i]
+	f, err := os.Open(filepath.Join(d.dir, segmentFile))
+	if err != nil {
+		return TileInfo{}, nil, nil, fmt.Errorf("store: dataset %s: %w", d.man.ID, err)
+	}
+	defer f.Close()
+	if segA, err = d.readRange(f, ti, "A", ti.OffA, ti.LenA); err != nil {
+		return TileInfo{}, nil, nil, err
+	}
+	if segB, err = d.readRange(f, ti, "B", ti.OffB, ti.LenB); err != nil {
+		return TileInfo{}, nil, nil, err
+	}
+	sum := tileDigest(ti, segA, segB)
+	if hex.EncodeToString(sum[:]) != ti.Digest {
+		return TileInfo{}, nil, nil, fmt.Errorf("store: dataset %s tile %s/%d corrupt: content digest mismatch",
+			d.man.ID, ti.Image, ti.Tile)
+	}
+	return ti, segA, segB, nil
 }
 
 func (d *Dataset) readRange(f *os.File, ti TileInfo, set string, off, ln int64) ([]byte, error) {
@@ -681,4 +691,18 @@ func (src *DatasetSource) Task(i int) (pipeline.FileTask, error) {
 		RawA:  parser.Encode(a),
 		RawB:  parser.Encode(b),
 	}, nil
+}
+
+// PolyTask materializes tile i as pre-parsed pipeline input: the store
+// validated every WKB record at ingest (and ReadTile re-validates on read),
+// so stored tiles skip the text re-encode/re-parse round trip entirely. The
+// decoded polygons are exactly what parsing the canonical text would yield,
+// keeping reports bit-identical to the FileTask path.
+func (src *DatasetSource) PolyTask(i int) (pipeline.PolyTask, error) {
+	a, b, err := src.d.ReadTile(i)
+	if err != nil {
+		return pipeline.PolyTask{}, err
+	}
+	ti := src.d.man.Tiles[i]
+	return pipeline.PolyTask{Image: ti.Image, Tile: ti.Tile, A: a, B: b}, nil
 }

@@ -24,6 +24,7 @@ import (
 	"runtime"
 
 	"repro/internal/clip"
+	"repro/internal/compare"
 	"repro/internal/geom"
 	"repro/internal/gpu"
 	"repro/internal/jaccard"
@@ -69,6 +70,14 @@ type (
 	// DatasetManifest describes one stored dataset (content ID, per-tile
 	// byte layout).
 	DatasetManifest = store.Manifest
+	// MatrixStatus is a K-way similarity matrix run's snapshot: the K×K
+	// cell grid plus the run's scheduler job-group aggregate.
+	MatrixStatus = compare.Status
+	// MatrixCell is one cell of a matrix status.
+	MatrixCell = compare.CellView
+	// CrossMatch reports how two datasets' tile indexes paired up (matched
+	// pairs plus the keys present on only one side).
+	CrossMatch = compare.Match
 )
 
 // NewPolygon validates vertices as a simple rectilinear polygon.
@@ -311,8 +320,13 @@ type ServiceOptions struct {
 	// default, negative disables caching.
 	CacheSize int
 	// Store, when set, backs the /datasets endpoints, jobs by dataset ID,
-	// and content-hash result caching (see OpenStore).
+	// cross-dataset jobs, matrix runs, and content-hash result caching —
+	// including the persisted report cache under the store directory (see
+	// OpenStore).
 	Store *Store
+	// MatrixConcurrency bounds in-flight cells per matrix run; 0 selects
+	// the server default of 4.
+	MatrixConcurrency int
 }
 
 // Service is the resident SCCG job service (paper §4 generalised to a
@@ -345,7 +359,7 @@ func NewService(opts ServiceOptions) *Service {
 	// The synchronous /compare endpoint runs on a CPU engine through the
 	// facade's error-returning path, leaving pool devices to the job queue.
 	cmpEng := NewEngine(Options{DisableGPU: true, Workers: opts.Workers})
-	compare := func(rawA, rawB []byte) (server.CompareResult, error) {
+	compareFn := func(rawA, rawB []byte) (server.CompareResult, error) {
 		a, err := parser.Parse(rawA)
 		if err != nil {
 			return server.CompareResult{}, fmt.Errorf("result set A: %w", err)
@@ -364,10 +378,11 @@ func NewService(opts ServiceOptions) *Service {
 		sched: sc,
 		store: opts.Store,
 		srv: server.New(sc, server.Options{
-			CacheSize: opts.CacheSize,
-			Compare:   compare,
-			Registry:  reg,
-			Store:     opts.Store,
+			CacheSize:         opts.CacheSize,
+			Compare:           compareFn,
+			Registry:          reg,
+			Store:             opts.Store,
+			MatrixConcurrency: opts.MatrixConcurrency,
 		}),
 	}
 }
@@ -400,11 +415,48 @@ func (s *Service) SubmitStored(datasetID string) (string, error) {
 	return s.sched.SubmitSource(ds.Manifest().DisplayName(), ds.Source())
 }
 
+// CompareStored queues a cross-dataset comparison job — dataset idA's set-A
+// polygons against dataset idB's set-B polygons over their shared tile keys
+// — bypassing HTTP (and, like SubmitStored, the result cache). The match
+// report says which tiles paired and which exist on only one side; with
+// idA == idB the job is exactly the dataset's own embedded comparison.
+func (s *Service) CompareStored(idA, idB string) (string, CrossMatch, error) {
+	if s.store == nil {
+		return "", CrossMatch{}, fmt.Errorf("sccg: service has no dataset store")
+	}
+	name, src, match, _, err := compare.OpenPair(s.store, idA, idB)
+	if err != nil {
+		return "", match, fmt.Errorf("sccg: %w", err)
+	}
+	id, err := s.sched.SubmitSource(name, src)
+	return id, match, err
+}
+
+// SubmitMatrix starts a K-way similarity matrix run over stored dataset
+// IDs: all K·(K−1)/2 pairwise cells as one cancellable job group,
+// deduplicated through the service's result cache. Poll with Matrix.
+func (s *Service) SubmitMatrix(ids []string) (string, error) {
+	return s.srv.SubmitMatrix(ids, "")
+}
+
+// Matrix returns a matrix run's status snapshot by ID.
+func (s *Service) Matrix(id string) (MatrixStatus, bool) { return s.srv.Matrix(id) }
+
+// CancelMatrix cancels a matrix run and its remaining member jobs.
+func (s *Service) CancelMatrix(id string) error { return s.srv.CancelMatrix(id) }
+
 // Job returns a job snapshot by ID.
 func (s *Service) Job(id string) (JobStatus, bool) { return s.sched.Job(id) }
 
-// Close stops the scheduler; queued jobs are canceled.
-func (s *Service) Close() { s.sched.Close() }
+// Close stops matrix orchestration and the scheduler (queued jobs are
+// canceled), then drains background report-persist writes — the scheduler
+// must close first so every job the persisters wait on reaches a terminal
+// state.
+func (s *Service) Close() {
+	s.srv.Close()
+	s.sched.Close()
+	s.srv.Drain()
+}
 
 // ErrServiceClosed is returned by scheduler submissions after Close.
 var ErrServiceClosed = sched.ErrClosed
