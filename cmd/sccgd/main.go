@@ -30,6 +30,18 @@
 //	curl -s -X POST localhost:8080/matrix -d '{"datasets":["<id1>","<id2>","<id3>"]}'
 //	curl -s localhost:8080/matrix/mx-000001
 //	curl -s localhost:8080/datasets/<id1>/tiles/0
+//
+// Retention bounds keep a long-lived store from leaking disk: a byte budget
+// LRU-evicts unpinned datasets (datasets referenced by queued/running jobs
+// are pinned and never evicted), a TTL expires unused ones, and the
+// persisted result cache is capped by entry count. Evicted datasets cascade
+// their cached reports, so a restart never resurrects results for deleted
+// data:
+//
+//	sccgd -data-dir /var/lib/sccgd -store-max-bytes 2GiB -store-ttl 168h \
+//	      -cache-max-entries 4096 -store-sweep 1m
+//	curl -s -X POST localhost:8080/gc     # sweep now
+//	curl -s -X DELETE localhost:8080/cache
 package main
 
 import (
@@ -46,7 +58,42 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/retention"
 )
+
+// retentionPolicy builds the retention policy from the raw flag values,
+// rejecting malformed byte sizes and negative bounds.
+func retentionPolicy(storeMax string, ttl, sweep time.Duration, cacheMax int) (retention.Policy, error) {
+	var pol retention.Policy
+	if storeMax != "" {
+		n, err := retention.ParseBytes(storeMax)
+		if err != nil {
+			return retention.Policy{}, fmt.Errorf("-store-max-bytes: %w", err)
+		}
+		pol.MaxBytes = n
+	}
+	if ttl < 0 {
+		return retention.Policy{}, errors.New("-store-ttl must not be negative")
+	}
+	if sweep < 0 {
+		return retention.Policy{}, errors.New("-store-sweep must not be negative")
+	}
+	if cacheMax < 0 {
+		return retention.Policy{}, errors.New("-cache-max-entries must not be negative")
+	}
+	pol.TTL = ttl
+	pol.SweepInterval = sweep
+	pol.CacheMaxEntries = cacheMax
+	return pol, nil
+}
+
+// sweepInterval reports the effective background sweep period for logs.
+func sweepInterval(pol retention.Policy) time.Duration {
+	if pol.SweepInterval > 0 {
+		return pol.SweepInterval
+	}
+	return time.Minute
+}
 
 func main() {
 	log.SetFlags(0)
@@ -76,12 +123,23 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 		queue     = fs.Int("queue", 0, "job queue depth (default 64)")
 		cache     = fs.Int("cache", 0, "result cache entries (default 128, -1 disables)")
 		dataDir   = fs.String("data-dir", "", "persistent dataset store directory (enables /datasets and jobs by dataset_id)")
+		storeMax  = fs.String("store-max-bytes", "", "store byte budget, e.g. 512MiB or 2GB; LRU-evicts unpinned datasets above it (empty = unbounded; needs -data-dir)")
+		storeTTL  = fs.Duration("store-ttl", 0, "evict datasets unused for this long (0 = no TTL; needs -data-dir)")
+		cacheMax  = fs.Int("cache-max-entries", 0, "persisted result-cache entry bound, LRU-evicted past it (0 = unbounded; needs -data-dir)")
+		sweep     = fs.Duration("store-sweep", 0, "retention sweep interval (default 1m when a retention bound is set)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
 		}
 		return err
+	}
+	pol, err := retentionPolicy(*storeMax, *storeTTL, *sweep, *cacheMax)
+	if err != nil {
+		return err
+	}
+	if pol.Active() && *dataDir == "" {
+		return errors.New("-store-max-bytes/-store-ttl/-cache-max-entries require -data-dir")
 	}
 
 	var st *sccg.Store
@@ -98,17 +156,24 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 	}
 
 	svc := sccg.NewService(sccg.ServiceOptions{
-		Devices:      *devices,
-		GPUsPerShard: *gpusPer,
-		HybridCPU:    *hybrid,
-		Workers:      *workers,
-		Migration:    *migration,
-		MaxShards:    *shards,
-		QueueDepth:   *queue,
-		CacheSize:    *cache,
-		Store:        st,
+		Devices:         *devices,
+		GPUsPerShard:    *gpusPer,
+		HybridCPU:       *hybrid,
+		Workers:         *workers,
+		Migration:       *migration,
+		MaxShards:       *shards,
+		QueueDepth:      *queue,
+		CacheSize:       *cache,
+		Store:           st,
+		StoreMaxBytes:   pol.MaxBytes,
+		StoreTTL:        pol.TTL,
+		CacheMaxEntries: pol.CacheMaxEntries,
+		SweepInterval:   pol.SweepInterval,
 	})
 	defer svc.Close()
+	if pol.Active() {
+		log.Printf("retention policy: %s (sweep interval %s)", pol, sweepInterval(pol))
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

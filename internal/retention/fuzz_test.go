@@ -1,0 +1,62 @@
+package retention
+
+// FuzzParseBytes hardens the -store-max-bytes flag parser: arbitrary input
+// must never panic, and every accepted value must be a sane bound (a
+// non-negative byte count that survives a format/parse round trip to within
+// unit rounding).
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzParseBytes(f *testing.F) {
+	for _, seed := range []string{
+		"0", "1024", "512MiB", "1.5 GB", "2gb", "1073741824", "3TiB",
+		"-1", "1e400", "NaN", "Inf", "GiB", "0x10", " 7 b ",
+		"9223372036854775807", "9223372036854775807KiB", "1.7976931348623157e308",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		n, err := ParseBytes(s)
+		if err != nil {
+			return
+		}
+		if n < 0 {
+			t.Fatalf("ParseBytes(%q) accepted a negative size %d", s, n)
+		}
+		// FormatBytes of an accepted value must itself be parseable (the
+		// policy string round-trips through logs and docs).
+		back, err := ParseBytes(FormatBytes(n))
+		if err != nil {
+			t.Fatalf("FormatBytes(%d) = %q does not re-parse: %v", n, FormatBytes(n), err)
+		}
+		if back < 0 {
+			t.Fatalf("round trip of %d went negative: %d", n, back)
+		}
+		// Inputs with no unit suffix are exact integers end to end.
+		trimmed := strings.TrimSpace(s)
+		if allDigits(trimmed) && len(trimmed) <= 15 {
+			var exact int64
+			for _, c := range trimmed {
+				exact = exact*10 + int64(c-'0')
+			}
+			if n != exact {
+				t.Fatalf("ParseBytes(%q) = %d, want exact %d", s, n, exact)
+			}
+		}
+	})
+}
+
+func allDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}

@@ -123,6 +123,16 @@ type TaskSource interface {
 	Task(i int) (pipeline.FileTask, error)
 }
 
+// SourceReleaser is an optional TaskSource extension for sources holding
+// external resources — the server's store-backed sources keep their datasets
+// pinned against retention eviction through it. The scheduler calls Release
+// exactly once, when the job reaches a terminal state (done, failed, or
+// canceled — including jobs canceled while still queued and jobs finalized
+// by Close).
+type SourceReleaser interface {
+	Release()
+}
+
 // PolySource is an optional TaskSource extension for inputs whose tiles are
 // already decoded polygon sets (stored datasets, cross-dataset pair
 // readers). Shards from a PolySource run through pipeline.RunParsed,
@@ -740,8 +750,14 @@ func (s *Scheduler) finish(j *job, state State, err error, report pipeline.Resul
 	j.err = err
 	j.finished = time.Now()
 	j.report = report
+	src := j.src
 	j.src = nil // release the input source; finished jobs are kept forever
 	s.mu.Unlock()
+	if rel, ok := src.(SourceReleaser); ok {
+		// Outside the lock: Release may take the store's lock (unpinning),
+		// and only the first finisher sees a non-nil src, so this runs once.
+		rel.Release()
+	}
 	j.cancel()
 	close(j.done)
 }

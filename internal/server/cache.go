@@ -75,6 +75,36 @@ func (c *resultCache) drop(key string) {
 	}
 }
 
+// dropWhere removes every entry the predicate matches and returns how many
+// went — the cascade primitive behind dataset deletes (drop result keys
+// referencing the dataset, drop spec aliases resolving to it).
+func (c *resultCache) dropWhere(pred func(key, value string) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*cacheEntry)
+		if pred(e.key, e.jobID) {
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+			dropped++
+		}
+		el = next
+	}
+	return dropped
+}
+
+// clear empties the cache, returning how many entries it held.
+func (c *resultCache) clear() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.ll.Len()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element)
+	return n
+}
+
 // len returns the live entry count.
 func (c *resultCache) len() int {
 	c.mu.Lock()

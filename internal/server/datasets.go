@@ -237,6 +237,7 @@ func (s *Server) handleReadTile(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusInternalServerError, err)
 		return
 	}
+	s.store.Touch(man.ID) // tile reads advance the retention clock
 	ti := man.Tiles[n]
 	writeJSON(w, http.StatusOK, TilePayload{
 		Index:     n,
@@ -249,18 +250,32 @@ func (s *Server) handleReadTile(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleDeleteDataset removes a dataset. A dataset pinned by a queued or
+// running job conflicts (409); ?force=true deletes it anyway, failing the
+// jobs holding it with a clear "dataset deleted during job" error. Either
+// way the delete cascades through the result layers via the store's hook.
 func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
 	if !s.requireStore(w) {
 		return
 	}
 	id := r.PathValue("id")
-	if err := s.store.Delete(id); err != nil {
+	force := r.URL.Query().Get("force") == "true" || r.URL.Query().Get("force") == "1"
+	var err error
+	if force {
+		err = s.store.ForceDelete(id)
+	} else {
+		err = s.store.Delete(id)
+	}
+	if err != nil {
 		code := http.StatusInternalServerError
-		if errors.Is(err, store.ErrNotFound) {
+		switch {
+		case errors.Is(err, store.ErrNotFound):
 			code = http.StatusNotFound
+		case errors.Is(err, store.ErrPinned):
+			code = http.StatusConflict
 		}
 		s.fail(w, code, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"deleted": id})
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": id, "forced": force})
 }

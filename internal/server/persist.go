@@ -23,6 +23,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -40,12 +41,26 @@ type persistEntry struct {
 	Cross  *CrossPayload   `json:"cross,omitempty"`
 	Saved  time.Time       `json:"saved"`
 	Report pipeline.Result `json:"report"`
+
+	// used is in-process recency for the LRU entry bound; boot seeds it from
+	// Saved. Never serialized.
+	used time.Time `json:"-"`
 }
 
 // reportDisk is the on-disk cache: an in-memory index over one JSON file
-// per entry, loaded at boot.
+// per entry, loaded at boot. With max > 0 the entry count is bounded:
+// put evicts least-recently-used entries past the cap, and the retention
+// sweeper can re-enforce it via EnforceLimit.
 type reportDisk struct {
 	dir string
+	max int // entry cap; 0 = unbounded
+	// keep, when set, gates put: an entry whose key it rejects is not
+	// stored. The server wires it to dataset liveness, and the check runs
+	// inside put's critical section — the same mutex the delete cascade's
+	// dropDataset takes — so a persister racing a dataset delete can never
+	// insert after the cascade looked (if the delete committed first, keep
+	// sees the dataset gone; if put won, the cascade drops the entry).
+	keep func(key string) bool
 
 	mu      sync.Mutex
 	entries map[string]*persistEntry
@@ -58,12 +73,15 @@ func entryFile(key string) string {
 }
 
 // openReportDisk loads the cache directory (creating it if needed) and
-// returns the skip reasons of entries that failed validation.
-func openReportDisk(dir string) (*reportDisk, []error) {
+// returns the skip reasons of entries that failed validation. maxEntries
+// bounds the live entry count at put time (0 = unbounded); the caller
+// enforces it over preexisting entries AFTER dropping orphans, so dead
+// entries never occupy cap slots at the expense of live ones.
+func openReportDisk(dir string, maxEntries int) (*reportDisk, []error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, []error{fmt.Errorf("create cache dir %s: %w", dir, err)}
 	}
-	rd := &reportDisk{dir: dir, entries: make(map[string]*persistEntry)}
+	rd := &reportDisk{dir: dir, max: maxEntries, entries: make(map[string]*persistEntry)}
 	des, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, []error{fmt.Errorf("scan cache dir %s: %w", dir, err)}
@@ -92,6 +110,7 @@ func openReportDisk(dir string) (*reportDisk, []error) {
 			skipped = append(skipped, fmt.Errorf("cache entry %s: key does not hash to its file name", name))
 			continue
 		}
+		e.used = e.Saved
 		rd.entries[e.Key] = &e
 	}
 	return rd, skipped
@@ -141,11 +160,14 @@ func validateEntry(e *persistEntry) error {
 	return nil
 }
 
-// get returns the entry cached for key.
+// get returns the entry cached for key, refreshing its recency.
 func (rd *reportDisk) get(key string) (*persistEntry, bool) {
 	rd.mu.Lock()
 	defer rd.mu.Unlock()
 	e, ok := rd.entries[key]
+	if ok {
+		e.used = time.Now()
+	}
 	return e, ok
 }
 
@@ -169,7 +191,15 @@ func (rd *reportDisk) put(e *persistEntry) error {
 		return fmt.Errorf("encode cache entry: %w", err)
 	}
 	rd.mu.Lock()
+	if rd.keep != nil && !rd.keep(e.Key) {
+		rd.mu.Unlock()
+		return nil // the entry's dataset is gone; nothing to persist
+	}
+	e.used = time.Now()
 	rd.entries[e.Key] = e
+	if rd.max > 0 {
+		rd.enforceLocked(rd.max)
+	}
 	rd.mu.Unlock()
 	f, err := os.CreateTemp(rd.dir, "tmp-*")
 	if err != nil {
@@ -189,5 +219,104 @@ func (rd *reportDisk) put(e *persistEntry) error {
 		os.Remove(tmp)
 		return fmt.Errorf("write cache entry: %w", err)
 	}
+	// Reconcile: the key may have been dropped (delete cascade, clear, LRU
+	// eviction) while the bytes were in flight, in which case the rename
+	// just orphaned a file the index no longer tracks — remove it. A
+	// *replaced* entry (another put of the same key) is left alone: the key
+	// is a content address, so the file bytes serve the new entry exactly.
+	rd.mu.Lock()
+	if _, ok := rd.entries[e.Key]; !ok {
+		os.Remove(filepath.Join(rd.dir, entryFile(e.Key)))
+	}
+	rd.mu.Unlock()
 	return nil
+}
+
+// removeLocked drops one entry from the index and from disk. Callers hold mu.
+func (rd *reportDisk) removeLocked(key string) {
+	if _, ok := rd.entries[key]; !ok {
+		return
+	}
+	delete(rd.entries, key)
+	os.Remove(filepath.Join(rd.dir, entryFile(key)))
+}
+
+// enforceLocked evicts least-recently-used entries until at most max remain,
+// returning how many were dropped. Callers hold mu.
+func (rd *reportDisk) enforceLocked(max int) int {
+	over := len(rd.entries) - max
+	if over <= 0 {
+		return 0
+	}
+	type rec struct {
+		key  string
+		used time.Time
+	}
+	order := make([]rec, 0, len(rd.entries))
+	for k, e := range rd.entries {
+		order = append(order, rec{key: k, used: e.used})
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if !order[i].used.Equal(order[j].used) {
+			return order[i].used.Before(order[j].used)
+		}
+		return order[i].key < order[j].key
+	})
+	for _, r := range order[:over] {
+		rd.removeLocked(r.key)
+	}
+	return over
+}
+
+// EnforceLimit evicts least-recently-used entries beyond max. It is the
+// retention engine's cache hook (see retention.Cache).
+func (rd *reportDisk) EnforceLimit(max int) int {
+	if max < 0 {
+		max = 0
+	}
+	rd.mu.Lock()
+	defer rd.mu.Unlock()
+	return rd.enforceLocked(max)
+}
+
+// retain keeps only entries whose key the predicate accepts, dropping the
+// rest from memory and disk; it returns how many were dropped. The server
+// runs it at boot against the store's recovered datasets, so a crash between
+// a dataset delete and its cache cascade can never resurrect the report.
+func (rd *reportDisk) retain(keep func(key string) bool) int {
+	rd.mu.Lock()
+	defer rd.mu.Unlock()
+	dropped := 0
+	for k := range rd.entries {
+		if !keep(k) {
+			rd.removeLocked(k)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// dropDataset removes every entry whose key references the dataset — its
+// single-dataset entry and every cross entry it participates in. This is the
+// delete-cascade path.
+func (rd *reportDisk) dropDataset(id string) int {
+	return rd.retain(func(key string) bool {
+		for _, ref := range keyDatasetIDs(key) {
+			if ref == id {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// clear empties the cache layer, removing every entry file.
+func (rd *reportDisk) clear() int {
+	rd.mu.Lock()
+	defer rd.mu.Unlock()
+	n := len(rd.entries)
+	for k := range rd.entries {
+		rd.removeLocked(k)
+	}
+	return n
 }

@@ -1,0 +1,196 @@
+package server
+
+// Retention surface: the admin endpoints and the plumbing that ties the
+// retention engine into the request path.
+//
+//	POST   /gc      run one retention sweep now, report what it evicted
+//	DELETE /cache   empty the result cache (in-memory LRU + persisted layer)
+//
+// Two invariants are enforced here rather than in the engine, so they hold
+// for every delete path (HTTP DELETE, forced deletes, retention sweeps):
+//
+//   - Cascade: the store's delete hook routes through dropDatasetResults,
+//     which removes the dataset's live LRU entries, its persisted report
+//     entries (single and cross), and any spec alias resolving to it — a
+//     deleted dataset's results are never served again, and a re-submitted
+//     spec falls back to re-materialization.
+//   - Pinning: every store-backed job submission pins its datasets first
+//     (Pin fails if the dataset is already gone, closing the race with a
+//     concurrent sweep) and wraps the task source so the scheduler unpins
+//     exactly once at the job's terminal state.
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/compare"
+	"repro/internal/pipeline"
+	"repro/internal/retention"
+	"repro/internal/sched"
+	"repro/internal/store"
+)
+
+// keyDatasetIDs returns the dataset content IDs a result-cache key
+// references: one for a single-dataset key, two for a cross key, none for
+// request-hash keys (uploads, storeless spec jobs).
+func keyDatasetIDs(key string) []string {
+	if rest, ok := strings.CutPrefix(key, "dataset\x00"); ok {
+		return []string{rest}
+	}
+	if rest, ok := strings.CutPrefix(key, "cross\x00"); ok {
+		if a, b, ok := strings.Cut(rest, "\x00"); ok {
+			return []string{a, b}
+		}
+	}
+	return nil
+}
+
+// dropDatasetResults is the store's delete hook: cascade a dataset removal
+// through every result layer so no path — DELETE /datasets, a forced delete,
+// a retention eviction — leaves reports behind for data that no longer
+// exists.
+func (s *Server) dropDatasetResults(id string) {
+	n := s.cache.dropWhere(func(key, _ string) bool {
+		for _, ref := range keyDatasetIDs(key) {
+			if ref == id {
+				return true
+			}
+		}
+		return false
+	})
+	n += s.specIDs.dropWhere(func(_, dsID string) bool { return dsID == id })
+	if s.persist != nil {
+		n += s.persist.dropDataset(id)
+	}
+	if n > 0 {
+		s.cascades.Add(int64(n))
+	}
+}
+
+// pinnedSource wraps a job's task source so its datasets stay pinned —
+// immune to Delete and retention sweeps — until the scheduler releases the
+// source at the job's terminal state. Release is idempotent because the
+// server also calls it on paths where the source never reaches a job (a
+// late cache hit, a submit failure).
+type pinnedSource struct {
+	sched.TaskSource
+	st   *store.Store
+	ids  []string
+	once sync.Once
+}
+
+func (p *pinnedSource) Release() {
+	p.once.Do(func() {
+		for _, id := range p.ids {
+			p.st.Unpin(id)
+		}
+	})
+}
+
+// pinnedPolySource additionally forwards the PolySource contract, so
+// wrapping never demotes a parse-free store source to the text path.
+type pinnedPolySource struct {
+	*pinnedSource
+	poly sched.PolySource
+}
+
+func (p *pinnedPolySource) PolyTask(i int) (pipeline.PolyTask, error) { return p.poly.PolyTask(i) }
+
+// pinDatasets pins every id; all must exist — a failure unwinds the pins
+// already taken, so pins are held all-or-nothing.
+func (s *Server) pinDatasets(ids ...string) error {
+	for i, id := range ids {
+		if err := s.store.Pin(id); err != nil {
+			for _, held := range ids[:i] {
+				s.store.Unpin(held)
+			}
+			return fmt.Errorf("dataset %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// wrapPinned wraps src so the already-held pins on ids release exactly once,
+// preserving the PolySource contract when src carries it.
+func wrapPinned(st *store.Store, src sched.TaskSource, ids ...string) sched.TaskSource {
+	ps := &pinnedSource{TaskSource: src, st: st, ids: ids}
+	if poly, ok := src.(sched.PolySource); ok {
+		return &pinnedPolySource{pinnedSource: ps, poly: poly}
+	}
+	return ps
+}
+
+// openDatasetPinned pins a stored dataset and returns its parse-free task
+// source; the pin is released at the job's terminal state (or by
+// releaseSource when no job takes the source).
+func (s *Server) openDatasetPinned(id string) (sched.TaskSource, *store.Manifest, error) {
+	if err := s.pinDatasets(id); err != nil {
+		return nil, nil, err
+	}
+	ds, err := s.store.OpenDataset(id)
+	if err != nil {
+		s.store.Unpin(id)
+		return nil, nil, err
+	}
+	return wrapPinned(s.store, ds.Source(), id), ds.Manifest(), nil
+}
+
+// openPairPinned pins the cross pair's datasets (ids, deduplicated by the
+// caller for self-comparisons) and opens the comparison over them.
+func (s *Server) openPairPinned(ids []string, idA, idB string) (name string, src sched.TaskSource, match compare.Match, self bool, err error) {
+	if err := s.pinDatasets(ids...); err != nil {
+		return "", nil, compare.Match{}, false, err
+	}
+	name, csrc, match, self, err := compare.OpenPair(s.store, idA, idB)
+	if err != nil {
+		for _, id := range ids {
+			s.store.Unpin(id)
+		}
+		return "", nil, compare.Match{}, false, err
+	}
+	return name, wrapPinned(s.store, csrc, ids...), match, self, nil
+}
+
+// releaseSource releases a pinned source that will never reach (or never
+// reached) a scheduler job.
+func releaseSource(src sched.TaskSource) {
+	if rel, ok := src.(sched.SourceReleaser); ok {
+		rel.Release()
+	}
+}
+
+// GC runs one retention sweep immediately. It fails when the server has no
+// store (retention bounds nothing without one).
+func (s *Server) GC() (retention.Sweep, error) {
+	if s.retention == nil {
+		return retention.Sweep{}, errors.New("no dataset store configured (start sccgd with -data-dir)")
+	}
+	return s.retention.Sweep(), nil
+}
+
+func (s *Server) handleGC(w http.ResponseWriter, r *http.Request) {
+	sw, err := s.GC()
+	if err != nil {
+		s.fail(w, http.StatusNotImplemented, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sw)
+}
+
+// handleClearCache empties both result-cache layers: the in-memory LRU and
+// the persisted reports on disk. Spec aliases are kept — they point at live
+// datasets, and dataset deletion is what invalidates them.
+func (s *Server) handleClearCache(w http.ResponseWriter, r *http.Request) {
+	lru := s.cache.clear()
+	persisted := 0
+	if s.persist != nil {
+		persisted = s.persist.clear()
+	}
+	writeJSON(w, http.StatusOK, map[string]int{
+		"lru_dropped":       lru,
+		"persisted_dropped": persisted,
+	})
+}

@@ -1,0 +1,570 @@
+package server
+
+// Delete-lifecycle and retention regression tests: the cascade that keeps
+// deleted datasets' reports from being served (live, persisted, or
+// resurrected at boot), spec-alias invalidation, pinning against deletes
+// and sweeps, the clear mid-job delete failure, and the admin endpoints.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/pathology"
+	"repro/internal/pipeline"
+	"repro/internal/retention"
+	"repro/internal/sched"
+)
+
+func doRequest(t *testing.T, method, url string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s %s body: %v", method, url, err)
+	}
+	return resp, raw
+}
+
+// waitPersisted blocks until the persisted cache directory holds n entries.
+func waitPersisted(t *testing.T, dir string, n int) {
+	t.Helper()
+	cacheDir := filepath.Join(dir, "cache")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		entries, _ := os.ReadDir(cacheDir)
+		files := 0
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), ".json") {
+				files++
+			}
+		}
+		if files >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("persisted cache never reached %d entries (%d)", n, files)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func persistedFiles(t *testing.T, dir string) int {
+	t.Helper()
+	entries, _ := os.ReadDir(filepath.Join(dir, "cache"))
+	n := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".json") {
+			n++
+		}
+	}
+	return n
+}
+
+// TestDeleteCascadesResultLayers is the PR's first regression: deleting a
+// dataset must drop its live LRU entry, its persisted report, and the disk
+// file behind it — a repeat submission answers 404, a restart resurrects
+// nothing, and re-ingesting the same content recomputes instead of serving
+// the pre-delete report.
+func TestDeleteCascadesResultLayers(t *testing.T) {
+	dir := t.TempDir()
+	st := testStoreAt(t, dir)
+	man := ingestSpec(t, st, "cascade", 11, 2)
+	_, _, ts := newTestServer(t, sched.Config{Devices: 1}, Options{Store: st})
+
+	resp, body := postJSON(t, ts.URL+"/jobs", JobRequest{DatasetID: man.ID})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, body)
+	}
+	var jr JobResponse
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatal(err)
+	}
+	if done := pollDone(t, ts.URL, jr.ID); done.State != "done" {
+		t.Fatalf("job ended %s: %s", done.State, done.Error)
+	}
+	waitPersisted(t, dir, 1)
+
+	// Precondition: the repeat is a cache hit.
+	if resp, body := postJSON(t, ts.URL+"/jobs", JobRequest{DatasetID: man.ID}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-delete repeat = %d, want 200 cache hit: %s", resp.StatusCode, body)
+	}
+
+	dresp, draw := doRequest(t, http.MethodDelete, ts.URL+"/datasets/"+man.ID)
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("delete = %d: %s", dresp.StatusCode, draw)
+	}
+	// The cascade emptied every layer: no cached answer, no disk file.
+	if resp, body := postJSON(t, ts.URL+"/jobs", JobRequest{DatasetID: man.ID}); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("post-delete repeat = %d, want 404 (not a cached report): %s", resp.StatusCode, body)
+	}
+	if n := persistedFiles(t, dir); n != 0 {
+		t.Fatalf("%d persisted entries survived the delete", n)
+	}
+
+	// Restart: nothing to resurrect.
+	st2 := testStoreAt(t, dir)
+	_, _, ts2 := newTestServer(t, sched.Config{Devices: 1}, Options{Store: st2})
+	if resp, body := postJSON(t, ts2.URL+"/jobs", JobRequest{DatasetID: man.ID}); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("post-restart repeat = %d, want 404: %s", resp.StatusCode, body)
+	}
+
+	// Re-ingest the identical content (same content ID): the repeat job must
+	// recompute, not cache-hit a report from before the delete.
+	man2 := ingestSpec(t, st2, "cascade", 11, 2)
+	if man2.ID != man.ID {
+		t.Fatalf("re-ingest produced %s, want the original content ID %s", man2.ID, man.ID)
+	}
+	resp, body = postJSON(t, ts2.URL+"/jobs", JobRequest{DatasetID: man.ID})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-reingest submit = %d, want 202 recompute: %s", resp.StatusCode, body)
+	}
+	var again JobResponse
+	if err := json.Unmarshal(body, &again); err != nil {
+		t.Fatal(err)
+	}
+	if again.Cached {
+		t.Fatal("post-reingest submission was served from cache")
+	}
+	pollDone(t, ts2.URL, again.ID)
+}
+
+// TestBootDropsOrphanedReports: a crash between a dataset delete and its
+// cache cascade leaves an orphaned report on disk; the next boot must drop
+// it (memory and file), never serve it.
+func TestBootDropsOrphanedReports(t *testing.T) {
+	dir := t.TempDir()
+	st := testStoreAt(t, dir)
+	man := ingestSpec(t, st, "orphan", 5, 2)
+	_, _, ts := newTestServer(t, sched.Config{Devices: 1}, Options{Store: st})
+
+	resp, body := postJSON(t, ts.URL+"/jobs", JobRequest{DatasetID: man.ID})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, body)
+	}
+	var jr JobResponse
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatal(err)
+	}
+	pollDone(t, ts.URL, jr.ID)
+	waitPersisted(t, dir, 1)
+
+	// Simulate the crash window: the dataset directory vanishes without the
+	// delete hook ever running.
+	if err := os.RemoveAll(filepath.Join(dir, man.ID)); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := testStoreAt(t, dir)
+	_, _, ts2 := newTestServer(t, sched.Config{Devices: 1}, Options{Store: st2})
+	if resp, body := postJSON(t, ts2.URL+"/jobs", JobRequest{DatasetID: man.ID}); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("orphaned report was served: %d %s", resp.StatusCode, body)
+	}
+	if n := persistedFiles(t, dir); n != 0 {
+		t.Fatalf("boot left %d orphaned entry file(s) on disk", n)
+	}
+}
+
+// TestSpecAliasDroppedOnDelete is the second regression: after its dataset
+// is deleted, a re-submitted spec job must fall back to re-materialization
+// (re-ingest and recompute) instead of resolving through the stale alias to
+// a missing dataset or a dead cache entry.
+func TestSpecAliasDroppedOnDelete(t *testing.T) {
+	st := testStoreAt(t, t.TempDir())
+	_, _, ts := newTestServer(t, sched.Config{Devices: 1}, Options{Store: st})
+
+	spec := pathology.Representative()
+	spec.Name = "alias"
+	spec.Seed = 3
+	spec.Tiles = 2
+	resp, body := postJSON(t, ts.URL+"/jobs", JobRequest{Spec: &spec})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("spec submit = %d: %s", resp.StatusCode, body)
+	}
+	var jr JobResponse
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatal(err)
+	}
+	first := pollDone(t, ts.URL, jr.ID)
+	if first.State != "done" {
+		t.Fatalf("spec job ended %s: %s", first.State, first.Error)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("spec job ingested %d datasets, want 1", st.Len())
+	}
+	id := st.List()[0].ID
+
+	if dresp, draw := doRequest(t, http.MethodDelete, ts.URL+"/datasets/"+id); dresp.StatusCode != http.StatusOK {
+		t.Fatalf("delete = %d: %s", dresp.StatusCode, draw)
+	}
+
+	// The alias is gone: the repeat recomputes and re-ingests.
+	resp, body = postJSON(t, ts.URL+"/jobs", JobRequest{Spec: &spec})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-delete spec submit = %d, want 202 recompute: %s", resp.StatusCode, body)
+	}
+	var second JobResponse
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.Cached || second.ID == jr.ID {
+		t.Fatalf("post-delete spec resubmit = %+v, want a fresh job", second)
+	}
+	redone := pollDone(t, ts.URL, second.ID)
+	if redone.State != "done" {
+		t.Fatalf("recomputed spec job ended %s: %s", redone.State, redone.Error)
+	}
+	if redone.Report.Similarity != first.Report.Similarity {
+		t.Error("recomputed report differs from the original; content is identical")
+	}
+	if st.Len() != 1 {
+		t.Fatalf("re-submission left %d datasets, want the re-ingested 1", st.Len())
+	}
+	if got := st.List()[0].ID; got != id {
+		t.Fatalf("re-ingest produced %s, want the original content ID %s", got, id)
+	}
+
+	// And the third submission hits the repaired cache.
+	if resp, body := postJSON(t, ts.URL+"/jobs", JobRequest{Spec: &spec}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("third spec submit = %d, want 200 cache hit: %s", resp.StatusCode, body)
+	}
+}
+
+// gatedStoreSource delays tile materialization until released, keeping a
+// store-backed job deterministically in flight. It preserves the PolySource
+// contract of the wrapped source.
+type gatedStoreSource struct {
+	src     sched.PolySource
+	release <-chan struct{}
+	entered chan struct{}
+	once    sync.Once
+}
+
+func (g *gatedStoreSource) Len() int           { return g.src.Len() }
+func (g *gatedStoreSource) Weight(i int) int64 { return g.src.Weight(i) }
+func (g *gatedStoreSource) wait() {
+	g.once.Do(func() { close(g.entered) })
+	<-g.release
+}
+func (g *gatedStoreSource) Task(i int) (pipeline.FileTask, error) {
+	g.wait()
+	return g.src.Task(i)
+}
+func (g *gatedStoreSource) PolyTask(i int) (pipeline.PolyTask, error) {
+	g.wait()
+	return g.src.PolyTask(i)
+}
+
+// TestForceDeleteMidJobFailsClearly is the third regression: with pinning in
+// place a plain DELETE conflicts while the job runs, and a forced delete
+// fails the job with a clear "dataset deleted during job" error instead of a
+// raw tile-read I/O error. The pin releases at the job's terminal state.
+func TestForceDeleteMidJobFailsClearly(t *testing.T) {
+	st := testStoreAt(t, t.TempDir())
+	man := ingestSpec(t, st, "midjob", 9, 1)
+	srv, sc, ts := newTestServer(t, sched.Config{}, Options{Store: st})
+
+	ds, err := st.OpenDataset(man.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	gated := &gatedStoreSource{src: ds.Source(), release: release, entered: make(chan struct{})}
+	var once sync.Once
+	t.Cleanup(func() { once.Do(func() { close(release) }) })
+
+	// Pin + wrap exactly as submitRequest does for dataset jobs.
+	if err := srv.pinDatasets(man.ID); err != nil {
+		t.Fatal(err)
+	}
+	id, err := sc.SubmitSource("doomed", wrapPinned(st, gated, man.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-gated.entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("job never started materializing")
+	}
+
+	// Plain delete conflicts while pinned.
+	if dresp, draw := doRequest(t, http.MethodDelete, ts.URL+"/datasets/"+man.ID); dresp.StatusCode != http.StatusConflict {
+		t.Fatalf("delete of pinned dataset = %d, want 409: %s", dresp.StatusCode, draw)
+	}
+	// Forced delete wins.
+	if dresp, draw := doRequest(t, http.MethodDelete, ts.URL+"/datasets/"+man.ID+"?force=true"); dresp.StatusCode != http.StatusOK {
+		t.Fatalf("forced delete = %d: %s", dresp.StatusCode, draw)
+	}
+	once.Do(func() { close(release) })
+
+	final, err := sc.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != sched.Failed {
+		t.Fatalf("job ended %s, want failed", final.State)
+	}
+	if !strings.Contains(final.Error, "deleted during job") {
+		t.Fatalf("job error %q does not state the lifecycle fault", final.Error)
+	}
+	if st.PinnedCount() != 0 {
+		t.Fatalf("%d pins leaked past the job's terminal state", st.PinnedCount())
+	}
+}
+
+// TestConcurrentSweepVsRunningJob: a sweeper hammering the store under a
+// 1-byte budget never evicts the dataset of an in-flight job (the pin
+// wins), the job completes, and the dataset is reclaimed only after the
+// job's terminal state releases the pin. CI runs this under -race.
+func TestConcurrentSweepVsRunningJob(t *testing.T) {
+	st := testStoreAt(t, t.TempDir())
+	man := ingestSpec(t, st, "sweeprace", 13, 2)
+	srv, sc, _ := newTestServer(t, sched.Config{Devices: 1}, Options{Store: st})
+
+	engine := retention.New(retention.Config{Store: st, Policy: retention.Policy{MaxBytes: 1}})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				engine.Sweep()
+			}
+		}
+	}()
+	defer func() {
+		close(stop)
+		wg.Wait()
+	}()
+
+	ds, err := st.OpenDataset(man.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	gated := &gatedStoreSource{src: ds.Source(), release: release, entered: make(chan struct{})}
+	if err := srv.pinDatasets(man.ID); err != nil {
+		t.Fatal(err)
+	}
+	id, err := sc.SubmitSource("swept", wrapPinned(st, gated, man.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-gated.entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("job never started materializing")
+	}
+	// Let the sweeper contend with the blocked job for a moment.
+	time.Sleep(20 * time.Millisecond)
+	if _, ok := st.Get(man.ID); !ok {
+		t.Fatal("sweeper evicted a pinned dataset under a running job")
+	}
+	close(release)
+
+	final, err := sc.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != sched.Done {
+		t.Fatalf("job ended %s (%s), want done despite concurrent sweeps", final.State, final.Error)
+	}
+
+	// Terminal state released the pin: the budget now reclaims the dataset.
+	deadline := time.Now().Add(10 * time.Second)
+	for st.Len() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("dataset never evicted after the job finished (pins=%d)", st.PinnedCount())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestCacheAdminAndGC: DELETE /cache empties both result-cache layers (the
+// repeat recomputes), POST /gc sweeps on demand under the configured policy,
+// and the retention gauges are exported on /metrics.
+func TestCacheAdminAndGC(t *testing.T) {
+	dir := t.TempDir()
+	st := testStoreAt(t, dir)
+	man := ingestSpec(t, st, "admin", 21, 2)
+	_, _, ts := newTestServer(t, sched.Config{Devices: 1},
+		Options{Store: st, Retention: retention.Policy{MaxBytes: 1, SweepInterval: time.Hour}})
+
+	resp, body := postJSON(t, ts.URL+"/jobs", JobRequest{DatasetID: man.ID})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, body)
+	}
+	var jr JobResponse
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatal(err)
+	}
+	pollDone(t, ts.URL, jr.ID)
+	waitPersisted(t, dir, 1)
+
+	dresp, draw := doRequest(t, http.MethodDelete, ts.URL+"/cache")
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE /cache = %d: %s", dresp.StatusCode, draw)
+	}
+	var cleared struct {
+		LRU       int `json:"lru_dropped"`
+		Persisted int `json:"persisted_dropped"`
+	}
+	if err := json.Unmarshal(draw, &cleared); err != nil {
+		t.Fatal(err)
+	}
+	if cleared.LRU < 1 || cleared.Persisted != 1 {
+		t.Fatalf("DELETE /cache dropped %+v, want at least the job's entry in both layers", cleared)
+	}
+	if n := persistedFiles(t, dir); n != 0 {
+		t.Fatalf("%d persisted files survived DELETE /cache", n)
+	}
+	resp, body = postJSON(t, ts.URL+"/jobs", JobRequest{DatasetID: man.ID})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-clear repeat = %d, want 202 recompute: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatal(err)
+	}
+	pollDone(t, ts.URL, jr.ID)
+
+	// POST /gc sweeps now: the 1-byte budget evicts the (unpinned) dataset.
+	gresp, graw := doRequest(t, http.MethodPost, ts.URL+"/gc")
+	if gresp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /gc = %d: %s", gresp.StatusCode, graw)
+	}
+	var sw retention.Sweep
+	if err := json.Unmarshal(graw, &sw); err != nil {
+		t.Fatal(err)
+	}
+	if sw.BudgetEvicted != 1 || sw.Datasets != 0 || sw.StoreBytes != 0 {
+		t.Fatalf("gc = %+v, want the dataset evicted and an empty store", sw)
+	}
+	if st.Len() != 0 {
+		t.Fatal("dataset survived POST /gc under a 1-byte budget")
+	}
+
+	mresp, mraw := doRequest(t, http.MethodGet, ts.URL+"/metrics")
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", mresp.StatusCode)
+	}
+	text := string(mraw)
+	for _, want := range []string{
+		"sccgd_store_bytes 0",
+		"sccgd_store_pinned_datasets 0",
+		"sccgd_retention_sweeps_total",
+		"sccgd_retention_datasets_evicted_total 1",
+		"sccgd_cache_cascade_dropped_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+
+	// Without a store the admin GC answers 501; the cache clear still works.
+	_, _, bare := newTestServer(t, sched.Config{}, Options{})
+	if gresp, _ := doRequest(t, http.MethodPost, bare.URL+"/gc"); gresp.StatusCode != http.StatusNotImplemented {
+		t.Errorf("storeless POST /gc = %d, want 501", gresp.StatusCode)
+	}
+	if dresp, _ := doRequest(t, http.MethodDelete, bare.URL+"/cache"); dresp.StatusCode != http.StatusOK {
+		t.Errorf("storeless DELETE /cache = %d, want 200", dresp.StatusCode)
+	}
+}
+
+// TestPersistGateBlocksDeletedDataset: a report persister that loses the
+// race with a dataset delete (the job's pin releases at its terminal state,
+// *before* the report persists) must not insert behind the cascade — the
+// put gate checks dataset liveness under the same mutex the cascade takes.
+func TestPersistGateBlocksDeletedDataset(t *testing.T) {
+	dir := t.TempDir()
+	st := testStoreAt(t, dir)
+	man := ingestSpec(t, st, "gate", 31, 1)
+	srv, _, _ := newTestServer(t, sched.Config{}, Options{Store: st})
+
+	if err := st.Delete(man.ID); err != nil {
+		t.Fatal(err)
+	}
+	// What persistWhenDone would do after the delete won the race.
+	if err := srv.persist.put(&persistEntry{Key: datasetKey(man.ID), Saved: time.Now().UTC()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := srv.persist.get(datasetKey(man.ID)); ok {
+		t.Fatal("persist layer stored a report for a deleted dataset")
+	}
+	if n := persistedFiles(t, dir); n != 0 {
+		t.Fatalf("%d entry file(s) written for a deleted dataset", n)
+	}
+	// Cross keys referencing the deleted dataset are gated too.
+	other := ingestSpec(t, st, "gate-other", 32, 1)
+	if err := srv.persist.put(&persistEntry{Key: crossKey(other.ID, man.ID), Saved: time.Now().UTC()}); err != nil {
+		t.Fatal(err)
+	}
+	if srv.persist.len() != 0 {
+		t.Fatal("cross entry referencing a deleted dataset was stored")
+	}
+}
+
+// TestReportDiskEntryBound: the persisted layer LRU-bounds its entries at
+// put time and re-enforces the cap over preexisting entries at boot.
+func TestReportDiskEntryBound(t *testing.T) {
+	dir := t.TempDir()
+	rd, skipped := openReportDisk(dir, 2)
+	if rd == nil || len(skipped) != 0 {
+		t.Fatalf("openReportDisk: %v", skipped)
+	}
+	saved := time.Now().UTC()
+	for i, key := range []string{"k-old", "k-mid", "k-new"} {
+		if err := rd.put(&persistEntry{Key: key, Saved: saved.Add(time.Duration(i) * time.Second)}); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond) // strictly ordered put recency
+	}
+	if rd.len() != 2 {
+		t.Fatalf("bounded layer holds %d entries, want 2", rd.len())
+	}
+	if _, ok := rd.get("k-old"); ok {
+		t.Error("oldest entry survived the put-time bound")
+	}
+	if _, ok := rd.get("k-new"); !ok {
+		t.Error("newest entry was evicted")
+	}
+
+	// Boot over the same directory with a tighter cap: the server enforces
+	// it after loading (and after dropping orphans), which drops down to it.
+	rd2, skipped := openReportDisk(dir, 1)
+	if len(skipped) != 0 {
+		t.Fatalf("reopen skipped: %v", skipped)
+	}
+	rd2.EnforceLimit(1)
+	if rd2.len() != 1 {
+		t.Fatalf("reopened layer holds %d entries, want 1", rd2.len())
+	}
+	files, _ := os.ReadDir(dir)
+	count := 0
+	for _, f := range files {
+		if strings.HasSuffix(f.Name(), ".json") {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("%d entry files on disk after bounded reopen, want 1", count)
+	}
+}

@@ -19,6 +19,8 @@
 //	GET    /matrix/{id}             poll one matrix run
 //	DELETE /matrix/{id}             cancel a matrix run
 //	POST   /compare                 synchronous compare of two small polygon sets
+//	POST   /gc                      run one retention sweep now
+//	DELETE /cache                   empty the result cache (LRU + persisted)
 //	GET    /metrics                 counters and gauges in Prometheus text format
 //	GET    /healthz                 liveness probe
 //
@@ -57,6 +59,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/pathology"
 	"repro/internal/pipeline"
+	"repro/internal/retention"
 	"repro/internal/sched"
 	"repro/internal/store"
 )
@@ -92,6 +95,11 @@ type Options struct {
 	// MatrixConcurrency bounds how many cells of one matrix run are in
 	// flight at once; 0 selects the default of 4.
 	MatrixConcurrency int
+	// Retention bounds the store and the persisted result cache (see
+	// internal/retention). When any bound is set, New starts a background
+	// sweeper that Close stops; POST /gc sweeps on demand either way.
+	// Ignored without a Store.
+	Retention retention.Policy
 }
 
 // Server ties the scheduler, store, cache, and metrics into an
@@ -108,11 +116,15 @@ type Server struct {
 	// nil when no store is configured or caching is disabled.
 	persist *reportDisk
 	// matrix orchestrates K-way similarity matrix runs; nil without a store.
-	matrix  *compare.Manager
-	reg     *metrics.Registry
-	compare CompareFunc
-	maxBody int64
-	started time.Time
+	matrix *compare.Manager
+	// retention is the store GC policy engine; nil without a store. Its
+	// background sweeper (started only when the policy bounds something) is
+	// owned by this server: New starts it, Close stops it.
+	retention *retention.Engine
+	reg       *metrics.Registry
+	compare   CompareFunc
+	maxBody   int64
+	started   time.Time
 
 	// crossMu guards crossByJob: per-job cross-dataset pairing metadata
 	// (matched/unmatched tile counts) attached to job responses.
@@ -137,6 +149,7 @@ type Server struct {
 	ingests     *metrics.Counter
 	ingestFails *metrics.Counter
 	matrixRuns  *metrics.Counter
+	cascades    *metrics.Counter
 }
 
 // New creates a server over the scheduler.
@@ -171,6 +184,7 @@ func New(s *sched.Scheduler, opts Options) *Server {
 		ingests:     opts.Registry.Counter("sccgd_datasets_ingested_total"),
 		ingestFails: opts.Registry.Counter("sccgd_dataset_ingest_failures_total"),
 		matrixRuns:  opts.Registry.Counter("sccgd_matrix_runs_total"),
+		cascades:    opts.Registry.Counter("sccgd_cache_cascade_dropped_total"),
 	}
 	opts.Registry.GaugeFunc("sccgd_cache_entries", func() float64 { return float64(srv.cache.len()) })
 	if srv.store != nil {
@@ -178,15 +192,53 @@ func New(s *sched.Scheduler, opts Options) *Server {
 		if opts.CacheSize > 0 {
 			// The durable cache layer lives beside the manifests; corrupt
 			// entries are skipped (and logged), never served.
-			rd, skipped := openReportDisk(filepath.Join(srv.store.Dir(), "cache"))
+			rd, skipped := openReportDisk(filepath.Join(srv.store.Dir(), "cache"), opts.Retention.CacheMaxEntries)
 			for _, err := range skipped {
 				log.Printf("server: skipped persisted result: %v", err)
 			}
 			srv.persist = rd
 			if rd != nil {
 				opts.Registry.GaugeFunc("sccgd_cache_persisted_entries", func() float64 { return float64(rd.len()) })
+				datasetsLive := func(key string) bool {
+					for _, id := range keyDatasetIDs(key) {
+						if _, ok := srv.store.Get(id); !ok {
+							return false
+						}
+					}
+					return true
+				}
+				// A restart must never resurrect reports for datasets that no
+				// longer exist (a crash can land between a dataset delete and
+				// its cache cascade): drop entries referencing unknown IDs.
+				if dropped := rd.retain(datasetsLive); dropped > 0 {
+					log.Printf("server: dropped %d persisted result(s) referencing deleted datasets", dropped)
+				}
+				// And gate writes the same way: a persister whose job outlived
+				// its dataset (the pin releases at the terminal state, before
+				// the report persists) must not re-insert behind the cascade.
+				rd.keep = datasetsLive
+				// Only now enforce the entry cap, so orphans never held cap
+				// slots at the expense of live entries.
+				if opts.Retention.CacheMaxEntries > 0 {
+					rd.EnforceLimit(opts.Retention.CacheMaxEntries)
+				}
 			}
 		}
+		// Every delete path — HTTP, forced, retention sweep — cascades
+		// through the result layers via the store's hook.
+		srv.store.SetDeleteHook(srv.dropDatasetResults)
+		var cacheForGC retention.Cache
+		if srv.persist != nil {
+			cacheForGC = srv.persist
+		}
+		srv.retention = retention.New(retention.Config{
+			Store:    srv.store,
+			Cache:    cacheForGC,
+			Policy:   opts.Retention,
+			Registry: opts.Registry,
+			Log:      log.Printf,
+		})
+		srv.retention.Start() // no-op unless the policy bounds something
 		srv.matrix = compare.NewManager(compare.ManagerConfig{
 			Scheduler:   s,
 			Submit:      srv.submitCell,
@@ -196,11 +248,15 @@ func New(s *sched.Scheduler, opts Options) *Server {
 	return srv
 }
 
-// Close stops background orchestration (matrix runs); it does not close the
-// scheduler, which the caller owns. Call before closing the scheduler.
+// Close stops background orchestration (matrix runs, the retention
+// sweeper); it does not close the scheduler, which the caller owns. Call
+// before closing the scheduler.
 func (s *Server) Close() {
 	if s.matrix != nil {
 		s.matrix.Close()
+	}
+	if s.retention != nil {
+		s.retention.Close()
 	}
 }
 
@@ -236,6 +292,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /matrix/{id}", s.count(s.handleGetMatrix))
 	mux.HandleFunc("DELETE /matrix/{id}", s.count(s.handleCancelMatrix))
 	mux.HandleFunc("POST /compare", s.count(s.handleCompare))
+	mux.HandleFunc("POST /gc", s.count(s.handleGC))
+	mux.HandleFunc("DELETE /cache", s.count(s.handleClearCache))
 	mux.HandleFunc("GET /metrics", s.count(s.handleMetrics))
 	mux.HandleFunc("GET /healthz", s.count(s.handleHealthz))
 	return mux
@@ -477,6 +535,7 @@ func (s *Server) submitRequest(req JobRequest) (submission, error) {
 		// computed under another request form.
 		key = contentKey
 		if sub, ok := s.resolveCached(key); ok {
+			releaseSource(src) // no job will own the pinned source
 			return sub, nil
 		}
 	}
@@ -486,8 +545,10 @@ func (s *Server) submitRequest(req JobRequest) (submission, error) {
 	id, err := s.sched.SubmitSource(name, src)
 	switch {
 	case errors.Is(err, sched.ErrQueueFull), errors.Is(err, sched.ErrClosed):
+		releaseSource(src)
 		return submission{code: http.StatusServiceUnavailable}, err
 	case err != nil:
+		releaseSource(src)
 		return submission{code: http.StatusBadRequest}, err
 	}
 	s.submits.Inc()
@@ -518,20 +579,35 @@ func (s *Server) submitRequest(req JobRequest) (submission, error) {
 }
 
 // resolveCached answers a cache key from the live LRU first, then from the
-// persisted layer.
+// persisted layer. A hit is a use of the underlying datasets: their
+// retention clocks advance, so repeatedly-hit content never TTL-expires
+// out from under its own cache entry.
 func (s *Server) resolveCached(key string) (submission, bool) {
 	if resp, ok := s.cachedResponse(key); ok {
 		s.cacheHits.Inc()
+		s.touchKey(key)
 		return submission{resp: resp, code: http.StatusOK, jobID: resp.ID, cross: resp.Cross}, true
 	}
 	if s.persist != nil {
 		if e, ok := s.persist.get(key); ok {
 			s.cacheHits.Inc()
 			s.persistHits.Inc()
+			s.touchKey(key)
 			return submission{resp: persistedResponse(key, e), code: http.StatusOK, report: &e.Report, cross: e.Cross}, true
 		}
 	}
 	return submission{}, false
+}
+
+// touchKey advances the retention clock of every dataset a cache key
+// references.
+func (s *Server) touchKey(key string) {
+	if s.store == nil {
+		return
+	}
+	for _, id := range keyDatasetIDs(key) {
+		s.store.Touch(id)
+	}
 }
 
 // persistedResponse synthesizes a done job response from a persisted
@@ -833,9 +909,19 @@ func checkRequest(req JobRequest) error {
 // address is unknown.
 func (s *Server) materializeRequest(req JobRequest) (name string, src sched.TaskSource, contentKey string, cross *CrossPayload, err error) {
 	if req.DatasetA != "" {
-		name, csrc, match, self, err := compare.OpenPair(s.store, req.DatasetA, req.DatasetB)
+		// Pin before opening: after Pin succeeds no delete or retention
+		// sweep can remove the dataset, so the open below cannot race an
+		// eviction. The pinned wrapper unpins at the job's terminal state.
+		ids := []string{req.DatasetA}
+		if req.DatasetB != req.DatasetA {
+			ids = append(ids, req.DatasetB)
+		}
+		name, csrc, match, self, err := s.openPairPinned(ids, req.DatasetA, req.DatasetB)
 		if err != nil {
 			return "", nil, "", nil, err
+		}
+		for _, id := range ids {
+			s.store.Touch(id)
 		}
 		if self {
 			// A self-comparison is the dataset's own embedded A-vs-B job
@@ -847,12 +933,12 @@ func (s *Server) materializeRequest(req JobRequest) (name string, src sched.Task
 		return name, csrc, crossKey(req.DatasetA, req.DatasetB), crossPayload(req.DatasetA, req.DatasetB, match), nil
 	}
 	if req.DatasetID != "" {
-		ds, err := s.store.OpenDataset(req.DatasetID)
+		src, man, err := s.openDatasetPinned(req.DatasetID)
 		if err != nil {
 			return "", nil, "", nil, err
 		}
-		man := ds.Manifest()
-		return man.DisplayName(), ds.Source(), datasetKey(man.ID), nil, nil
+		s.store.Touch(man.ID)
+		return man.DisplayName(), src, datasetKey(man.ID), nil, nil
 	}
 	if req.Corpus != "" || req.Spec != nil {
 		var spec pathology.DatasetSpec
@@ -865,29 +951,42 @@ func (s *Server) materializeRequest(req JobRequest) (name string, src sched.Task
 			}
 		}
 		d := pathology.Generate(spec)
+		src := sched.TaskSource(sched.Tasks(pipeline.EncodeDataset(d)))
 		if s.store != nil {
 			specKey := requestKey(req)
-			if dsID, ok := s.specIDs.get(specKey); ok {
-				if _, live := s.store.Get(dsID); live {
-					// This spec's content is already stored: skip the
-					// re-encode/re-write that Commit's dedup would discard.
-					contentKey = datasetKey(dsID)
+			dsID := ""
+			if known, ok := s.specIDs.get(specKey); ok {
+				// This spec's content is already stored: skip the
+				// re-encode/re-write that Commit's dedup would discard. Pin
+				// doubles as the liveness check — success means the dataset
+				// outlives this job; failure means it was deleted, and the
+				// re-ingest below materializes it again (the dropped-alias
+				// fallback).
+				if s.store.Pin(known) == nil {
+					dsID = known
 				}
 			}
-			if contentKey == "" {
+			if dsID == "" {
 				// Persist the generated content; on failure the job still
 				// runs, degrading to request-hash caching — but visibly.
 				if man, ierr := s.store.IngestDataset(d); ierr == nil {
 					s.ingests.Inc()
 					s.specIDs.put(specKey, man.ID)
-					contentKey = datasetKey(man.ID)
+					if s.store.Pin(man.ID) == nil {
+						dsID = man.ID
+					}
 				} else {
 					s.ingestFails.Inc()
 					log.Printf("server: ingest of generated dataset %q failed: %v", spec.Name, ierr)
 				}
 			}
+			if dsID != "" {
+				s.store.Touch(dsID)
+				contentKey = datasetKey(dsID)
+				src = wrapPinned(s.store, src, dsID)
+			}
 		}
-		return spec.Name, sched.Tasks(pipeline.EncodeDataset(d)), contentKey, nil, nil
+		return spec.Name, src, contentKey, nil, nil
 	}
 	tasks := make([]pipeline.FileTask, len(req.Tasks))
 	for i, t := range req.Tasks {

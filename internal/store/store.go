@@ -59,6 +59,13 @@ var (
 	// ErrDuplicateTile marks an ingest containing the same (image, tile)
 	// twice — a client fault, unlike the I/O errors AddTile can also return.
 	ErrDuplicateTile = errors.New("store: duplicate tile in ingest")
+	// ErrPinned rejects deleting a dataset referenced by a queued or running
+	// job. ForceDelete overrides; the retention sweeper never does.
+	ErrPinned = errors.New("store: dataset is pinned by a queued or running job")
+	// ErrDeleted marks tile reads against a dataset force-deleted while a job
+	// still held its handle, so the job fails with a lifecycle error instead
+	// of a raw segment I/O error.
+	ErrDeleted = errors.New("store: dataset deleted during job")
 )
 
 var idPattern = regexp.MustCompile(`^[0-9a-f]{64}$`)
@@ -96,11 +103,25 @@ type Manifest struct {
 	// canonical (image, tile) order.
 	ID string `json:"id"`
 	// Name is caller metadata (not part of the content hash).
-	Name         string     `json:"name,omitempty"`
-	Created      time.Time  `json:"created"`
+	Name    string    `json:"name,omitempty"`
+	Created time.Time `json:"created"`
+	// LastUsed is the retention clock: the last time a job, cross comparison,
+	// matrix cell, or tile read touched the dataset. Zero on datasets written
+	// before last-use tracking existed; LastUse falls back to Created. Like
+	// Name it is metadata, not part of the content hash.
+	LastUsed     time.Time  `json:"last_used,omitempty"`
 	SegmentBytes int64      `json:"segment_bytes"`
 	Polygons     int64      `json:"polygons"`
 	Tiles        []TileInfo `json:"tiles"`
+}
+
+// LastUse returns the dataset's retention timestamp: the recorded last use,
+// or Created for datasets never touched since ingest.
+func (m *Manifest) LastUse() time.Time {
+	if m.LastUsed.IsZero() {
+		return m.Created
+	}
+	return m.LastUsed
 }
 
 // DisplayName returns the dataset's name, falling back to a short
@@ -120,6 +141,17 @@ type Store struct {
 	mu       sync.RWMutex
 	datasets map[string]*Manifest
 	skipped  []error
+	// pins refcounts datasets referenced by queued or running jobs; a pinned
+	// dataset survives Delete and retention sweeps until the last Unpin.
+	pins map[string]int
+	// persistedUse is each dataset's last-use value as written to disk;
+	// TouchAt rewrites the manifest only when the clock has moved at least
+	// touchPersistInterval past it, so hot datasets don't pay a manifest
+	// serialize+rename per request.
+	persistedUse map[string]time.Time
+	// onDelete, when set, is called after every successful delete (outside
+	// the lock) — the server hooks it to cascade cached results.
+	onDelete func(id string)
 }
 
 // Open opens (creating if needed) the store rooted at dir and recovers its
@@ -130,7 +162,12 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: create %s: %w", dir, err)
 	}
-	s := &Store{dir: dir, datasets: make(map[string]*Manifest)}
+	s := &Store{
+		dir:          dir,
+		datasets:     make(map[string]*Manifest),
+		pins:         make(map[string]int),
+		persistedUse: make(map[string]time.Time),
+	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("store: scan %s: %w", dir, err)
@@ -151,6 +188,12 @@ func Open(dir string) (*Store, error) {
 		if err != nil {
 			s.skipped = append(s.skipped, fmt.Errorf("store: dataset %s: %w", name, err))
 			continue
+		}
+		// A crashed Touch can leave a temp manifest copy behind; sweep it.
+		if tmps, _ := filepath.Glob(filepath.Join(dir, name, "manifest-tmp-*")); len(tmps) > 0 {
+			for _, p := range tmps {
+				os.Remove(p)
+			}
 		}
 		s.datasets[man.ID] = man
 	}
@@ -199,16 +242,29 @@ func (s *Store) List() []*Manifest {
 	return out
 }
 
-// Delete removes a dataset from the index and from disk. Tile reads already
-// holding the segment file finish; new reads fail. The directory is moved
-// aside atomically under the lock before removal, so a concurrent re-ingest
-// of identical content (whose Commit renames under the same lock) can never
-// publish into a path a half-finished removal is still walking.
-func (s *Store) Delete(id string) error {
+// Delete removes a dataset from the index and from disk, failing with
+// ErrPinned while any queued or running job holds the dataset pinned. Tile
+// reads already holding the segment file finish; new reads fail. The
+// directory is moved aside atomically under the lock before removal, so a
+// concurrent re-ingest of identical content (whose Commit renames under the
+// same lock) can never publish into a path a half-finished removal is still
+// walking.
+func (s *Store) Delete(id string) error { return s.remove(id, false) }
+
+// ForceDelete removes a dataset even while pinned. A job caught mid-read
+// fails with a "dataset deleted during job" error rather than a raw segment
+// I/O error.
+func (s *Store) ForceDelete(id string) error { return s.remove(id, true) }
+
+func (s *Store) remove(id string, force bool) error {
 	s.mu.Lock()
 	if _, ok := s.datasets[id]; !ok {
 		s.mu.Unlock()
 		return ErrNotFound
+	}
+	if !force && s.pins[id] > 0 {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrPinned, id)
 	}
 	trash, err := os.MkdirTemp(s.dir, tmpPrefix)
 	if err == nil {
@@ -223,13 +279,149 @@ func (s *Store) Delete(id string) error {
 		return fmt.Errorf("store: delete %s: %w", id, err)
 	}
 	delete(s.datasets, id)
+	delete(s.persistedUse, id)
+	hook := s.onDelete
 	s.mu.Unlock()
+	if hook != nil {
+		// Outside the lock: the hook walks the server's cache layers.
+		hook(id)
+	}
 	// Out of the namespace; a crash mid-removal leaves only a tmp- dir the
 	// next Open sweeps away.
 	if err := os.RemoveAll(trash); err != nil {
 		return fmt.Errorf("store: delete %s: %w", id, err)
 	}
 	return nil
+}
+
+// SetDeleteHook registers fn to run after every successful delete (plain,
+// forced, or retention-driven) with the removed dataset's ID. The server
+// uses it to cascade cached results, so no delete path can orphan them.
+func (s *Store) SetDeleteHook(fn func(id string)) {
+	s.mu.Lock()
+	s.onDelete = fn
+	s.mu.Unlock()
+}
+
+// Pin marks the dataset as referenced by a queued or running job. While the
+// refcount is positive, Delete (and the retention sweeper) refuse to remove
+// it. Pinning a dataset the store does not hold fails with ErrNotFound, so a
+// successful Pin guarantees the dataset stays readable until Unpin.
+func (s *Store) Pin(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.datasets[id]; !ok {
+		return ErrNotFound
+	}
+	s.pins[id]++
+	return nil
+}
+
+// Unpin releases one Pin reference. Unpinning below zero is a no-op.
+func (s *Store) Unpin(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := s.pins[id]; n > 1 {
+		s.pins[id] = n - 1
+	} else {
+		delete(s.pins, id)
+	}
+}
+
+// Pinned reports whether the dataset is currently pinned by any job.
+func (s *Store) Pinned(id string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.pins[id] > 0
+}
+
+// PinnedCount returns how many datasets are currently pinned.
+func (s *Store) PinnedCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.pins)
+}
+
+// TotalBytes returns the summed segment size of every stored dataset — the
+// quantity the retention byte budget bounds.
+func (s *Store) TotalBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var total int64
+	for _, man := range s.datasets {
+		total += man.SegmentBytes
+	}
+	return total
+}
+
+// touchPersistInterval is how far the in-memory retention clock may run
+// ahead of the manifest's persisted copy before TouchAt rewrites it. A hot
+// dataset touched on every request then pays at most one manifest
+// serialize+rename per interval; a crash loses at most this much recency.
+const touchPersistInterval = time.Minute
+
+// Touch records a use of the dataset now. See TouchAt.
+func (s *Store) Touch(id string) { s.TouchAt(id, time.Now().UTC()) }
+
+// TouchAt records a use of the dataset at the given time, advancing the
+// retention clock in memory and — when the clock has moved at least
+// touchPersistInterval since the last write (or moved backwards, which only
+// explicit TouchAt calls do) — persisting it into the manifest so last-use
+// ordering survives a restart. The manifest is replaced copy-on-write (the
+// published *Manifest stays immutable) and rewritten with an atomic rename;
+// a crashed write loses only recency, never dataset integrity. Touching an
+// unknown dataset is a no-op.
+func (s *Store) TouchAt(id string, t time.Time) {
+	s.mu.Lock()
+	man, ok := s.datasets[id]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	// The on-disk value: seeded from the manifest as loaded/committed the
+	// first time the dataset is touched, then tracked across rewrites.
+	prev, ok := s.persistedUse[id]
+	if !ok {
+		prev = man.LastUse()
+		s.persistedUse[id] = prev
+	}
+	cp := *man
+	cp.LastUsed = t
+	s.datasets[id] = &cp
+	persist := t.Before(prev) || t.Sub(prev) >= touchPersistInterval
+	if persist {
+		s.persistedUse[id] = t
+	}
+	s.mu.Unlock()
+	if !persist {
+		return
+	}
+
+	raw, err := json.MarshalIndent(&cp, "", "  ")
+	if err != nil {
+		return
+	}
+	// Outside the lock: rename is atomic and last-writer-wins, so a racing
+	// Touch (or a concurrent delete moving the directory away, which just
+	// fails the write) is harmless.
+	dir := filepath.Join(s.dir, id)
+	f, err := os.CreateTemp(dir, "manifest-tmp-*")
+	if err != nil {
+		return
+	}
+	tmp := f.Name()
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestFile)); err != nil {
+		os.Remove(tmp)
+	}
 }
 
 // IngestTile is one tile's two parsed result sets handed to Ingest.
@@ -453,6 +645,9 @@ func (w *Writer) Commit() (*Manifest, error) {
 		return nil, fmt.Errorf("store: publish dataset %s: %w", id, err)
 	}
 	w.tmp = ""
+	// The content exists again: its retention clock restarts from this
+	// manifest (and readers no longer classify it as deleted).
+	delete(s.persistedUse, id)
 	// Make the rename itself durable: without a directory fsync a power
 	// failure can roll back the publish after the caller was handed the ID.
 	if d, err := os.Open(s.dir); err == nil {
@@ -560,6 +755,7 @@ func loadManifest(dir, id string) (*Manifest, error) {
 // touches only its own tiles and deleting a dataset mid-job fails that job
 // cleanly instead of leaking a handle.
 type Dataset struct {
+	st  *Store
 	dir string
 	man *Manifest
 }
@@ -570,7 +766,21 @@ func (s *Store) OpenDataset(id string) (*Dataset, error) {
 	if !ok {
 		return nil, ErrNotFound
 	}
-	return &Dataset{dir: filepath.Join(s.dir, id), man: man}, nil
+	return &Dataset{st: s, dir: filepath.Join(s.dir, id), man: man}, nil
+}
+
+// wasRemoved reports whether the dataset was deleted from this store after
+// the reader was opened. Readers only exist for datasets that were indexed
+// when opened, so absence from the index IS the deletion signal — no
+// tombstone set to grow unboundedly across a long-lived daemon's sweeps.
+func (d *Dataset) wasRemoved() bool {
+	if d.st == nil {
+		return false
+	}
+	d.st.mu.RLock()
+	defer d.st.mu.RUnlock()
+	_, present := d.st.datasets[d.man.ID]
+	return !present
 }
 
 // Manifest returns the dataset's manifest.
@@ -605,6 +815,13 @@ func (d *Dataset) readVerified(i int) (ti TileInfo, segA, segB []byte, err error
 	ti = d.man.Tiles[i]
 	f, err := os.Open(filepath.Join(d.dir, segmentFile))
 	if err != nil {
+		// Distinguish a lifecycle fault from a storage fault: a segment that
+		// vanished because the dataset was force-deleted mid-job reports the
+		// delete, not the raw open error.
+		if d.wasRemoved() {
+			return TileInfo{}, nil, nil, fmt.Errorf("%w: dataset %s (%s)",
+				ErrDeleted, d.man.ID, d.man.DisplayName())
+		}
 		return TileInfo{}, nil, nil, fmt.Errorf("store: dataset %s: %w", d.man.ID, err)
 	}
 	defer f.Close()

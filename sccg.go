@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"time"
 
 	"repro/internal/clip"
 	"repro/internal/compare"
@@ -33,6 +34,7 @@ import (
 	"repro/internal/pathology"
 	"repro/internal/pipeline"
 	"repro/internal/pixelbox"
+	"repro/internal/retention"
 	"repro/internal/rtree"
 	"repro/internal/sched"
 	"repro/internal/server"
@@ -78,6 +80,11 @@ type (
 	// CrossMatch reports how two datasets' tile indexes paired up (matched
 	// pairs plus the keys present on only one side).
 	CrossMatch = compare.Match
+	// RetentionPolicy bounds a service's store and persisted result cache
+	// (byte budget, TTL, cache entry cap); see ServiceOptions.
+	RetentionPolicy = retention.Policy
+	// RetentionSweep reports one retention pass's evictions.
+	RetentionSweep = retention.Sweep
 )
 
 // NewPolygon validates vertices as a simple rectilinear polygon.
@@ -327,6 +334,21 @@ type ServiceOptions struct {
 	// MatrixConcurrency bounds in-flight cells per matrix run; 0 selects
 	// the server default of 4.
 	MatrixConcurrency int
+	// StoreMaxBytes caps the store's total segment bytes: the retention
+	// sweeper evicts least-recently-used unpinned datasets above it
+	// (datasets referenced by queued/running jobs are pinned and never
+	// evicted). 0 means unbounded. Requires Store.
+	StoreMaxBytes int64
+	// StoreTTL evicts datasets unused (no job, cross, matrix cell, or tile
+	// read) for longer than this. 0 disables TTL eviction. Requires Store.
+	StoreTTL time.Duration
+	// CacheMaxEntries bounds the persisted result-cache entries kept on
+	// disk, LRU-evicted past the cap. 0 means unbounded. Requires Store.
+	CacheMaxEntries int
+	// SweepInterval is the background retention sweep period; 0 selects the
+	// default of one minute. The sweeper only runs when one of the bounds
+	// above is set; Service.Close stops it.
+	SweepInterval time.Duration
 }
 
 // Service is the resident SCCG job service (paper §4 generalised to a
@@ -383,6 +405,12 @@ func NewService(opts ServiceOptions) *Service {
 			Registry:          reg,
 			Store:             opts.Store,
 			MatrixConcurrency: opts.MatrixConcurrency,
+			Retention: retention.Policy{
+				MaxBytes:        opts.StoreMaxBytes,
+				TTL:             opts.StoreTTL,
+				CacheMaxEntries: opts.CacheMaxEntries,
+				SweepInterval:   opts.SweepInterval,
+			},
 		}),
 	}
 }
@@ -447,6 +475,12 @@ func (s *Service) CancelMatrix(id string) error { return s.srv.CancelMatrix(id) 
 
 // Job returns a job snapshot by ID.
 func (s *Service) Job(id string) (JobStatus, bool) { return s.sched.Job(id) }
+
+// GC runs one retention sweep immediately — evicting TTL-expired and
+// over-budget unpinned datasets, cascading their cached reports, and
+// enforcing the persisted-cache entry bound — and reports what it evicted.
+// It fails when the service has no dataset store.
+func (s *Service) GC() (RetentionSweep, error) { return s.srv.GC() }
 
 // Close stops matrix orchestration and the scheduler (queued jobs are
 // canceled), then drains background report-persist writes — the scheduler
