@@ -1,0 +1,82 @@
+package main
+
+// Tests for the -json run record: the schema is what CI's bench-smoke step
+// and the committed BENCH_PR<n>.json trajectory depend on, so its shape is
+// pinned here.
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestBenchRecordShort(t *testing.T) {
+	rec, err := benchRecord(true, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Schema != benchSchema {
+		t.Errorf("schema = %q, want %q", rec.Schema, benchSchema)
+	}
+	if !rec.Short || rec.Tiles != 4 {
+		t.Errorf("short record = short:%v tiles:%d, want short run over 4 tiles", rec.Short, rec.Tiles)
+	}
+	if rec.CreatedAt == "" || rec.GoVersion == "" {
+		t.Error("record missing created_at or go_version")
+	}
+
+	want := map[string]bool{
+		"pipeline_gpu": false, "pipeline_cpu": false, "pipeline_hybrid": false,
+		"pipeline_invariants": false, "kernel_pixelbox_gpu": false, "kernel_pixelbox_cpu": false,
+	}
+	var sims []float64
+	for _, e := range rec.Experiments {
+		if _, ok := want[e.Name]; !ok {
+			t.Errorf("unexpected experiment %q", e.Name)
+			continue
+		}
+		if want[e.Name] {
+			t.Errorf("duplicate experiment %q", e.Name)
+		}
+		want[e.Name] = true
+		if e.WallSecs < 0 {
+			t.Errorf("%s: negative wall time %v", e.Name, e.WallSecs)
+		}
+		if sim, ok := e.Values["similarity"]; ok {
+			sims = append(sims, sim)
+			if sim <= 0 || sim > 1 {
+				t.Errorf("%s: similarity %v out of (0, 1]", e.Name, sim)
+			}
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("record missing experiment %q", name)
+		}
+	}
+
+	// The pipeline configurations are bit-deterministic: every similarity in
+	// the record must be identical, and the record must say so.
+	for _, sim := range sims {
+		if sim != sims[0] {
+			t.Errorf("similarities differ across configurations: %v", sims)
+		}
+	}
+	for _, e := range rec.Experiments {
+		if e.Name == "pipeline_invariants" && e.Values["similarity_bit_identical"] != 1 {
+			t.Errorf("record reports similarity drift: %v", e.Values)
+		}
+	}
+
+	// The record must round-trip as JSON — it is the wire format CI uploads.
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back runRecord
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("record does not round-trip: %v", err)
+	}
+	if back.Schema != rec.Schema || len(back.Experiments) != len(rec.Experiments) {
+		t.Errorf("round-trip lost data: %+v", back)
+	}
+}

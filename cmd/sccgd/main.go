@@ -49,9 +49,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -60,6 +61,34 @@ import (
 	"repro"
 	"repro/internal/retention"
 )
+
+// setupLogger installs the process-wide slog handler selected by -log-format.
+// The service's HTTP server logs through slog.Default, so this is the single
+// switch between human-readable and machine-parseable daemon logs.
+func setupLogger(format string) error {
+	switch format {
+	case "text", "":
+		slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+	case "json":
+		slog.SetDefault(slog.New(slog.NewJSONHandler(os.Stderr, nil)))
+	default:
+		return fmt.Errorf("-log-format must be text or json, got %q", format)
+	}
+	return nil
+}
+
+// pprofHandler routes the net/http/pprof pages on an explicit mux, so the
+// diagnostics listener exposes profiling and nothing else (the default
+// ServeMux — and any handlers other packages hung on it — stays unused).
+func pprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
 // retentionPolicy builds the retention policy from the raw flag values,
 // rejecting malformed byte sizes and negative bounds.
@@ -96,8 +125,6 @@ func sweepInterval(pol retention.Policy) time.Duration {
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("sccgd: ")
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, os.Args[1:], nil); err != nil {
@@ -127,6 +154,8 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 		storeTTL  = fs.Duration("store-ttl", 0, "evict datasets unused for this long (0 = no TTL; needs -data-dir)")
 		cacheMax  = fs.Int("cache-max-entries", 0, "persisted result-cache entry bound, LRU-evicted past it (0 = unbounded; needs -data-dir)")
 		sweep     = fs.Duration("store-sweep", 0, "retention sweep interval (default 1m when a retention bound is set)")
+		logFormat = fs.String("log-format", "text", "log output format: text or json")
+		pprofAddr = fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled; keep it off public interfaces)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -134,6 +163,10 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 		}
 		return err
 	}
+	if err := setupLogger(*logFormat); err != nil {
+		return err
+	}
+	logger := slog.Default().With("component", "sccgd")
 	pol, err := retentionPolicy(*storeMax, *storeTTL, *sweep, *cacheMax)
 	if err != nil {
 		return err
@@ -149,9 +182,9 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 		if err != nil {
 			return fmt.Errorf("open data dir: %w", err)
 		}
-		log.Printf("data dir %s: recovered %d dataset(s)", *dataDir, st.Len())
+		logger.Info("data dir opened", "dir", *dataDir, "recovered_datasets", st.Len())
 		for _, serr := range st.Skipped() {
-			log.Printf("data dir: skipped unrecoverable dataset: %v", serr)
+			logger.Warn("data dir: skipped unrecoverable dataset", "error", serr)
 		}
 	}
 
@@ -172,7 +205,7 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 	})
 	defer svc.Close()
 	if pol.Active() {
-		log.Printf("retention policy: %s (sweep interval %s)", pol, sweepInterval(pol))
+		logger.Info("retention policy active", "policy", pol.String(), "sweep_interval", sweepInterval(pol).String())
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -184,21 +217,49 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	// The pprof diagnostics server binds its own listener so profiling is
+	// never reachable through the public API address.
+	var pprofSrv *http.Server
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listen: %w", err)
+		}
+		pprofSrv = &http.Server{
+			Handler:           pprofHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := pprofSrv.Serve(pln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Warn("pprof server stopped", "error", err)
+			}
+		}()
+		logger.Info("pprof serving", "addr", pln.Addr().String())
+	}
+
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
-	log.Printf("serving on %s (devices=%d hybrid-cpu=%v workers=%d migration=%v)",
-		ln.Addr(), *devices, *hybrid, *workers, *migration)
+	logger.Info("serving",
+		"addr", ln.Addr().String(),
+		"devices", *devices,
+		"hybrid_cpu", *hybrid,
+		"workers", *workers,
+		"migration", *migration,
+	)
 	if onReady != nil {
 		onReady(ln.Addr().String())
 	}
 
 	select {
 	case <-ctx.Done():
-		log.Print("shutting down")
+		logger.Info("shutting down")
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {
-			log.Printf("shutdown: %v", err)
+			logger.Warn("shutdown", "error", err)
+		}
+		if pprofSrv != nil {
+			_ = pprofSrv.Shutdown(shutCtx)
 		}
 		return nil
 	case err := <-errCh:

@@ -11,6 +11,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"testing"
@@ -508,6 +509,248 @@ func TestDaemonMatrixEndToEnd(t *testing.T) {
 	if !strings.Contains(string(metricsText), "sccgd_jobs_submitted_total 0") {
 		t.Errorf("post-restart matrix submitted jobs; metrics:\n%s", grepLine(string(metricsText), "sccgd_jobs_submitted_total"))
 	}
+}
+
+// TestDaemonTraceEndToEnd is the observability acceptance test: boot the
+// daemon with JSON logs and a pprof sidecar listener, run a job to
+// completion, and check that (a) the job report carries a stage trace whose
+// spans are present, monotone, and consistent with the job's wall time,
+// (b) GET /jobs/{id}/trace serves the same trace, (c) /metrics exposes the
+// new latency histograms in Prometheus text form, and (d) the pprof listener
+// answers on its own address.
+func TestDaemonTraceEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ready := make(chan string, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-pprof-addr", "127.0.0.1:0",
+			"-log-format", "json",
+			"-devices", "2",
+			"-hybrid-cpu",
+			"-workers", "2",
+		}, func(addr string) { ready <- addr })
+	}()
+
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-errCh:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not become ready")
+	}
+
+	wallStart := time.Now()
+	spec := pathology.DatasetSpec{Name: "trace-e2e", Seed: 7, Tiles: 4}
+	body, _ := json.Marshal(map[string]any{"spec": spec})
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /jobs: %v", err)
+	}
+	type traceBlock struct {
+		StartedAt string  `json:"started_at"`
+		TotalMs   float64 `json:"total_ms"`
+		Spans     []struct {
+			Name       string  `json:"name"`
+			Detail     string  `json:"detail"`
+			StartMs    float64 `json:"start_ms"`
+			DurationMs float64 `json:"duration_ms"`
+		} `json:"spans"`
+	}
+	var job struct {
+		ID    string      `json:"id"`
+		State string      `json:"state"`
+		Error string      `json:"error"`
+		Trace *traceBlock `json:"trace"`
+	}
+	decodeBody(t, resp, &job, http.StatusAccepted)
+	deadline := time.Now().Add(60 * time.Second)
+	for job.State != "done" {
+		if job.State == "failed" || job.State == "canceled" || time.Now().After(deadline) {
+			t.Fatalf("job state %q: %s", job.State, job.Error)
+		}
+		time.Sleep(20 * time.Millisecond)
+		resp, err = http.Get(base + "/jobs/" + job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decodeBody(t, resp, &job, http.StatusOK)
+	}
+	wallElapsed := time.Since(wallStart)
+
+	checkTrace := func(source string, tr *traceBlock) {
+		t.Helper()
+		if tr == nil {
+			t.Fatalf("%s: completed job has no trace block", source)
+		}
+		if tr.StartedAt == "" {
+			t.Errorf("%s: trace has no started_at", source)
+		}
+		if tr.TotalMs <= 0 {
+			t.Errorf("%s: trace total_ms = %v, want > 0", source, tr.TotalMs)
+		}
+		// The trace total is frozen at the job's terminal transition; it
+		// cannot exceed the observed wall time around the submit/poll loop.
+		if wall := wallElapsed.Seconds() * 1000; tr.TotalMs > wall+1 {
+			t.Errorf("%s: trace total %.3fms exceeds observed wall time %.3fms", source, tr.TotalMs, wall)
+		}
+		seen := map[string]int{}
+		prevStart := -1.0
+		for _, sp := range tr.Spans {
+			seen[sp.Name]++
+			if sp.StartMs < prevStart {
+				t.Errorf("%s: span %q start %.3f precedes previous span start %.3f (snapshot must be sorted)",
+					source, sp.Name, sp.StartMs, prevStart)
+			}
+			prevStart = sp.StartMs
+			if sp.StartMs < 0 || sp.DurationMs < 0 {
+				t.Errorf("%s: span %+v has negative offset or duration", source, sp)
+			}
+		}
+		// Every stage the pipeline ran must have left a span: request
+		// materialization, queue wait, sharding, per-shard materialize+execute
+		// (2 devices → 2 shards), parse, and the merge.
+		for _, want := range []string{"materialize", "queue", "shard", "execute", "parse", "merge"} {
+			if seen[want] == 0 {
+				t.Errorf("%s: trace has no %q span; spans: %v", source, want, seen)
+			}
+		}
+		if seen["execute"] < 2 {
+			t.Errorf("%s: want ≥2 execute spans on a 2-device pool, got %d", source, seen["execute"])
+		}
+	}
+	checkTrace("job report", job.Trace)
+
+	// The dedicated trace endpoint serves the same block.
+	resp, err = http.Get(base + "/jobs/" + job.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traced struct {
+		JobID string      `json:"job_id"`
+		State string      `json:"state"`
+		Trace *traceBlock `json:"trace"`
+	}
+	decodeBody(t, resp, &traced, http.StatusOK)
+	if traced.JobID != job.ID || traced.State != "done" {
+		t.Errorf("GET /jobs/%s/trace = %+v", job.ID, traced)
+	}
+	checkTrace("trace endpoint", traced.Trace)
+
+	resp, err = http.Get(base + "/jobs/nope/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("trace of unknown job = %d, want 404", resp.StatusCode)
+	}
+
+	// The new latency histograms surface on /metrics in Prometheus text form.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	metricsText := string(raw)
+	for _, want := range []string{
+		`sccgd_http_request_duration_seconds_bucket{route="POST /jobs",status="202",le="+Inf"}`,
+		`sccgd_job_duration_seconds_bucket{outcome="done",le="+Inf"} 1`,
+		"sccgd_job_queue_wait_seconds_count 1",
+		`sccg_executor_batch_seconds_bucket{kind="gpu"`,
+		"# TYPE sccgd_job_duration_seconds histogram",
+	} {
+		if !strings.Contains(metricsText, want) {
+			t.Errorf("/metrics missing %q; got:\n%s", want, grepLine(metricsText, "duration"))
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("daemon shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+// TestDaemonPprofListener boots the daemon with a pprof sidecar and checks
+// the profiling index answers on the sidecar address but not the API one.
+func TestDaemonPprofListener(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// run only reports the API address through onReady, so reserve a loopback
+	// port up front and hand it to -pprof-addr to know where the sidecar is.
+	ready := make(chan string, 1)
+	errCh := make(chan error, 1)
+	pport := freePort(t)
+	go func() {
+		errCh <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-pprof-addr", pport,
+			"-devices", "0",
+		}, func(addr string) { ready <- addr })
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-errCh:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not become ready")
+	}
+
+	resp, err := http.Get("http://" + pport + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("GET pprof index: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index = %d, want 200", resp.StatusCode)
+	}
+
+	// The API listener must NOT expose profiling.
+	resp, err = http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("API listener serves /debug/pprof/; profiling must stay on the sidecar")
+	}
+
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("daemon shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+// freePort reserves an ephemeral loopback port and releases it for the
+// daemon to bind. The tiny race window is acceptable in tests.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
 }
 
 func grepLine(text, substr string) string {

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/pipeline"
 	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 // Cell states surfaced in a matrix status.
@@ -208,6 +209,10 @@ type cell struct {
 	unmatchedA int
 	unmatchedB int
 	report     *pipeline.Result // set when state == done
+	// trace is the cell job's per-stage rollup, captured at the terminal
+	// snapshot. A K×K status carries K·(K−1)/2 of these, so cells keep the
+	// compact summary, not the full span list (GET /jobs/{id}/trace has it).
+	trace *trace.Summary
 }
 
 // Run is one in-flight or finished matrix run.
@@ -369,6 +374,7 @@ func (r *Run) runCell(c *cell, cfg ManagerConfig) {
 func (r *Run) recordFinal(c *cell, st sched.JobStatus) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	c.trace = trace.Summarize(st.Trace)
 	switch st.State {
 	case sched.Done:
 		c.state = CellDone
@@ -425,6 +431,9 @@ type CellView struct {
 	Similarity float64 `json:"similarity"`
 	Intersect  int     `json:"intersecting"`
 	Candidates int     `json:"candidates"`
+	// Trace is the cell job's per-stage duration rollup (total plus
+	// milliseconds per stage name), set once the cell is terminal.
+	Trace *trace.Summary `json:"trace,omitempty"`
 }
 
 // Status is a point-in-time snapshot of a matrix run: the K×K cell grid
@@ -481,6 +490,7 @@ func (r *Run) Status() Status {
 			Tiles:      c.tiles,
 			UnmatchedA: c.unmatchedA,
 			UnmatchedB: c.unmatchedB,
+			Trace:      c.trace,
 		}
 		if c.report != nil {
 			v.Similarity = c.report.Similarity

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -43,8 +44,169 @@ func TestRegistryRender(t *testing.T) {
 	if err := r.WriteText(&b); err != nil {
 		t.Fatal(err)
 	}
-	want := "a_value 1.5\nb_total 3\nc_live 42\n"
+	want := "# TYPE a_value gauge\n" +
+		"a_value 1.5\n" +
+		"# TYPE b_total counter\n" +
+		"b_total 3\n" +
+		"# TYPE c_live gauge\n" +
+		"c_live 42\n"
 	if b.String() != want {
-		t.Errorf("WriteText = %q, want %q (sorted, integers unpadded)", b.String(), want)
+		t.Errorf("WriteText = %q, want %q (sorted families, TYPE lines, integers unpadded)", b.String(), want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	got := Label("m_total", "path", `a\b"c`+"\n")
+	want := `m_total{path="a\\b\"c\n"}`
+	if got != want {
+		t.Errorf("Label = %q, want %q", got, want)
+	}
+	// UTF-8 passes through raw — Go's %q would have escaped it.
+	got = Label("m_total", "name", "café")
+	want = `m_total{name="café"}`
+	if got != want {
+		t.Errorf("Label = %q, want %q", got, want)
+	}
+	if Label("bare") != "bare" {
+		t.Errorf("Label with no pairs should return the bare name")
+	}
+}
+
+func TestSpliceSuffix(t *testing.T) {
+	cases := []struct{ name, suffix, want string }{
+		{"d_seconds", "_sum", "d_seconds_sum"},
+		{`d_seconds{route="/x"}`, "_sum", `d_seconds_sum{route="/x"}`},
+	}
+	for _, c := range cases {
+		if got := spliceSuffix(c.name, c.suffix); got != c.want {
+			t.Errorf("spliceSuffix(%q, %q) = %q, want %q", c.name, c.suffix, got, c.want)
+		}
+	}
+	got := spliceSuffix(`d_seconds{route="/x"}`, "_bucket", "le", "0.1")
+	want := `d_seconds_bucket{route="/x",le="0.1"}`
+	if got != want {
+		t.Errorf("spliceSuffix bucket = %q, want %q", got, want)
+	}
+	got = spliceSuffix("d_seconds", "_bucket", "le", "+Inf")
+	want = `d_seconds_bucket{le="+Inf"}`
+	if got != want {
+		t.Errorf("spliceSuffix bare bucket = %q, want %q", got, want)
+	}
+}
+
+// TestHistogramHammer drives a histogram from many goroutines with a known
+// mix of values and asserts exact bucket counts, count, and sum afterwards.
+// Run under -race in CI, this doubles as the lock-freedom proof.
+func TestHistogramHammer(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", 0.001, 0.01, 0.1, 1)
+	if r.Histogram("lat_seconds") != h {
+		t.Fatal("Histogram(name) is not idempotent")
+	}
+
+	const goroutines = 8
+	const perG = 5000
+	// Each goroutine observes the same 5-value cycle, one value per bucket
+	// including +Inf, so expected per-bucket counts are exact.
+	values := []float64{0.0005, 0.005, 0.05, 0.5, 5}
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				h.Observe(values[j%len(values)])
+			}
+		}()
+	}
+	wg.Wait()
+
+	wantPer := int64(goroutines * perG / len(values))
+	counts := h.BucketCounts()
+	if len(counts) != 5 {
+		t.Fatalf("bucket count slots = %d, want 5", len(counts))
+	}
+	for i, c := range counts {
+		if c != wantPer {
+			t.Errorf("bucket[%d] = %d, want %d", i, c, wantPer)
+		}
+	}
+	if got := h.Count(); got != int64(goroutines*perG) {
+		t.Errorf("count = %d, want %d", got, goroutines*perG)
+	}
+	wantSum := 0.0
+	for _, v := range values {
+		wantSum += v * float64(wantPer)
+	}
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-6*wantSum {
+		t.Errorf("sum = %g, want %g", got, wantSum)
+	}
+}
+
+// TestHistogramExposition checks the rendered cumulative bucket series, the
+// le="+Inf" terminal bucket, and that labelled histogram series splice the
+// le label after the existing labels.
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(Label("req_seconds", "route", "/jobs"), 0.1, 1)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "# TYPE req_seconds histogram\n" +
+		`req_seconds_bucket{route="/jobs",le="0.1"} 1` + "\n" +
+		`req_seconds_bucket{route="/jobs",le="1"} 2` + "\n" +
+		`req_seconds_bucket{route="/jobs",le="+Inf"} 3` + "\n" +
+		`req_seconds_sum{route="/jobs"} 2.55` + "\n" +
+		`req_seconds_count{route="/jobs"} 3` + "\n"
+	if b.String() != want {
+		t.Errorf("WriteText = %q, want %q", b.String(), want)
+	}
+
+	snap := r.Snapshot()
+	if snap[`req_seconds_sum{route="/jobs"}`] != 2.55 || snap[`req_seconds_count{route="/jobs"}`] != 3 {
+		t.Errorf("snapshot missing histogram sum/count: %v", snap)
+	}
+}
+
+func TestOnScrape(t *testing.T) {
+	r := NewRegistry()
+	r.OnScrape(func(e *Emitter) {
+		e.Gauge("queue_depth", 7)
+		e.Counter(Label("launches_total", "device", "0"), 3)
+	})
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "# TYPE launches_total counter\n" +
+		`launches_total{device="0"} 3` + "\n" +
+		"# TYPE queue_depth gauge\n" +
+		"queue_depth 7\n"
+	if b.String() != want {
+		t.Errorf("WriteText = %q, want %q", b.String(), want)
+	}
+	if snap := r.Snapshot(); snap["queue_depth"] != 7 {
+		t.Errorf("snapshot missing scrape sample: %v", snap)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	if len(b) != len(want) {
+		t.Fatalf("len = %d, want %d", len(b), len(want))
+	}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-12 {
+			t.Errorf("bucket[%d] = %g, want %g", i, b[i], want[i])
+		}
+	}
+	if ExpBuckets(0, 2, 3) != nil || ExpBuckets(1, 1, 3) != nil || ExpBuckets(1, 2, 0) != nil {
+		t.Error("invalid ExpBuckets args should return nil")
 	}
 }

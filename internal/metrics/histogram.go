@@ -1,0 +1,102 @@
+package metrics
+
+// Histogram is an atomic, log-bucketed latency histogram in the Prometheus
+// cumulative-bucket model: Observe classifies a value into the first bucket
+// whose upper bound contains it, WriteText renders the series as
+// `name_bucket{le="..."}` lines (cumulative counts, `le="+Inf"` last) plus
+// `name_sum` and `name_count`. Observations are lock-free — one atomic add
+// per bucket count plus a CAS loop folding the value into the sum — so the
+// hot paths (HTTP requests, tile reads, executor batches) can observe
+// unconditionally.
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets is the default log-spaced bound set: powers of 2 from 100µs to
+// ~105s (21 buckets). One set serves every latency the daemon measures —
+// sub-millisecond tile reads through multi-second matrix jobs — because log
+// spacing keeps relative error constant across the range.
+var DefBuckets = ExpBuckets(1e-4, 2, 21)
+
+// ExpBuckets returns n exponentially growing bucket upper bounds:
+// start, start*factor, start*factor², ... The +Inf bucket is implicit.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if n < 1 || start <= 0 || factor <= 1 {
+		return nil
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Histogram counts observations into cumulative log-spaced buckets. Safe for
+// concurrent use; create through Registry.Histogram.
+type Histogram struct {
+	// bounds are the finite bucket upper bounds, ascending; counts has one
+	// extra slot for the implicit +Inf bucket.
+	bounds  []float64
+	counts  []int64
+	sumBits uint64
+	count   int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Log-spaced bounds make a linear scan cheap (≤ ~21 compares), and the
+	// scan is branch-predictable for clustered latencies; no lock, no search
+	// allocation.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	atomic.AddInt64(&h.counts[i], 1)
+	atomic.AddInt64(&h.count, 1)
+	for {
+		old := atomic.LoadUint64(&h.sumBits)
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if atomic.CompareAndSwapUint64(&h.sumBits, old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) { h.Observe(time.Since(start).Seconds()) }
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Sum returns the total of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(atomic.LoadUint64(&h.sumBits)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return atomic.LoadInt64(&h.count) }
+
+// BucketCounts returns the non-cumulative per-bucket counts, the last entry
+// being the +Inf bucket. The copy is not an atomic snapshot across buckets —
+// like every Prometheus scrape, it can interleave with observations — but
+// each individual count is atomically read.
+func (h *Histogram) BucketCounts() []int64 {
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = atomic.LoadInt64(&h.counts[i])
+	}
+	return out
+}
+
+// Bounds returns the finite bucket upper bounds.
+func (h *Histogram) Bounds() []float64 { return h.bounds }

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/gpu"
+	"repro/internal/metrics"
 	"repro/internal/pixelbox"
 )
 
@@ -235,6 +236,13 @@ func (r *run) claim(e *executor) (batch []pairTask, ok bool) {
 // exact areas with the executor's backend in a single consolidated launch,
 // then fold each tile's results into its accumulator.
 func (r *run) executorWorker(e *executor) {
+	// Batch execution time lands in a per-kind histogram so GPU and CPU batch
+	// latency distributions are separable on /metrics; labelled by kind only
+	// (not executor ID) to bound series cardinality.
+	var batchHist *metrics.Histogram
+	if r.cfg.Registry != nil {
+		batchHist = r.cfg.Registry.Histogram(metrics.Label("sccg_executor_batch_seconds", "kind", e.kind))
+	}
 	for {
 		batch, ok := r.claim(e)
 		if !ok {
@@ -262,6 +270,9 @@ func (r *run) executorWorker(e *executor) {
 			off += len(t.pairs)
 		}
 		e.observe(n, elapsed)
+		if batchHist != nil {
+			batchHist.ObserveDuration(elapsed)
+		}
 		atomic.AddInt64(&r.aggBusy, int64(elapsed))
 	}
 }

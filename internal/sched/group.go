@@ -75,14 +75,36 @@ type GroupStatus struct {
 	Terminal bool `json:"terminal"`
 }
 
-// NewGroup creates an empty job group; the scheduler assigns its ID but
-// keeps no registry — the creator holds the only handle. (A lookup registry
-// can return with the ROADMAP's group-aware /metrics follow-on, which would
-// be its first consumer.) name is an optional label surfaced in the status.
+// NewGroup creates an empty job group and registers it with the scheduler so
+// observers (the server's group-aware /metrics scrape) can enumerate groups
+// without holding the creator's handle. name is an optional label surfaced
+// in the status.
 func (s *Scheduler) NewGroup(name string) *Group {
 	g := &Group{s: s, name: name, created: time.Now()}
 	g.id = fmt.Sprintf("grp-%06d", atomic.AddInt64(&s.nextGroup, 1))
+	s.mu.Lock()
+	s.groups[g.id] = g
+	s.gorder = append(s.gorder, g.id)
+	s.mu.Unlock()
 	return g
+}
+
+// Groups returns every group's current status in creation order. Like jobs,
+// groups are kept for the scheduler's lifetime; callers that only care about
+// live runs filter on !Terminal.
+func (s *Scheduler) Groups() []GroupStatus {
+	s.mu.Lock()
+	groups := make([]*Group, 0, len(s.gorder))
+	for _, id := range s.gorder {
+		groups = append(groups, s.groups[id])
+	}
+	s.mu.Unlock()
+	// Status takes g.mu and s.mu (via Job); compute outside the lock.
+	out := make([]GroupStatus, len(groups))
+	for i, g := range groups {
+		out[i] = g.Status()
+	}
+	return out
 }
 
 // ID returns the group's scheduler-assigned ID.

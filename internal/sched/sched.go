@@ -32,6 +32,7 @@ import (
 	"repro/internal/pathology"
 	"repro/internal/pipeline"
 	"repro/internal/pixelbox"
+	"repro/internal/trace"
 )
 
 // Config wires a scheduler.
@@ -199,6 +200,10 @@ type JobStatus struct {
 	DeviceIDs []int // pool devices that executed at least one shard
 	// Report is the merged cross-comparison result, valid when State == Done.
 	Report pipeline.Result
+	// Trace is the job's stage-span breakdown, recorded from submission.
+	// Snapshots of a live job show the spans so far; after the job finishes
+	// its total freezes (later spans like the server's persist still appear).
+	Trace *trace.Trace
 }
 
 // DeviceStats is the accounting for one pool executor slot (its GPU set, or
@@ -268,6 +273,7 @@ type job struct {
 	shards    int
 	devices   map[int]struct{}
 	report    pipeline.Result
+	trace     *trace.Recorder
 }
 
 // Scheduler is the job service's execution core. Create with New, submit
@@ -289,7 +295,13 @@ type Scheduler struct {
 	mu     sync.Mutex
 	jobs   map[string]*job
 	order  []string
+	groups map[string]*Group
+	gorder []string
 	closed bool
+
+	// Latency histograms, nil without a Registry.
+	histQueueWait   *metrics.Histogram
+	histJobDuration map[State]*metrics.Histogram
 
 	nextID    int64
 	nextGroup int64
@@ -304,11 +316,20 @@ type Scheduler struct {
 func New(cfg Config) *Scheduler {
 	cfg = cfg.normalized()
 	s := &Scheduler{
-		cfg:   cfg,
-		queue: make(chan *job, cfg.QueueDepth),
-		quit:  make(chan struct{}),
-		jobs:  make(map[string]*job),
-		warm:  pipeline.NewThroughputMemory(),
+		cfg:    cfg,
+		queue:  make(chan *job, cfg.QueueDepth),
+		quit:   make(chan struct{}),
+		jobs:   make(map[string]*job),
+		groups: make(map[string]*Group),
+		warm:   pipeline.NewThroughputMemory(),
+	}
+	if r := cfg.Registry; r != nil {
+		s.histQueueWait = r.Histogram("sccgd_job_queue_wait_seconds")
+		s.histJobDuration = map[State]*metrics.Histogram{
+			Done:     r.Histogram(metrics.Label("sccgd_job_duration_seconds", "outcome", "done")),
+			Failed:   r.Histogram(metrics.Label("sccgd_job_duration_seconds", "outcome", "failed")),
+			Canceled: r.Histogram(metrics.Label("sccgd_job_duration_seconds", "outcome", "canceled")),
+		}
 	}
 	slots := cfg.slots()
 	s.pool = make(chan *device, slots)
@@ -351,8 +372,19 @@ func (s *Scheduler) Submit(name string, tasks []pipeline.FileTask) (string, erro
 // SubmitSource enqueues a job whose tiles are materialized lazily from src
 // (e.g. handles into a stored dataset). Each shard reads only its own tiles.
 func (s *Scheduler) SubmitSource(name string, src TaskSource) (string, error) {
+	return s.SubmitSourceTraced(name, src, nil)
+}
+
+// SubmitSourceTraced is SubmitSource with a caller-provided span recorder,
+// for callers that already spent traceable time on the job before submission
+// (the server records pin/materialize spans while resolving stored datasets).
+// A nil recorder gets a fresh one, so every job carries a trace.
+func (s *Scheduler) SubmitSourceTraced(name string, src TaskSource, rec *trace.Recorder) (string, error) {
 	if src == nil || src.Len() == 0 {
 		return "", ErrEmptyJob
+	}
+	if rec == nil {
+		rec = trace.NewRecorder()
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
@@ -365,6 +397,7 @@ func (s *Scheduler) SubmitSource(name string, src TaskSource) (string, error) {
 		state:     Queued,
 		submitted: time.Now(),
 		devices:   make(map[int]struct{}),
+		trace:     rec,
 	}
 
 	s.mu.Lock()
@@ -538,6 +571,9 @@ func (s *Scheduler) snapshotLocked(j *job) JobStatus {
 	for id := range j.devices {
 		st.DeviceIDs = append(st.DeviceIDs, id)
 	}
+	// The recorder has its own lock and Snapshot takes no scheduler locks,
+	// so snapshotting under s.mu is safe.
+	st.Trace = j.trace.Snapshot()
 	return st
 }
 
@@ -579,11 +615,17 @@ func (s *Scheduler) runJob(j *job) {
 	// the shard goroutines below (it saw the job still queued before this
 	// runner marked it running).
 	src := j.src
+	shardStart := time.Now()
 	shards := shardTasks(src, s.cfg.MaxShards)
 	j.state = Running
 	j.started = time.Now()
 	j.shards = len(shards)
 	s.mu.Unlock()
+	j.trace.Add("queue", "", j.submitted, shardStart)
+	j.trace.Add("shard", fmt.Sprintf("%d shards", len(shards)), shardStart, j.started)
+	if s.histQueueWait != nil {
+		s.histQueueWait.ObserveDuration(shardStart.Sub(j.submitted))
+	}
 	atomic.AddInt64(&s.running, 1)
 	defer atomic.AddInt64(&s.running, -1)
 
@@ -630,7 +672,7 @@ func (s *Scheduler) runJob(j *job) {
 			// stored dataset that means reading just these tiles' byte
 			// ranges out of the segment file. Pre-parsed sources skip the
 			// pipeline's parser stage entirely.
-			res, err, executed := s.runShard(src, idxs, pcfg)
+			res, err, executed := s.runShard(j.trace, fmt.Sprintf("slot%d shard%d", dev.id, i), src, idxs, pcfg)
 			if !executed {
 				// Materialization failure: no pipeline ran at all.
 				errs[i] = err
@@ -680,7 +722,9 @@ func (s *Scheduler) runJob(j *job) {
 		// the last shard went out: the work is discarded either way.
 		s.finish(j, Canceled, nil, pipeline.Result{})
 	default:
+		mergeStart := time.Now()
 		report := pipeline.Merge(merged...)
+		j.trace.Add("merge", fmt.Sprintf("%d shards", len(merged)), mergeStart, time.Now())
 		// Merge's WallTime is the max across shards, which assumes they ran
 		// concurrently; with more shards than free devices they serialize,
 		// so report the job's real elapsed time instead.
@@ -693,7 +737,11 @@ func (s *Scheduler) runJob(j *job) {
 // pipeline. Sources carrying decoded polygons (PolySource) enter the
 // pipeline past the parser stage; executed reports whether a pipeline ran at
 // all (false means materialization failed and err describes the tile).
-func (s *Scheduler) runShard(src TaskSource, idxs []int, pcfg pipeline.Config) (res pipeline.Result, err error, executed bool) {
+// Materialize and execute spans are recorded under detail (slot + shard);
+// the parse span's duration is the pipeline's summed parser busy time (its
+// workers overlap, so this is CPU time, not a wall interval).
+func (s *Scheduler) runShard(rec *trace.Recorder, detail string, src TaskSource, idxs []int, pcfg pipeline.Config) (res pipeline.Result, err error, executed bool) {
+	matStart := time.Now()
 	if ps, ok := src.(PolySource); ok {
 		shard := make([]pipeline.PolyTask, 0, len(idxs))
 		for _, ix := range idxs {
@@ -703,7 +751,10 @@ func (s *Scheduler) runShard(src TaskSource, idxs []int, pcfg pipeline.Config) (
 			}
 			shard = append(shard, t)
 		}
+		execStart := time.Now()
+		rec.Add("materialize", detail, matStart, execStart)
 		res, err = pipeline.RunParsed(shard, pcfg)
+		rec.Add("execute", detail, execStart, time.Now())
 		return res, err, true
 	}
 	shard := make([]pipeline.FileTask, 0, len(idxs))
@@ -714,7 +765,14 @@ func (s *Scheduler) runShard(src TaskSource, idxs []int, pcfg pipeline.Config) (
 		}
 		shard = append(shard, t)
 	}
+	execStart := time.Now()
+	rec.Add("materialize", detail, matStart, execStart)
 	res, err = pipeline.Run(shard, pcfg)
+	end := time.Now()
+	rec.Add("execute", detail, execStart, end)
+	if err == nil && res.Stats.ParserBusy > 0 {
+		rec.AddDuration("parse", detail, execStart, res.Stats.ParserBusy)
+	}
 	return res, err, true
 }
 
@@ -753,6 +811,12 @@ func (s *Scheduler) finish(j *job, state State, err error, report pipeline.Resul
 	src := j.src
 	j.src = nil // release the input source; finished jobs are kept forever
 	s.mu.Unlock()
+	j.trace.Finish()
+	if h := s.histJobDuration[state]; h != nil {
+		// Job latency is submission → terminal: queue wait included, because
+		// that is the latency a client experiences.
+		h.ObserveDuration(j.finished.Sub(j.submitted))
+	}
 	if rel, ok := src.(SourceReleaser); ok {
 		// Outside the lock: Release may take the store's lock (unpinning),
 		// and only the first finisher sees a non-nil src, so this runs once.

@@ -49,9 +49,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"strconv"
 	"sync"
 	"time"
 
@@ -62,6 +65,7 @@ import (
 	"repro/internal/retention"
 	"repro/internal/sched"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // CompareResult is the synchronous /compare outcome.
@@ -100,6 +104,9 @@ type Options struct {
 	// sweeper that Close stops; POST /gc sweeps on demand either way.
 	// Ignored without a Store.
 	Retention retention.Policy
+	// Logger receives the server's structured log records; slog.Default()
+	// when nil.
+	Logger *slog.Logger
 }
 
 // Server ties the scheduler, store, cache, and metrics into an
@@ -122,6 +129,7 @@ type Server struct {
 	// owned by this server: New starts it, Close stops it.
 	retention *retention.Engine
 	reg       *metrics.Registry
+	log       *slog.Logger
 	compare   CompareFunc
 	maxBody   int64
 	started   time.Time
@@ -163,12 +171,16 @@ func New(s *sched.Scheduler, opts Options) *Server {
 	if opts.MaxBodyBytes <= 0 {
 		opts.MaxBodyBytes = 32 << 20
 	}
+	if opts.Logger == nil {
+		opts.Logger = slog.Default()
+	}
 	srv := &Server{
 		sched:      s,
 		store:      opts.Store,
 		cache:      newResultCache(opts.CacheSize),
 		specIDs:    newResultCache(1024),
 		reg:        opts.Registry,
+		log:        opts.Logger,
 		compare:    opts.Compare,
 		maxBody:    opts.MaxBodyBytes,
 		started:    time.Now(),
@@ -187,14 +199,50 @@ func New(s *sched.Scheduler, opts Options) *Server {
 		cascades:    opts.Registry.Counter("sccgd_cache_cascade_dropped_total"),
 	}
 	opts.Registry.GaugeFunc("sccgd_cache_entries", func() float64 { return float64(srv.cache.len()) })
+	// Scheduler and group metrics render from one snapshot per scrape (a
+	// gauge func per value would rebuild the snapshot for every line) and
+	// merge into the registry's sorted, typed exposition.
+	opts.Registry.OnScrape(func(e *metrics.Emitter) {
+		st := srv.sched.Stats()
+		e.Gauge("sccgd_jobs_queued", float64(st.Queued))
+		e.Gauge("sccgd_jobs_running", float64(st.Running))
+		e.Counter("sccgd_jobs_completed_total", float64(st.Completed))
+		e.Counter("sccgd_jobs_failed_total", float64(st.Failed))
+		e.Counter("sccgd_jobs_canceled_total", float64(st.Canceled))
+		for _, d := range st.Devices {
+			dev := strconv.Itoa(d.ID)
+			e.Counter(metrics.Label("sccgd_device_launches_total", "device", dev), float64(d.Launches))
+			e.Gauge(metrics.Label("sccgd_device_busy_seconds", "device", dev), d.BusySeconds)
+			e.Counter(metrics.Label("sccgd_device_shards_total", "device", dev), float64(d.Shards))
+		}
+		// Per-group progress series are emitted only for live (non-terminal)
+		// groups: a matrix run is distinguishable from ad-hoc jobs while it
+		// runs, and finished groups stop occupying scrape cardinality.
+		groups := srv.sched.Groups()
+		active := 0
+		for _, g := range groups {
+			if g.Terminal {
+				continue
+			}
+			active++
+			e.Gauge(metrics.Label("sccgd_group_members", "group", g.ID), float64(g.Members))
+			e.Gauge(metrics.Label("sccgd_group_jobs_queued", "group", g.ID), float64(g.Queued))
+			e.Gauge(metrics.Label("sccgd_group_jobs_running", "group", g.ID), float64(g.Running))
+			e.Gauge(metrics.Label("sccgd_group_jobs_done", "group", g.ID), float64(g.Done))
+			e.Gauge(metrics.Label("sccgd_group_jobs_failed", "group", g.ID), float64(g.Failed))
+		}
+		e.Gauge("sccgd_groups_active", float64(active))
+		e.Counter("sccgd_groups_total", float64(len(groups)))
+	})
 	if srv.store != nil {
+		srv.store.SetMetrics(opts.Registry)
 		opts.Registry.GaugeFunc("sccgd_datasets", func() float64 { return float64(srv.store.Len()) })
 		if opts.CacheSize > 0 {
 			// The durable cache layer lives beside the manifests; corrupt
 			// entries are skipped (and logged), never served.
 			rd, skipped := openReportDisk(filepath.Join(srv.store.Dir(), "cache"), opts.Retention.CacheMaxEntries)
 			for _, err := range skipped {
-				log.Printf("server: skipped persisted result: %v", err)
+				srv.log.Warn("skipped persisted result", "err", err)
 			}
 			srv.persist = rd
 			if rd != nil {
@@ -211,7 +259,7 @@ func New(s *sched.Scheduler, opts Options) *Server {
 				// longer exist (a crash can land between a dataset delete and
 				// its cache cascade): drop entries referencing unknown IDs.
 				if dropped := rd.retain(datasetsLive); dropped > 0 {
-					log.Printf("server: dropped %d persisted result(s) referencing deleted datasets", dropped)
+					srv.log.Info("dropped persisted results referencing deleted datasets", "count", dropped)
 				}
 				// And gate writes the same way: a persister whose job outlived
 				// its dataset (the pin releases at the terminal state, before
@@ -236,7 +284,9 @@ func New(s *sched.Scheduler, opts Options) *Server {
 			Cache:    cacheForGC,
 			Policy:   opts.Retention,
 			Registry: opts.Registry,
-			Log:      log.Printf,
+			Log: func(format string, args ...any) {
+				srv.log.Info(fmt.Sprintf(format, args...), "subsystem", "retention")
+			},
 		})
 		srv.retention.Start() // no-op unless the policy bounds something
 		srv.matrix = compare.NewManager(compare.ManagerConfig{
@@ -278,31 +328,56 @@ func (s *Server) Registry() *metrics.Registry { return s.reg }
 // Handler returns the HTTP routing table.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /jobs", s.count(s.handleSubmit))
-	mux.HandleFunc("GET /jobs", s.count(s.handleList))
-	mux.HandleFunc("GET /jobs/{id}", s.count(s.handleJob))
-	mux.HandleFunc("DELETE /jobs/{id}", s.count(s.handleCancel))
-	mux.HandleFunc("PUT /datasets", s.count(s.handlePutDataset))
-	mux.HandleFunc("GET /datasets", s.count(s.handleListDatasets))
-	mux.HandleFunc("GET /datasets/{id}", s.count(s.handleStatDataset))
-	mux.HandleFunc("GET /datasets/{id}/tiles/{n}", s.count(s.handleReadTile))
-	mux.HandleFunc("DELETE /datasets/{id}", s.count(s.handleDeleteDataset))
-	mux.HandleFunc("POST /matrix", s.count(s.handleStartMatrix))
-	mux.HandleFunc("GET /matrix", s.count(s.handleListMatrices))
-	mux.HandleFunc("GET /matrix/{id}", s.count(s.handleGetMatrix))
-	mux.HandleFunc("DELETE /matrix/{id}", s.count(s.handleCancelMatrix))
-	mux.HandleFunc("POST /compare", s.count(s.handleCompare))
-	mux.HandleFunc("POST /gc", s.count(s.handleGC))
-	mux.HandleFunc("DELETE /cache", s.count(s.handleClearCache))
-	mux.HandleFunc("GET /metrics", s.count(s.handleMetrics))
-	mux.HandleFunc("GET /healthz", s.count(s.handleHealthz))
+	handle := func(pattern string, h http.HandlerFunc) {
+		// The metric's route label is the mux pattern (bounded cardinality),
+		// not the raw URL path.
+		mux.HandleFunc(pattern, s.instrument(pattern, h))
+	}
+	handle("POST /jobs", s.handleSubmit)
+	handle("GET /jobs", s.handleList)
+	handle("GET /jobs/{id}", s.handleJob)
+	handle("GET /jobs/{id}/trace", s.handleJobTrace)
+	handle("DELETE /jobs/{id}", s.handleCancel)
+	handle("PUT /datasets", s.handlePutDataset)
+	handle("GET /datasets", s.handleListDatasets)
+	handle("GET /datasets/{id}", s.handleStatDataset)
+	handle("GET /datasets/{id}/tiles/{n}", s.handleReadTile)
+	handle("DELETE /datasets/{id}", s.handleDeleteDataset)
+	handle("POST /matrix", s.handleStartMatrix)
+	handle("GET /matrix", s.handleListMatrices)
+	handle("GET /matrix/{id}", s.handleGetMatrix)
+	handle("DELETE /matrix/{id}", s.handleCancelMatrix)
+	handle("POST /compare", s.handleCompare)
+	handle("POST /gc", s.handleGC)
+	handle("DELETE /cache", s.handleClearCache)
+	handle("GET /metrics", s.handleMetrics)
+	handle("GET /healthz", s.handleHealthz)
 	return mux
 }
 
-func (s *Server) count(h http.HandlerFunc) http.HandlerFunc {
+// statusWriter captures the response status for the request-duration metric.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request accounting: the total-requests
+// counter and a per-route, per-status duration histogram. Histogram series
+// are created lazily on first (route, status) occurrence, so an idle server
+// exposes no empty series.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Inc()
-		h(w, r)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		s.reg.Histogram(metrics.Label("sccgd_http_request_duration_seconds",
+			"route", route, "status", strconv.Itoa(sw.status))).ObserveSince(start)
 	}
 }
 
@@ -430,6 +505,7 @@ type JobResponse struct {
 	DeviceIDs []int          `json:"device_ids,omitempty"`
 	Cross     *CrossPayload  `json:"cross,omitempty"`
 	Report    *ReportPayload `json:"report,omitempty"`
+	Trace     *trace.Trace   `json:"trace,omitempty"`
 }
 
 // jobResponse projects a job snapshot to the wire, attaching cross-dataset
@@ -465,6 +541,7 @@ func baseJobResponse(st sched.JobStatus, cached bool) JobResponse {
 	if st.State == sched.Done {
 		resp.Report = reportPayload(st.Report)
 	}
+	resp.Trace = st.Trace
 	return resp
 }
 
@@ -519,7 +596,13 @@ func (s *Server) submitRequest(req JobRequest) (submission, error) {
 		// re-key path below may still turn this request into a hit.
 	}
 
-	name, src, contentKey, cross, err := s.materializeRequest(req)
+	// The recorder starts here so the trace covers pre-scheduler time:
+	// pinning, dataset generation, ingest, and store opens all land in the
+	// materialize span (with pin sub-spans recorded inside).
+	rec := trace.NewRecorder()
+	matStart := time.Now()
+	name, src, contentKey, cross, err := s.materializeRequest(rec, req)
+	rec.Add("materialize", requestForm(req), matStart, time.Now())
 	if err != nil {
 		code := http.StatusUnprocessableEntity
 		if errors.Is(err, store.ErrNotFound) {
@@ -542,7 +625,7 @@ func (s *Server) submitRequest(req JobRequest) (submission, error) {
 	if key != "" {
 		s.cacheMiss.Inc()
 	}
-	id, err := s.sched.SubmitSource(name, src)
+	id, err := s.sched.SubmitSourceTraced(name, src, rec)
 	switch {
 	case errors.Is(err, sched.ErrQueueFull), errors.Is(err, sched.ErrClosed):
 		releaseSource(src)
@@ -552,6 +635,7 @@ func (s *Server) submitRequest(req JobRequest) (submission, error) {
 		return submission{code: http.StatusBadRequest}, err
 	}
 	s.submits.Inc()
+	s.log.Info("job submitted", "job_id", id, "name", name, "form", requestForm(req))
 	if cross != nil {
 		s.crossMu.Lock()
 		s.crossByJob[id] = cross
@@ -568,7 +652,7 @@ func (s *Server) submitRequest(req JobRequest) (submission, error) {
 				s.persistWG.Add(1)
 				go func() {
 					defer s.persistWG.Done()
-					s.persistWhenDone(key, id, name, cross)
+					s.persistWhenDone(rec, key, id, name, cross)
 				}()
 			}
 			s.persistMu.Unlock()
@@ -629,15 +713,20 @@ func persistedResponse(key string, e *persistEntry) JobResponse {
 }
 
 // persistWhenDone waits for a cache-keyed job to finish and writes its
-// report to the durable cache layer.
-func (s *Server) persistWhenDone(key, jobID, name string, cross *CrossPayload) {
+// report to the durable cache layer. The write lands in the job's trace as a
+// persist span — recorded after the scheduler froze the trace total, so it
+// shows up in later trace reads without shifting the job's wall time.
+func (s *Server) persistWhenDone(rec *trace.Recorder, key, jobID, name string, cross *CrossPayload) {
 	st, err := s.sched.Wait(context.Background(), jobID)
 	if err != nil || st.State != sched.Done {
 		return
 	}
+	start := time.Now()
 	e := &persistEntry{Key: key, Name: name, Cross: cross, Saved: time.Now().UTC(), Report: st.Report}
-	if perr := s.persist.put(e); perr != nil {
-		log.Printf("server: persist result for job %s: %v", jobID, perr)
+	perr := s.persist.put(e)
+	rec.Add("persist", "", start, time.Now())
+	if perr != nil {
+		s.log.Warn("persist result failed", "job_id", jobID, "err", perr)
 	}
 }
 
@@ -777,28 +866,84 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	// Everything — counters, gauges, histograms, and the scheduler/group
+	// scrape collector registered in New — renders through the registry's
+	// sorted, typed exposition.
 	_ = s.reg.WriteText(w)
-	// Scheduler metrics are rendered from one snapshot per scrape rather
-	// than a gauge func per value, which would rebuild the snapshot for
-	// every single line.
-	st := s.sched.Stats()
-	fmt.Fprintf(w, "sccgd_jobs_queued %d\n", st.Queued)
-	fmt.Fprintf(w, "sccgd_jobs_running %d\n", st.Running)
-	fmt.Fprintf(w, "sccgd_jobs_completed_total %d\n", st.Completed)
-	fmt.Fprintf(w, "sccgd_jobs_failed_total %d\n", st.Failed)
-	fmt.Fprintf(w, "sccgd_jobs_canceled_total %d\n", st.Canceled)
-	for _, d := range st.Devices {
-		fmt.Fprintf(w, "sccgd_device_launches_total{device=\"%d\"} %d\n", d.ID, d.Launches)
-		fmt.Fprintf(w, "sccgd_device_busy_seconds{device=\"%d\"} %g\n", d.ID, d.BusySeconds)
-		fmt.Fprintf(w, "sccgd_device_shards_total{device=\"%d\"} %d\n", d.ID, d.Shards)
+}
+
+// buildRevision resolves the binary's VCS revision from the embedded build
+// info, "" when built outside a checkout.
+func buildRevision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
 	}
+	rev := ""
+	dirty := false
+	for _, kv := range bi.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			rev = kv.Value
+		case "vcs.modified":
+			dirty = kv.Value == "true"
+		}
+	}
+	if rev != "" && dirty {
+		rev += "-dirty"
+	}
+	return rev
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	cfg := s.sched.Config()
+	devs := s.sched.DeviceStats()
+	slots := make([]map[string]any, len(devs))
+	for i, d := range devs {
+		slots[i] = map[string]any{"id": d.ID, "name": d.Name, "gpus": d.GPUs}
+	}
+	resp := map[string]any{
 		"ok":             true,
 		"uptime_seconds": time.Since(s.started).Seconds(),
-		"devices":        len(s.sched.DeviceStats()),
+		"started":        s.started.UTC().Format(time.RFC3339),
+		"go_version":     runtime.Version(),
+		"devices":        len(devs),
+		"scheduler": map[string]any{
+			"slots":          slots,
+			"gpus":           cfg.Devices,
+			"gpus_per_shard": cfg.GPUsPerShard,
+			"hybrid_cpu":     cfg.HybridCPU,
+			"workers":        cfg.Workers,
+			"migration":      cfg.Migration,
+			"max_shards":     cfg.MaxShards,
+			"queue_depth":    cfg.QueueDepth,
+		},
+	}
+	if rev := buildRevision(); rev != "" {
+		resp["revision"] = rev
+	}
+	if s.store != nil {
+		resp["store"] = map[string]any{
+			"datasets": s.store.Len(),
+			"dir":      s.store.Dir(),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleJobTrace serves a job's stage-span breakdown. Live jobs answer with
+// the spans recorded so far; finished jobs answer the frozen trace (plus any
+// post-finish spans like persist).
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.sched.Job(r.PathValue("id"))
+	if !ok {
+		s.fail(w, http.StatusNotFound, sched.ErrNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"job_id": st.ID,
+		"state":  st.State.String(),
+		"trace":  st.Trace,
 	})
 }
 
@@ -900,14 +1045,29 @@ func checkRequest(req JobRequest) error {
 	return nil
 }
 
+// requestForm names a request's input form for log attrs and trace details.
+func requestForm(req JobRequest) string {
+	switch {
+	case req.DatasetA != "":
+		return "cross"
+	case req.DatasetID != "":
+		return "dataset"
+	case req.Corpus != "":
+		return "corpus"
+	case req.Spec != nil:
+		return "spec"
+	}
+	return "tasks"
+}
+
 // materializeRequest turns a checked JobRequest into the task source to
 // run. Dataset jobs come back as lazy store tile handles; cross-dataset
 // jobs as lazy tile-pair handles over the two segment files (cross carries
 // the pairing report); generated requests are, when a store is configured,
 // ingested so their results can be cached (and later requested) by content
 // hash — contentKey carries that resolved cache key, empty when the content
-// address is unknown.
-func (s *Server) materializeRequest(req JobRequest) (name string, src sched.TaskSource, contentKey string, cross *CrossPayload, err error) {
+// address is unknown. Pin acquisition is recorded into rec.
+func (s *Server) materializeRequest(rec *trace.Recorder, req JobRequest) (name string, src sched.TaskSource, contentKey string, cross *CrossPayload, err error) {
 	if req.DatasetA != "" {
 		// Pin before opening: after Pin succeeds no delete or retention
 		// sweep can remove the dataset, so the open below cannot race an
@@ -916,7 +1076,9 @@ func (s *Server) materializeRequest(req JobRequest) (name string, src sched.Task
 		if req.DatasetB != req.DatasetA {
 			ids = append(ids, req.DatasetB)
 		}
+		pinStart := time.Now()
 		name, csrc, match, self, err := s.openPairPinned(ids, req.DatasetA, req.DatasetB)
+		rec.Add("pin", "pair", pinStart, time.Now())
 		if err != nil {
 			return "", nil, "", nil, err
 		}
@@ -933,7 +1095,9 @@ func (s *Server) materializeRequest(req JobRequest) (name string, src sched.Task
 		return name, csrc, crossKey(req.DatasetA, req.DatasetB), crossPayload(req.DatasetA, req.DatasetB, match), nil
 	}
 	if req.DatasetID != "" {
+		pinStart := time.Now()
 		src, man, err := s.openDatasetPinned(req.DatasetID)
+		rec.Add("pin", "dataset", pinStart, time.Now())
 		if err != nil {
 			return "", nil, "", nil, err
 		}
@@ -977,7 +1141,7 @@ func (s *Server) materializeRequest(req JobRequest) (name string, src sched.Task
 					}
 				} else {
 					s.ingestFails.Inc()
-					log.Printf("server: ingest of generated dataset %q failed: %v", spec.Name, ierr)
+					s.log.Warn("ingest of generated dataset failed", "dataset", spec.Name, "err", ierr)
 				}
 			}
 			if dsID != "" {

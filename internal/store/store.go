@@ -37,6 +37,7 @@ import (
 	"crypto/sha256"
 
 	"repro/internal/geom"
+	"repro/internal/metrics"
 	"repro/internal/parser"
 	"repro/internal/pathology"
 	"repro/internal/pipeline"
@@ -152,6 +153,9 @@ type Store struct {
 	// onDelete, when set, is called after every successful delete (outside
 	// the lock) — the server hooks it to cascade cached results.
 	onDelete func(id string)
+	// tileReadHist, when set via SetMetrics, observes every verified tile
+	// read's wall latency (open + range reads + digest + WKB decode).
+	tileReadHist *metrics.Histogram
 }
 
 // Open opens (creating if needed) the store rooted at dir and recovers its
@@ -301,6 +305,25 @@ func (s *Store) SetDeleteHook(fn func(id string)) {
 	s.mu.Lock()
 	s.onDelete = fn
 	s.mu.Unlock()
+}
+
+// SetMetrics hooks the store into a metrics registry: every verified tile
+// read observes its latency into sccgd_store_tile_read_seconds. Call once at
+// startup, before readers are opened.
+func (s *Store) SetMetrics(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	s.mu.Lock()
+	s.tileReadHist = r.Histogram("sccgd_store_tile_read_seconds")
+	s.mu.Unlock()
+}
+
+// tileHist returns the tile-read histogram, nil when metrics are unhooked.
+func (s *Store) tileHist() *metrics.Histogram {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tileReadHist
 }
 
 // Pin marks the dataset as referenced by a queued or running job. While the
@@ -791,6 +814,13 @@ func (d *Dataset) Manifest() *Manifest { return d.man }
 // caught even when the bytes still decode), then fully validating every WKB
 // record (the SDBMS deserialization protocol cost).
 func (d *Dataset) ReadTile(i int) (a, b []*geom.Polygon, err error) {
+	var start time.Time
+	var hist *metrics.Histogram
+	if d.st != nil {
+		if hist = d.st.tileHist(); hist != nil {
+			start = time.Now()
+		}
+	}
 	ti, segA, segB, err := d.readVerified(i)
 	if err != nil {
 		return nil, nil, err
@@ -800,6 +830,12 @@ func (d *Dataset) ReadTile(i int) (a, b []*geom.Polygon, err error) {
 	}
 	if b, err = d.decodeSet(ti, "B", segB, ti.CountB); err != nil {
 		return nil, nil, err
+	}
+	// Only successful reads are observed: failure latency is dominated by
+	// error paths (missing segment, corrupt digest), which would pollute the
+	// read-latency distribution the histogram exists to show.
+	if hist != nil {
+		hist.ObserveSince(start)
 	}
 	return a, b, nil
 }

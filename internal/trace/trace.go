@@ -1,0 +1,158 @@
+// Package trace records per-job stage spans on monotonic clocks.
+//
+// A Recorder is created when a job enters the system (HTTP handler or
+// scheduler submit) and threaded through server → sched → pipeline → store.
+// Each layer adds named spans (queue, pin, materialize, shard, parse,
+// execute, merge, persist); the recorder snapshots into a wire-form Trace
+// attached to the job report and served by GET /jobs/{id}/trace.
+//
+// All offsets derive from time.Time values that carry Go's monotonic
+// reading, so spans are immune to wall-clock steps; the wall-clock
+// StartedAt is informational only.
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Recorder accumulates spans for one job. Safe for concurrent use — shards
+// and executor slots add spans from their own goroutines.
+type Recorder struct {
+	mu    sync.Mutex
+	base  time.Time // monotonic anchor; offsets are span.start - base
+	wall  time.Time // wall clock at creation, for display only
+	end   time.Time // zero until Finish; freezes TotalMs
+	spans []span
+}
+
+type span struct {
+	name   string
+	detail string
+	start  time.Duration
+	dur    time.Duration
+}
+
+// NewRecorder anchors a recorder at now.
+func NewRecorder() *Recorder {
+	now := time.Now()
+	return &Recorder{base: now, wall: now}
+}
+
+// Add records a span from start to end. Spans whose end precedes their start
+// are clamped to zero duration rather than dropped, so a misordered caller
+// still shows up in the trace (visibly, at 0ms) instead of vanishing.
+func (r *Recorder) Add(name, detail string, start, end time.Time) {
+	if r == nil {
+		return
+	}
+	d := end.Sub(start)
+	if d < 0 {
+		d = 0
+	}
+	off := start.Sub(r.base)
+	if off < 0 {
+		off = 0
+	}
+	r.mu.Lock()
+	r.spans = append(r.spans, span{name: name, detail: detail, start: off, dur: d})
+	r.mu.Unlock()
+}
+
+// AddDuration records a span of length d ending now-ish whose start is
+// inferred from start. Convenience for callers that timed a block with a
+// single time.Since.
+func (r *Recorder) AddDuration(name, detail string, start time.Time, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.Add(name, detail, start, start.Add(d))
+}
+
+// Finish freezes the trace's total at now: later Snapshots report TotalMs
+// up to the first Finish call, not a still-running clock, so a finished
+// job's trace is stable across reads. Spans added after Finish (persist,
+// cache writes) still appear and may extend past TotalMs.
+func (r *Recorder) Finish() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.end.IsZero() {
+		r.end = time.Now()
+	}
+	r.mu.Unlock()
+}
+
+// Span is one recorded stage in wire form. Offsets and durations are
+// fractional milliseconds.
+type Span struct {
+	Name       string  `json:"name"`
+	Detail     string  `json:"detail,omitempty"`
+	StartMs    float64 `json:"start_ms"`
+	DurationMs float64 `json:"duration_ms"`
+}
+
+// Trace is the wire form attached to job reports and served over HTTP.
+type Trace struct {
+	StartedAt string  `json:"started_at"`
+	TotalMs   float64 `json:"total_ms"`
+	Spans     []Span  `json:"spans"`
+}
+
+// Snapshot renders the spans recorded so far, sorted by start offset (ties
+// by name), with TotalMs measured from the anchor to now. Safe to call on a
+// live recorder; later snapshots include later spans (e.g. persist, added
+// after the job report is finalized).
+func (r *Recorder) Snapshot() *Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	spans := make([]span, len(r.spans))
+	copy(spans, r.spans)
+	end := r.end
+	r.mu.Unlock()
+
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].start != spans[j].start {
+			return spans[i].start < spans[j].start
+		}
+		return spans[i].name < spans[j].name
+	})
+	total := time.Since(r.base)
+	if !end.IsZero() {
+		total = end.Sub(r.base)
+	}
+	t := &Trace{
+		StartedAt: r.wall.UTC().Format(time.RFC3339Nano),
+		TotalMs:   ms(total),
+		Spans:     make([]Span, len(spans)),
+	}
+	for i, s := range spans {
+		t.Spans[i] = Span{Name: s.name, Detail: s.detail, StartMs: ms(s.start), DurationMs: ms(s.dur)}
+	}
+	return t
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// Summary is a per-stage rollup of a trace: total duration per span name.
+// Matrix runs attach one Summary per cell so a K×K status stays compact.
+type Summary struct {
+	TotalMs float64            `json:"total_ms"`
+	Stages  map[string]float64 `json:"stages"`
+}
+
+// Summarize folds a trace into per-stage totals. Returns nil for nil input.
+func Summarize(t *Trace) *Summary {
+	if t == nil {
+		return nil
+	}
+	s := &Summary{TotalMs: t.TotalMs, Stages: make(map[string]float64, 8)}
+	for _, sp := range t.Spans {
+		s.Stages[sp.Name] += sp.DurationMs
+	}
+	return s
+}

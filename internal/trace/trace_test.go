@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderSnapshot(t *testing.T) {
+	r := NewRecorder()
+	base := time.Now()
+	r.Add("queue", "", base, base.Add(5*time.Millisecond))
+	r.Add("execute", "slot0", base.Add(5*time.Millisecond), base.Add(25*time.Millisecond))
+	r.Add("merge", "", base.Add(25*time.Millisecond), base.Add(30*time.Millisecond))
+
+	tr := r.Snapshot()
+	if len(tr.Spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(tr.Spans))
+	}
+	names := []string{"queue", "execute", "merge"}
+	for i, want := range names {
+		if tr.Spans[i].Name != want {
+			t.Errorf("span[%d] = %q, want %q (sorted by start)", i, tr.Spans[i].Name, want)
+		}
+	}
+	for i := 1; i < len(tr.Spans); i++ {
+		if tr.Spans[i].StartMs < tr.Spans[i-1].StartMs {
+			t.Errorf("spans not monotone: span[%d].start=%g < span[%d].start=%g",
+				i, tr.Spans[i].StartMs, i-1, tr.Spans[i-1].StartMs)
+		}
+	}
+	if tr.Spans[1].Detail != "slot0" {
+		t.Errorf("detail = %q, want slot0", tr.Spans[1].Detail)
+	}
+	if tr.TotalMs <= 0 {
+		t.Errorf("total_ms = %g, want > 0", tr.TotalMs)
+	}
+}
+
+func TestRecorderClampsNegative(t *testing.T) {
+	r := NewRecorder()
+	now := time.Now()
+	// End before start: clamped to zero duration, not dropped.
+	r.Add("weird", "", now.Add(time.Second), now)
+	// Start before the anchor: offset clamped to zero.
+	r.Add("early", "", now.Add(-time.Hour), now)
+	tr := r.Snapshot()
+	if len(tr.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(tr.Spans))
+	}
+	for _, s := range tr.Spans {
+		if s.StartMs < 0 || s.DurationMs < 0 {
+			t.Errorf("span %q has negative offset/duration: %+v", s.Name, s)
+		}
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				s := time.Now()
+				r.Add("execute", "slot", s, s.Add(time.Microsecond))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(r.Snapshot().Spans); got != 1600 {
+		t.Errorf("spans = %d, want 1600", got)
+	}
+}
+
+func TestNilRecorder(t *testing.T) {
+	var r *Recorder
+	r.Add("x", "", time.Now(), time.Now()) // must not panic
+	r.AddDuration("y", "", time.Now(), time.Second)
+	if r.Snapshot() != nil {
+		t.Error("nil recorder should snapshot to nil")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := &Trace{
+		TotalMs: 30,
+		Spans: []Span{
+			{Name: "execute", DurationMs: 10},
+			{Name: "execute", DurationMs: 12},
+			{Name: "merge", DurationMs: 3},
+		},
+	}
+	s := Summarize(tr)
+	if s.TotalMs != 30 || s.Stages["execute"] != 22 || s.Stages["merge"] != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if Summarize(nil) != nil {
+		t.Error("Summarize(nil) should be nil")
+	}
+}
