@@ -223,6 +223,14 @@ func benchRecord(short bool, gpus, cpuAggs int) (*runRecord, error) {
 			"pairs_per_sec": float64(len(pairs)) / cpuSecs,
 		},
 	})
+
+	// Progressive matrix execution over a skewed corpus: how much exact work
+	// the plan-phase bounds avoid, with exactness cross-checked per cell.
+	prog, err := progressiveRecords(short)
+	if err != nil {
+		return nil, fmt.Errorf("matrix experiment: %w", err)
+	}
+	rec.Experiments = append(rec.Experiments, prog...)
 	return rec, nil
 }
 

@@ -27,6 +27,7 @@ func TestBenchRecordShort(t *testing.T) {
 	want := map[string]bool{
 		"pipeline_gpu": false, "pipeline_cpu": false, "pipeline_hybrid": false,
 		"pipeline_invariants": false, "kernel_pixelbox_gpu": false, "kernel_pixelbox_cpu": false,
+		"matrix_full": false, "matrix_topk": false,
 	}
 	var sims []float64
 	for _, e := range rec.Experiments {
@@ -51,6 +52,23 @@ func TestBenchRecordShort(t *testing.T) {
 	for name, seen := range want {
 		if !seen {
 			t.Errorf("record missing experiment %q", name)
+		}
+	}
+
+	// The progressive matrix experiment must avoid exact work on the skewed
+	// corpus without drifting from the full run on the cells it answers.
+	for _, e := range rec.Experiments {
+		if e.Name != "matrix_topk" {
+			continue
+		}
+		if e.Values["exact_cells_avoided"] <= 0 {
+			t.Errorf("progressive run avoided no exact cells: %v", e.Values)
+		}
+		if e.Values["cells_exact"]+e.Values["cells_skipped"]+e.Values["cells_bounded"] != e.Values["cells"] {
+			t.Errorf("progressive cell accounting inconsistent: %v", e.Values)
+		}
+		if e.Values["similarity_bit_identical"] != 1 {
+			t.Errorf("progressive cells drifted from the full matrix: %v", e.Values)
 		}
 	}
 

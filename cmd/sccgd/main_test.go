@@ -10,9 +10,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -760,4 +762,186 @@ func grepLine(text, substr string) string {
 		}
 	}
 	return "(metric absent)"
+}
+
+// TestDaemonMatrixProgressive is the progressive-execution acceptance test:
+// over a spatially skewed 6-dataset corpus (two clusters of 3, disjoint
+// coordinate ranges), a top_k=3 matrix run must skip every provably-empty
+// cross-cluster cell, answer the cells it does compute bit-identically to
+// the in-process oracle, and surface the true top-3 similarities among its
+// exact cells — all through the long-poll wire protocol.
+func TestDaemonMatrixProgressive(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ready := make(chan string, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-devices", "2",
+			"-data-dir", t.TempDir(),
+		}, func(addr string) { ready <- addr })
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-errCh:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not become ready")
+	}
+
+	// Six single-tile variants sharing tile keys: seeds 1-3 at the origin,
+	// seeds 4-6 translated to a far cluster, so the 9 cross-cluster cells
+	// have provably empty per-tile stat windows (bound 0).
+	const shift = 1 << 20
+	var datasets []*pathology.Dataset
+	for seed := int64(1); seed <= 6; seed++ {
+		spec := pathology.DatasetSpec{Name: "mxp-e2e", Seed: seed, Tiles: 1,
+			Gen: pathology.DefaultGenConfig()}
+		d := pathology.Generate(spec)
+		if seed > 3 {
+			for _, tp := range d.Pairs {
+				for k, p := range tp.A {
+					tp.A[k] = p.Translate(shift, shift)
+				}
+				for k, p := range tp.B {
+					tp.B[k] = p.Translate(shift, shift)
+				}
+			}
+		}
+		datasets = append(datasets, d)
+	}
+	ids := make([]string, len(datasets))
+	for i, d := range datasets {
+		payload := []map[string]any{{
+			"image": d.Pairs[0].Image,
+			"tile":  d.Pairs[0].Index,
+			"raw_a": sccg.EncodePolygons(d.Pairs[0].A),
+			"raw_b": sccg.EncodePolygons(d.Pairs[0].B),
+		}}
+		body, _ := json.Marshal(payload)
+		req, _ := http.NewRequest(http.MethodPut, base+"/datasets", bytes.NewReader(body))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("PUT /datasets: %v", err)
+		}
+		var man struct {
+			ID string `json:"id"`
+		}
+		decodeBody(t, resp, &man, http.StatusOK)
+		ids[i] = man.ID
+	}
+
+	type cell struct {
+		State      string   `json:"state"`
+		Error      string   `json:"error"`
+		Similarity float64  `json:"similarity"`
+		Intersect  int      `json:"intersecting"`
+		Candidates int      `json:"candidates"`
+		Bound      *float64 `json:"bound"`
+	}
+	type matrixStatus struct {
+		ID      string   `json:"id"`
+		State   string   `json:"state"`
+		TopK    int      `json:"top_k"`
+		Version int64    `json:"version"`
+		Cells   [][]cell `json:"cells"`
+		Planned int      `json:"planned_cells"`
+		Exact   int      `json:"exact_cells"`
+		Skipped int      `json:"skipped_cells"`
+		Bounded int      `json:"bounded_cells"`
+		PlanTrc any      `json:"plan_trace"`
+	}
+
+	body, _ := json.Marshal(map[string]any{"datasets": ids, "top_k": 3, "estimate": true})
+	resp, err := http.Post(base+"/matrix", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /matrix: %v", err)
+	}
+	var mst matrixStatus
+	decodeBody(t, resp, &mst, http.StatusAccepted)
+	if mst.TopK != 3 {
+		t.Fatalf("top_k echo = %d", mst.TopK)
+	}
+	// Follow the run through the long-poll protocol rather than dumb polls.
+	deadline := time.Now().Add(60 * time.Second)
+	for mst.State == "running" {
+		if time.Now().After(deadline) {
+			t.Fatalf("matrix %s stuck running", mst.ID)
+		}
+		resp, err := http.Get(fmt.Sprintf("%s/matrix/%s?wait=1&since=%d", base, mst.ID, mst.Version))
+		if err != nil {
+			t.Fatal(err)
+		}
+		decodeBody(t, resp, &mst, http.StatusOK)
+	}
+	if mst.State != "done" {
+		t.Fatalf("matrix ended %s: %+v", mst.State, mst)
+	}
+	if mst.Planned != 15 || mst.Exact+mst.Skipped+mst.Bounded != 15 {
+		t.Fatalf("planned/exact/skipped/bounded = %d/%d/%d/%d",
+			mst.Planned, mst.Exact, mst.Skipped, mst.Bounded)
+	}
+	// The 9 cross-cluster cells are provably empty and must all be skipped;
+	// at least K within-cluster cells were answered exactly.
+	if mst.Skipped < 9 {
+		t.Errorf("only %d cells skipped; the 9 cross-cluster cells are provably empty", mst.Skipped)
+	}
+	if mst.Exact < 3 {
+		t.Errorf("only %d exact cells for top_k=3", mst.Exact)
+	}
+	if mst.PlanTrc == nil {
+		t.Error("progressive run carries no plan trace")
+	}
+
+	// Oracle over the same (translated) polygons: exact cells bit-identical,
+	// elided cells' true similarity within their reported bound.
+	eng := sccg.NewEngine(sccg.Options{})
+	var oracle [15]float64
+	var exactSims []float64
+	k := 0
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			sim, hits, cands := eng.CrossComparePolygons(datasets[i].Pairs[0].A, datasets[j].Pairs[0].B)
+			oracle[k] = sim
+			k++
+			c := mst.Cells[i][j]
+			switch c.State {
+			case "done":
+				if c.Similarity != sim || c.Intersect != hits || c.Candidates != cands {
+					t.Errorf("cell [%d][%d] = (%.17g, %d, %d), oracle = (%.17g, %d, %d); must be exact",
+						i, j, c.Similarity, c.Intersect, c.Candidates, sim, hits, cands)
+				}
+				exactSims = append(exactSims, c.Similarity)
+			case "skipped", "bounded":
+				if c.Bound == nil {
+					t.Fatalf("elided cell [%d][%d] has no bound", i, j)
+				}
+				if sim > *c.Bound+1e-9 {
+					t.Errorf("cell [%d][%d] oracle similarity %v exceeds reported bound %v",
+						i, j, sim, *c.Bound)
+				}
+			default:
+				t.Fatalf("cell [%d][%d] = %q: %s", i, j, c.State, c.Error)
+			}
+		}
+	}
+	// Every true top-3 similarity is among the exact cells.
+	sims := oracle[:]
+	sort.Float64s(sims)
+	for _, want := range sims[len(sims)-3:] {
+		found := false
+		for _, got := range exactSims {
+			if got == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("true top-3 similarity %.17g missing from the exact cells %v", want, exactSims)
+		}
+	}
 }

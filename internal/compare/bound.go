@@ -1,0 +1,108 @@
+package compare
+
+// Cheap per-cell similarity bounds for progressive matrix runs.
+//
+// A cell's similarity is the average per-pair Jaccard ratio over the truly
+// intersecting polygon pairs of the matched tiles, so any upper bound on a
+// single pair's ratio bounds the whole cell: avg ≤ max. BoundPair derives
+// that bound from manifest metadata alone — the per-set stats the store
+// records at ingest (covering MBR, min/max polygon area) — without touching
+// a segment file, which is what makes planning a K-way matrix O(K² · tiles)
+// index work instead of O(K² · polygons) decode work.
+//
+// Soundness, against the kernel's actual semantics: polygons are rectilinear
+// on the integer lattice, so a polygon's pixel count equals its shoelace
+// area, and for any pair (P, Q) in a matched tile
+//
+//	inter(P,Q) ≤ min(Pixels(mbrA ∩ mbrB), maxAreaA, maxAreaB)
+//	union(P,Q) = Area(P) + Area(Q) − inter ≥ max(minAreaA, minAreaB, 1)
+//
+// where mbrX/minAreaX/maxAreaX are the tile's per-set stats. The tile bound
+// is the quotient clamped to 1 (a ratio cannot exceed 1 on the lattice); the
+// cell bound is the max over matched tiles. Missing or invalid stats fall
+// back to the trivial bound 1, which is always sound.
+
+import (
+	"fmt"
+
+	"repro/internal/store"
+)
+
+// CellBound is the planner's upper bound on one cell's similarity.
+type CellBound struct {
+	// Bound is an upper bound on the cell's Similarity, in [0, 1].
+	Bound float64 `json:"bound"`
+	// Tiles is the matched tile-pair count the bound covers.
+	Tiles int `json:"tiles"`
+	// Trivial marks bounds that degraded to 1 because at least one matched
+	// tile carried no usable stats (datasets ingested before stats existed).
+	Trivial bool `json:"trivial,omitempty"`
+}
+
+// BoundPair computes the similarity upper bound for the cell comparing
+// dataset idA's set A against dataset idB's set B, from manifests alone.
+func BoundPair(st *store.Store, idA, idB string) (CellBound, error) {
+	manA, ok := st.Get(idA)
+	if !ok {
+		return CellBound{}, fmt.Errorf("dataset_a %s: %w", idA, store.ErrNotFound)
+	}
+	manB, ok := st.Get(idB)
+	if !ok {
+		return CellBound{}, fmt.Errorf("dataset_b %s: %w", idB, store.ErrNotFound)
+	}
+	m := MatchManifests(manA, manB)
+	cb := CellBound{Tiles: len(m.Pairs)}
+	for _, p := range m.Pairs {
+		tb, trivial := tileBound(manA.Tiles[p.A], manB.Tiles[p.B])
+		cb.Trivial = cb.Trivial || trivial
+		if tb > cb.Bound {
+			cb.Bound = tb
+		}
+		if cb.Bound >= 1 {
+			cb.Bound = 1
+			break // nothing can raise it further
+		}
+	}
+	return cb, nil
+}
+
+// tileBound bounds any pair ratio within one matched tile (A's set A against
+// B's set B). trivial reports a stats-less fallback to 1.
+func tileBound(ta, tb store.TileInfo) (bound float64, trivial bool) {
+	// An empty set on either side yields no pairs at all.
+	if ta.CountA == 0 || tb.CountB == 0 {
+		return 0, false
+	}
+	sa, sb := ta.StatsA, tb.StatsB
+	if !sa.Valid() || !sb.Valid() {
+		return 1, true
+	}
+	// All-degenerate sets (every polygon zero-area) cannot intersect on the
+	// pixel lattice, so no pair ever counts toward the similarity.
+	if sa.MaxArea == 0 || sb.MaxArea == 0 {
+		return 0, false
+	}
+	window := sa.MBR.Intersection(sb.MBR)
+	if window.IsEmpty() {
+		return 0, false
+	}
+	num := window.Pixels()
+	if sa.MaxArea < num {
+		num = sa.MaxArea
+	}
+	if sb.MaxArea < num {
+		num = sb.MaxArea
+	}
+	den := int64(1)
+	if sa.MinArea > den {
+		den = sa.MinArea
+	}
+	if sb.MinArea > den {
+		den = sb.MinArea
+	}
+	b := float64(num) / float64(den)
+	if b > 1 {
+		b = 1
+	}
+	return b, false
+}

@@ -1,0 +1,99 @@
+package compare
+
+// Unit tests for the per-tile bound math, isolated from the store: every
+// degradation path (empty set, missing stats, degenerate areas, disjoint
+// windows) and the normal clamped quotient.
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/store"
+)
+
+func stats(mbr geom.MBR, minArea, maxArea int64) *store.SetStats {
+	return &store.SetStats{MBR: mbr, MinArea: minArea, MaxArea: maxArea}
+}
+
+func TestTileBound(t *testing.T) {
+	base := geom.MBR{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	cases := []struct {
+		name    string
+		ta, tb  store.TileInfo
+		bound   float64
+		trivial bool
+	}{
+		{
+			name:  "empty set A",
+			ta:    store.TileInfo{CountA: 0},
+			tb:    store.TileInfo{CountB: 5, StatsB: stats(base, 1, 10)},
+			bound: 0,
+		},
+		{
+			name:  "empty set B",
+			ta:    store.TileInfo{CountA: 5, StatsA: stats(base, 1, 10)},
+			tb:    store.TileInfo{CountB: 0},
+			bound: 0,
+		},
+		{
+			name:    "missing stats fall back to trivial 1",
+			ta:      store.TileInfo{CountA: 3},
+			tb:      store.TileInfo{CountB: 4, StatsB: stats(base, 1, 10)},
+			bound:   1,
+			trivial: true,
+		},
+		{
+			name: "inconsistent stats fall back to trivial 1",
+			ta: store.TileInfo{CountA: 3,
+				StatsA: stats(base, 20, 10)}, // min > max: not Valid
+			tb:      store.TileInfo{CountB: 4, StatsB: stats(base, 1, 10)},
+			bound:   1,
+			trivial: true,
+		},
+		{
+			name:  "all-degenerate polygons cannot intersect",
+			ta:    store.TileInfo{CountA: 3, StatsA: stats(geom.MBR{}, 0, 0)},
+			tb:    store.TileInfo{CountB: 4, StatsB: stats(base, 1, 10)},
+			bound: 0,
+		},
+		{
+			name: "disjoint MBRs",
+			ta:   store.TileInfo{CountA: 3, StatsA: stats(base, 1, 10)},
+			tb: store.TileInfo{CountB: 4,
+				StatsB: stats(geom.MBR{MinX: 200, MinY: 200, MaxX: 300, MaxY: 300}, 1, 10)},
+			bound: 0,
+		},
+		{
+			name: "window caps the numerator",
+			// 2×2 overlap window, large areas: bound = 4 / max(minA, minB).
+			ta: store.TileInfo{CountA: 3,
+				StatsA: stats(geom.MBR{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, 8, 100)},
+			tb: store.TileInfo{CountB: 4,
+				StatsB: stats(geom.MBR{MinX: 8, MinY: 8, MaxX: 20, MaxY: 20}, 16, 100)},
+			bound: 4.0 / 16.0,
+		},
+		{
+			name: "max area caps the numerator",
+			// Big window but tiny polygons on side A: bound = maxA/minB.
+			ta:    store.TileInfo{CountA: 3, StatsA: stats(base, 1, 5)},
+			tb:    store.TileInfo{CountB: 4, StatsB: stats(base, 50, 100)},
+			bound: 5.0 / 50.0,
+		},
+		{
+			name: "quotient clamps at 1",
+			// Window pixels exceed both min areas: raw quotient > 1.
+			ta:    store.TileInfo{CountA: 3, StatsA: stats(base, 1, 10000)},
+			tb:    store.TileInfo{CountB: 4, StatsB: stats(base, 1, 10000)},
+			bound: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b, trivial := tileBound(tc.ta, tc.tb)
+			if b != tc.bound || trivial != tc.trivial {
+				t.Fatalf("tileBound = (%v, %v), want (%v, %v)",
+					b, trivial, tc.bound, tc.trivial)
+			}
+		})
+	}
+}

@@ -1,0 +1,147 @@
+package compare
+
+// Monte-Carlo cell estimates for progressive matrix runs. Where bound.go
+// answers "how high could this cell possibly be" from manifest metadata,
+// EstimatePair answers "where does it probably land" by decoding a small
+// sample of matched tiles, indexing one side's polygons in an R-tree, and
+// casting random pixels through the MBR-intersecting pairs. The estimate is
+// approximate by construction and is used only to refine the planner's
+// submission order — never to skip a cell, which only the sound bound may do.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"repro/internal/montecarlo"
+	"repro/internal/parser"
+	"repro/internal/pipeline"
+	"repro/internal/rtree"
+	"repro/internal/sched"
+	"repro/internal/store"
+)
+
+// Estimation budget: a few tiles and a modest per-pair sample count keep the
+// plan phase far cheaper than a single exact cell job.
+const (
+	estimateMaxTiles       = 4
+	estimateMaxPairs       = 256
+	estimateSamplesPerPair = 128
+)
+
+// CellEstimate is a Monte-Carlo guess at one cell's similarity with a
+// confidence measure.
+type CellEstimate struct {
+	// Mean is the estimated similarity: the average estimated Jaccard ratio
+	// over the sampled pairs that showed any intersection.
+	Mean float64 `json:"mean"`
+	// StdErr is the pooled standard error of Mean.
+	StdErr float64 `json:"stderr"`
+	// Pairs and Tiles report the sample the estimate rests on.
+	Pairs int `json:"pairs"`
+	Tiles int `json:"tiles"`
+}
+
+// EstimatePair estimates the similarity of dataset idA's set A against
+// dataset idB's set B. The RNG seed derives from the dataset IDs, so repeated
+// plans over the same pair order cells identically.
+func EstimatePair(st *store.Store, idA, idB string) (CellEstimate, error) {
+	_, src, m, self, err := OpenPair(st, idA, idB)
+	if err != nil {
+		return CellEstimate{}, err
+	}
+	rng := rand.New(rand.NewSource(pairSeed(idA, idB)))
+
+	// Spread the tile sample across the matched range instead of taking a
+	// prefix: canonical tile order correlates with spatial position, and a
+	// prefix would estimate one corner of the image.
+	pairs := m.Pairs
+	if self {
+		// OpenPair degenerates a self comparison to the single-dataset
+		// source, whose indexes are the dataset's own tile positions.
+		pairs = make([]MatchedPair, src.Len())
+		for i := range pairs {
+			pairs[i] = MatchedPair{A: i, B: i}
+		}
+	}
+	step := 1
+	if len(pairs) > estimateMaxTiles {
+		step = len(pairs) / estimateMaxTiles
+	}
+
+	var est CellEstimate
+	var varSum float64
+	for i := 0; i < len(pairs) && est.Tiles < estimateMaxTiles; i += step {
+		pt, err := polyTaskAt(src, i)
+		if err != nil {
+			return CellEstimate{}, fmt.Errorf("estimate tile %d: %w", i, err)
+		}
+		est.Tiles++
+
+		// Index set A's MBRs; probe with each B polygon. The R-tree prunes
+		// the candidate pairs to MBR intersections, mirroring the exact
+		// kernel's filter stage.
+		entries := make([]rtree.Entry, len(pt.A))
+		for k, p := range pt.A {
+			entries[k] = rtree.Entry{MBR: p.MBR(), ID: int32(k)}
+		}
+		tr := rtree.Build(entries, rtree.Options{})
+		var hits []int32
+		for _, q := range pt.B {
+			hits, _ = tr.Search(q.MBR(), hits[:0])
+			for _, id := range hits {
+				if est.Pairs >= estimateMaxPairs {
+					break
+				}
+				r, se, ok := montecarlo.EstimateRatio(rng, pt.A[id], q, estimateSamplesPerPair)
+				if !ok || r == 0 {
+					// No observed intersection: the exact kernel excludes
+					// non-intersecting pairs from the average, so do we.
+					continue
+				}
+				est.Pairs++
+				est.Mean += r
+				varSum += se * se
+			}
+		}
+	}
+	if est.Pairs > 0 {
+		n := float64(est.Pairs)
+		est.Mean /= n
+		est.StdErr = math.Sqrt(varSum) / n
+	}
+	return est, nil
+}
+
+// polyTaskAt materializes matched pair i as decoded polygons. Both sources
+// OpenPair can return (the cross source, the self-comparison dataset source)
+// carry the parse-free PolySource contract; the text fallback exists only
+// for exotic TaskSource implementations.
+func polyTaskAt(src sched.TaskSource, i int) (pipeline.PolyTask, error) {
+	if ps, ok := src.(sched.PolySource); ok {
+		return ps.PolyTask(i)
+	}
+	ft, err := src.Task(i)
+	if err != nil {
+		return pipeline.PolyTask{}, err
+	}
+	a, err := parser.Parse(ft.RawA)
+	if err != nil {
+		return pipeline.PolyTask{}, err
+	}
+	b, err := parser.Parse(ft.RawB)
+	if err != nil {
+		return pipeline.PolyTask{}, err
+	}
+	return pipeline.PolyTask{Image: ft.Image, Tile: ft.Tile, A: a, B: b}, nil
+}
+
+// pairSeed derives a deterministic RNG seed from the pair's dataset IDs.
+func pairSeed(idA, idB string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(idA))
+	h.Write([]byte{0})
+	h.Write([]byte(idB))
+	return int64(h.Sum64())
+}

@@ -1,20 +1,34 @@
 package compare
 
-// K-way matrix runs: given K stored dataset IDs, plan the K·(K−1)/2
-// unordered pairwise cells, submit each cell through the service's
-// cache-aware job submitter (so repeated content is answered without
-// recompute — including from the persisted cache after a restart), fan the
-// remaining cells out with bounded concurrency, and aggregate the per-cell
-// outcomes into a symmetric similarity matrix.
+// K-way matrix runs: given stored dataset IDs, plan the pairwise cells,
+// submit each cell through the service's cache-aware job submitter (so
+// repeated content is answered without recompute — including from the
+// persisted cache after a restart), fan the remaining cells out with bounded
+// concurrency, and aggregate the per-cell outcomes into a similarity matrix.
+//
+// Runs come in two shapes. A symmetric run over `datasets` plans the
+// K·(K−1)/2 unordered pairs and mirrors them into a K×K grid (the diagonal
+// is the self-comparison, marked "self", never computed). A bipartite run
+// over `set_a` × `set_b` plans every oriented (row, column) cell — including
+// equal IDs, which degenerate to the dataset's own embedded A-vs-B job.
+//
+// Progressive execution: when the run carries a top_k or min_similarity
+// objective, a plan phase first derives a cheap, sound upper bound per cell
+// from manifest metadata (bound.go) — optionally refined in ordering by a
+// Monte-Carlo estimate (estimate.go) — and cells are dispatched in
+// descending-bound order. At dispatch time a cell whose bound cannot reach
+// the objective is finished without a job: `skipped` when the bound falls
+// below min_similarity (or is zero), `bounded` when top_k exact results
+// already at or above its bound exist. New exact results also prune
+// in-flight cells: their owned jobs are canceled through the group
+// (group-aware early termination) and the cells finish `bounded`. Bounds
+// are upper bounds, so a skipped cell's true similarity never exceeds the
+// recorded bound — exact results are only ever elided, never approximated.
 //
 // Each run is one scheduler job group: cell jobs submitted for the run are
 // owned members, cache-hit attachments are shared members, and cancelling
 // the run cancels the owned members while merely detaching from the shared
-// ones. Cell (i,j) is computed once as cross(ids[i], ids[j]) with i < j and
-// mirrored into (j,i); the diagonal is the self-comparison, which by the
-// cross semantics (set A of the left dataset vs set B of the right) is the
-// dataset's own embedded A-vs-B job — it is not part of the plan, and the
-// status marks it "self".
+// ones.
 
 import (
 	"context"
@@ -38,6 +52,12 @@ const (
 	CellFailed   = "failed"
 	CellCanceled = "canceled"
 	CellSelf     = "self" // diagonal placeholder, never computed
+	// CellSkipped marks a cell elided statically: its bound falls below the
+	// run's min_similarity (or is zero), so the exact job was never needed.
+	CellSkipped = "skipped"
+	// CellBounded marks a cell elided by the top-k objective: enough exact
+	// results at or above its bound exist, so it cannot enter the answer.
+	CellBounded = "bounded"
 )
 
 // Run states.
@@ -68,6 +88,14 @@ type SubmitOutcome struct {
 // comparing dataset idA's set A against dataset idB's set B.
 type SubmitFunc func(idA, idB string) (SubmitOutcome, error)
 
+// BoundFunc computes a cell's similarity upper bound (bound.go behind the
+// server's store).
+type BoundFunc func(idA, idB string) (CellBound, error)
+
+// EstimateFunc computes a cell's Monte-Carlo similarity estimate
+// (estimate.go behind the server's store).
+type EstimateFunc func(idA, idB string) (CellEstimate, error)
+
 // ManagerConfig wires a matrix manager.
 type ManagerConfig struct {
 	// Scheduler is where cell jobs run and groups live.
@@ -75,9 +103,37 @@ type ManagerConfig struct {
 	// Submit is the cache-aware cell submitter (the HTTP server's job
 	// submission path).
 	Submit SubmitFunc
+	// Bound, when set, enables the progressive plan phase. Without it every
+	// cell runs exact regardless of the run's objectives.
+	Bound BoundFunc
+	// Estimate, when set and requested by the run, refines cell ordering.
+	// Estimates never decide skips — only the sound bound does.
+	Estimate EstimateFunc
 	// Concurrency bounds how many cells are in flight per run; default 4.
 	Concurrency int
 }
+
+// RunSpec describes one matrix run. Exactly one of Datasets (symmetric) or
+// SetA+SetB (bipartite) must be set.
+type RunSpec struct {
+	Name     string
+	Datasets []string
+	SetA     []string
+	SetB     []string
+	// TopK, when positive, asks only for the K highest-similarity cells;
+	// the rest may finish `bounded`.
+	TopK int
+	// MinSimilarity, in [0,1], statically skips cells whose bound falls
+	// below it.
+	MinSimilarity float64
+	// Estimate asks the plan phase for Monte-Carlo ordering refinement.
+	Estimate bool
+}
+
+// progressive reports whether the spec carries an objective that permits
+// eliding cells. A plain run (no objective) always computes every cell, so
+// pre-progressive clients see bit-identical behavior.
+func (sp RunSpec) progressive() bool { return sp.TopK > 0 || sp.MinSimilarity > 0 }
 
 // Errors returned by the manager API.
 var (
@@ -106,36 +162,76 @@ func NewManager(cfg ManagerConfig) *Manager {
 	return &Manager{cfg: cfg, runs: make(map[string]*Run)}
 }
 
-// Start plans and launches a matrix run over the dataset IDs. The caller is
-// expected to have verified the IDs exist; duplicate IDs are rejected here
-// because a duplicated dataset would make two cells aliases of each other
-// and the matrix no longer K-way.
+// Start plans and launches a symmetric matrix run over the dataset IDs.
 func (m *Manager) Start(name string, ids []string) (*Run, error) {
-	if len(ids) < 2 {
-		return nil, fmt.Errorf("compare: a matrix needs at least 2 datasets, got %d", len(ids))
+	return m.StartSpec(RunSpec{Name: name, Datasets: ids}, nil)
+}
+
+// StartSpec plans and launches a run. The caller is expected to have
+// verified the IDs exist; duplicates within one axis are rejected here
+// because a duplicated dataset would make two cells aliases of each other.
+// release, if non-nil, is invoked exactly once when the run reaches a
+// terminal state (the server parks its dataset pins there); it is NOT
+// invoked when StartSpec itself fails.
+func (m *Manager) StartSpec(spec RunSpec, release func()) (*Run, error) {
+	bipartite := len(spec.SetA) > 0 || len(spec.SetB) > 0
+	if bipartite && len(spec.Datasets) > 0 {
+		return nil, errors.New("compare: datasets and set_a/set_b are mutually exclusive")
 	}
-	seen := make(map[string]struct{}, len(ids))
-	for _, id := range ids {
-		if _, dup := seen[id]; dup {
-			return nil, fmt.Errorf("compare: dataset %s listed twice", id)
+	if spec.TopK < 0 {
+		return nil, fmt.Errorf("compare: top_k %d is negative", spec.TopK)
+	}
+	if spec.MinSimilarity < 0 || spec.MinSimilarity > 1 {
+		return nil, fmt.Errorf("compare: min_similarity %v outside [0, 1]", spec.MinSimilarity)
+	}
+	var rows, cols []string
+	if bipartite {
+		if len(spec.SetA) == 0 || len(spec.SetB) == 0 {
+			return nil, errors.New("compare: a bipartite matrix needs both set_a and set_b")
 		}
-		seen[id] = struct{}{}
+		if err := checkAxis("set_a", spec.SetA); err != nil {
+			return nil, err
+		}
+		if err := checkAxis("set_b", spec.SetB); err != nil {
+			return nil, err
+		}
+		rows, cols = spec.SetA, spec.SetB
+	} else {
+		if len(spec.Datasets) < 2 {
+			return nil, fmt.Errorf("compare: a matrix needs at least 2 datasets, got %d", len(spec.Datasets))
+		}
+		if err := checkAxis("datasets", spec.Datasets); err != nil {
+			return nil, err
+		}
+		rows, cols = spec.Datasets, spec.Datasets
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	r := &Run{
-		m:       m,
-		name:    name,
-		ids:     append([]string(nil), ids...),
-		created: time.Now(),
-		ctx:     ctx,
-		cancel:  cancel,
-		done:    make(chan struct{}),
-		state:   RunRunning,
+		m:         m,
+		spec:      spec,
+		bipartite: bipartite,
+		rows:      append([]string(nil), rows...),
+		cols:      append([]string(nil), cols...),
+		created:   time.Now(),
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		notify:    make(chan struct{}),
+		release:   release,
+		state:     RunRunning,
 	}
-	for i := 0; i < len(ids); i++ {
-		for j := i + 1; j < len(ids); j++ {
-			r.cells = append(r.cells, &cell{i: i, j: j, state: CellPending})
+	if bipartite {
+		for i := range r.rows {
+			for j := range r.cols {
+				r.cells = append(r.cells, &cell{i: i, j: j, state: CellPending})
+			}
+		}
+	} else {
+		for i := 0; i < len(r.rows); i++ {
+			for j := i + 1; j < len(r.cols); j++ {
+				r.cells = append(r.cells, &cell{i: i, j: j, state: CellPending})
+			}
 		}
 	}
 
@@ -153,6 +249,17 @@ func (m *Manager) Start(name string, ids []string) (*Run, error) {
 
 	go r.execute(m.cfg)
 	return r, nil
+}
+
+func checkAxis(field string, ids []string) error {
+	seen := make(map[string]struct{}, len(ids))
+	for i, id := range ids {
+		if _, dup := seen[id]; dup {
+			return fmt.Errorf("compare: %s[%d] %s listed twice", field, i, id)
+		}
+		seen[id] = struct{}{}
+	}
+	return nil
 }
 
 // Get returns the run with the given ID.
@@ -209,6 +316,15 @@ type cell struct {
 	unmatchedA int
 	unmatchedB int
 	report     *pipeline.Result // set when state == done
+	// bound is the plan phase's similarity upper bound; boundSet marks it
+	// computed (a run without a Bound hook plans none).
+	bound    float64
+	boundSet bool
+	// estimate is the optional Monte-Carlo ordering refinement.
+	estimate *CellEstimate
+	// pruned marks an in-flight cell whose job was canceled by top-k early
+	// termination; its cancellation records as bounded, not canceled.
+	pruned bool
 	// trace is the cell job's per-stage rollup, captured at the terminal
 	// snapshot. A K×K status carries K·(K−1)/2 of these, so cells keep the
 	// compact summary, not the full span list (GET /jobs/{id}/trace has it).
@@ -217,21 +333,30 @@ type cell struct {
 
 // Run is one in-flight or finished matrix run.
 type Run struct {
-	m       *Manager
-	id      string
-	name    string
-	ids     []string
-	created time.Time
-	group   *sched.Group
-	ctx     context.Context
-	cancel  context.CancelFunc
-	done    chan struct{}
+	m         *Manager
+	id        string
+	spec      RunSpec
+	bipartite bool
+	rows      []string // row axis dataset IDs (set-A side of each cell)
+	cols      []string // column axis dataset IDs (set-B side)
+	created   time.Time
+	group     *sched.Group
+	ctx       context.Context
+	cancel    context.CancelFunc
+	done      chan struct{}
+	release   func()
+	relOnce   sync.Once
 
 	mu              sync.Mutex
 	cells           []*cell
 	state           string
 	finished        time.Time
 	cancelRequested bool
+	planTrace       *trace.Summary
+	// version counts observable state changes; notify is closed and replaced
+	// on each bump, waking WaitChange long-polls and stream writers.
+	version int64
+	notify  chan struct{}
 }
 
 // ID returns the run's manager-assigned ID.
@@ -241,10 +366,41 @@ func (r *Run) ID() string { return r.id }
 func (r *Run) Done() <-chan struct{} { return r.done }
 
 func (r *Run) label() string {
-	if r.name != "" {
-		return r.name
+	if r.spec.Name != "" {
+		return r.spec.Name
 	}
-	return fmt.Sprintf("%d-way matrix", len(r.ids))
+	if r.bipartite {
+		return fmt.Sprintf("%d×%d matrix", len(r.rows), len(r.cols))
+	}
+	return fmt.Sprintf("%d-way matrix", len(r.rows))
+}
+
+// bumpLocked registers an observable state change; r.mu must be held.
+func (r *Run) bumpLocked() {
+	r.version++
+	close(r.notify)
+	r.notify = make(chan struct{})
+}
+
+// WaitChange blocks until the run's version exceeds since, the run is
+// terminal, or ctx expires, then returns a fresh snapshot. On ctx expiry the
+// snapshot is still returned alongside the context error, so long-poll
+// handlers can answer with the current state rather than nothing.
+func (r *Run) WaitChange(ctx context.Context, since int64) (Status, error) {
+	for {
+		r.mu.Lock()
+		if r.version > since || r.state != RunRunning {
+			r.mu.Unlock()
+			return r.Status(), nil
+		}
+		ch := r.notify
+		r.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return r.Status(), ctx.Err()
+		}
+	}
 }
 
 // Cancel stops the run: no further cells are submitted and owned member
@@ -263,12 +419,13 @@ func (r *Run) Cancel() error {
 	return nil
 }
 
-// execute drives the run to completion: submit cells with bounded
-// concurrency, wait for their jobs, finalize.
+// execute drives the run to completion: plan bounds, dispatch cells in
+// descending-bound order with bounded concurrency, wait, finalize.
 func (r *Run) execute(cfg ManagerConfig) {
+	order := r.plan(cfg)
 	sem := make(chan struct{}, cfg.Concurrency)
 	var wg sync.WaitGroup
-	for _, c := range r.cells {
+	for _, c := range order {
 		if r.ctx.Err() != nil {
 			r.setCellCanceled(c, "matrix canceled before cell submission")
 			continue
@@ -277,6 +434,12 @@ func (r *Run) execute(cfg ManagerConfig) {
 		case sem <- struct{}{}:
 		case <-r.ctx.Done():
 			r.setCellCanceled(c, "matrix canceled before cell submission")
+			continue
+		}
+		// Decide at the last moment, with every earlier exact result in
+		// hand: cells the objective already excludes finish without a job.
+		if r.elide(c) {
+			<-sem
 			continue
 		}
 		wg.Add(1)
@@ -291,6 +454,139 @@ func (r *Run) execute(cfg ManagerConfig) {
 	r.finalize()
 }
 
+// plan computes per-cell bounds (and optional estimates), records them as
+// `bound`/`estimate` stages in the run-level trace, and returns the cells in
+// dispatch order: bound descending, estimate mean breaking ties, plan order
+// breaking the rest (which keeps non-progressive runs in their original,
+// pre-progressive submission order).
+func (r *Run) plan(cfg ManagerConfig) []*cell {
+	if cfg.Bound == nil {
+		return r.cells
+	}
+	rec := trace.NewRecorder()
+	for _, c := range r.cells {
+		if r.ctx.Err() != nil {
+			break
+		}
+		idA, idB := r.rows[c.i], r.cols[c.j]
+		start := time.Now()
+		cb, err := cfg.Bound(idA, idB)
+		rec.Add("bound", fmt.Sprintf("%.8s×%.8s", idA, idB), start, time.Now())
+		r.mu.Lock()
+		if err != nil {
+			// A bound failure never fails the cell — the trivial bound is
+			// always sound, the cell just can't be elided.
+			c.bound, c.boundSet = 1, true
+		} else {
+			c.bound, c.boundSet = cb.Bound, true
+			c.tiles = cb.Tiles
+		}
+		r.mu.Unlock()
+
+		if r.spec.Estimate && cfg.Estimate != nil && cb.Bound > 0 {
+			start = time.Now()
+			est, err := cfg.Estimate(idA, idB)
+			rec.Add("estimate", fmt.Sprintf("%.8s×%.8s", idA, idB), start, time.Now())
+			if err == nil {
+				r.mu.Lock()
+				c.estimate = &est
+				r.mu.Unlock()
+			}
+		}
+	}
+	rec.Finish()
+
+	r.mu.Lock()
+	r.planTrace = trace.Summarize(rec.Snapshot())
+	order := make([]*cell, len(r.cells))
+	copy(order, r.cells)
+	sort.SliceStable(order, func(a, b int) bool {
+		if order[a].bound != order[b].bound {
+			return order[a].bound > order[b].bound
+		}
+		ea, eb := 0.0, 0.0
+		if order[a].estimate != nil {
+			ea = order[a].estimate.Mean
+		}
+		if order[b].estimate != nil {
+			eb = order[b].estimate.Mean
+		}
+		return ea > eb
+	})
+	r.bumpLocked()
+	r.mu.Unlock()
+	return order
+}
+
+// elide finishes a cell without a job when the run's objective already
+// excludes it; it reports whether it did. Only sound bounds elide.
+func (r *Run) elide(c *cell) bool {
+	if !r.spec.progressive() {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !c.boundSet {
+		return false
+	}
+	if c.bound == 0 || c.bound < r.spec.MinSimilarity {
+		c.state = CellSkipped
+		c.errMsg = ""
+		r.bumpLocked()
+		return true
+	}
+	if r.spec.TopK > 0 {
+		if kth, n := r.kthBestLocked(); n >= r.spec.TopK && c.bound < kth {
+			c.state = CellBounded
+			r.bumpLocked()
+			return true
+		}
+	}
+	return false
+}
+
+// kthBestLocked returns the k-th highest exact similarity so far and the
+// number of exact results; r.mu must be held.
+func (r *Run) kthBestLocked() (float64, int) {
+	var sims []float64
+	for _, c := range r.cells {
+		if c.state == CellDone && c.report != nil {
+			sims = append(sims, c.report.Similarity)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(sims)))
+	if len(sims) < r.spec.TopK {
+		return 0, len(sims)
+	}
+	return sims[r.spec.TopK-1], len(sims)
+}
+
+// maybePrune cancels in-flight cells a fresh exact result has excluded from
+// the top-k answer: their bound is strictly below the k-th best exact
+// similarity, so they cannot enter the answer no matter how they finish.
+// Owned jobs are canceled through the group (shared cache-attachments keep
+// running for their other consumers and simply finish exact).
+func (r *Run) maybePrune() {
+	if r.spec.TopK <= 0 {
+		return
+	}
+	r.mu.Lock()
+	kth, n := r.kthBestLocked()
+	var victims []string
+	if n >= r.spec.TopK {
+		for _, c := range r.cells {
+			if c.state == CellRunning && c.boundSet && c.bound < kth && !c.pruned && c.jobID != "" {
+				c.pruned = true
+				victims = append(victims, c.jobID)
+			}
+		}
+	}
+	r.mu.Unlock()
+	for _, id := range victims {
+		r.group.CancelMember(id)
+	}
+}
+
 // maxCellAttempts bounds resubmissions of a cell whose job was canceled
 // out from under the run (an attached shared job canceled by its owning
 // run, or a direct DELETE /jobs/{id}).
@@ -299,7 +595,7 @@ const maxCellAttempts = 3
 // runCell submits one cell and tracks its job to a terminal state.
 func (r *Run) runCell(c *cell, cfg ManagerConfig) {
 	for attempt := 1; ; attempt++ {
-		out, err := cfg.Submit(r.ids[c.i], r.ids[c.j])
+		out, err := cfg.Submit(r.rows[c.i], r.cols[c.j])
 		if err != nil {
 			if r.ctx.Err() != nil {
 				r.setCellCanceled(c, "matrix canceled")
@@ -308,6 +604,7 @@ func (r *Run) runCell(c *cell, cfg ManagerConfig) {
 			r.mu.Lock()
 			c.state = CellFailed
 			c.errMsg = err.Error()
+			r.bumpLocked()
 			r.mu.Unlock()
 			return
 		}
@@ -322,10 +619,13 @@ func (r *Run) runCell(c *cell, cfg ManagerConfig) {
 			// Persisted-cache answer: terminal immediately, no live job.
 			c.state = CellDone
 			c.report = out.Report
+			r.bumpLocked()
 			r.mu.Unlock()
+			r.maybePrune()
 			return
 		}
 		c.state = CellRunning
+		r.bumpLocked()
 		r.mu.Unlock()
 
 		// Owned means submitted for this run: cache hits attach to a job
@@ -354,16 +654,31 @@ func (r *Run) runCell(c *cell, cfg ManagerConfig) {
 			r.setCellCanceled(c, "matrix canceled")
 			return
 		}
-		if st.State == sched.Canceled && r.ctx.Err() == nil && attempt < maxCellAttempts {
-			// The job was canceled but this run wasn't: the cell attached
-			// to another run's job that got canceled, or someone canceled
-			// the job directly. The cache evicts canceled jobs, so a
-			// resubmit computes the cell fresh instead of poisoning the
-			// whole run with a cancellation it never asked for. Drop the
-			// dead attempt from the group so it doesn't inflate the run's
-			// aggregates.
-			r.group.Remove(out.JobID)
-			continue
+		if st.State == sched.Canceled && r.ctx.Err() == nil {
+			r.mu.Lock()
+			pruned := c.pruned
+			r.mu.Unlock()
+			if pruned {
+				// Top-k early termination canceled this job on purpose: the
+				// cell is excluded from the answer, not a casualty.
+				r.mu.Lock()
+				c.state = CellBounded
+				c.trace = trace.Summarize(st.Trace)
+				r.bumpLocked()
+				r.mu.Unlock()
+				return
+			}
+			if attempt < maxCellAttempts {
+				// The job was canceled but this run wasn't: the cell attached
+				// to another run's job that got canceled, or someone canceled
+				// the job directly. The cache evicts canceled jobs, so a
+				// resubmit computes the cell fresh instead of poisoning the
+				// whole run with a cancellation it never asked for. Drop the
+				// dead attempt from the group so it doesn't inflate the run's
+				// aggregates.
+				r.group.Remove(out.JobID)
+				continue
+			}
 		}
 		r.recordFinal(c, st)
 		return
@@ -373,7 +688,6 @@ func (r *Run) runCell(c *cell, cfg ManagerConfig) {
 // recordFinal maps a terminal job snapshot onto the cell.
 func (r *Run) recordFinal(c *cell, st sched.JobStatus) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	c.trace = trace.Summarize(st.Trace)
 	switch st.State {
 	case sched.Done:
@@ -389,6 +703,12 @@ func (r *Run) recordFinal(c *cell, st sched.JobStatus) {
 	default:
 		c.state = CellCanceled
 	}
+	done := c.state == CellDone
+	r.bumpLocked()
+	r.mu.Unlock()
+	if done {
+		r.maybePrune()
+	}
 }
 
 func (r *Run) setCellCanceled(c *cell, reason string) {
@@ -398,9 +718,11 @@ func (r *Run) setCellCanceled(c *cell, reason string) {
 	if c.errMsg == "" {
 		c.errMsg = reason
 	}
+	r.bumpLocked()
 }
 
-// finalize computes the run's terminal state from its cells.
+// finalize computes the run's terminal state from its cells. Skipped and
+// bounded cells are successful outcomes — the objective excluded them.
 func (r *Run) finalize() {
 	r.mu.Lock()
 	state := RunDone
@@ -415,7 +737,13 @@ func (r *Run) finalize() {
 	}
 	r.state = state
 	r.finished = time.Now()
+	r.bumpLocked()
 	r.mu.Unlock()
+	r.relOnce.Do(func() {
+		if r.release != nil {
+			r.release()
+		}
+	})
 	close(r.done)
 }
 
@@ -431,55 +759,88 @@ type CellView struct {
 	Similarity float64 `json:"similarity"`
 	Intersect  int     `json:"intersecting"`
 	Candidates int     `json:"candidates"`
+	// Bound is the plan phase's similarity upper bound; present on every
+	// planned cell of a progressive run. Skipped/bounded cells' true
+	// similarity never exceeds it.
+	Bound *float64 `json:"bound,omitempty"`
+	// Estimate is the optional Monte-Carlo ordering estimate.
+	Estimate *CellEstimate `json:"estimate,omitempty"`
 	// Trace is the cell job's per-stage duration rollup (total plus
 	// milliseconds per stage name), set once the cell is terminal.
 	Trace *trace.Summary `json:"trace,omitempty"`
 }
 
-// Status is a point-in-time snapshot of a matrix run: the K×K cell grid
-// (diagonal marked self, off-diagonal mirrored from the computed upper
-// triangle) plus the run's job-group aggregate.
+// Status is a point-in-time snapshot of a matrix run: the cell grid plus the
+// run's job-group aggregate.
 type Status struct {
 	ID       string     `json:"id"`
 	Name     string     `json:"name,omitempty"`
 	State    string     `json:"state"`
-	Datasets []string   `json:"datasets"`
 	Created  time.Time  `json:"created"`
 	Finished *time.Time `json:"finished,omitempty"`
-	// Cells is the symmetric K×K grid. Cell {i,j} is computed once, in the
-	// upper-triangle orientation (dataset i's set A against dataset j's
-	// set B for i < j), and the lower triangle holds a verbatim copy of
-	// that computed cell — including its unmatched counts, which read in
-	// the computed orientation. The uncomputed reverse orientation is a
-	// different comparison and is never presented as run (see ROADMAP's
-	// set-selectable comparisons follow-on).
+	// Datasets is the axis of a symmetric run; SetA/SetB the axes of a
+	// bipartite run (rows × columns).
+	Datasets []string `json:"datasets,omitempty"`
+	SetA     []string `json:"set_a,omitempty"`
+	SetB     []string `json:"set_b,omitempty"`
+	// The run's progressive objectives, echoed from the request.
+	TopK          int     `json:"top_k,omitempty"`
+	MinSimilarity float64 `json:"min_similarity,omitempty"`
+	// Version increments on every observable change; pass it back as
+	// ?since= to long-poll for the next one.
+	Version int64 `json:"version"`
+	// Cells is the grid. Symmetric runs: the K×K grid, diagonal marked
+	// self, cell {i,j} computed once in the upper-triangle orientation
+	// (dataset i's set A against dataset j's set B for i < j) and the lower
+	// triangle holding a verbatim copy — including its unmatched counts,
+	// which read in the computed orientation; the uncomputed reverse
+	// orientation is a different comparison and is never presented as run.
+	// Bipartite runs: len(SetA) rows × len(SetB) columns, every cell its
+	// own oriented comparison, no mirroring.
 	Cells [][]CellView `json:"cells"`
-	// PlannedCells / TerminalCells track progress over the K·(K−1)/2 plan.
-	PlannedCells  int               `json:"planned_cells"`
-	TerminalCells int               `json:"terminal_cells"`
-	Group         sched.GroupStatus `json:"group"`
+	// PlannedCells / TerminalCells track progress over the plan;
+	// Exact/Skipped/Bounded break the terminal cells down by how they were
+	// answered.
+	PlannedCells  int `json:"planned_cells"`
+	TerminalCells int `json:"terminal_cells"`
+	ExactCells    int `json:"exact_cells"`
+	SkippedCells  int `json:"skipped_cells,omitempty"`
+	BoundedCells  int `json:"bounded_cells,omitempty"`
+	// PlanTrace is the run-level plan-phase rollup (bound/estimate stages).
+	PlanTrace *trace.Summary    `json:"plan_trace,omitempty"`
+	Group     sched.GroupStatus `json:"group"`
 }
 
 // Status snapshots the run.
 func (r *Run) Status() Status {
 	r.mu.Lock()
-	k := len(r.ids)
 	st := Status{
-		ID:           r.id,
-		Name:         r.name,
-		State:        r.state,
-		Datasets:     append([]string(nil), r.ids...),
-		Created:      r.created,
-		PlannedCells: len(r.cells),
+		ID:            r.id,
+		Name:          r.spec.Name,
+		State:         r.state,
+		Created:       r.created,
+		TopK:          r.spec.TopK,
+		MinSimilarity: r.spec.MinSimilarity,
+		Version:       r.version,
+		PlannedCells:  len(r.cells),
+		PlanTrace:     r.planTrace,
+	}
+	if r.bipartite {
+		st.SetA = append([]string(nil), r.rows...)
+		st.SetB = append([]string(nil), r.cols...)
+	} else {
+		st.Datasets = append([]string(nil), r.rows...)
 	}
 	if !r.finished.IsZero() {
 		t := r.finished
 		st.Finished = &t
 	}
-	st.Cells = make([][]CellView, k)
+	st.Cells = make([][]CellView, len(r.rows))
 	for i := range st.Cells {
-		st.Cells[i] = make([]CellView, k)
-		st.Cells[i][i] = CellView{State: CellSelf}
+		st.Cells[i] = make([]CellView, len(r.cols))
+		if !r.bipartite {
+			st.Cells[i][i] = CellView{State: CellSelf}
+		}
 	}
 	for _, c := range r.cells {
 		v := CellView{
@@ -490,7 +851,12 @@ func (r *Run) Status() Status {
 			Tiles:      c.tiles,
 			UnmatchedA: c.unmatchedA,
 			UnmatchedB: c.unmatchedB,
+			Estimate:   c.estimate,
 			Trace:      c.trace,
+		}
+		if c.boundSet {
+			b := c.bound
+			v.Bound = &b
 		}
 		if c.report != nil {
 			v.Similarity = c.report.Similarity
@@ -498,14 +864,25 @@ func (r *Run) Status() Status {
 			v.Candidates = c.report.Candidates
 		}
 		switch c.state {
-		case CellDone, CellFailed, CellCanceled:
+		case CellDone:
 			st.TerminalCells++
+			st.ExactCells++
+		case CellFailed, CellCanceled:
+			st.TerminalCells++
+		case CellSkipped:
+			st.TerminalCells++
+			st.SkippedCells++
+		case CellBounded:
+			st.TerminalCells++
+			st.BoundedCells++
 		}
 		st.Cells[c.i][c.j] = v
-		// The mirror is a verbatim copy of the computed cell: swapping the
-		// unmatched counts would present the reverse orientation — a
-		// comparison that was never run — as computed.
-		st.Cells[c.j][c.i] = v
+		if !r.bipartite {
+			// The mirror is a verbatim copy of the computed cell: swapping
+			// the unmatched counts would present the reverse orientation — a
+			// comparison that was never run — as computed.
+			st.Cells[c.j][c.i] = v
+		}
 	}
 	r.mu.Unlock()
 	st.Group = r.group.Status()

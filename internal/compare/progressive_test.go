@@ -1,0 +1,432 @@
+package compare
+
+// Tests for the progressive matrix path: bound soundness, top-k runs over a
+// spatially skewed corpus (differential against the full exact matrix),
+// bipartite grids, and top-k early termination of in-flight cells.
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/pathology"
+	"repro/internal/pipeline"
+	"repro/internal/sched"
+	"repro/internal/store"
+)
+
+// ingestShifted stores a generated variant whose polygons are translated by
+// (dx, dy): same tile keys as an unshifted variant of the same image, but a
+// different spatial cluster. This is the skew that makes bounds bite —
+// cross-cluster cells have disjoint per-tile set MBRs and bound 0.
+func ingestShifted(t *testing.T, s *store.Store, image string, seed int64, tiles int, dx, dy int32) *store.Manifest {
+	t.Helper()
+	spec := pathology.Representative()
+	spec.Name = image
+	spec.Seed = seed
+	spec.Tiles = tiles
+	d := pathology.Generate(spec)
+	its := make([]store.IngestTile, 0, len(d.Pairs))
+	for _, tp := range d.Pairs {
+		it := store.IngestTile{Image: tp.Image, Tile: tp.Index}
+		for _, p := range tp.A {
+			it.A = append(it.A, p.Translate(dx, dy))
+		}
+		for _, p := range tp.B {
+			it.B = append(it.B, p.Translate(dx, dy))
+		}
+		its = append(its, it)
+	}
+	man, err := s.Ingest(image, its)
+	if err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	return man
+}
+
+// clusterCorpus ingests a 6-dataset skewed corpus: three variants at the
+// origin, three shifted far away. All six share tile keys.
+func clusterCorpus(t *testing.T, s *store.Store) (near, far []string) {
+	t.Helper()
+	const shift = 1 << 20
+	for seed := int64(1); seed <= 3; seed++ {
+		near = append(near, ingestShifted(t, s, "slideK", seed, 2, 0, 0).ID)
+	}
+	for seed := int64(4); seed <= 6; seed++ {
+		far = append(far, ingestShifted(t, s, "slideK", seed, 2, shift, shift).ID)
+	}
+	return near, far
+}
+
+// TestBoundPairSoundness: no exact cell similarity may exceed its bound, and
+// cross-cluster bounds must be exactly zero.
+func TestBoundPairSoundness(t *testing.T) {
+	s := testStore(t)
+	sc := sched.New(sched.Config{})
+	t.Cleanup(sc.Close)
+	near, far := clusterCorpus(t, s)
+	all := append(append([]string(nil), near...), far...)
+
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			cb, err := BoundPair(s, all[i], all[j])
+			if err != nil {
+				t.Fatalf("BoundPair(%d,%d): %v", i, j, err)
+			}
+			if cb.Trivial {
+				t.Errorf("bound [%d][%d] degraded to trivial; freshly ingested datasets carry stats", i, j)
+			}
+			crossCluster := (i < len(near)) != (j < len(near))
+			if crossCluster && cb.Bound != 0 {
+				t.Errorf("cross-cluster bound [%d][%d] = %v, want 0 (disjoint MBRs)", i, j, cb.Bound)
+			}
+			if !crossCluster && cb.Bound == 0 {
+				t.Errorf("within-cluster bound [%d][%d] = 0; overlapping variants must bound positive", i, j)
+			}
+
+			// Exact oracle: the similarity the real kernel computes can
+			// never exceed the bound (tiny epsilon for float summation).
+			dsA := openDataset(t, s, all[i])
+			dsB := openDataset(t, s, all[j])
+			src, _ := NewSource(dsA, dsB)
+			st := waitJob(t, sc, mustSubmit(t, sc, src))
+			if st.Report.Similarity > cb.Bound+1e-9 {
+				t.Errorf("cell [%d][%d] exact similarity %.12f exceeds bound %.12f — bound unsound",
+					i, j, st.Report.Similarity, cb.Bound)
+			}
+		}
+	}
+}
+
+func mustSubmit(t *testing.T, sc *sched.Scheduler, src sched.TaskSource) string {
+	t.Helper()
+	id, err := sc.SubmitSource("oracle", src)
+	if err != nil {
+		t.Fatalf("SubmitSource: %v", err)
+	}
+	return id
+}
+
+// TestMatrixTopKDifferential is the tentpole acceptance test: a top_k=3 run
+// over the 6-way skewed corpus completes with skipped cells, and every cell
+// it did answer exactly is bit-identical to the full exact matrix's same
+// cell — progressive execution elides work, never changes answers.
+func TestMatrixTopKDifferential(t *testing.T) {
+	s := testStore(t)
+	sc := sched.New(sched.Config{Devices: 2})
+	t.Cleanup(sc.Close)
+	near, far := clusterCorpus(t, s)
+	all := append(append([]string(nil), near...), far...)
+
+	bound := func(a, b string) (CellBound, error) { return BoundPair(s, a, b) }
+	m := NewManager(ManagerConfig{
+		Scheduler: sc,
+		Submit:    directSubmit(t, s, sc, nil),
+		Bound:     bound,
+		Estimate:  func(a, b string) (CellEstimate, error) { return EstimatePair(s, a, b) },
+	})
+
+	// Oracle first: the full exact matrix, no objectives. Progressive runs
+	// plan bounds too, but without an objective nothing may be elided.
+	oracleRun, err := m.Start("oracle", all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := waitRun(t, oracleRun)
+	if oracle.State != RunDone || oracle.ExactCells != 15 {
+		t.Fatalf("oracle run: state %s, %d exact cells, want done/15", oracle.State, oracle.ExactCells)
+	}
+
+	run, err := m.StartSpec(RunSpec{
+		Name:     "topk",
+		Datasets: all,
+		TopK:     3,
+		Estimate: true,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitRun(t, run)
+	if st.State != RunDone {
+		t.Fatalf("top-k run ended %s", st.State)
+	}
+	if st.SkippedCells == 0 {
+		t.Fatalf("top-k run skipped 0 cells over the skewed corpus; status %+v", st)
+	}
+	if st.ExactCells == 0 || st.ExactCells == 15 {
+		t.Fatalf("top-k run answered %d cells exactly, want some but not all", st.ExactCells)
+	}
+	if st.ExactCells+st.SkippedCells+st.BoundedCells != 15 {
+		t.Fatalf("cells don't add up: exact %d + skipped %d + bounded %d != 15",
+			st.ExactCells, st.SkippedCells, st.BoundedCells)
+	}
+	// All 9 cross-cluster cells have bound 0 and must be skipped.
+	if st.SkippedCells < 9 {
+		t.Errorf("only %d skipped cells, want at least the 9 cross-cluster ones", st.SkippedCells)
+	}
+
+	// Differential bit-identity over the upper triangle.
+	var exactSims []float64
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			got, want := st.Cells[i][j], oracle.Cells[i][j]
+			switch got.State {
+			case CellDone:
+				if got.Similarity != want.Similarity ||
+					got.Intersect != want.Intersect ||
+					got.Candidates != want.Candidates {
+					t.Errorf("cell [%d][%d] = (%.17g, %d, %d), oracle = (%.17g, %d, %d) — not bit-identical",
+						i, j, got.Similarity, got.Intersect, got.Candidates,
+						want.Similarity, want.Intersect, want.Candidates)
+				}
+				exactSims = append(exactSims, got.Similarity)
+			case CellSkipped, CellBounded:
+				if got.Bound == nil {
+					t.Errorf("elided cell [%d][%d] carries no bound", i, j)
+				} else if want.Similarity > *got.Bound+1e-9 {
+					t.Errorf("elided cell [%d][%d] bound %.12f below true similarity %.12f — answer changed",
+						i, j, *got.Bound, want.Similarity)
+				}
+			default:
+				t.Errorf("cell [%d][%d] state %q, want done/skipped/bounded", i, j, got.State)
+			}
+		}
+	}
+
+	// The top-3 similarities of the oracle must all be among the exact
+	// cells — eliding may only drop cells outside the answer.
+	var oracleSims []float64
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			oracleSims = append(oracleSims, oracle.Cells[i][j].Similarity)
+		}
+	}
+	for _, top := range topN(oracleSims, 3) {
+		found := false
+		for _, s := range exactSims {
+			if s == top {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("oracle top-3 similarity %.12f missing from the progressive run's exact cells %v",
+				top, exactSims)
+		}
+	}
+
+	if st.PlanTrace == nil || st.PlanTrace.Stages["bound"] < 0 {
+		t.Errorf("progressive run carries no plan trace with a bound stage: %+v", st.PlanTrace)
+	}
+	if st.Version == 0 {
+		t.Error("terminal run still at version 0; state changes must bump the version")
+	}
+
+	// WaitChange on a terminal run returns immediately.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if got, err := run.WaitChange(ctx, st.Version+100); err != nil || got.State != RunDone {
+		t.Errorf("WaitChange on terminal run = (%s, %v), want immediate done", got.State, err)
+	}
+}
+
+func topN(sims []float64, n int) []float64 {
+	out := append([]float64(nil), sims...)
+	for i := 0; i < n && i < len(out); i++ {
+		max := i
+		for j := i + 1; j < len(out); j++ {
+			if out[j] > out[max] {
+				max = j
+			}
+		}
+		out[i], out[max] = out[max], out[i]
+	}
+	if n > len(out) {
+		n = len(out)
+	}
+	return out[:n]
+}
+
+// TestMatrixMinSimilaritySkips: a min_similarity objective alone (no top-k)
+// statically skips the provably-below cells and computes the rest exactly.
+func TestMatrixMinSimilarity(t *testing.T) {
+	s := testStore(t)
+	sc := sched.New(sched.Config{})
+	t.Cleanup(sc.Close)
+	near, far := clusterCorpus(t, s)
+
+	m := NewManager(ManagerConfig{
+		Scheduler: sc,
+		Submit:    directSubmit(t, s, sc, nil),
+		Bound:     func(a, b string) (CellBound, error) { return BoundPair(s, a, b) },
+	})
+	run, err := m.StartSpec(RunSpec{
+		Datasets:      []string{near[0], near[1], far[0]},
+		MinSimilarity: 0.01,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitRun(t, run)
+	if st.State != RunDone {
+		t.Fatalf("run ended %s", st.State)
+	}
+	// (near0, near1) computes; the two cross-cluster cells skip.
+	if st.ExactCells != 1 || st.SkippedCells != 2 || st.BoundedCells != 0 {
+		t.Fatalf("exact/skipped/bounded = %d/%d/%d, want 1/2/0. cells: %+v",
+			st.ExactCells, st.SkippedCells, st.BoundedCells, st.Cells)
+	}
+	if c := st.Cells[0][1]; c.State != CellDone || c.Similarity <= 0 {
+		t.Errorf("within-cluster cell = %+v, want exact positive similarity", c)
+	}
+	if c := st.Cells[0][2]; c.State != CellSkipped || c.Bound == nil || *c.Bound != 0 {
+		t.Errorf("cross-cluster cell = %+v, want skipped with bound 0", c)
+	}
+}
+
+// TestMatrixBipartite: a set_a × set_b run produces an oriented rows×cols
+// grid with no mirroring, and an ID on both sides becomes a computed
+// self-cross cell, not a "self" placeholder.
+func TestMatrixBipartite(t *testing.T) {
+	s := testStore(t)
+	sc := sched.New(sched.Config{})
+	t.Cleanup(sc.Close)
+	a := ingestShifted(t, s, "slideB", 7, 2, 0, 0).ID
+	b := ingestShifted(t, s, "slideB", 8, 2, 0, 0).ID
+
+	m := NewManager(ManagerConfig{Scheduler: sc, Submit: directSubmit(t, s, sc, nil)})
+	run, err := m.StartSpec(RunSpec{SetA: []string{a}, SetB: []string{a, b}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitRun(t, run)
+	if st.State != RunDone {
+		t.Fatalf("run ended %s: %+v", st.State, st.Cells)
+	}
+	if len(st.SetA) != 1 || len(st.SetB) != 2 || len(st.Datasets) != 0 {
+		t.Fatalf("axes = %v × %v (datasets %v), want 1×2 bipartite", st.SetA, st.SetB, st.Datasets)
+	}
+	if len(st.Cells) != 1 || len(st.Cells[0]) != 2 {
+		t.Fatalf("grid is %dx%d, want 1x2", len(st.Cells), len(st.Cells[0]))
+	}
+	// The diagonal-ID cell is a real self-cross comparison.
+	if c := st.Cells[0][0]; c.State != CellDone || c.Similarity <= 0 {
+		t.Errorf("self-cross cell = %+v, want computed with positive similarity", c)
+	}
+	if c := st.Cells[0][1]; c.State != CellDone {
+		t.Errorf("cross cell = %+v, want done", c)
+	}
+
+	// Validation: mixing axes is rejected, as are per-side duplicates.
+	if _, err := m.StartSpec(RunSpec{Datasets: []string{a, b}, SetA: []string{a}, SetB: []string{b}}, nil); err == nil {
+		t.Error("mixed datasets + set_a/set_b accepted")
+	}
+	if _, err := m.StartSpec(RunSpec{SetA: []string{a, a}, SetB: []string{b}}, nil); err == nil {
+		t.Error("duplicate within set_a accepted")
+	}
+	if _, err := m.StartSpec(RunSpec{SetA: []string{a}, SetB: nil}, nil); err == nil {
+		t.Error("set_a without set_b accepted")
+	}
+}
+
+// TestMatrixPrunesInFlightCells: when an exact result proves an in-flight
+// cell cannot enter the top-k answer, its owned job is canceled through the
+// group and the cell finishes `bounded`, not `canceled` — and the run is
+// still a success.
+func TestMatrixPrunesInFlightCells(t *testing.T) {
+	s := testStore(t)
+	sc := sched.New(sched.Config{})
+	t.Cleanup(sc.Close)
+	release := make(chan struct{})
+	var once sync.Once
+	t.Cleanup(func() { once.Do(func() { close(release) }) })
+
+	man := ingestVariant(t, s, "slideP", 3, 1)
+	ds := openDataset(t, s, man.ID)
+	task, err := ds.Source().Task(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A gated blocker occupies the scheduler's single runner, so the
+	// victim's job stays Queued — and a queued job finalizes the moment the
+	// group cancels it, making the prune observable without draining races.
+	if _, err := sc.SubmitSource("blocker", &gatedSource{release: release, task: task}); err != nil {
+		t.Fatal(err)
+	}
+
+	idA, idB, idC := testID('a'), testID('b'), testID('c')
+	bounds := map[string]float64{idB: 0.9, idC: 0.6}
+	runCh := make(chan *Run, 1)
+	rep := pipeline.Result{Similarity: 0.8}
+
+	m := NewManager(ManagerConfig{
+		Scheduler:   sc,
+		Concurrency: 2,
+		Bound: func(_, b string) (CellBound, error) {
+			return CellBound{Bound: bounds[b], Tiles: 1}, nil
+		},
+		Submit: func(_, b string) (SubmitOutcome, error) {
+			switch b {
+			case idC:
+				// The prune victim: queued behind the blocker.
+				id, err := sc.SubmitSource("victim", ds.Source())
+				if err != nil {
+					return SubmitOutcome{}, err
+				}
+				return SubmitOutcome{JobID: id, Tiles: 1}, nil
+			default:
+				// The winner returns only once the victim cell is
+				// observably in flight, then answers with an exact result
+				// above the victim's bound — the trigger for pruning.
+				r := <-runCh
+				deadline := time.Now().Add(10 * time.Second)
+				for {
+					if st := r.Status(); st.Cells[0][1].State == CellRunning && st.Cells[0][1].JobID != "" {
+						break
+					}
+					if time.Now().After(deadline) {
+						return SubmitOutcome{}, context.DeadlineExceeded
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+				return SubmitOutcome{Cached: true, Report: &rep, Tiles: 1}, nil
+			}
+		},
+	})
+
+	// Bipartite 1×2: cell (a,b) bound 0.9 dispatches first, cell (a,c)
+	// bound 0.6 second; with concurrency 2 both are in flight before any
+	// exact result exists.
+	run, err := m.StartSpec(RunSpec{SetA: []string{idA}, SetB: []string{idB, idC}, TopK: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runCh <- run
+	st := waitRun(t, run)
+	if st.State != RunDone {
+		t.Fatalf("run ended %s, want done (pruning is success): %+v", st.State, st.Cells)
+	}
+	if c := st.Cells[0][0]; c.State != CellDone || c.Similarity != 0.8 {
+		t.Fatalf("winner cell = %+v, want exact 0.8", c)
+	}
+	victim := st.Cells[0][1]
+	if victim.State != CellBounded {
+		t.Fatalf("victim cell state %q, want bounded (top-k early termination)", victim.State)
+	}
+	if victim.Bound == nil || *victim.Bound != 0.6 {
+		t.Errorf("victim bound = %v, want 0.6", victim.Bound)
+	}
+	if victim.JobID == "" {
+		t.Fatal("victim never had a job; the prune path was not exercised")
+	}
+	job := waitJob(t, sc, victim.JobID)
+	if job.State != sched.Canceled {
+		t.Errorf("victim job ended %s, want canceled through the group", job.State)
+	}
+	if math.IsNaN(victim.Similarity) || victim.Similarity != 0 {
+		t.Errorf("bounded cell reports similarity %v, want 0 (no exact answer)", victim.Similarity)
+	}
+}

@@ -240,6 +240,9 @@ func (r *Registry) Snapshot() map[string]float64 {
 	for n, h := range histograms {
 		snap[spliceSuffix(n, "_sum")] = h.Sum()
 		snap[spliceSuffix(n, "_count")] = float64(h.Count())
+		if d := h.Dropped(); d > 0 {
+			snap[spliceSuffix(n, "_dropped_total")] = float64(d)
+		}
 	}
 	for _, s := range collectScrapes(scrapers) {
 		snap[s.name] = s.value
@@ -333,6 +336,14 @@ func (r *Registry) WriteText(w io.Writer) error {
 			sum:    h.Sum(),
 			count:  h.Count(),
 		})
+		// Self-metric: non-finite observations the histogram refused. Only
+		// emitted once something was dropped, so healthy registries carry no
+		// extra series.
+		if d := h.Dropped(); d > 0 {
+			name := spliceSuffix(n, "_dropped_total")
+			df := get(name, "counter")
+			df.series = append(df.series, sample{name: name, value: float64(d)})
+		}
 	}
 	for _, s := range collectScrapes(scrapers) {
 		f := get(s.name, s.typ)

@@ -210,3 +210,51 @@ func TestExpBuckets(t *testing.T) {
 		t.Error("invalid ExpBuckets args should return nil")
 	}
 }
+
+// TestHistogramDropsNonFinite: NaN and ±Inf observations must never reach
+// the CAS-folded sum (one NaN would make `_sum` NaN for the registry's
+// lifetime and break Prometheus scrapers); they land in the Dropped tally
+// and surface as a `_dropped_total` self-metric instead.
+func TestHistogramDropsNonFinite(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(Label("req_seconds", "route", "/matrix"), 0.1, 1)
+	h.Observe(0.05)
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	h.Observe(math.Inf(-1))
+	h.Observe(0.5)
+
+	if got := h.Count(); got != 2 {
+		t.Errorf("count = %d, want 2 (non-finite observations must not count)", got)
+	}
+	if got := h.Sum(); got != 0.55 {
+		t.Errorf("sum = %g, want 0.55 (sum poisoned by a non-finite value)", got)
+	}
+	if !isFinite(h.Sum()) {
+		t.Fatalf("sum is non-finite: %g", h.Sum())
+	}
+	if got := h.Dropped(); got != 3 {
+		t.Errorf("dropped = %d, want 3", got)
+	}
+	var total int64
+	for _, c := range h.BucketCounts() {
+		total += c
+	}
+	if total != 2 {
+		t.Errorf("bucket total = %d, want 2", total)
+	}
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	wantLine := `req_seconds_dropped_total{route="/matrix"} 3`
+	if !strings.Contains(b.String(), "# TYPE req_seconds_dropped_total counter\n"+wantLine+"\n") {
+		t.Errorf("exposition missing dropped self-metric:\n%s", b.String())
+	}
+	if snap := r.Snapshot(); snap[`req_seconds_dropped_total{route="/matrix"}`] != 3 {
+		t.Errorf("snapshot missing dropped self-metric: %v", snap)
+	}
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -45,6 +45,11 @@ type Histogram struct {
 	counts  []int64
 	sumBits uint64
 	count   int64
+	// dropped counts non-finite observations rejected by Observe. One NaN
+	// folded into sumBits would make _sum NaN forever (NaN + x = NaN), so
+	// such values never touch the sum — they are tallied here instead and
+	// exposed as the histogram's `_dropped_total` self-metric.
+	dropped int64
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -54,8 +59,15 @@ func newHistogram(bounds []float64) *Histogram {
 	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
 }
 
-// Observe records one value.
+// Observe records one value. Non-finite values (NaN, ±Inf) are dropped —
+// recorded only in the Dropped tally — because the CAS sum below is
+// cumulative and a single NaN would poison `_sum` for the registry's
+// lifetime, breaking every scraper reading the series.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		atomic.AddInt64(&h.dropped, 1)
+		return
+	}
 	// Log-spaced bounds make a linear scan cheap (≤ ~21 compares), and the
 	// scan is branch-predictable for clustered latencies; no lock, no search
 	// allocation.
@@ -85,6 +97,9 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(atomic.LoadUint6
 
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return atomic.LoadInt64(&h.count) }
+
+// Dropped returns the number of non-finite observations rejected by Observe.
+func (h *Histogram) Dropped() int64 { return atomic.LoadInt64(&h.dropped) }
 
 // BucketCounts returns the non-cumulative per-bucket counts, the last entry
 // being the +Inf bucket. The copy is not an atomic snapshot across buckets —

@@ -171,6 +171,29 @@ func (g *Group) Cancel() {
 	}
 }
 
+// CancelMember cancels one member job, but only if it is owned by this
+// group — shared members (cache-hit attachments) have other consumers and
+// are never touched. It reports whether a cancel was issued. Progressive
+// matrix runs use this for group-aware early termination: when a new exact
+// result proves an in-flight cell can no longer affect the answer, that one
+// member stops consuming devices while the rest of the group runs on.
+func (g *Group) CancelMember(jobID string) bool {
+	g.mu.Lock()
+	owned := false
+	for _, m := range g.members {
+		if m.jobID == jobID {
+			owned = m.owned
+			break
+		}
+	}
+	g.mu.Unlock()
+	if !owned {
+		return false
+	}
+	_ = g.s.Cancel(jobID)
+	return true
+}
+
 // Status aggregates the member jobs' current snapshots.
 func (g *Group) Status() GroupStatus {
 	g.mu.Lock()

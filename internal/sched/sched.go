@@ -615,8 +615,23 @@ func (s *Scheduler) runJob(j *job) {
 	// the shard goroutines below (it saw the job still queued before this
 	// runner marked it running).
 	src := j.src
+	s.mu.Unlock()
+
+	// Sharding scans every task's Weight — O(tiles) over a large stored
+	// dataset — so it must not run under s.mu: every Jobs/Job/Stats/Groups
+	// snapshot (and through them /jobs, /metrics, /healthz) would stall
+	// behind it. Len/Weight are in-memory manifest reads on every source, so
+	// scanning outside the lock races nothing but the terminal re-check
+	// below: if Cancel finalized the job while it sharded, the shards are
+	// discarded unstarted exactly as if the cancel had won the queue race.
 	shardStart := time.Now()
 	shards := shardTasks(src, s.cfg.MaxShards)
+
+	s.mu.Lock()
+	if j.state.Terminal() {
+		s.mu.Unlock()
+		return
+	}
 	j.state = Running
 	j.started = time.Now()
 	j.shards = len(shards)

@@ -3,6 +3,7 @@ package sched
 import (
 	"context"
 	"math"
+	"sync"
 	"testing"
 	"time"
 
@@ -266,6 +267,149 @@ func TestShardTasksWeighted(t *testing.T) {
 				t.Fatalf("shardTasks is not deterministic: %v vs %v", again, shards)
 			}
 		}
+	}
+}
+
+// slowWeightSource wraps real tasks with a Weight that blocks until released,
+// simulating a source whose weight scan is expensive (a cross-reader walking
+// tile manifests). started is closed when sharding first asks for a weight.
+type slowWeightSource struct {
+	tasks   []pipeline.FileTask
+	started chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (s *slowWeightSource) Len() int { return len(s.tasks) }
+func (s *slowWeightSource) Weight(i int) int64 {
+	s.once.Do(func() { close(s.started) })
+	<-s.release
+	return 1
+}
+func (s *slowWeightSource) Task(i int) (pipeline.FileTask, error) { return s.tasks[i], nil }
+
+// TestJobsNotBlockedBySlowSharding is the regression test for sharding inside
+// the scheduler lock: while a source's Weight scan stalls shardTasks, the
+// observability surface (Jobs, and through it /jobs, /metrics, /healthz) must
+// still answer.
+func TestJobsNotBlockedBySlowSharding(t *testing.T) {
+	s := New(Config{Devices: 1})
+	defer s.Close()
+	src := &slowWeightSource{
+		tasks:   testTasks(t, 2),
+		started: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	id, err := s.SubmitSource("slow-shard", src)
+	if err != nil {
+		t.Fatalf("SubmitSource: %v", err)
+	}
+	select {
+	case <-src.started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("sharding never started")
+	}
+	// The runner is now inside shardTasks with Weight blocked. Jobs must not
+	// be stuck behind it.
+	got := make(chan []JobStatus, 1)
+	go func() { got <- s.Jobs() }()
+	select {
+	case jobs := <-got:
+		if len(jobs) != 1 || jobs[0].ID != id {
+			t.Fatalf("Jobs() = %+v, want the one submitted job", jobs)
+		}
+		if jobs[0].State != Queued {
+			t.Errorf("job state during sharding = %v, want Queued", jobs[0].State)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Jobs() blocked while a slow source sharded — shardTasks runs under the scheduler lock")
+	}
+	close(src.release)
+	st, err := s.Wait(context.Background(), id)
+	if err != nil || st.State != Done {
+		t.Fatalf("job after release: state=%v err=%v, want Done", st.State, err)
+	}
+}
+
+// TestCancelDuringSharding covers the terminal re-check after sharding moved
+// outside the lock: a job canceled while its source shards must finalize as
+// Canceled with the computed shards discarded unstarted.
+func TestCancelDuringSharding(t *testing.T) {
+	s := New(Config{Devices: 1})
+	defer s.Close()
+	src := &slowWeightSource{
+		tasks:   testTasks(t, 2),
+		started: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	id, err := s.SubmitSource("cancel-shard", src)
+	if err != nil {
+		t.Fatalf("SubmitSource: %v", err)
+	}
+	select {
+	case <-src.started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("sharding never started")
+	}
+	if err := s.Cancel(id); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	close(src.release)
+	st, err := s.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if st.State != Canceled {
+		t.Fatalf("state = %v, want Canceled", st.State)
+	}
+	if st.Shards != 0 {
+		t.Errorf("canceled-during-shard job reports %d shards, want 0 (shards discarded)", st.Shards)
+	}
+}
+
+// TestGroupCancelMember checks single-member early termination: owned members
+// cancel, shared (cache-hit) members and unknown IDs are left alone.
+func TestGroupCancelMember(t *testing.T) {
+	s := New(Config{Devices: 1})
+	defer s.Close()
+	// A deliberately large first job keeps the later ones queued so their
+	// cancellation is race-free.
+	blocker, err := s.Submit("blocker", testTasks(t, 12))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	owned, err := s.Submit("owned", testTasks(t, 1))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	shared, err := s.Submit("shared", testTasks(t, 1))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	g := s.NewGroup("run")
+	if err := g.Add(owned, true); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := g.Add(shared, false); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if !g.CancelMember(owned) {
+		t.Error("CancelMember(owned) = false, want cancel issued")
+	}
+	if g.CancelMember(shared) {
+		t.Error("CancelMember(shared) = true, want shared member untouched")
+	}
+	if g.CancelMember("job-999999") {
+		t.Error("CancelMember(unknown) = true, want false")
+	}
+	if st, err := s.Wait(context.Background(), owned); err != nil || st.State != Canceled {
+		t.Fatalf("owned member state = %v err = %v, want Canceled", st.State, err)
+	}
+	if st, err := s.Wait(context.Background(), shared); err != nil || st.State != Done {
+		t.Fatalf("shared member state = %v err = %v, want Done", st.State, err)
+	}
+	if st, err := s.Wait(context.Background(), blocker); err != nil || st.State != Done {
+		t.Fatalf("blocker state = %v err = %v, want Done", st.State, err)
 	}
 }
 

@@ -90,9 +90,11 @@ func FuzzJobRequest(f *testing.F) {
 	})
 }
 
-// FuzzMatrixRequest hardens the matrix surface: arbitrary dataset-ID lists
-// must never panic validation, and every accepted request satisfies the
-// invariants the orchestrator relies on (2..max valid, distinct IDs).
+// FuzzMatrixRequest hardens the matrix surface: arbitrary dataset-ID lists,
+// bipartite axes, and progressive objectives must never panic validation,
+// and every accepted request satisfies the invariants the orchestrator
+// relies on (axes mutually exclusive, 2..max valid distinct IDs per axis —
+// or both bipartite axes non-empty — and objectives within range).
 func FuzzMatrixRequest(f *testing.F) {
 	idA := strings.Repeat("ab", 32)
 	idB := strings.Repeat("cd", 32)
@@ -105,6 +107,17 @@ func FuzzMatrixRequest(f *testing.F) {
 	f.Add([]byte(`{"datasets":null}`))
 	f.Add([]byte(`null`))
 	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"set_a":["` + idA + `"],"set_b":["` + idB + `"]}`))
+	f.Add([]byte(`{"set_a":["` + idA + `"],"set_b":["` + idA + `"]}`))
+	f.Add([]byte(`{"set_a":["` + idA + `"]}`))
+	f.Add([]byte(`{"set_b":["` + idB + `"]}`))
+	f.Add([]byte(`{"datasets":["` + idA + `","` + idB + `"],"set_a":["` + idA + `"],"set_b":["` + idB + `"]}`))
+	f.Add([]byte(`{"set_a":["` + idA + `","` + idA + `"],"set_b":["` + idB + `"]}`))
+	f.Add([]byte(`{"datasets":["` + idA + `","` + idB + `"],"top_k":3,"min_similarity":0.5,"estimate":true}`))
+	f.Add([]byte(`{"datasets":["` + idA + `","` + idB + `"],"top_k":-1}`))
+	f.Add([]byte(`{"datasets":["` + idA + `","` + idB + `"],"min_similarity":1.5}`))
+	f.Add([]byte(`{"datasets":["` + idA + `","` + idB + `"],"min_similarity":-0.1}`))
+	f.Add([]byte(`{"datasets":["` + idA + `","` + idB + `"],"min_similarity":1e308}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dec := json.NewDecoder(bytes.NewReader(data))
@@ -113,22 +126,45 @@ func FuzzMatrixRequest(f *testing.F) {
 		if err := dec.Decode(&req); err != nil {
 			return // rejected at the decode layer, as the handler would
 		}
+		// matrixIDs runs before validation succeeds in no path, but it must
+		// still tolerate anything that decodes (startMatrix calls it only
+		// after checkMatrixRequest; keep it panic-free regardless).
+		_ = matrixIDs(req)
 		if err := checkMatrixRequest(req); err != nil {
 			return
 		}
 		// Invariants of accepted requests.
-		if len(req.Datasets) < 2 || len(req.Datasets) > maxMatrixDatasets {
+		bipartite := len(req.SetA) > 0 || len(req.SetB) > 0
+		if bipartite {
+			if len(req.Datasets) > 0 {
+				t.Fatalf("checkMatrixRequest accepted mixed axes: %+v", req)
+			}
+			if len(req.SetA) == 0 || len(req.SetB) == 0 {
+				t.Fatalf("checkMatrixRequest accepted a one-sided bipartite request: %+v", req)
+			}
+		} else if len(req.Datasets) < 2 || len(req.Datasets) > maxMatrixDatasets {
 			t.Fatalf("checkMatrixRequest accepted %d datasets", len(req.Datasets))
 		}
-		seen := map[string]struct{}{}
-		for _, id := range req.Datasets {
-			if !store.ValidateID(id) {
-				t.Fatalf("checkMatrixRequest accepted malformed ID %q", id)
+		for _, axis := range [][]string{req.Datasets, req.SetA, req.SetB} {
+			if len(axis) > maxMatrixDatasets {
+				t.Fatalf("checkMatrixRequest accepted a %d-wide axis", len(axis))
 			}
-			if _, dup := seen[id]; dup {
-				t.Fatalf("checkMatrixRequest accepted duplicate ID %q", id)
+			seen := map[string]struct{}{}
+			for _, id := range axis {
+				if !store.ValidateID(id) {
+					t.Fatalf("checkMatrixRequest accepted malformed ID %q", id)
+				}
+				if _, dup := seen[id]; dup {
+					t.Fatalf("checkMatrixRequest accepted duplicate ID %q", id)
+				}
+				seen[id] = struct{}{}
 			}
-			seen[id] = struct{}{}
+		}
+		if req.TopK < 0 {
+			t.Fatalf("checkMatrixRequest accepted top_k %d", req.TopK)
+		}
+		if req.MinSimilarity < 0 || req.MinSimilarity > 1 {
+			t.Fatalf("checkMatrixRequest accepted min_similarity %v", req.MinSimilarity)
 		}
 	})
 }

@@ -2,20 +2,38 @@ package server
 
 // K-way similarity matrix endpoints over the compare subsystem:
 //
-//	POST   /matrix       start a run: {"datasets": ["<id>", ...], "name"?: "..."}
+//	POST   /matrix       start a run:
+//	                       {"datasets": ["<id>", ...]}          symmetric, or
+//	                       {"set_a": [...], "set_b": [...]}     bipartite rows×cols
+//	                     plus optional "name", and the progressive objectives
+//	                     "top_k" (only the K highest cells need exact answers),
+//	                     "min_similarity" (cells provably below it are skipped)
+//	                     and "estimate" (Monte-Carlo ordering refinement).
 //	GET    /matrix       list runs
-//	GET    /matrix/{id}  poll one run (K×K cell grid, group aggregate)
+//	GET    /matrix/{id}  poll one run (cell grid, group aggregate).
+//	                       ?wait=1&since=N long-polls until the run's version
+//	                       exceeds N (or the run finishes, or ~25s elapse);
+//	                       ?stream=1 streams every status change as NDJSON
+//	                       until the run is terminal.
 //	DELETE /matrix/{id}  cancel a run (cancels its remaining member jobs)
 //
-// A run plans the K·(K−1)/2 unordered pairwise cells, resolves each through
-// the cache-aware job submission path (repeat content — including across
-// daemon restarts, via the persisted cache — is never recomputed), and fans
-// the rest out as scheduler jobs under one cancellable job group.
+// A run resolves each cell through the cache-aware job submission path
+// (repeat content — including across daemon restarts, via the persisted
+// cache — is never recomputed) and fans the rest out as scheduler jobs under
+// one cancellable job group. Progressive runs first bound every cell from
+// manifest stats and elide cells that cannot affect the answer; see
+// internal/compare. The run pins all its datasets for its lifetime, so a
+// retention sweep mid-run can never delete a dataset out from under a
+// planned cell.
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"time"
 
 	"repro/internal/compare"
 	"repro/internal/store"
@@ -23,33 +41,90 @@ import (
 
 // MatrixRequest starts a matrix run over stored datasets.
 type MatrixRequest struct {
-	Datasets []string `json:"datasets"`
+	Datasets []string `json:"datasets,omitempty"`
+	SetA     []string `json:"set_a,omitempty"`
+	SetB     []string `json:"set_b,omitempty"`
 	Name     string   `json:"name,omitempty"`
+	// TopK asks only for the K highest-similarity cells; remaining cells
+	// may finish "bounded" (elided, with a sound upper bound) instead of
+	// exact.
+	TopK int `json:"top_k,omitempty"`
+	// MinSimilarity, in [0,1], skips cells whose similarity provably falls
+	// below it.
+	MinSimilarity float64 `json:"min_similarity,omitempty"`
+	// Estimate turns on Monte-Carlo cell estimates to refine the order in
+	// which cells are computed. Estimates never decide skips.
+	Estimate bool `json:"estimate,omitempty"`
 }
 
-// maxMatrixDatasets caps K; the cell count grows quadratically and
+// maxMatrixDatasets caps each axis; the cell count grows quadratically and
 // 16 datasets already mean 120 pairwise jobs.
 const maxMatrixDatasets = 16
 
 // checkMatrixRequest validates a matrix request without touching the store.
 func checkMatrixRequest(req MatrixRequest) error {
-	if len(req.Datasets) < 2 {
-		return errors.New("a matrix needs at least 2 datasets")
+	bipartite := len(req.SetA) > 0 || len(req.SetB) > 0
+	switch {
+	case bipartite && len(req.Datasets) > 0:
+		return errors.New("datasets and set_a/set_b are mutually exclusive")
+	case bipartite:
+		if len(req.SetA) == 0 || len(req.SetB) == 0 {
+			return errors.New("a bipartite matrix needs both set_a and set_b")
+		}
+		if err := checkMatrixAxis("set_a", req.SetA); err != nil {
+			return err
+		}
+		if err := checkMatrixAxis("set_b", req.SetB); err != nil {
+			return err
+		}
+	default:
+		if len(req.Datasets) < 2 {
+			return errors.New("a matrix needs at least 2 datasets")
+		}
+		if err := checkMatrixAxis("datasets", req.Datasets); err != nil {
+			return err
+		}
 	}
-	if len(req.Datasets) > maxMatrixDatasets {
-		return fmt.Errorf("at most %d datasets per matrix", maxMatrixDatasets)
+	if req.TopK < 0 {
+		return fmt.Errorf("top_k %d is negative", req.TopK)
 	}
-	seen := make(map[string]struct{}, len(req.Datasets))
-	for i, id := range req.Datasets {
+	if req.MinSimilarity < 0 || req.MinSimilarity > 1 {
+		return fmt.Errorf("min_similarity %v outside [0, 1]", req.MinSimilarity)
+	}
+	return nil
+}
+
+func checkMatrixAxis(field string, ids []string) error {
+	if len(ids) > maxMatrixDatasets {
+		return fmt.Errorf("at most %d %s per matrix", maxMatrixDatasets, field)
+	}
+	seen := make(map[string]struct{}, len(ids))
+	for i, id := range ids {
 		if !store.ValidateID(id) {
-			return fmt.Errorf("datasets[%d] %q is not a content hash (64 lowercase hex digits)", i, id)
+			return fmt.Errorf("%s[%d] %q is not a content hash (64 lowercase hex digits)", field, i, id)
 		}
 		if _, dup := seen[id]; dup {
-			return fmt.Errorf("datasets[%d] %s listed twice", i, id)
+			return fmt.Errorf("%s[%d] %s listed twice", field, i, id)
 		}
 		seen[id] = struct{}{}
 	}
 	return nil
+}
+
+// matrixIDs returns the distinct dataset IDs a request touches (set_a and
+// set_b may overlap across sides).
+func matrixIDs(req MatrixRequest) []string {
+	seen := make(map[string]struct{})
+	var ids []string
+	for _, axis := range [][]string{req.Datasets, req.SetA, req.SetB} {
+		for _, id := range axis {
+			if _, dup := seen[id]; !dup {
+				seen[id] = struct{}{}
+				ids = append(ids, id)
+			}
+		}
+	}
+	return ids
 }
 
 // requireMatrix answers 501 when the daemon runs without a store (matrix
@@ -65,6 +140,12 @@ func (s *Server) requireMatrix(w http.ResponseWriter) bool {
 
 // startMatrix validates and starts a matrix run; code carries the HTTP
 // status on failure. Shared by the HTTP handler and SubmitMatrix.
+//
+// All the run's datasets are pinned here — all-or-nothing — and released in
+// one batch when the run finalizes. Per-cell submissions pin again for the
+// job's own lifetime; the run-level pins are what keep a dataset alive in
+// the window between run start and its last cell's submission, which a
+// retention sweep could otherwise hit.
 func (s *Server) startMatrix(req MatrixRequest) (run *compare.Run, code int, err error) {
 	if s.matrix == nil {
 		return nil, http.StatusNotImplemented,
@@ -73,23 +154,49 @@ func (s *Server) startMatrix(req MatrixRequest) (run *compare.Run, code int, err
 	if err := checkMatrixRequest(req); err != nil {
 		return nil, http.StatusBadRequest, err
 	}
-	for _, id := range req.Datasets {
-		if _, ok := s.store.Get(id); !ok {
-			return nil, http.StatusNotFound, fmt.Errorf("dataset %s: %w", id, store.ErrNotFound)
+	ids := matrixIDs(req)
+	if err := s.pinDatasets(ids...); err != nil {
+		if errors.Is(err, store.ErrNotFound) {
+			return nil, http.StatusNotFound, err
+		}
+		return nil, http.StatusConflict, err
+	}
+	release := func() {
+		for _, id := range ids {
+			s.store.Unpin(id)
 		}
 	}
-	run, err = s.matrix.Start(req.Name, req.Datasets)
+	run, err = s.matrix.StartSpec(compare.RunSpec{
+		Name:          req.Name,
+		Datasets:      req.Datasets,
+		SetA:          req.SetA,
+		SetB:          req.SetB,
+		TopK:          req.TopK,
+		MinSimilarity: req.MinSimilarity,
+		Estimate:      req.Estimate,
+	}, release)
 	if err != nil {
+		release()
 		return nil, http.StatusServiceUnavailable, err
 	}
 	s.matrixRuns.Inc()
 	return run, http.StatusAccepted, nil
 }
 
-// SubmitMatrix validates and starts a matrix run over the dataset IDs,
-// returning the run ID. It is the non-HTTP entry the facade uses.
+// SubmitMatrix validates and starts a symmetric matrix run over the dataset
+// IDs, returning the run ID. It is the non-HTTP entry the facade uses.
 func (s *Server) SubmitMatrix(ids []string, name string) (string, error) {
 	run, _, err := s.startMatrix(MatrixRequest{Datasets: ids, Name: name})
+	if err != nil {
+		return "", err
+	}
+	return run.ID(), nil
+}
+
+// SubmitMatrixRequest starts a run from the full request form (progressive
+// objectives, bipartite axes). Facade entry.
+func (s *Server) SubmitMatrixRequest(req MatrixRequest) (string, error) {
+	run, _, err := s.startMatrix(req)
 	if err != nil {
 		return "", err
 	}
@@ -106,6 +213,20 @@ func (s *Server) Matrix(id string) (compare.Status, bool) {
 		return compare.Status{}, false
 	}
 	return run.Status(), true
+}
+
+// WaitMatrix blocks until the run's version exceeds since (or the run is
+// terminal, or ctx expires) and returns the fresh snapshot. Facade entry.
+func (s *Server) WaitMatrix(ctx context.Context, id string, since int64) (compare.Status, bool) {
+	if s.matrix == nil {
+		return compare.Status{}, false
+	}
+	run, ok := s.matrix.Get(id)
+	if !ok {
+		return compare.Status{}, false
+	}
+	st, _ := run.WaitChange(ctx, since)
+	return st, true
 }
 
 // CancelMatrix cancels a run.
@@ -145,6 +266,10 @@ func (s *Server) handleListMatrices(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"matrices": out})
 }
 
+// matrixWaitTimeout bounds one long-poll round; clients re-poll with the
+// returned version. Short of most proxy idle timeouts.
+const matrixWaitTimeout = 25 * time.Second
+
 func (s *Server) handleGetMatrix(w http.ResponseWriter, r *http.Request) {
 	if !s.requireMatrix(w) {
 		return
@@ -154,7 +279,52 @@ func (s *Server) handleGetMatrix(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusNotFound, compare.ErrNoRun)
 		return
 	}
-	writeJSON(w, http.StatusOK, run.Status())
+	q := r.URL.Query()
+	switch {
+	case q.Get("stream") == "1":
+		s.streamMatrix(w, r, run)
+	case q.Get("wait") == "1":
+		since, err := strconv.ParseInt(q.Get("since"), 10, 64)
+		if err != nil {
+			// Absent or malformed ?since= long-polls for any change past
+			// the current state the client has not seen: version 0 never
+			// blocks after the plan phase, so default to "wait for the
+			// next change from now".
+			since = run.Status().Version
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), matrixWaitTimeout)
+		defer cancel()
+		st, _ := run.WaitChange(ctx, since)
+		writeJSON(w, http.StatusOK, st)
+	default:
+		writeJSON(w, http.StatusOK, run.Status())
+	}
+}
+
+// streamMatrix writes every observable status change as one NDJSON line
+// until the run is terminal or the client goes away. Each line is a full
+// status snapshot; the last line is the terminal one.
+func (s *Server) streamMatrix(w http.ResponseWriter, r *http.Request, run *compare.Run) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+	since := int64(-1) // emit the current state first
+	for {
+		st, err := run.WaitChange(r.Context(), since)
+		if err != nil {
+			return // client gone
+		}
+		if encErr := enc.Encode(st); encErr != nil {
+			return
+		}
+		_ = rc.Flush()
+		if st.State != compare.RunRunning {
+			return
+		}
+		since = st.Version
+	}
 }
 
 func (s *Server) handleCancelMatrix(w http.ResponseWriter, r *http.Request) {

@@ -290,8 +290,17 @@ func New(s *sched.Scheduler, opts Options) *Server {
 		})
 		srv.retention.Start() // no-op unless the policy bounds something
 		srv.matrix = compare.NewManager(compare.ManagerConfig{
-			Scheduler:   s,
-			Submit:      srv.submitCell,
+			Scheduler: s,
+			Submit:    srv.submitCell,
+			// The planner's bound reads manifests only; the optional
+			// estimate decodes a small tile sample. Neither pins — the run
+			// holds pins on all its datasets for its whole lifetime.
+			Bound: func(idA, idB string) (compare.CellBound, error) {
+				return compare.BoundPair(srv.store, idA, idB)
+			},
+			Estimate: func(idA, idB string) (compare.CellEstimate, error) {
+				return compare.EstimatePair(srv.store, idA, idB)
+			},
 			Concurrency: opts.MatrixConcurrency,
 		})
 	}
@@ -356,6 +365,9 @@ func (s *Server) Handler() http.Handler {
 }
 
 // statusWriter captures the response status for the request-duration metric.
+// It forwards Flush so streaming handlers (the matrix progress stream) keep
+// working through the instrumentation wrap, and exposes Unwrap for
+// http.ResponseController, which handles any interface the wrapper doesn't.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
@@ -365,6 +377,19 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
 }
+
+// Flush forwards to the underlying writer when it supports flushing. The
+// embedded ResponseWriter alone would hide the http.Flusher implementation of
+// the real connection, silently buffering streamed responses.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap returns the wrapped writer so http.ResponseController can reach
+// interfaces statusWriter doesn't forward itself.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // instrument wraps a handler with request accounting: the total-requests
 // counter and a per-route, per-status duration histogram. Histogram series

@@ -27,6 +27,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -75,6 +76,45 @@ var idPattern = regexp.MustCompile(`^[0-9a-f]{64}$`)
 // hex SHA-256 of the dataset's canonical tile content).
 func ValidateID(id string) bool { return idPattern.MatchString(id) }
 
+// SetStats summarises one tile's polygon set for query planning without
+// decoding the segment: the set's covering MBR plus the smallest and largest
+// polygon area (shoelace pixels). Like Manifest.Name, stats are metadata —
+// they are not folded into the tile digest or the dataset ID — so datasets
+// written before stats existed load fine and simply plan without them.
+type SetStats struct {
+	MBR     geom.MBR `json:"mbr"`
+	MinArea int64    `json:"min_area"`
+	MaxArea int64    `json:"max_area"`
+}
+
+// Valid reports whether the stats are internally consistent. Stats are not
+// digest-protected, so planners must treat invalid ones as absent rather
+// than derive bounds from them.
+func (st *SetStats) Valid() bool {
+	return st != nil && st.MinArea >= 0 && st.MinArea <= st.MaxArea &&
+		(st.MaxArea == 0 || !st.MBR.IsEmpty())
+}
+
+// computeSetStats folds one polygon set's planning stats; nil for an empty
+// set (no polygons means no pairs, which callers treat as bound zero).
+func computeSetStats(polys []*geom.Polygon) *SetStats {
+	if len(polys) == 0 {
+		return nil
+	}
+	st := &SetStats{MBR: geom.EmptyMBR(), MinArea: math.MaxInt64}
+	for _, p := range polys {
+		st.MBR = st.MBR.Union(p.MBR())
+		a := p.Area()
+		if a < st.MinArea {
+			st.MinArea = a
+		}
+		if a > st.MaxArea {
+			st.MaxArea = a
+		}
+	}
+	return st
+}
+
 // TileInfo locates one tile's two polygon sets inside the segment file.
 type TileInfo struct {
 	Image  string `json:"image"`
@@ -85,6 +125,11 @@ type TileInfo struct {
 	OffB   int64  `json:"off_b"`
 	LenB   int64  `json:"len_b"`
 	CountB int    `json:"count_b"`
+	// StatsA/StatsB summarise each set's geometry for the matrix planner's
+	// cheap per-cell bounds; absent on datasets ingested before they
+	// existed (and then the planner falls back to the trivial bound).
+	StatsA *SetStats `json:"stats_a,omitempty"`
+	StatsB *SetStats `json:"stats_b,omitempty"`
 	// Digest is the hex SHA-256 of the tile's canonical content (identity
 	// plus both sets' exact bytes, every variable-length field
 	// length-prefixed so the encoding is injective). The dataset ID folds
@@ -576,6 +621,12 @@ func (w *Writer) AddTile(image string, tile int, a, b []*geom.Polygon) error {
 		Image: image, Tile: tile,
 		OffA: w.off, LenA: int64(len(segA)), CountA: len(a),
 		OffB: w.off + int64(len(segA)), LenB: int64(len(segB)), CountB: len(b),
+		// Planning stats are computed here, the one place the decoded
+		// polygons are already in hand; they ride the manifest as metadata
+		// (the tile digest below covers identity and bytes only, so adding
+		// stats never changes a dataset's content address).
+		StatsA: computeSetStats(a),
+		StatsB: computeSetStats(b),
 	}
 	if _, err := w.f.Write(segA); err != nil {
 		return fmt.Errorf("store: append tile %s/%d: %w", image, tile, err)
@@ -747,6 +798,17 @@ func loadManifest(dir, id string) (*Manifest, error) {
 		}
 		if !idPattern.MatchString(ti.Digest) {
 			return nil, fmt.Errorf("tile %s/%d carries no content digest", ti.Image, ti.Tile)
+		}
+	}
+	// Planning stats sit outside the digest fold, so a mangled manifest
+	// can carry inconsistent ones; drop those (the planner degrades to the
+	// trivial bound) instead of rejecting an otherwise-verifiable dataset.
+	for i := range man.Tiles {
+		if man.Tiles[i].StatsA != nil && !man.Tiles[i].StatsA.Valid() {
+			man.Tiles[i].StatsA = nil
+		}
+		if man.Tiles[i].StatsB != nil && !man.Tiles[i].StatsB.Valid() {
+			man.Tiles[i].StatsB = nil
 		}
 	}
 	sort.Slice(man.Tiles, func(i, j int) bool {

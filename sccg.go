@@ -19,6 +19,7 @@
 package sccg
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"runtime"
@@ -77,6 +78,9 @@ type (
 	MatrixStatus = compare.Status
 	// MatrixCell is one cell of a matrix status.
 	MatrixCell = compare.CellView
+	// MatrixQuery is the full matrix request form: symmetric or bipartite
+	// axes plus the progressive top-k / min-similarity objectives.
+	MatrixQuery = server.MatrixRequest
 	// CrossMatch reports how two datasets' tile indexes paired up (matched
 	// pairs plus the keys present on only one side).
 	CrossMatch = compare.Match
@@ -467,8 +471,26 @@ func (s *Service) SubmitMatrix(ids []string) (string, error) {
 	return s.srv.SubmitMatrix(ids, "")
 }
 
+// SubmitMatrixQuery starts a matrix run from the full request form: a
+// symmetric run over Datasets or a bipartite SetA×SetB run, optionally
+// progressive — TopK asks only for the K highest-similarity cells,
+// MinSimilarity skips cells provably below it (elided cells finish
+// "bounded"/"skipped" with a sound similarity upper bound instead of an
+// exact report), Estimate refines the computation order with Monte-Carlo
+// sampling. Poll with Matrix or long-poll with WaitMatrix.
+func (s *Service) SubmitMatrixQuery(req MatrixQuery) (string, error) {
+	return s.srv.SubmitMatrixRequest(req)
+}
+
 // Matrix returns a matrix run's status snapshot by ID.
 func (s *Service) Matrix(id string) (MatrixStatus, bool) { return s.srv.Matrix(id) }
+
+// WaitMatrix blocks until the run's status version exceeds since (pass the
+// last snapshot's Version; 0 waits for anything past the plan phase), the
+// run finishes, or ctx expires, and returns the freshest snapshot.
+func (s *Service) WaitMatrix(ctx context.Context, id string, since int64) (MatrixStatus, bool) {
+	return s.srv.WaitMatrix(ctx, id, since)
+}
 
 // CancelMatrix cancels a matrix run and its remaining member jobs.
 func (s *Service) CancelMatrix(id string) error { return s.srv.CancelMatrix(id) }
