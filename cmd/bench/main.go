@@ -231,6 +231,11 @@ func benchRecord(short bool, gpus, cpuAggs int) (*runRecord, error) {
 		return nil, fmt.Errorf("matrix experiment: %w", err)
 	}
 	rec.Experiments = append(rec.Experiments, prog...)
+	clus, err := clusterRecords(short)
+	if err != nil {
+		return nil, fmt.Errorf("cluster experiment: %w", err)
+	}
+	rec.Experiments = append(rec.Experiments, clus...)
 	return rec, nil
 }
 

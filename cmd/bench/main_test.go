@@ -27,7 +27,7 @@ func TestBenchRecordShort(t *testing.T) {
 	want := map[string]bool{
 		"pipeline_gpu": false, "pipeline_cpu": false, "pipeline_hybrid": false,
 		"pipeline_invariants": false, "kernel_pixelbox_gpu": false, "kernel_pixelbox_cpu": false,
-		"matrix_full": false, "matrix_topk": false,
+		"matrix_full": false, "matrix_topk": false, "cluster_matrix": false,
 	}
 	var sims []float64
 	for _, e := range rec.Experiments {
@@ -69,6 +69,24 @@ func TestBenchRecordShort(t *testing.T) {
 		}
 		if e.Values["similarity_bit_identical"] != 1 {
 			t.Errorf("progressive cells drifted from the full matrix: %v", e.Values)
+		}
+	}
+
+	// The cluster run must match single-node bit-for-bit, have replicated the
+	// corpus onto the serving node, and answer the repeat without a single
+	// new scheduler job anywhere in the cluster.
+	for _, e := range rec.Experiments {
+		if e.Name != "cluster_matrix" {
+			continue
+		}
+		if e.Values["similarity_bit_identical"] != 1 {
+			t.Errorf("cluster cells drifted from single-node: %v", e.Values)
+		}
+		if e.Values["pulled_datasets"] != 3 {
+			t.Errorf("serving node pulled %v datasets, want 3", e.Values["pulled_datasets"])
+		}
+		if e.Values["repeat_jobs_cluster_wide"] != 0 {
+			t.Errorf("matrix repeat cost %v new jobs, want 0", e.Values["repeat_jobs_cluster_wide"])
 		}
 	}
 

@@ -56,6 +56,18 @@
 //	      -cache-max-entries 4096 -store-sweep 1m
 //	curl -s -X POST localhost:8080/gc     # sweep now
 //	curl -s -X DELETE localhost:8080/cache
+//
+// With -peers the daemon joins a cluster: any node accepts any request.
+// Rendezvous hashing on dataset and cache-key content addresses picks owners;
+// a node asked about a dataset it doesn't hold pulls the segment+manifest
+// peer-to-peer and digest-verifies every tile before publishing it locally,
+// the persisted result cache becomes a cluster-wide read-through, and matrix
+// cells route to the node owning their cache key. Unreachable peers back off
+// and the node degrades to local computation — clustering never makes a
+// single node less capable:
+//
+//	sccgd -addr :8080 -data-dir /var/lib/sccgd \
+//	      -peers host-b:8080,host-c:8080 -advertise host-a:8080
 package main
 
 import (
@@ -73,6 +85,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/cluster"
 	"repro/internal/retention"
 )
 
@@ -170,6 +183,8 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 		sweep     = fs.Duration("store-sweep", 0, "retention sweep interval (default 1m when a retention bound is set)")
 		logFormat = fs.String("log-format", "text", "log output format: text or json")
 		pprofAddr = fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled; keep it off public interfaces)")
+		peers     = fs.String("peers", "", "comma-separated peer base URLs; joins a cluster (needs -data-dir and -advertise)")
+		advertise = fs.String("advertise", "", "this node's own base URL as peers reach it (required with -peers)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -187,6 +202,19 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 	}
 	if pol.Active() && *dataDir == "" {
 		return errors.New("-store-max-bytes/-store-ttl/-cache-max-entries require -data-dir")
+	}
+	var peerList []string
+	if *peers != "" {
+		if *dataDir == "" {
+			return errors.New("-peers requires -data-dir (clustering replicates stored datasets)")
+		}
+		if *advertise == "" {
+			return errors.New("-peers requires -advertise (this node's position in the hash ring)")
+		}
+		peerList, err = cluster.ParsePeers(*peers)
+		if err != nil {
+			return err
+		}
 	}
 
 	var st *sccg.Store
@@ -216,10 +244,15 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 		StoreTTL:        pol.TTL,
 		CacheMaxEntries: pol.CacheMaxEntries,
 		SweepInterval:   pol.SweepInterval,
+		Peers:           peerList,
+		Advertise:       *advertise,
 	})
 	defer svc.Close()
 	if pol.Active() {
 		logger.Info("retention policy active", "policy", pol.String(), "sweep_interval", sweepInterval(pol).String())
+	}
+	if len(peerList) > 0 {
+		logger.Info("cluster mode", "advertise", *advertise, "peers", len(peerList))
 	}
 
 	ln, err := net.Listen("tcp", *addr)

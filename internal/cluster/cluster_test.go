@@ -1,0 +1,280 @@
+package cluster_test
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/pathology"
+	"repro/internal/store"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := []struct {
+		in, want string
+		ok       bool
+	}{
+		{"host:8080", "http://host:8080", true},
+		{"http://host:8080", "http://host:8080", true},
+		{"http://host:8080/", "http://host:8080", true},
+		{" https://host ", "https://host", true},
+		{"", "", false},
+		{"ftp://host", "", false},
+		{"http://", "", false},
+		{"http://host:8080/api", "", false},
+		{"http://host:8080?x=1", "", false},
+	}
+	for _, c := range cases {
+		got, err := cluster.Normalize(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("Normalize(%q) = %q, %v; want %q", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("Normalize(%q) = %q; want error", c.in, got)
+		}
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	got, err := cluster.ParsePeers("a:1, http://a:1 ,b:2,,")
+	if err != nil {
+		t.Fatalf("ParsePeers: %v", err)
+	}
+	want := []string{"http://a:1", "http://b:2"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("ParsePeers = %v, want %v", got, want)
+	}
+	if _, err := cluster.ParsePeers(" , "); err == nil {
+		t.Fatal("ParsePeers on an empty list: want error")
+	}
+	if _, err := cluster.ParsePeers("a:1,ftp://b"); err == nil {
+		t.Fatal("ParsePeers with a bad scheme: want error")
+	}
+}
+
+// newNode builds a test node with the background prober effectively parked.
+func newNode(t *testing.T, self string, peers []string, st *store.Store) *cluster.Node {
+	t.Helper()
+	n, err := cluster.New(cluster.Config{
+		Self:          self,
+		Peers:         peers,
+		Store:         st,
+		ProbeInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	t.Cleanup(n.Close)
+	return n
+}
+
+// TestRendezvousAgreement: every node, ranking the same membership, picks the
+// same owner for every key — placement needs no coordinator.
+func TestRendezvousAgreement(t *testing.T) {
+	addrs := []string{"http://a:1", "http://b:2", "http://c:3"}
+	var nodes []*cluster.Node
+	for i, self := range addrs {
+		peers := append(append([]string(nil), addrs[:i]...), addrs[i+1:]...)
+		nodes = append(nodes, newNode(t, self, peers, nil))
+	}
+	owners := make(map[string]int)
+	for _, key := range []string{"k1", "k2", "k3", "k4", "k5", "k6", "k7", "k8", "k9", "k10"} {
+		want := nodes[0].Owner(key)
+		for _, n := range nodes[1:] {
+			if got := n.Owner(key); got != want {
+				t.Fatalf("Owner(%q): node %s says %s, node %s says %s",
+					key, n.Self(), got, nodes[0].Self(), want)
+			}
+		}
+		owners[want]++
+	}
+	if len(owners) < 2 {
+		t.Fatalf("10 keys all landed on one node: %v", owners)
+	}
+	// Self is always a live hop, so a walk can always terminate locally.
+	for _, n := range nodes {
+		found := false
+		for _, hop := range n.Ranked("k1") {
+			if hop.Peer == nil {
+				if hop.Addr != n.Self() {
+					t.Fatalf("self hop has addr %s, want %s", hop.Addr, n.Self())
+				}
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("Ranked omits the self hop on %s", n.Self())
+		}
+	}
+}
+
+func ingest(t *testing.T, st *store.Store, image string, seed int64, tiles int) *store.Manifest {
+	t.Helper()
+	spec := pathology.Representative()
+	spec.Name = image
+	spec.Seed = seed
+	spec.Tiles = tiles
+	man, err := st.IngestDataset(pathology.Generate(spec))
+	if err != nil {
+		t.Fatalf("IngestDataset: %v", err)
+	}
+	return man
+}
+
+// servePeer exposes a store's manifest+segment the way a real node does, with
+// corrupt optionally flipping one mid-segment byte.
+func servePeer(t *testing.T, st *store.Store, corrupt bool) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /internal/datasets/{id}/manifest", func(w http.ResponseWriter, r *http.Request) {
+		man, ok := st.Get(r.PathValue("id"))
+		if !ok {
+			http.Error(w, "not found", http.StatusNotFound)
+			return
+		}
+		json.NewEncoder(w).Encode(man)
+	})
+	mux.HandleFunc("GET /internal/datasets/{id}/segment", func(w http.ResponseWriter, r *http.Request) {
+		rc, size, err := st.OpenSegment(r.PathValue("id"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		defer rc.Close()
+		buf := make([]byte, size)
+		if _, err := io.ReadFull(rc, buf); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if corrupt {
+			buf[len(buf)/2] ^= 0xff
+		}
+		w.Write(buf)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestPullDatasetRejectsCorruptPeer: a peer serving flipped segment bytes is
+// caught by per-tile digest verification; the pull fails without leaving any
+// partial dataset on disk, and with a good replica present the pull falls
+// back and succeeds.
+func TestPullDatasetRejectsCorruptPeer(t *testing.T) {
+	origin, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	man := ingest(t, origin, "pull-src", 11, 2)
+
+	bad := servePeer(t, origin, true)
+
+	dir := t.TempDir()
+	local, err := store.Open(dir)
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	n := newNode(t, "http://self:1", []string{bad.URL}, local)
+	if _, err := n.PullDataset(man.ID); err == nil {
+		t.Fatal("PullDataset from a corrupt peer: want error")
+	} else if !strings.Contains(err.Error(), "digest") {
+		t.Fatalf("PullDataset error %q does not name the digest check", err)
+	}
+	if local.Len() != 0 {
+		t.Fatalf("corrupt pull published a dataset: store holds %d", local.Len())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	for _, e := range entries {
+		t.Fatalf("corrupt pull left %q on disk", e.Name())
+	}
+
+	// A good replica behind the corrupt one: the walk skips the poisoned
+	// answer and completes from the healthy owner.
+	good := servePeer(t, origin, false)
+	n2 := newNode(t, "http://self:1", []string{bad.URL, good.URL}, local)
+	bytes, err := n2.PullDataset(man.ID)
+	if err != nil {
+		t.Fatalf("PullDataset with a good replica present: %v", err)
+	}
+	if bytes != man.SegmentBytes && bytes != 0 {
+		t.Fatalf("pulled %d bytes, manifest says %d", bytes, man.SegmentBytes)
+	}
+	got, ok := local.Get(man.ID)
+	if !ok {
+		t.Fatal("pulled dataset is not in the local store")
+	}
+	if got.ID != man.ID || len(got.Tiles) != len(man.Tiles) {
+		t.Fatal("pulled manifest does not match the origin")
+	}
+	// Idempotent: a second pull is a no-op.
+	if n, err := n2.PullDataset(man.ID); err != nil || n != 0 {
+		t.Fatalf("repeat pull = %d, %v; want 0, nil", n, err)
+	}
+}
+
+// TestPullDatasetNoHolder: when no reachable peer has the dataset the error
+// wraps store.ErrNotFound so HTTP callers answer 404, not 502.
+func TestPullDatasetNoHolder(t *testing.T) {
+	origin, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	man := ingest(t, origin, "missing", 12, 2)
+	empty, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	peer := servePeer(t, empty, false)
+
+	local, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	n := newNode(t, "http://self:1", []string{peer.URL}, local)
+	if _, err := n.PullDataset(man.ID); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("PullDataset with no holder = %v, want store.ErrNotFound", err)
+	}
+}
+
+// TestPeerBackoff: a dead peer drops out of the live ranking after a failed
+// request and Health reports it down.
+func TestPeerBackoff(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadAddr := dead.URL
+	dead.Close() // nothing listens any more
+
+	local, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	origin, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	man := ingest(t, origin, "backoff", 13, 2)
+
+	n := newNode(t, "http://self:1", []string{deadAddr}, local)
+	if _, err := n.PullDataset(man.ID); err == nil {
+		t.Fatal("PullDataset via a dead peer: want error")
+	}
+	h := n.Health()
+	if h.Reachable != 0 || len(h.Peers) != 1 || h.Peers[0].Up {
+		t.Fatalf("Health after transport failure = %+v, want the peer down", h)
+	}
+	// Inside the backoff window the request path skips the peer entirely.
+	for _, hop := range n.Ranked(man.ID) {
+		if hop.Peer != nil && hop.Addr == deadAddr {
+			t.Fatal("backed-off peer still in the live ranking")
+		}
+	}
+}

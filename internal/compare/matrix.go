@@ -140,6 +140,11 @@ var (
 	ErrNoRun       = errors.New("compare: no such matrix run")
 	ErrRunTerminal = errors.New("compare: matrix run already finished")
 	ErrClosed      = errors.New("compare: matrix manager closed")
+	// Cell-level errors, surfaced by GET /matrix/{id}/cells/{i}/{j}.
+	ErrNoCell        = errors.New("compare: no such matrix cell")
+	ErrCellSelf      = errors.New("compare: diagonal self cell is never computed")
+	ErrCellNotElided = errors.New("compare: cell was not elided")
+	ErrCellBusy      = errors.New("compare: cell is already being computed")
 )
 
 // Manager owns the matrix runs of one service instance.
@@ -843,26 +848,7 @@ func (r *Run) Status() Status {
 		}
 	}
 	for _, c := range r.cells {
-		v := CellView{
-			State:      c.state,
-			JobID:      c.jobID,
-			Cached:     c.cached,
-			Error:      c.errMsg,
-			Tiles:      c.tiles,
-			UnmatchedA: c.unmatchedA,
-			UnmatchedB: c.unmatchedB,
-			Estimate:   c.estimate,
-			Trace:      c.trace,
-		}
-		if c.boundSet {
-			b := c.bound
-			v.Bound = &b
-		}
-		if c.report != nil {
-			v.Similarity = c.report.Similarity
-			v.Intersect = c.report.Intersecting
-			v.Candidates = c.report.Candidates
-		}
+		v := r.viewLocked(c)
 		switch c.state {
 		case CellDone:
 			st.TerminalCells++
@@ -887,6 +873,175 @@ func (r *Run) Status() Status {
 	r.mu.Unlock()
 	st.Group = r.group.Status()
 	return st
+}
+
+// viewLocked builds the wire view of one cell; r.mu must be held.
+func (r *Run) viewLocked(c *cell) CellView {
+	v := CellView{
+		State:      c.state,
+		JobID:      c.jobID,
+		Cached:     c.cached,
+		Error:      c.errMsg,
+		Tiles:      c.tiles,
+		UnmatchedA: c.unmatchedA,
+		UnmatchedB: c.unmatchedB,
+		Estimate:   c.estimate,
+		Trace:      c.trace,
+	}
+	if c.boundSet {
+		b := c.bound
+		v.Bound = &b
+	}
+	if c.report != nil {
+		v.Similarity = c.report.Similarity
+		v.Intersect = c.report.Intersecting
+		v.Candidates = c.report.Candidates
+	}
+	return v
+}
+
+// cellAt resolves grid coordinates to the planned cell computing them. In a
+// symmetric run a mirror coordinate (i > j) resolves to its upper-triangle
+// cell and the diagonal reports ErrCellSelf. rows, cols and the cells slice
+// are immutable after StartSpec, so resolution itself needs no lock.
+func (r *Run) cellAt(i, j int) (*cell, error) {
+	if i < 0 || i >= len(r.rows) || j < 0 || j >= len(r.cols) {
+		return nil, fmt.Errorf("%w: (%d,%d) outside %d×%d grid", ErrNoCell, i, j, len(r.rows), len(r.cols))
+	}
+	if !r.bipartite {
+		if i == j {
+			return nil, ErrCellSelf
+		}
+		if i > j {
+			i, j = j, i
+		}
+	}
+	for _, c := range r.cells {
+		if c.i == i && c.j == j {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: (%d,%d)", ErrNoCell, i, j)
+}
+
+// Cell returns the wire view of one cell by grid coordinates. The diagonal of
+// a symmetric run answers its placeholder view rather than an error.
+func (r *Run) Cell(i, j int) (CellView, error) {
+	c, err := r.cellAt(i, j)
+	if errors.Is(err, ErrCellSelf) {
+		return CellView{State: CellSelf}, nil
+	}
+	if err != nil {
+		return CellView{}, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.viewLocked(c), nil
+}
+
+// UpgradeCell recomputes an elided (`skipped` or `bounded`) cell exactly, on
+// demand, and patches it into the run as `done` — the lazy complement of
+// progressive execution: the objective elides cheaply up front, and a caller
+// who later needs one specific elided answer pays for exactly that cell. The
+// upgrade goes through the same cache-aware submitter as planned cells but
+// outside the run's job group and concurrency gate: it is caller-driven work
+// on a (typically finished) run and must not be pruned by the objective that
+// elided the cell in the first place — which maybePrune guarantees, since the
+// upgrading cell never records a job ID while running. Already-exact cells
+// return their view idempotently; other states report ErrCellBusy or
+// ErrCellNotElided alongside the current view.
+func (r *Run) UpgradeCell(i, j int) (CellView, error) {
+	c, err := r.cellAt(i, j)
+	if errors.Is(err, ErrCellSelf) {
+		return CellView{State: CellSelf}, err
+	}
+	if err != nil {
+		return CellView{}, err
+	}
+	r.mu.Lock()
+	prev := c.state
+	switch prev {
+	case CellDone:
+		v := r.viewLocked(c)
+		r.mu.Unlock()
+		return v, nil
+	case CellSkipped, CellBounded:
+		// The states an upgrade exists for.
+	case CellRunning:
+		v := r.viewLocked(c)
+		r.mu.Unlock()
+		return v, ErrCellBusy
+	default:
+		v := r.viewLocked(c)
+		r.mu.Unlock()
+		return v, fmt.Errorf("%w (cell is %s)", ErrCellNotElided, prev)
+	}
+	c.state = CellRunning
+	c.errMsg = ""
+	r.bumpLocked()
+	r.mu.Unlock()
+
+	restore := func() {
+		r.mu.Lock()
+		c.state = prev
+		r.bumpLocked()
+		r.mu.Unlock()
+	}
+
+	out, err := r.m.cfg.Submit(r.rows[c.i], r.cols[c.j])
+	if err != nil {
+		restore()
+		return CellView{}, fmt.Errorf("compare: exact upgrade: %w", err)
+	}
+	r.mu.Lock()
+	c.cached = out.Cached
+	if out.Tiles != 0 {
+		c.tiles = out.Tiles
+	}
+	c.unmatchedA = out.UnmatchedA
+	c.unmatchedB = out.UnmatchedB
+	if out.Report != nil {
+		// A cache layer answered terminal-immediately: no live job to track.
+		c.state = CellDone
+		c.report = out.Report
+		c.jobID = out.JobID
+		v := r.viewLocked(c)
+		r.bumpLocked()
+		r.mu.Unlock()
+		r.maybePrune()
+		return v, nil
+	}
+	r.mu.Unlock()
+
+	// Wait with a background context: the run's own ctx is canceled once the
+	// run finishes, and an upgrade outlives the run lifecycle by design.
+	st, err := r.m.cfg.Scheduler.Wait(context.Background(), out.JobID)
+	if err != nil {
+		restore()
+		return CellView{}, fmt.Errorf("compare: exact upgrade: %w", err)
+	}
+	if st.State != sched.Done {
+		restore()
+		msg := st.Error
+		if msg == "" {
+			msg = "job ended " + st.State.String()
+		}
+		return CellView{}, fmt.Errorf("compare: exact upgrade: %s", msg)
+	}
+	r.mu.Lock()
+	c.state = CellDone
+	rep := st.Report
+	c.report = &rep
+	c.jobID = out.JobID
+	c.trace = trace.Summarize(st.Trace)
+	if c.tiles == 0 {
+		c.tiles = st.Tiles
+	}
+	v := r.viewLocked(c)
+	r.bumpLocked()
+	r.mu.Unlock()
+	r.maybePrune()
+	return v, nil
 }
 
 // SortRunsByID orders run snapshots deterministically (used by listings).

@@ -1,0 +1,313 @@
+package server
+
+// Server-side cluster glue: the peer-to-peer HTTP surface other nodes call
+// (/internal/*), and the client-side hooks the submission path uses in
+// clustered mode — peer-pull of missing datasets, the cluster-wide result
+// cache read-through, and owner-routed matrix cell execution.
+//
+// Trust model: nothing a peer serves is taken at face value. Manifests must
+// fold back to their content address and segments are digest-verified
+// tile-by-tile before publish (both inside store.Import / cluster.Node);
+// result payloads must carry the expected cache key and pass the same
+// structural validation the persisted disk layer applies to its own entries
+// (validateEntry re-folds the tile partials exactly). An invalid answer is
+// treated as a peer failure: skipped, logged, never served.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/compare"
+	"repro/internal/pipeline"
+	"repro/internal/sched"
+	"repro/internal/store"
+	"repro/internal/trace"
+)
+
+const (
+	// clusterResultTimeout bounds a cache probe: owners answer from memory
+	// or one disk read, so a slow peer is a down peer.
+	clusterResultTimeout = 5 * time.Second
+	// clusterCompareTimeout bounds a routed cell: the remote node may have
+	// to pull both datasets and compute the cell from scratch.
+	clusterCompareTimeout = 10 * time.Minute
+	// maxClusterResultBytes bounds a peer result payload (reports carry
+	// per-tile partials, still far below this).
+	maxClusterResultBytes = 64 << 20
+)
+
+// clusterResult is the wire form of one finished comparison exchanged
+// between peers: the persisted-cache entry shape plus a cached flag, so the
+// receiver can validate it exactly like a local disk entry and adopt it into
+// its own cache layers.
+type clusterResult struct {
+	Key    string          `json:"key"`
+	Name   string          `json:"name,omitempty"`
+	Cross  *CrossPayload   `json:"cross,omitempty"`
+	Saved  time.Time       `json:"saved"`
+	Cached bool            `json:"cached,omitempty"`
+	Report pipeline.Result `json:"report"`
+}
+
+// clusterCompareRequest asks a peer to compute (or answer from cache) one
+// pairwise comparison on the caller's behalf.
+type clusterCompareRequest struct {
+	DatasetA string `json:"dataset_a"`
+	DatasetB string `json:"dataset_b"`
+}
+
+// handleClusterManifest serves a stored dataset's manifest to a peer.
+func (s *Server) handleClusterManifest(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !store.ValidateID(id) {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("%q is not a dataset ID", id))
+		return
+	}
+	man, ok := s.store.Get(id)
+	if !ok {
+		s.fail(w, http.StatusNotFound, store.ErrNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, man)
+}
+
+// handleClusterSegment streams a stored dataset's raw segment bytes to a
+// peer. The receiver digest-verifies every tile on import, so this serves
+// plain bytes with no further framing.
+func (s *Server) handleClusterSegment(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !store.ValidateID(id) {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("%q is not a dataset ID", id))
+		return
+	}
+	rc, size, err := s.store.OpenSegment(id)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, store.ErrNotFound) {
+			code = http.StatusNotFound
+		}
+		s.fail(w, code, err)
+		return
+	}
+	defer rc.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	_, _ = io.Copy(w, rc)
+}
+
+// handleClusterResult answers a peer's cache probe from this node's own
+// result layers only — live LRU, then persisted reports. It never forwards
+// to other peers: the requester walks the owner ranking itself, so one probe
+// can never fan out into a cluster-wide recursion.
+func (s *Server) handleClusterResult(w http.ResponseWriter, r *http.Request) {
+	a, b := r.PathValue("a"), r.PathValue("b")
+	if !store.ValidateID(a) || !store.ValidateID(b) {
+		s.fail(w, http.StatusBadRequest, errors.New("result probe needs two dataset IDs"))
+		return
+	}
+	res, ok := s.localResult(crossKey(a, b))
+	if !ok {
+		s.fail(w, http.StatusNotFound, errors.New("no cached result"))
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// localResult resolves a cache key against this node's layers without
+// computing or forwarding: a finished live job under the LRU key, or a
+// persisted entry.
+func (s *Server) localResult(key string) (clusterResult, bool) {
+	if id, ok := s.cache.get(key); ok {
+		if st, live := s.sched.Job(id); live && st.State == sched.Done {
+			s.crossMu.Lock()
+			cross := s.crossByJob[id]
+			s.crossMu.Unlock()
+			return clusterResult{Key: key, Name: st.Name, Cross: cross, Saved: st.Finished.UTC(), Cached: true, Report: st.Report}, true
+		}
+	}
+	if s.persist != nil {
+		if e, ok := s.persist.get(key); ok {
+			return clusterResult{Key: e.Key, Name: e.Name, Cross: e.Cross, Saved: e.Saved, Cached: true, Report: e.Report}, true
+		}
+	}
+	return clusterResult{}, false
+}
+
+// handleClusterCompare computes — or answers from cache — one pairwise
+// comparison on behalf of a peer: the receiving end of matrix cell routing.
+// It runs the full submission path (cache layers, peer-pull of missing
+// datasets, persistence) and blocks until the result is terminal.
+func (s *Server) handleClusterCompare(w http.ResponseWriter, r *http.Request) {
+	var req clusterCompareRequest
+	if err := s.decode(w, r, &req); err != nil {
+		return
+	}
+	sub, err := s.submitRequest(JobRequest{DatasetA: req.DatasetA, DatasetB: req.DatasetB})
+	if err != nil {
+		s.fail(w, sub.code, err)
+		return
+	}
+	key := crossKey(req.DatasetA, req.DatasetB)
+	if sub.report != nil {
+		// A cache layer answered terminal-immediately.
+		writeJSON(w, http.StatusOK, clusterResult{
+			Key: key, Name: sub.resp.Name, Cross: sub.cross,
+			Saved: time.Now().UTC(), Cached: true, Report: *sub.report,
+		})
+		return
+	}
+	st, err := s.sched.Wait(r.Context(), sub.jobID)
+	if err != nil {
+		s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("waiting for job %s: %w", sub.jobID, err))
+		return
+	}
+	if st.State != sched.Done {
+		msg := st.Error
+		if msg == "" {
+			msg = "job ended " + st.State.String()
+		}
+		s.fail(w, http.StatusInternalServerError, errors.New(msg))
+		return
+	}
+	writeJSON(w, http.StatusOK, clusterResult{
+		Key: key, Name: st.Name, Cross: sub.cross,
+		Saved: st.Finished.UTC(), Cached: sub.resp.Cached, Report: st.Report,
+	})
+}
+
+// validateClusterResult holds a peer's result payload to the persisted
+// layer's standard: expected key, structural consistency, exact tile-partial
+// re-fold. Returns the entry ready for local adoption.
+func validateClusterResult(res *clusterResult, wantKey string) (*persistEntry, error) {
+	if res.Key != wantKey {
+		return nil, fmt.Errorf("peer result carries key for a different comparison")
+	}
+	e := &persistEntry{Key: res.Key, Name: res.Name, Cross: res.Cross, Saved: res.Saved, Report: res.Report}
+	if err := validateEntry(e); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// ensureLocal makes every dataset resident in the local store, pulling
+// missing ones from cluster peers (digest-verified on arrival). Each pull is
+// recorded as a `cluster` span when rec is non-nil. Without a cluster it is
+// a no-op: absence surfaces through the usual not-found paths.
+func (s *Server) ensureLocal(rec *trace.Recorder, ids ...string) error {
+	if s.cluster == nil || s.store == nil {
+		return nil
+	}
+	for _, id := range ids {
+		if _, ok := s.store.Get(id); ok {
+			continue
+		}
+		start := time.Now()
+		_, err := s.cluster.PullDataset(id)
+		if rec != nil {
+			detail := "pull " + id[:12]
+			if err != nil {
+				detail += " failed"
+			}
+			rec.Add("cluster", detail, start, time.Now())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// remoteResult is the cluster-wide read-through layer beneath the local
+// cache: ask the live peers, owner-ranked, whether one already holds the
+// finished report for key. A hit is adopted into the local persisted layer
+// (best-effort; the keep gate may decline entries for datasets not held
+// here) and served exactly like a persisted hit.
+func (s *Server) remoteResult(key string) (submission, bool) {
+	ids := keyDatasetIDs(key)
+	if len(ids) == 0 {
+		return submission{}, false // request-hash key: content unknown cluster-wide
+	}
+	a, b := ids[0], ids[len(ids)-1]
+	for _, hop := range s.cluster.Ranked(key) {
+		if hop.Peer == nil {
+			continue // this node's own layers already missed
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), clusterResultTimeout)
+		var res clusterResult
+		err := s.cluster.GetJSON(ctx, hop.Peer, "/internal/results/"+a+"/"+b, &res, maxClusterResultBytes)
+		cancel()
+		if err != nil {
+			continue // miss or peer failure; a lower-ranked peer may still answer
+		}
+		e, verr := validateClusterResult(&res, key)
+		if verr != nil {
+			s.log.Warn("discarding invalid peer result", "peer", hop.Addr, "err", verr)
+			continue
+		}
+		s.cacheHits.Inc()
+		s.remoteHits.Inc()
+		s.touchKey(key)
+		if s.persist != nil {
+			_ = s.persist.put(e)
+		}
+		return submission{resp: persistedResponse(key, e), code: http.StatusOK, report: &e.Report, cross: e.Cross}, true
+	}
+	return submission{}, false
+}
+
+// remoteCell tries to execute one matrix cell on the live peer that owns its
+// cache key, so repeated matrices anywhere in the cluster land on the same
+// node's cache and cold cells compute where the placement says the data
+// should live. ok=false means the cell should run locally: this node is the
+// best live owner, or every better-ranked peer failed (degrade-to-local —
+// the local submission path then pulls whatever datasets are missing).
+// Routing never fails a submit.
+func (s *Server) remoteCell(idA, idB string) (compare.SubmitOutcome, bool) {
+	key := crossKey(idA, idB)
+	for _, hop := range s.cluster.Ranked(key) {
+		if hop.Peer == nil {
+			return compare.SubmitOutcome{}, false // we own the cell
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), clusterCompareTimeout)
+		var res clusterResult
+		err := s.cluster.PostJSON(ctx, hop.Peer, "/internal/compare",
+			clusterCompareRequest{DatasetA: idA, DatasetB: idB}, &res, maxClusterResultBytes)
+		cancel()
+		if err != nil {
+			s.log.Warn("routed cell failed on peer", "peer", hop.Addr, "err", err)
+			continue
+		}
+		e, verr := validateClusterResult(&res, key)
+		if verr != nil {
+			s.log.Warn("discarding invalid peer cell result", "peer", hop.Addr, "err", verr)
+			continue
+		}
+		if e.Cross != nil && (e.Cross.DatasetA != idA || e.Cross.DatasetB != idB) {
+			s.log.Warn("peer cell result names wrong datasets", "peer", hop.Addr)
+			continue
+		}
+		s.routedCells.Inc()
+		s.touchKey(key)
+		if s.persist != nil {
+			_ = s.persist.put(e)
+		}
+		out := compare.SubmitOutcome{Cached: res.Cached, Report: &e.Report, Tiles: e.Report.Stats.TilesProcessed}
+		if e.Cross != nil {
+			out.Tiles = e.Cross.MatchedTiles
+			out.UnmatchedA = e.Cross.UnmatchedA
+			out.UnmatchedB = e.Cross.UnmatchedB
+		}
+		return out, true
+	}
+	// Every live peer ranked above this node failed. If the stable owner is
+	// someone else, this is a degraded-mode computation worth counting.
+	if s.cluster.Owner(key) != s.cluster.Self() {
+		s.degradedLocal.Inc()
+	}
+	return compare.SubmitOutcome{}, false
+}

@@ -16,6 +16,10 @@ package server
 //	                       ?stream=1 streams every status change as NDJSON
 //	                       until the run is terminal.
 //	DELETE /matrix/{id}  cancel a run (cancels its remaining member jobs)
+//	GET    /matrix/{id}/cells/{i}/{j}
+//	                     read one cell by grid coordinates; ?exact=1 lazily
+//	                     upgrades an elided (skipped/bounded) cell to an exact
+//	                     answer on demand and patches the run's status
 //
 // A run resolves each cell through the cache-aware job submission path
 // (repeat content — including across daemon restarts, via the persisted
@@ -155,6 +159,16 @@ func (s *Server) startMatrix(req MatrixRequest) (run *compare.Run, code int, err
 		return nil, http.StatusBadRequest, err
 	}
 	ids := matrixIDs(req)
+	// In clustered mode the coordinating node pulls every missing dataset up
+	// front: pinning requires local presence, and the plan phase bounds cells
+	// from local manifests. Routed cells still compute remotely; the pull
+	// keeps the coordinator able to answer any cell itself (degrade-to-local).
+	if err := s.ensureLocal(nil, ids...); err != nil {
+		if errors.Is(err, store.ErrNotFound) {
+			return nil, http.StatusNotFound, err
+		}
+		return nil, http.StatusBadGateway, err
+	}
 	if err := s.pinDatasets(ids...); err != nil {
 		if errors.Is(err, store.ErrNotFound) {
 			return nil, http.StatusNotFound, err
@@ -325,6 +339,57 @@ func (s *Server) streamMatrix(w http.ResponseWriter, r *http.Request, run *compa
 		}
 		since = st.Version
 	}
+}
+
+// handleMatrixCell reads one cell by grid coordinates. With ?exact=1 an
+// elided (skipped/bounded) cell is recomputed exactly — through the same
+// cache-aware submission path as planned cells, so a cluster or persisted
+// cache hit still answers without a job — and the run's status is patched in
+// place. The call blocks until the upgraded cell is terminal.
+func (s *Server) handleMatrixCell(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMatrix(w) {
+		return
+	}
+	run, ok := s.matrix.Get(r.PathValue("id"))
+	if !ok {
+		s.fail(w, http.StatusNotFound, compare.ErrNoRun)
+		return
+	}
+	i, err := strconv.Atoi(r.PathValue("i"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("cell row %q is not an integer", r.PathValue("i")))
+		return
+	}
+	j, err := strconv.Atoi(r.PathValue("j"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("cell column %q is not an integer", r.PathValue("j")))
+		return
+	}
+	var view compare.CellView
+	if r.URL.Query().Get("exact") == "1" {
+		view, err = run.UpgradeCell(i, j)
+	} else {
+		view, err = run.Cell(i, j)
+	}
+	switch {
+	case errors.Is(err, compare.ErrNoCell):
+		s.fail(w, http.StatusNotFound, err)
+		return
+	case errors.Is(err, compare.ErrCellSelf),
+		errors.Is(err, compare.ErrCellBusy),
+		errors.Is(err, compare.ErrCellNotElided):
+		s.fail(w, http.StatusConflict, err)
+		return
+	case errors.Is(err, store.ErrNotFound):
+		s.fail(w, http.StatusNotFound, err)
+		return
+	case err != nil:
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id": run.ID(), "i": i, "j": j, "cell": view,
+	})
 }
 
 func (s *Server) handleCancelMatrix(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,126 @@
+package server
+
+// Lazy exact upgrade of elided matrix cells: GET /matrix/{id}/cells/{i}/{j}
+// reads one cell by grid coordinates, and ?exact=1 recomputes an elided cell
+// on demand, patching the run's status counters in place.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/compare"
+	"repro/internal/sched"
+)
+
+type cellReply struct {
+	ID   string           `json:"id"`
+	I    int              `json:"i"`
+	J    int              `json:"j"`
+	Cell compare.CellView `json:"cell"`
+}
+
+func TestMatrixCellExactUpgrade(t *testing.T) {
+	st := testStoreAt(t, t.TempDir())
+	const shift = 1 << 20
+	ids := []string{
+		ingestShifted(t, st, "slideU", 1, 2, 0, 0).ID,
+		ingestShifted(t, st, "slideU", 2, 2, 0, 0).ID,
+		ingestShifted(t, st, "slideU", 3, 2, shift, shift).ID,
+		ingestShifted(t, st, "slideU", 4, 2, shift, shift).ID,
+	}
+	_, _, ts := newTestServer(t, sched.Config{Devices: 2}, Options{Store: st})
+
+	resp, body := postJSON(t, ts.URL+"/matrix",
+		MatrixRequest{Datasets: ids, Name: "upgrade", TopK: 2})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("matrix submit = %d: %s", resp.StatusCode, body)
+	}
+	var mst compare.Status
+	if err := json.Unmarshal(body, &mst); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for mst.State == compare.RunRunning {
+		if time.Now().After(deadline) {
+			t.Fatalf("matrix stuck: %+v", mst)
+		}
+		time.Sleep(5 * time.Millisecond)
+		getJSON(t, ts.URL+"/matrix/"+mst.ID, &mst)
+	}
+	if mst.State != compare.RunDone || mst.ExactCells != 2 || mst.SkippedCells != 4 {
+		t.Fatalf("run = %s exact=%d skipped=%d, want done/2/4",
+			mst.State, mst.ExactCells, mst.SkippedCells)
+	}
+	cellURL := func(i, j int) string {
+		return fmt.Sprintf("%s/matrix/%s/cells/%d/%d", ts.URL, mst.ID, i, j)
+	}
+
+	// Plain read: the cross-cluster cell (0,2) was elided as skipped.
+	var got cellReply
+	if r := getJSON(t, cellURL(0, 2), &got); r.StatusCode != http.StatusOK {
+		t.Fatalf("cell read = %d", r.StatusCode)
+	}
+	if got.Cell.State != compare.CellSkipped {
+		t.Fatalf("cell (0,2) = %q, want skipped", got.Cell.State)
+	}
+
+	// ?exact=1 recomputes it; disjoint clusters make the exact answer 0.
+	if r := getJSON(t, cellURL(0, 2)+"?exact=1", &got); r.StatusCode != http.StatusOK {
+		t.Fatalf("exact upgrade = %d", r.StatusCode)
+	}
+	if got.Cell.State != compare.CellDone {
+		t.Fatalf("upgraded cell = %q (%s), want done", got.Cell.State, got.Cell.Error)
+	}
+	if got.Cell.Similarity != 0 {
+		t.Fatalf("upgraded cross-cluster similarity = %v, want 0", got.Cell.Similarity)
+	}
+	if got.Cell.Bound == nil || got.Cell.Similarity > *got.Cell.Bound {
+		t.Fatalf("upgraded cell similarity %v exceeds bound %v", got.Cell.Similarity, got.Cell.Bound)
+	}
+
+	// The run's status is patched: one skipped cell became exact, the
+	// terminal count is unchanged, and the mirror coordinate shows it too.
+	getJSON(t, ts.URL+"/matrix/"+mst.ID, &mst)
+	if mst.ExactCells != 3 || mst.SkippedCells != 3 || mst.TerminalCells != 6 {
+		t.Fatalf("patched counters exact/skipped/terminal = %d/%d/%d, want 3/3/6",
+			mst.ExactCells, mst.SkippedCells, mst.TerminalCells)
+	}
+	if mst.Cells[2][0].State != compare.CellDone {
+		t.Fatalf("mirror cell [2][0] = %q, want done", mst.Cells[2][0].State)
+	}
+	var mirror cellReply
+	getJSON(t, cellURL(2, 0), &mirror)
+	if mirror.Cell.State != compare.CellDone {
+		t.Fatalf("mirror read = %q, want done", mirror.Cell.State)
+	}
+
+	// Idempotent on an already-exact cell — including ones the run computed.
+	if r := getJSON(t, cellURL(0, 2)+"?exact=1", &got); r.StatusCode != http.StatusOK || got.Cell.State != compare.CellDone {
+		t.Fatalf("repeat upgrade = %d/%q", r.StatusCode, got.Cell.State)
+	}
+	if r := getJSON(t, cellURL(0, 1)+"?exact=1", &got); r.StatusCode != http.StatusOK || got.Cell.State != compare.CellDone {
+		t.Fatalf("upgrade of an exact cell = %d/%q", r.StatusCode, got.Cell.State)
+	}
+
+	// Error surface: diagonal conflicts, out-of-range and unknown runs 404,
+	// malformed coordinates 400.
+	if r := getJSON(t, cellURL(1, 1), &got); r.StatusCode != http.StatusOK || got.Cell.State != compare.CellSelf {
+		t.Fatalf("diagonal read = %d/%q, want 200/self", r.StatusCode, got.Cell.State)
+	}
+	var e map[string]any
+	if r := getJSON(t, cellURL(1, 1)+"?exact=1", &e); r.StatusCode != http.StatusConflict {
+		t.Fatalf("diagonal upgrade = %d, want 409", r.StatusCode)
+	}
+	if r := getJSON(t, cellURL(9, 0), &e); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("out-of-range cell = %d, want 404", r.StatusCode)
+	}
+	if r := getJSON(t, ts.URL+"/matrix/mx-999999/cells/0/1", &e); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown run = %d, want 404", r.StatusCode)
+	}
+	if r := getJSON(t, ts.URL+"/matrix/"+mst.ID+"/cells/x/1", &e); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed coordinate = %d, want 400", r.StatusCode)
+	}
+}

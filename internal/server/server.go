@@ -17,6 +17,7 @@
 //	POST   /matrix                  start a K-way similarity matrix run
 //	GET    /matrix                  list matrix runs
 //	GET    /matrix/{id}             poll one matrix run
+//	GET    /matrix/{id}/cells/{i}/{j}  read one cell; ?exact=1 upgrades an elided cell
 //	DELETE /matrix/{id}             cancel a matrix run
 //	POST   /compare                 synchronous compare of two small polygon sets
 //	POST   /gc                      run one retention sweep now
@@ -39,6 +40,12 @@
 // datasets share; tiles present on only one side are reported in the job's
 // "cross" block. K-way matrix runs (POST /matrix) fan all pairwise cells
 // out through the same cache-aware submission path (see matrix.go).
+//
+// In clustered mode (Options.Cluster) the server additionally serves the
+// peer-to-peer surface under /internal/ — dataset manifest/segment export,
+// cache probes, and remote cell execution — and the submission path gains
+// peer-pull of missing datasets plus a cluster-wide cache read-through
+// layer (see cluster.go).
 package server
 
 import (
@@ -58,6 +65,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/compare"
 	"repro/internal/metrics"
 	"repro/internal/pathology"
@@ -104,6 +112,12 @@ type Options struct {
 	// sweeper that Close stops; POST /gc sweeps on demand either way.
 	// Ignored without a Store.
 	Retention retention.Policy
+	// Cluster, when set, joins this server to a peer cluster: the internal
+	// peer endpoints are served, missing datasets are pulled peer-to-peer
+	// before jobs run, the result cache gains a cluster-wide read-through
+	// layer, and matrix cells route to their owner nodes. The caller owns
+	// the node's lifecycle. Requires a Store.
+	Cluster *cluster.Node
 	// Logger receives the server's structured log records; slog.Default()
 	// when nil.
 	Logger *slog.Logger
@@ -128,11 +142,13 @@ type Server struct {
 	// background sweeper (started only when the policy bounds something) is
 	// owned by this server: New starts it, Close stops it.
 	retention *retention.Engine
-	reg       *metrics.Registry
-	log       *slog.Logger
-	compare   CompareFunc
-	maxBody   int64
-	started   time.Time
+	// cluster is the peer layer; nil on a single-node daemon (see cluster.go).
+	cluster *cluster.Node
+	reg     *metrics.Registry
+	log     *slog.Logger
+	compare CompareFunc
+	maxBody int64
+	started time.Time
 
 	// crossMu guards crossByJob: per-job cross-dataset pairing metadata
 	// (matched/unmatched tile counts) attached to job responses.
@@ -158,6 +174,11 @@ type Server struct {
 	ingestFails *metrics.Counter
 	matrixRuns  *metrics.Counter
 	cascades    *metrics.Counter
+
+	// Cluster counters; non-nil only when a cluster node is configured.
+	remoteHits    *metrics.Counter
+	routedCells   *metrics.Counter
+	degradedLocal *metrics.Counter
 }
 
 // New creates a server over the scheduler.
@@ -234,6 +255,12 @@ func New(s *sched.Scheduler, opts Options) *Server {
 		e.Gauge("sccgd_groups_active", float64(active))
 		e.Counter("sccgd_groups_total", float64(len(groups)))
 	})
+	if opts.Cluster != nil && opts.Store != nil {
+		srv.cluster = opts.Cluster
+		srv.remoteHits = opts.Registry.Counter("sccgd_cluster_remote_cache_hits_total")
+		srv.routedCells = opts.Registry.Counter("sccgd_cluster_cells_routed_total")
+		srv.degradedLocal = opts.Registry.Counter("sccgd_cluster_degraded_local_total")
+	}
 	if srv.store != nil {
 		srv.store.SetMetrics(opts.Registry)
 		opts.Registry.GaugeFunc("sccgd_datasets", func() float64 { return float64(srv.store.Len()) })
@@ -355,12 +382,21 @@ func (s *Server) Handler() http.Handler {
 	handle("POST /matrix", s.handleStartMatrix)
 	handle("GET /matrix", s.handleListMatrices)
 	handle("GET /matrix/{id}", s.handleGetMatrix)
+	handle("GET /matrix/{id}/cells/{i}/{j}", s.handleMatrixCell)
 	handle("DELETE /matrix/{id}", s.handleCancelMatrix)
 	handle("POST /compare", s.handleCompare)
 	handle("POST /gc", s.handleGC)
 	handle("DELETE /cache", s.handleClearCache)
 	handle("GET /metrics", s.handleMetrics)
 	handle("GET /healthz", s.handleHealthz)
+	if s.cluster != nil {
+		// The peer-to-peer surface (see cluster.go). Served only in
+		// clustered mode; a single-node daemon exposes no internal routes.
+		handle("GET /internal/datasets/{id}/manifest", s.handleClusterManifest)
+		handle("GET /internal/datasets/{id}/segment", s.handleClusterSegment)
+		handle("GET /internal/results/{a}/{b}", s.handleClusterResult)
+		handle("POST /internal/compare", s.handleClusterCompare)
+	}
 	return mux
 }
 
@@ -687,11 +723,26 @@ func (s *Server) submitRequest(req JobRequest) (submission, error) {
 	return submission{resp: s.jobResponse(st, false), code: http.StatusAccepted, jobID: id, cross: cross}, nil
 }
 
-// resolveCached answers a cache key from the live LRU first, then from the
-// persisted layer. A hit is a use of the underlying datasets: their
-// retention clocks advance, so repeatedly-hit content never TTL-expires
-// out from under its own cache entry.
+// resolveCached answers a cache key from the live LRU first, then the
+// persisted layer, then — in clustered mode — the cluster-wide read-through
+// layer (owner peers' caches, see cluster.go). A hit is a use of the
+// underlying datasets: their retention clocks advance, so repeatedly-hit
+// content never TTL-expires out from under its own cache entry.
 func (s *Server) resolveCached(key string) (submission, bool) {
+	if sub, ok := s.resolveLocalCached(key); ok {
+		return sub, true
+	}
+	if s.cluster != nil {
+		if sub, ok := s.remoteResult(key); ok {
+			return sub, true
+		}
+	}
+	return submission{}, false
+}
+
+// resolveLocalCached is resolveCached minus the cluster layer: this node's
+// own live LRU and persisted reports.
+func (s *Server) resolveLocalCached(key string) (submission, bool) {
 	if resp, ok := s.cachedResponse(key); ok {
 		s.cacheHits.Inc()
 		s.touchKey(key)
@@ -756,12 +807,29 @@ func (s *Server) persistWhenDone(rec *trace.Recorder, key, jobID, name string, c
 }
 
 // submitCell is the matrix orchestrator's cell submitter: one pairwise
-// cross-dataset job through the full cache-aware submission path.
+// cross-dataset job through the full cache-aware submission path. In
+// clustered mode a cell that misses the local cache layers is first offered
+// to its owner peers (remoteCell), so matrix fan-out spreads across the
+// cluster; only when this node is the best live owner — or every peer
+// failed — does the cell compute locally.
 func (s *Server) submitCell(idA, idB string) (compare.SubmitOutcome, error) {
+	if s.cluster != nil {
+		if sub, ok := s.resolveLocalCached(crossKey(idA, idB)); ok {
+			return cellOutcome(sub), nil
+		}
+		if out, ok := s.remoteCell(idA, idB); ok {
+			return out, nil
+		}
+	}
 	sub, err := s.submitRequest(JobRequest{DatasetA: idA, DatasetB: idB})
 	if err != nil {
 		return compare.SubmitOutcome{}, err
 	}
+	return cellOutcome(sub), nil
+}
+
+// cellOutcome projects a submission to the matrix engine's contract.
+func cellOutcome(sub submission) compare.SubmitOutcome {
 	out := compare.SubmitOutcome{
 		JobID:  sub.jobID,
 		Cached: sub.resp.Cached,
@@ -773,7 +841,7 @@ func (s *Server) submitCell(idA, idB string) (compare.SubmitOutcome, error) {
 		out.UnmatchedA = sub.cross.UnmatchedA
 		out.UnmatchedB = sub.cross.UnmatchedB
 	}
-	return out, nil
+	return out
 }
 
 // datasetKey is the result-cache key of a content-addressed dataset: the
@@ -953,6 +1021,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"dir":      s.store.Dir(),
 		}
 	}
+	if s.cluster != nil {
+		resp["cluster"] = s.cluster.Health()
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -1101,6 +1172,9 @@ func (s *Server) materializeRequest(rec *trace.Recorder, req JobRequest) (name s
 		if req.DatasetB != req.DatasetA {
 			ids = append(ids, req.DatasetB)
 		}
+		if err := s.ensureLocal(rec, ids...); err != nil {
+			return "", nil, "", nil, err
+		}
 		pinStart := time.Now()
 		name, csrc, match, self, err := s.openPairPinned(ids, req.DatasetA, req.DatasetB)
 		rec.Add("pin", "pair", pinStart, time.Now())
@@ -1120,6 +1194,9 @@ func (s *Server) materializeRequest(rec *trace.Recorder, req JobRequest) (name s
 		return name, csrc, crossKey(req.DatasetA, req.DatasetB), crossPayload(req.DatasetA, req.DatasetB, match), nil
 	}
 	if req.DatasetID != "" {
+		if err := s.ensureLocal(rec, req.DatasetID); err != nil {
+			return "", nil, "", nil, err
+		}
 		pinStart := time.Now()
 		src, man, err := s.openDatasetPinned(req.DatasetID)
 		rec.Add("pin", "dataset", pinStart, time.Now())

@@ -1,0 +1,146 @@
+package store
+
+// Peer-transfer surface: streaming export of a dataset's raw segment and
+// import-by-copy of a manifest+segment received from another store. Because
+// datasets are immutable and content-addressed, replication is pure file
+// copy — but an importing store trusts nothing: the manifest must fold back
+// to its own content address and every tile of the copied segment is
+// digest-verified and WKB-decoded before the dataset is published, exactly
+// the checks a local ReadTile applies. Any failure removes the temp
+// directory, so a corrupt or malicious peer can never leave a partial or
+// poisoned dataset on disk.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// OpenSegment opens dataset id's segment file for streaming export and
+// returns it with its manifest-recorded size. The caller owns the handle; a
+// concurrent delete moves the directory aside but an already-open handle
+// keeps streaming, same as in-flight tile reads.
+func (s *Store) OpenSegment(id string) (io.ReadCloser, int64, error) {
+	man, ok := s.Get(id)
+	if !ok {
+		return nil, 0, ErrNotFound
+	}
+	f, err := os.Open(filepath.Join(s.dir, id, segmentFile))
+	if err != nil {
+		if _, ok := s.Get(id); !ok {
+			return nil, 0, ErrNotFound // deleted between index lookup and open
+		}
+		return nil, 0, fmt.Errorf("store: open segment %s: %w", id, err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("store: stat segment %s: %w", id, err)
+	}
+	if fi.Size() != man.SegmentBytes {
+		f.Close()
+		return nil, 0, fmt.Errorf("store: segment %s is %d bytes, manifest says %d", id, fi.Size(), man.SegmentBytes)
+	}
+	return f, man.SegmentBytes, nil
+}
+
+// Import copies a dataset — a manifest plus its raw segment stream, as
+// served by another store's export — into this store under the same content
+// address. The manifest is structurally validated (including the
+// digest-fold-equals-ID check), the segment is copied into a temp directory,
+// and then every tile is read back through the standard verified path:
+// content digest first, full WKB decode second. Only a copy that passes all
+// of it is published, with the same atomic rename + directory fsync Commit
+// uses. Importing content the store already holds returns the existing
+// manifest untouched.
+func (s *Store) Import(man *Manifest, seg io.Reader) (*Manifest, error) {
+	if man == nil {
+		return nil, errors.New("store: import: nil manifest")
+	}
+	// Work on a private copy: Validate normalizes in place, and the caller's
+	// manifest (typically decoded from a peer response) stays untouched.
+	cp := *man
+	cp.Tiles = append([]TileInfo(nil), man.Tiles...)
+	if err := cp.Validate(); err != nil {
+		return nil, fmt.Errorf("store: import %.12s: %w", cp.ID, err)
+	}
+	if existing, ok := s.Get(cp.ID); ok {
+		return existing, nil // content already stored
+	}
+	// The origin's retention clock is its own; the import is a fresh use here.
+	cp.LastUsed = time.Now().UTC()
+
+	tmp, err := os.MkdirTemp(s.dir, tmpPrefix)
+	if err != nil {
+		return nil, fmt.Errorf("store: import temp dir: %w", err)
+	}
+	cleanup := func() {
+		if tmp != "" {
+			os.RemoveAll(tmp)
+		}
+	}
+	defer cleanup()
+
+	f, err := os.Create(filepath.Join(tmp, segmentFile))
+	if err != nil {
+		return nil, fmt.Errorf("store: import segment: %w", err)
+	}
+	// +1 past the declared size so an over-long stream shows up as a size
+	// mismatch instead of copying unboundedly.
+	n, err := io.Copy(f, io.LimitReader(seg, cp.SegmentBytes+1))
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: import %.12s: copy segment: %w", cp.ID, err)
+	}
+	if n != cp.SegmentBytes {
+		f.Close()
+		return nil, fmt.Errorf("store: import %.12s: segment is %d bytes, manifest says %d", cp.ID, n, cp.SegmentBytes)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: import %.12s: sync segment: %w", cp.ID, err)
+	}
+	if err := f.Close(); err != nil {
+		return nil, fmt.Errorf("store: import %.12s: close segment: %w", cp.ID, err)
+	}
+
+	// Verify every tile of the copy before publishing: digest first, then a
+	// full WKB decode — exactly what ReadTile enforces — so corrupted or
+	// crafted bytes can never land under a valid-looking content address.
+	d := &Dataset{dir: tmp, man: &cp}
+	for i := range cp.Tiles {
+		if _, _, err := d.ReadTile(i); err != nil {
+			return nil, fmt.Errorf("store: import %.12s: %w", cp.ID, err)
+		}
+	}
+
+	raw, err := json.MarshalIndent(&cp, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("store: import %.12s: encode manifest: %w", cp.ID, err)
+	}
+	if err := writeFileSync(filepath.Join(tmp, manifestFile), raw); err != nil {
+		return nil, fmt.Errorf("store: import %.12s: write manifest: %w", cp.ID, err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.datasets[cp.ID]; ok {
+		return existing, nil // raced a concurrent ingest/import; deferred cleanup drops the copy
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, cp.ID)); err != nil {
+		return nil, fmt.Errorf("store: publish imported dataset %s: %w", cp.ID, err)
+	}
+	tmp = ""
+	delete(s.persistedUse, cp.ID)
+	// Make the rename itself durable, matching Commit.
+	if dh, err := os.Open(s.dir); err == nil {
+		dh.Sync()
+		dh.Close()
+	}
+	s.datasets[cp.ID] = &cp
+	return &cp, nil
+}

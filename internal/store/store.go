@@ -763,8 +763,8 @@ func loadManifest(dir, id string) (*Manifest, error) {
 	if man.ID != id {
 		return nil, fmt.Errorf("manifest ID %q does not match directory %q", man.ID, id)
 	}
-	if len(man.Tiles) == 0 {
-		return nil, errors.New("manifest lists no tiles")
+	if err := man.Validate(); err != nil {
+		return nil, err
 	}
 	st, err := os.Stat(filepath.Join(dir, segmentFile))
 	if err != nil {
@@ -773,66 +773,89 @@ func loadManifest(dir, id string) (*Manifest, error) {
 	if st.Size() != man.SegmentBytes {
 		return nil, fmt.Errorf("segment is %d bytes, manifest says %d", st.Size(), man.SegmentBytes)
 	}
-	seen := make(map[tileKey]struct{}, len(man.Tiles))
-	for _, ti := range man.Tiles {
+	return &man, nil
+}
+
+// Validate checks the manifest against the store's content-addressing
+// invariants — the same checks recovery applies to a manifest read back from
+// disk, shared with the peer-pull import path so a manifest served by
+// another node is held to exactly the standard a local one is. It also
+// normalizes the way recovery does: tiles are sorted into canonical
+// (image, tile) order, and planning stats that fail their own consistency
+// check are dropped (stats sit outside the digest fold, so a mangled copy
+// must degrade planning, not reject a verifiable dataset). Validate never
+// touches the filesystem; agreement between SegmentBytes and the actual
+// segment is the caller's check.
+func (m *Manifest) Validate() error {
+	if !ValidateID(m.ID) {
+		return fmt.Errorf("manifest ID %q is not a content address", m.ID)
+	}
+	if len(m.Tiles) == 0 {
+		return errors.New("manifest lists no tiles")
+	}
+	if m.SegmentBytes < 0 || m.Polygons < 0 {
+		return errors.New("manifest carries negative sizes")
+	}
+	seen := make(map[tileKey]struct{}, len(m.Tiles))
+	for _, ti := range m.Tiles {
 		// Same uniqueness invariant the Writer enforces: a duplicated
 		// (image, tile) entry would double-count that tile in every job.
 		key := tileKey{image: ti.Image, tile: ti.Tile}
 		if _, dup := seen[key]; dup {
-			return nil, fmt.Errorf("tile %s/%d listed twice in manifest", ti.Image, ti.Tile)
+			return fmt.Errorf("tile %s/%d listed twice in manifest", ti.Image, ti.Tile)
 		}
 		seen[key] = struct{}{}
 		// Overflow-safe bounds: Len <= total and Off <= total-Len, so a
 		// manifest with huge offsets cannot wrap Off+Len negative and slip
 		// past into a later make([]byte, Len) panic.
 		if ti.CountA < 0 || ti.CountB < 0 ||
-			ti.LenA < 0 || ti.LenA > man.SegmentBytes || ti.OffA < 0 || ti.OffA > man.SegmentBytes-ti.LenA ||
-			ti.LenB < 0 || ti.LenB > man.SegmentBytes || ti.OffB < 0 || ti.OffB > man.SegmentBytes-ti.LenB {
-			return nil, fmt.Errorf("tile %s/%d byte range out of bounds", ti.Image, ti.Tile)
+			ti.LenA < 0 || ti.LenA > m.SegmentBytes || ti.OffA < 0 || ti.OffA > m.SegmentBytes-ti.LenA ||
+			ti.LenB < 0 || ti.LenB > m.SegmentBytes || ti.OffB < 0 || ti.OffB > m.SegmentBytes-ti.LenB {
+			return fmt.Errorf("tile %s/%d byte range out of bounds", ti.Image, ti.Tile)
 		}
 		// Each polygon record costs at least its length prefix, so a count
 		// beyond LenX/recLenBytes is unsatisfiable — reject it here rather
 		// than letting decodeSet size a slice from a crafted manifest.
 		if int64(ti.CountA) > ti.LenA/recLenBytes || int64(ti.CountB) > ti.LenB/recLenBytes {
-			return nil, fmt.Errorf("tile %s/%d polygon count exceeds its byte range", ti.Image, ti.Tile)
+			return fmt.Errorf("tile %s/%d polygon count exceeds its byte range", ti.Image, ti.Tile)
 		}
 		if !idPattern.MatchString(ti.Digest) {
-			return nil, fmt.Errorf("tile %s/%d carries no content digest", ti.Image, ti.Tile)
+			return fmt.Errorf("tile %s/%d carries no content digest", ti.Image, ti.Tile)
 		}
 	}
 	// Planning stats sit outside the digest fold, so a mangled manifest
 	// can carry inconsistent ones; drop those (the planner degrades to the
 	// trivial bound) instead of rejecting an otherwise-verifiable dataset.
-	for i := range man.Tiles {
-		if man.Tiles[i].StatsA != nil && !man.Tiles[i].StatsA.Valid() {
-			man.Tiles[i].StatsA = nil
+	for i := range m.Tiles {
+		if m.Tiles[i].StatsA != nil && !m.Tiles[i].StatsA.Valid() {
+			m.Tiles[i].StatsA = nil
 		}
-		if man.Tiles[i].StatsB != nil && !man.Tiles[i].StatsB.Valid() {
-			man.Tiles[i].StatsB = nil
+		if m.Tiles[i].StatsB != nil && !m.Tiles[i].StatsB.Valid() {
+			m.Tiles[i].StatsB = nil
 		}
 	}
-	sort.Slice(man.Tiles, func(i, j int) bool {
-		if man.Tiles[i].Image != man.Tiles[j].Image {
-			return man.Tiles[i].Image < man.Tiles[j].Image
+	sort.Slice(m.Tiles, func(i, j int) bool {
+		if m.Tiles[i].Image != m.Tiles[j].Image {
+			return m.Tiles[i].Image < m.Tiles[j].Image
 		}
-		return man.Tiles[i].Tile < man.Tiles[j].Tile
+		return m.Tiles[i].Tile < m.Tiles[j].Tile
 	})
-	// Recovery must enforce the invariant Commit established: the dataset ID
-	// is the fold of the per-tile digests in canonical order. A manifest
-	// whose tile list doesn't hash back to the directory's content address
-	// (swapped in from another dataset, partially restored) is rejected.
+	// Enforce the invariant Commit established: the dataset ID is the fold
+	// of the per-tile digests in canonical order. A manifest whose tile list
+	// doesn't hash back to its own content address (swapped in from another
+	// dataset, partially restored, served by a lying peer) is rejected.
 	idh := sha256.New()
-	for _, ti := range man.Tiles {
+	for _, ti := range m.Tiles {
 		raw, err := hex.DecodeString(ti.Digest)
 		if err != nil {
-			return nil, fmt.Errorf("tile %s/%d digest is not hex: %v", ti.Image, ti.Tile, err)
+			return fmt.Errorf("tile %s/%d digest is not hex: %v", ti.Image, ti.Tile, err)
 		}
 		idh.Write(raw)
 	}
-	if got := hex.EncodeToString(idh.Sum(nil)); got != id {
-		return nil, fmt.Errorf("manifest tile digests fold to %s, not the directory's content address", got)
+	if got := hex.EncodeToString(idh.Sum(nil)); got != m.ID {
+		return fmt.Errorf("manifest tile digests fold to %s, not the manifest's content address", got)
 	}
-	return &man, nil
+	return nil
 }
 
 // Dataset is a lazy reader over one stored dataset: each ReadTile opens the

@@ -21,11 +21,13 @@ package sccg
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"time"
 
 	"repro/internal/clip"
+	"repro/internal/cluster"
 	"repro/internal/compare"
 	"repro/internal/geom"
 	"repro/internal/gpu"
@@ -353,15 +355,26 @@ type ServiceOptions struct {
 	// default of one minute. The sweeper only runs when one of the bounds
 	// above is set; Service.Close stops it.
 	SweepInterval time.Duration
+	// Peers, when non-empty, puts the service in clustered mode: datasets
+	// missing locally are pulled peer-to-peer (digest-verified on arrival),
+	// the persisted result cache becomes a cluster-wide read-through, and
+	// matrix cells route to the node that owns their cache key under
+	// rendezvous hashing. Each entry is a peer base URL (host:port accepted).
+	// Requires Store and Advertise.
+	Peers []string
+	// Advertise is this node's own base URL as peers reach it; it anchors the
+	// node's position in the rendezvous hash ring. Required with Peers.
+	Advertise string
 }
 
 // Service is the resident SCCG job service (paper §4 generalised to a
 // device pool): a multi-device scheduler plus its HTTP API. It is what
 // cmd/sccgd serves.
 type Service struct {
-	sched *sched.Scheduler
-	store *Store
-	srv   *server.Server
+	sched   *sched.Scheduler
+	store   *Store
+	srv     *server.Server
+	cluster *cluster.Node
 }
 
 // NewService builds a running scheduler and its HTTP server. Close the
@@ -400,15 +413,34 @@ func NewService(opts ServiceOptions) *Service {
 		}
 		return server.CompareResult{Similarity: sim, Intersecting: hits, Candidates: cands}, nil
 	}
+	// Clustered mode: the peer node owns placement, peer-pull, and cluster
+	// metrics. A bad peer configuration degrades to single-node operation
+	// rather than failing the service.
+	var node *cluster.Node
+	if len(opts.Peers) > 0 && opts.Store != nil {
+		n, err := cluster.New(cluster.Config{
+			Self:     opts.Advertise,
+			Peers:    opts.Peers,
+			Store:    opts.Store,
+			Registry: reg,
+		})
+		if err != nil {
+			slog.Warn("cluster disabled", "err", err)
+		} else {
+			node = n
+		}
+	}
 	return &Service{
-		sched: sc,
-		store: opts.Store,
+		sched:   sc,
+		store:   opts.Store,
+		cluster: node,
 		srv: server.New(sc, server.Options{
 			CacheSize:         opts.CacheSize,
 			Compare:           compareFn,
 			Registry:          reg,
 			Store:             opts.Store,
 			MatrixConcurrency: opts.MatrixConcurrency,
+			Cluster:           node,
 			Retention: retention.Policy{
 				MaxBytes:        opts.StoreMaxBytes,
 				TTL:             opts.StoreTTL,
@@ -510,6 +542,9 @@ func (s *Service) GC() (RetentionSweep, error) { return s.srv.GC() }
 // state.
 func (s *Service) Close() {
 	s.srv.Close()
+	if s.cluster != nil {
+		s.cluster.Close()
+	}
 	s.sched.Close()
 	s.srv.Drain()
 }
