@@ -16,11 +16,13 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro"
+	"repro/internal/metrics"
 )
 
 type clusterCellView struct {
@@ -48,6 +50,54 @@ type clusterJobReply struct {
 		Intersecting int     `json:"intersecting"`
 		Candidates   int     `json:"candidates"`
 	} `json:"report"`
+}
+
+// clusterTraceView decodes GET /jobs/{id}/trace far enough to check the
+// cross-node picture: which peers contributed spans and where they sit.
+type clusterTraceView struct {
+	Trace struct {
+		TraceID string  `json:"trace_id"`
+		TotalMs float64 `json:"total_ms"`
+		Spans   []struct {
+			Name       string  `json:"name"`
+			Peer       string  `json:"peer"`
+			StartMs    float64 `json:"start_ms"`
+			DurationMs float64 `json:"duration_ms"`
+		} `json:"spans"`
+	} `json:"trace"`
+}
+
+// clusterHeatView decodes GET /datasets/{id}/heat.
+type clusterHeatView struct {
+	Dataset string `json:"dataset"`
+	Local   bool   `json:"local"`
+	Tiles   []struct {
+		Tile  int   `json:"tile"`
+		Reads int64 `json:"reads"`
+		Bytes int64 `json:"bytes"`
+	} `json:"tiles"`
+	TotalReads int64 `json:"total_reads"`
+	TotalBytes int64 `json:"total_bytes"`
+}
+
+// scrapeSeries fetches one node's Prometheus exposition and indexes it by
+// rendered series name.
+func scrapeSeries(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	exp, err := metrics.ParseText(resp.Body)
+	if err != nil {
+		t.Fatalf("parse %s: %v", url, err)
+	}
+	vals := make(map[string]float64, len(exp.Samples))
+	for _, s := range exp.Samples {
+		vals[s.Series] = s.Value
+	}
+	return vals
 }
 
 func clusterPost(t *testing.T, url string, body any, dst any) int {
@@ -277,6 +327,21 @@ func TestClusterEndToEnd(t *testing.T) {
 	if _, ok := svcs[1].Store().Get(ids[0]); !ok {
 		t.Fatal("node B did not pull the dataset into its store")
 	}
+	// The heat rollup mirrors the access pattern exactly: the compute read
+	// each of the dataset's two tiles once; the peer pull (an import, not a
+	// verified read) contributed nothing.
+	var heat clusterHeatView
+	if code := clusterGet(t, addrs[1]+"/datasets/"+ids[0]+"/heat", &heat); code != http.StatusOK {
+		t.Fatalf("heat on B = %d", code)
+	}
+	if !heat.Local || len(heat.Tiles) != 2 {
+		t.Fatalf("heat on B = local=%v tiles=%d, want local with 2 tiles", heat.Local, len(heat.Tiles))
+	}
+	for _, th := range heat.Tiles {
+		if th.Reads != 1 || th.Bytes <= 0 {
+			t.Fatalf("tile %d heat = %d reads / %d bytes, want exactly one verified read", th.Tile, th.Reads, th.Bytes)
+		}
+	}
 	var bjr clusterJobReply
 	clusterPost(t, baseURL+"/jobs", map[string]any{"dataset_id": ids[0]}, &bjr)
 	want := waitClusterJob(t, baseURL, bjr.ID)
@@ -329,7 +394,125 @@ func TestClusterEndToEnd(t *testing.T) {
 		t.Fatalf("restarted node recomputed %d cells", after-before)
 	}
 
-	// Phase 5: fresh datasets on A, matrix on B, and node C dies mid-run.
+	// The query log survived the restart: the phase-1 peer pull is still on
+	// record, attributed to node A and tied to a trace. So did the heat
+	// rollup, flushed on shutdown.
+	var qlr struct {
+		Schema  string `json:"schema"`
+		Records []struct {
+			Kind     string `json:"kind"`
+			Outcome  string `json:"outcome"`
+			Peer     string `json:"peer"`
+			TraceID  string `json:"trace_id"`
+			Datasets []struct {
+				ID string `json:"id"`
+			} `json:"datasets"`
+		} `json:"records"`
+		Skipped map[string]int `json:"skipped"`
+	}
+	if code := clusterGet(t, addrs[1]+"/querylog?kind=pull", &qlr); code != http.StatusOK {
+		t.Fatalf("querylog on restarted B = %d", code)
+	}
+	if qlr.Schema != "sccg-qlog/1" {
+		t.Fatalf("querylog schema = %q", qlr.Schema)
+	}
+	for reason, count := range qlr.Skipped {
+		if count != 0 {
+			t.Fatalf("querylog skipped %d records (%s)", count, reason)
+		}
+	}
+	foundPull := false
+	for _, rec := range qlr.Records {
+		if rec.Kind != "pull" || len(rec.Datasets) == 0 || rec.Datasets[0].ID != ids[0] {
+			continue
+		}
+		foundPull = true
+		if rec.Outcome != "pulled" || rec.Peer != addrs[0] || rec.TraceID == "" {
+			t.Fatalf("pull record = outcome=%q peer=%q trace=%q, want pulled from %s with a trace ID",
+				rec.Outcome, rec.Peer, rec.TraceID, addrs[0])
+		}
+	}
+	if !foundPull {
+		t.Fatalf("no pull record for %s survived B's restart", ids[0])
+	}
+	var heat2 clusterHeatView
+	if code := clusterGet(t, addrs[1]+"/datasets/"+ids[0]+"/heat", &heat2); code != http.StatusOK {
+		t.Fatalf("heat after restart = %d", code)
+	}
+	if heat2.TotalReads < 2 {
+		t.Fatalf("heat after restart = %d total reads, want the pre-restart reads back", heat2.TotalReads)
+	}
+
+	// Phase 5: cross-node trace propagation. dA lives only on A, dB only on
+	// B, so a cross job on C must pull one dataset from each peer — and the
+	// job's trace must show both remote legs, peer-attributed and inside the
+	// job's wall time.
+	dA := clusterIngest(t, svcs[0].Store(), "traceX", 41, 2)
+	dB := clusterIngest(t, svcs[1].Store(), "traceX", 42, 2)
+	var cjr clusterJobReply
+	if code := clusterPost(t, addrs[2]+"/jobs", map[string]any{"dataset_a": dA, "dataset_b": dB}, &cjr); code != http.StatusAccepted {
+		t.Fatalf("cross job on C = %d", code)
+	}
+	waitClusterJob(t, addrs[2], cjr.ID)
+	var tv clusterTraceView
+	if code := clusterGet(t, addrs[2]+"/jobs/"+cjr.ID+"/trace", &tv); code != http.StatusOK {
+		t.Fatalf("job trace on C = %d", code)
+	}
+	if tv.Trace.TraceID == "" {
+		t.Fatal("job trace carries no trace ID")
+	}
+	remote := map[string]bool{}
+	for _, sp := range tv.Trace.Spans {
+		if sp.Peer == "" {
+			continue
+		}
+		remote[sp.Peer] = true
+		if sp.StartMs < 0 || sp.StartMs+sp.DurationMs > tv.Trace.TotalMs+1 {
+			t.Fatalf("remote span %q from %s at [%.2f, %.2f]ms escapes job wall time %.2fms",
+				sp.Name, sp.Peer, sp.StartMs, sp.StartMs+sp.DurationMs, tv.Trace.TotalMs)
+		}
+	}
+	if !remote[addrs[0]] || !remote[addrs[1]] {
+		t.Fatalf("remote spans from %v, want both %s and %s", remote, addrs[0], addrs[1])
+	}
+
+	// Phase 6: metrics federation. One exposition for the whole cluster:
+	// counters sum across the three nodes, per-node gauges stay attributable
+	// via peer labels, and the merged text is still parseable v0.0.4.
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += scrapeSeries(t, addrs[i]+"/metrics")["sccgd_jobs_submitted_total"]
+	}
+	fresp, err := http.Get(addrs[0] + "/metrics?cluster=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := fresp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("federated Content-Type = %q", ct)
+	}
+	fexp, err := metrics.ParseText(fresp.Body)
+	fresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fexp.Skipped != 0 {
+		t.Fatalf("federated exposition had %d unparseable lines", fexp.Skipped)
+	}
+	fed := make(map[string]float64, len(fexp.Samples))
+	for _, s := range fexp.Samples {
+		fed[s.Series] = s.Value
+	}
+	if got := fed["sccgd_jobs_submitted_total"]; got != sum {
+		t.Fatalf("federated sccgd_jobs_submitted_total = %v, per-node sum = %v", got, sum)
+	}
+	for i := 0; i < n; i++ {
+		series := `sccgd_jobs_queued{peer="` + addrs[i] + `"}`
+		if _, ok := fed[series]; !ok {
+			t.Fatalf("federated exposition lacks %s", series)
+		}
+	}
+
+	// Phase 7: fresh datasets on A, matrix on B, and node C dies mid-run.
 	// The run degrades to local computation and the answer doesn't move.
 	var ids2 []string
 	for seed := int64(4); seed <= 6; seed++ {

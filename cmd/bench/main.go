@@ -236,6 +236,11 @@ func benchRecord(short bool, gpus, cpuAggs int) (*runRecord, error) {
 		return nil, fmt.Errorf("cluster experiment: %w", err)
 	}
 	rec.Experiments = append(rec.Experiments, clus...)
+	ovh, err := traceOverheadRecords(short)
+	if err != nil {
+		return nil, fmt.Errorf("trace overhead experiment: %w", err)
+	}
+	rec.Experiments = append(rec.Experiments, ovh...)
 	return rec, nil
 }
 

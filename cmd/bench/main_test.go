@@ -28,6 +28,7 @@ func TestBenchRecordShort(t *testing.T) {
 		"pipeline_gpu": false, "pipeline_cpu": false, "pipeline_hybrid": false,
 		"pipeline_invariants": false, "kernel_pixelbox_gpu": false, "kernel_pixelbox_cpu": false,
 		"matrix_full": false, "matrix_topk": false, "cluster_matrix": false,
+		"trace_overhead": false,
 	}
 	var sims []float64
 	for _, e := range rec.Experiments {
@@ -87,6 +88,21 @@ func TestBenchRecordShort(t *testing.T) {
 		}
 		if e.Values["repeat_jobs_cluster_wide"] != 0 {
 			t.Errorf("matrix repeat cost %v new jobs, want 0", e.Values["repeat_jobs_cluster_wide"])
+		}
+	}
+
+	// The trace-overhead A/B must have run both arms; the ratio itself is
+	// noisy at smoke scale, so only its presence and sanity are pinned here
+	// (the committed full-run records carry the headline number).
+	for _, e := range rec.Experiments {
+		if e.Name != "trace_overhead" {
+			continue
+		}
+		if e.Values["traced_wall_secs"] <= 0 || e.Values["untraced_wall_secs"] <= 0 {
+			t.Errorf("trace overhead arms missing: %v", e.Values)
+		}
+		if _, ok := e.Values["overhead_ratio"]; !ok {
+			t.Errorf("trace overhead record lacks overhead_ratio: %v", e.Values)
 		}
 	}
 

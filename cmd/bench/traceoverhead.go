@@ -1,0 +1,80 @@
+package main
+
+// The trace_overhead experiment: the same workload run through two
+// schedulers, one recording per-stage spans (the default) and one with
+// tracing disabled (sched.Config.NoTrace), pricing the observability layer.
+// The record carries both wall times and their ratio; the tracing tax is
+// expected to stay under 5% — spans are a handful of timestamped appends
+// per shard, dwarfed by parsing and aggregation.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/pathology"
+	"repro/internal/pipeline"
+	"repro/internal/sched"
+)
+
+func traceOverheadRecords(short bool) ([]experimentRecord, error) {
+	iters := 10
+	if short {
+		iters = 3
+	}
+	spec := pathology.Representative()
+	tasks := pipeline.EncodeDataset(pathology.Generate(spec))
+
+	run := func(noTrace bool) (float64, error) {
+		s := sched.New(sched.Config{Devices: 1, NoTrace: noTrace})
+		defer s.Close()
+		// One unmeasured job first, so pipeline warm-up (throughput memory,
+		// allocator growth) doesn't land in whichever arm runs first.
+		if err := benchRunJob(s, spec.Name, tasks); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := benchRunJob(s, spec.Name, tasks); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start).Seconds(), nil
+	}
+
+	tracedSecs, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	untracedSecs, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return []experimentRecord{{
+		Name:     "trace_overhead",
+		WallSecs: tracedSecs,
+		Values: map[string]float64{
+			"jobs":               float64(iters),
+			"traced_wall_secs":   tracedSecs,
+			"untraced_wall_secs": untracedSecs,
+			"overhead_ratio":     tracedSecs/untracedSecs - 1,
+		},
+	}}, nil
+}
+
+func benchRunJob(s *sched.Scheduler, name string, tasks []pipeline.FileTask) error {
+	id, err := s.Submit(name, tasks)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	st, err := s.Wait(ctx, id)
+	if err != nil {
+		return err
+	}
+	if st.State != sched.Done {
+		return fmt.Errorf("job %s ended %s: %s", id, st.State, st.Error)
+	}
+	return nil
+}

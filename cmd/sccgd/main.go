@@ -68,6 +68,21 @@
 //
 //	sccgd -addr :8080 -data-dir /var/lib/sccgd \
 //	      -peers host-b:8080,host-c:8080 -advertise host-a:8080
+//
+// Observability: with -data-dir every job, matrix cell, ingest, and peer
+// pull appends to a rotation-bounded JSONL query log (GET /querylog serves
+// it filtered; GET /datasets/{id}/heat rolls up per-tile read frequency);
+// -querylog-max-bytes bounds it and -querylog-max-bytes off disables it.
+// -slow-query 2s warns (with the job's per-stage trace summary) on anything
+// slower. In clustered mode traces propagate across nodes — a job that
+// pulled a dataset or ran a cell remotely shows the serving peer's spans in
+// GET /jobs/{id}/trace — and GET /metrics?cluster=1 serves one federated
+// exposition with counters summed across the cluster:
+//
+//	sccgd -data-dir /var/lib/sccgd -slow-query 2s -querylog-max-bytes 128MiB
+//	curl -s 'localhost:8080/querylog?outcome=computed&limit=50'
+//	curl -s localhost:8080/datasets/<id1>/heat
+//	curl -s 'localhost:8080/metrics?cluster=1'
 package main
 
 import (
@@ -185,6 +200,8 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 		pprofAddr = fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled; keep it off public interfaces)")
 		peers     = fs.String("peers", "", "comma-separated peer base URLs; joins a cluster (needs -data-dir and -advertise)")
 		advertise = fs.String("advertise", "", "this node's own base URL as peers reach it (required with -peers)")
+		qlogMax   = fs.String("querylog-max-bytes", "", "query/access log size bound, e.g. 64MiB; 'off' disables the log (default 64MiB; needs -data-dir)")
+		slowQuery = fs.Duration("slow-query", 0, "log a warning with the trace summary for jobs slower than this (0 = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -202,6 +219,23 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 	}
 	if pol.Active() && *dataDir == "" {
 		return errors.New("-store-max-bytes/-store-ttl/-cache-max-entries require -data-dir")
+	}
+	var qlogBytes int64
+	switch *qlogMax {
+	case "":
+	case "off":
+		qlogBytes = -1
+	default:
+		qlogBytes, err = retention.ParseBytes(*qlogMax)
+		if err != nil {
+			return fmt.Errorf("-querylog-max-bytes: %w", err)
+		}
+	}
+	if *slowQuery < 0 {
+		return errors.New("-slow-query must not be negative")
+	}
+	if qlogBytes > 0 && *dataDir == "" {
+		return errors.New("-querylog-max-bytes requires -data-dir")
 	}
 	var peerList []string
 	if *peers != "" {
@@ -231,21 +265,23 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 	}
 
 	svc := sccg.NewService(sccg.ServiceOptions{
-		Devices:         *devices,
-		GPUsPerShard:    *gpusPer,
-		HybridCPU:       *hybrid,
-		Workers:         *workers,
-		Migration:       *migration,
-		MaxShards:       *shards,
-		QueueDepth:      *queue,
-		CacheSize:       *cache,
-		Store:           st,
-		StoreMaxBytes:   pol.MaxBytes,
-		StoreTTL:        pol.TTL,
-		CacheMaxEntries: pol.CacheMaxEntries,
-		SweepInterval:   pol.SweepInterval,
-		Peers:           peerList,
-		Advertise:       *advertise,
+		Devices:          *devices,
+		GPUsPerShard:     *gpusPer,
+		HybridCPU:        *hybrid,
+		Workers:          *workers,
+		Migration:        *migration,
+		MaxShards:        *shards,
+		QueueDepth:       *queue,
+		CacheSize:        *cache,
+		Store:            st,
+		StoreMaxBytes:    pol.MaxBytes,
+		StoreTTL:         pol.TTL,
+		CacheMaxEntries:  pol.CacheMaxEntries,
+		SweepInterval:    pol.SweepInterval,
+		Peers:            peerList,
+		Advertise:        *advertise,
+		QuerylogMaxBytes: qlogBytes,
+		SlowQuery:        *slowQuery,
 	})
 	defer svc.Close()
 	if pol.Active() {

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 const (
@@ -207,7 +208,10 @@ type Node struct {
 	pulls        *metrics.Counter
 	pullFailures *metrics.Counter
 	pullBytes    *metrics.Counter
-	pullSeconds  *metrics.Histogram
+	// pullSeconds holds one histogram per configured peer
+	// (sccgd_cluster_pull_seconds{peer=...}): membership is static, so the
+	// label cardinality is bounded by the peer list.
+	pullSeconds map[string]*metrics.Histogram
 }
 
 // New builds a cluster node from static membership. The returned node runs a
@@ -253,7 +257,10 @@ func New(cfg Config) (*Node, error) {
 	n.pulls = reg.Counter("sccgd_cluster_pulls_total")
 	n.pullFailures = reg.Counter("sccgd_cluster_pull_failures_total")
 	n.pullBytes = reg.Counter("sccgd_cluster_pull_bytes_total")
-	n.pullSeconds = reg.Histogram("sccgd_cluster_pull_seconds")
+	n.pullSeconds = make(map[string]*metrics.Histogram, len(n.peers))
+	for _, p := range n.peers {
+		n.pullSeconds[p.addr] = reg.Histogram(metrics.Label("sccgd_cluster_pull_seconds", "peer", p.addr))
+	}
 	reg.GaugeFunc("sccgd_cluster_peers", func() float64 { return float64(len(n.peers)) })
 	reg.OnScrape(func(e *metrics.Emitter) {
 		reachable := 0
@@ -378,8 +385,15 @@ func (n *Node) Owner(key string) string { return n.ranked(key)[0].Addr }
 
 // do issues one request to a peer and folds the outcome into its health:
 // transport errors mark it down (entering backoff), any HTTP response —
-// including a 404 — marks it up, because the peer answered.
+// including a 404 — marks it up, because the peer answered. A trace context
+// stashed in the request's context.Context (trace.WithContext) is injected
+// as the traceparent header here, the single chokepoint every peer call
+// passes through, so the remote side can run a child recorder under the
+// caller's trace ID.
 func (n *Node) do(req *http.Request, p *Peer) (*http.Response, error) {
+	if tc := trace.FromContext(req.Context()); !tc.Zero() {
+		req.Header.Set(trace.Header, tc.Traceparent())
+	}
 	resp, err := n.client.Do(req)
 	if err != nil {
 		p.markDown(err)
@@ -459,8 +473,11 @@ func DecodeManifest(id string, raw []byte) (*store.Manifest, error) {
 	return &man, nil
 }
 
-func (n *Node) fetchManifest(p *Peer, id string) (*store.Manifest, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), manifestTimeout)
+// fetchManifest fetches and validates a peer's manifest. The peer's own
+// serving spans (returned in the X-Sccg-Trace response header) accumulate
+// into remote when non-nil.
+func (n *Node) fetchManifest(ctx context.Context, p *Peer, id string, remote *trace.Trace) (*store.Manifest, error) {
+	ctx, cancel := context.WithTimeout(ctx, manifestTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.addr+"/internal/datasets/"+id+"/manifest", nil)
 	if err != nil {
@@ -471,6 +488,7 @@ func (n *Node) fetchManifest(p *Peer, id string) (*store.Manifest, error) {
 		return nil, err
 	}
 	defer resp.Body.Close()
+	collectHeaderTrace(remote, resp)
 	if resp.StatusCode == http.StatusNotFound {
 		return nil, ErrPeerMiss
 	}
@@ -487,8 +505,8 @@ func (n *Node) fetchManifest(p *Peer, id string) (*store.Manifest, error) {
 // fetchSegment streams one peer's segment straight into the local store's
 // Import, which size-checks the copy and digest-verifies every tile before
 // publishing.
-func (n *Node) fetchSegment(p *Peer, man *store.Manifest) error {
-	ctx, cancel := context.WithTimeout(context.Background(), segmentTimeout)
+func (n *Node) fetchSegment(ctx context.Context, p *Peer, man *store.Manifest, remote *trace.Trace) error {
+	ctx, cancel := context.WithTimeout(ctx, segmentTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.addr+"/internal/datasets/"+man.ID+"/segment", nil)
 	if err != nil {
@@ -499,6 +517,7 @@ func (n *Node) fetchSegment(p *Peer, man *store.Manifest) error {
 		return err
 	}
 	defer resp.Body.Close()
+	collectHeaderTrace(remote, resp)
 	if resp.StatusCode == http.StatusNotFound {
 		return ErrPeerMiss
 	}
@@ -509,23 +528,51 @@ func (n *Node) fetchSegment(p *Peer, man *store.Manifest) error {
 	return err
 }
 
-// PullDataset fetches dataset id from the cluster into the local store:
+// collectHeaderTrace appends a response's X-Sccg-Trace spans into remote.
+// Header spans describe only the peer's pre-stream work (open, validate) —
+// headers precede the body, so the transfer itself is the caller's span.
+func collectHeaderTrace(remote *trace.Trace, resp *http.Response) {
+	if remote == nil {
+		return
+	}
+	if t := trace.DecodeHeaderTrace(resp.Header.Get(trace.ResponseHeader)); t != nil {
+		remote.Spans = append(remote.Spans, t.Spans...)
+	}
+}
+
+// PullResult describes a completed peer pull: the bytes copied (0 when the
+// dataset was already local), the peer that served it, and the peer's own
+// serving spans for the caller to splice into its trace.
+type PullResult struct {
+	Bytes  int64
+	Peer   string
+	Remote *trace.Trace
+}
+
+// PullDataset fetches dataset id from the cluster into the local store.
+// See PullDatasetCtx for semantics.
+func (n *Node) PullDataset(id string) (int64, error) {
+	res, err := n.PullDatasetCtx(context.Background(), id)
+	return res.Bytes, err
+}
+
+// PullDatasetCtx fetches dataset id from the cluster into the local store:
 // manifest first, then the raw segment, every byte verified on arrival.
 // Owners are tried in rendezvous rank order; a peer serving corrupt bytes
 // (digest or decode failure inside Import) is skipped and the next owner
 // tried, so one bad replica can neither poison the store nor block the pull.
-// Returns the segment bytes copied (0 when the dataset was already local).
-// When no reachable peer holds the dataset, the error wraps
-// store.ErrNotFound.
-func (n *Node) PullDataset(id string) (int64, error) {
+// A trace context stashed in ctx propagates to the serving peer, whose spans
+// come back in the result. When no reachable peer holds the dataset, the
+// error wraps store.ErrNotFound.
+func (n *Node) PullDatasetCtx(ctx context.Context, id string) (PullResult, error) {
 	if n.store == nil {
-		return 0, errors.New("cluster: node has no store")
+		return PullResult{}, errors.New("cluster: node has no store")
 	}
 	if !store.ValidateID(id) {
-		return 0, fmt.Errorf("cluster: %q is not a dataset ID", id)
+		return PullResult{}, fmt.Errorf("cluster: %q is not a dataset ID", id)
 	}
 	if _, ok := n.store.Get(id); ok {
-		return 0, nil
+		return PullResult{}, nil
 	}
 	start := time.Now()
 	var lastErr error
@@ -533,7 +580,8 @@ func (n *Node) PullDataset(id string) (int64, error) {
 		if hop.Peer == nil {
 			continue // self: nothing to pull from
 		}
-		man, err := n.fetchManifest(hop.Peer, id)
+		remote := &trace.Trace{}
+		man, err := n.fetchManifest(ctx, hop.Peer, id, remote)
 		if err != nil {
 			if errors.Is(err, ErrPeerMiss) {
 				continue
@@ -543,7 +591,7 @@ func (n *Node) PullDataset(id string) (int64, error) {
 			lastErr = err
 			continue
 		}
-		if err := n.fetchSegment(hop.Peer, man); err != nil {
+		if err := n.fetchSegment(ctx, hop.Peer, man, remote); err != nil {
 			n.pullFailures.Inc()
 			n.log.Warn("dataset pull failed", "dataset", id[:12], "peer", hop.Addr, "error", err)
 			lastErr = err
@@ -551,12 +599,38 @@ func (n *Node) PullDataset(id string) (int64, error) {
 		}
 		n.pulls.Inc()
 		n.pullBytes.Add(man.SegmentBytes)
-		n.pullSeconds.ObserveSince(start)
+		if h := n.pullSeconds[hop.Addr]; h != nil {
+			h.ObserveSince(start)
+		}
 		n.log.Info("dataset pulled", "dataset", id[:12], "peer", hop.Addr, "bytes", man.SegmentBytes)
-		return man.SegmentBytes, nil
+		if len(remote.Spans) == 0 {
+			remote = nil
+		}
+		return PullResult{Bytes: man.SegmentBytes, Peer: hop.Addr, Remote: remote}, nil
 	}
 	if lastErr != nil {
-		return 0, fmt.Errorf("cluster: pull dataset %.12s: %w", id, lastErr)
+		return PullResult{}, fmt.Errorf("cluster: pull dataset %.12s: %w", id, lastErr)
 	}
-	return 0, fmt.Errorf("cluster: %w: no reachable peer holds %.12s", store.ErrNotFound, id)
+	return PullResult{}, fmt.Errorf("cluster: %w: no reachable peer holds %.12s", store.ErrNotFound, id)
 }
+
+// FetchMetrics scrapes one peer's /internal/metrics text exposition, bounded
+// by maxBytes, for the federation layer.
+func (n *Node) FetchMetrics(ctx context.Context, p *Peer, maxBytes int64) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.addr+"/internal/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := n.do(req, p)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: peer answered %d for metrics", resp.StatusCode)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, maxBytes))
+}
+
+// Peers returns the configured peer list (excluding self).
+func (n *Node) Peers() []*Peer { return n.peers }

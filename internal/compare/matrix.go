@@ -75,6 +75,10 @@ type SubmitOutcome struct {
 	JobID string
 	// Cached marks answers served from the result cache (live or persisted).
 	Cached bool
+	// Trace carries the caller-side spans of a routed (remote) cell — the
+	// cluster leg plus the serving peer's spliced spans. Nil for local cells,
+	// whose trace lives on the job itself.
+	Trace *trace.Trace
 	// Report is set when the cell was answered terminal-immediately from a
 	// persisted report; the run records it without waiting on any job.
 	Report *pipeline.Result
@@ -128,6 +132,10 @@ type RunSpec struct {
 	MinSimilarity float64
 	// Estimate asks the plan phase for Monte-Carlo ordering refinement.
 	Estimate bool
+	// Prelude carries spans the caller recorded before starting the run —
+	// e.g. cluster pulls making the datasets resident on the coordinator.
+	// Its per-stage totals fold into the run's plan_trace rollup.
+	Prelude *trace.Trace
 }
 
 // progressive reports whether the spec carries an objective that permits
@@ -225,6 +233,9 @@ func (m *Manager) StartSpec(spec RunSpec, release func()) (*Run, error) {
 		notify:    make(chan struct{}),
 		release:   release,
 		state:     RunRunning,
+	}
+	if spec.Prelude != nil && len(spec.Prelude.Spans) > 0 {
+		r.planTrace = trace.Summarize(spec.Prelude)
 	}
 	if bipartite {
 		for i := range r.rows {
@@ -501,8 +512,18 @@ func (r *Run) plan(cfg ManagerConfig) []*cell {
 	}
 	rec.Finish()
 
+	sum := trace.Summarize(rec.Snapshot())
 	r.mu.Lock()
-	r.planTrace = trace.Summarize(rec.Snapshot())
+	// Fold in the caller's prelude (cluster pulls recorded before the run
+	// started) rather than overwriting it: plan_trace is the whole cost of
+	// getting the run ready to dispatch.
+	if prev := r.planTrace; prev != nil {
+		sum.TotalMs += prev.TotalMs
+		for k, v := range prev.Stages {
+			sum.Stages[k] += v
+		}
+	}
+	r.planTrace = sum
 	order := make([]*cell, len(r.cells))
 	copy(order, r.cells)
 	sort.SliceStable(order, func(a, b int) bool {
@@ -624,6 +645,7 @@ func (r *Run) runCell(c *cell, cfg ManagerConfig) {
 			// Persisted-cache answer: terminal immediately, no live job.
 			c.state = CellDone
 			c.report = out.Report
+			c.trace = trace.Summarize(out.Trace)
 			r.bumpLocked()
 			r.mu.Unlock()
 			r.maybePrune()
@@ -1004,6 +1026,7 @@ func (r *Run) UpgradeCell(i, j int) (CellView, error) {
 		// A cache layer answered terminal-immediately: no live job to track.
 		c.state = CellDone
 		c.report = out.Report
+		c.trace = trace.Summarize(out.Trace)
 		c.jobID = out.JobID
 		v := r.viewLocked(c)
 		r.bumpLocked()

@@ -1,0 +1,219 @@
+package metrics
+
+// Text-exposition parsing and cluster merging, the metrics half of
+// federation: each node serves its own registry on /internal/metrics, and
+// GET /metrics?cluster=1 parses every peer's exposition and merges it with
+// the local one — counters and histogram series summed (cumulative buckets
+// sum validly), gauges relabelled per peer so they stay attributable.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SeriesSample is one parsed sample line: the full rendered series name
+// (labels included) and its value.
+type SeriesSample struct {
+	Series string
+	Value  float64
+}
+
+// Exposition is one node's parsed text-format scrape.
+type Exposition struct {
+	// Types maps family name → declared type (counter, gauge, histogram).
+	Types map[string]string
+	// Samples in input order.
+	Samples []SeriesSample
+	// Skipped counts malformed lines the parser stepped over.
+	Skipped int
+}
+
+// ParseText parses a Prometheus text-format (v0.0.4) exposition. It is
+// deliberately tolerant: unparseable lines are counted and skipped, unknown
+// comment lines ignored, and an optional trailing timestamp accepted — a
+// peer running a newer build must not break the whole federation scrape.
+func ParseText(r io.Reader) (*Exposition, error) {
+	exp := &Exposition{Types: make(map[string]string)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 4<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) == 4 && fields[1] == "TYPE" {
+				exp.Types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		series, rest, ok := splitSample(line)
+		if !ok {
+			exp.Skipped++
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.Fields(rest)[0], 64)
+		if err != nil {
+			exp.Skipped++
+			continue
+		}
+		exp.Samples = append(exp.Samples, SeriesSample{Series: series, Value: v})
+	}
+	if err := sc.Err(); err != nil {
+		return exp, fmt.Errorf("metrics: parse exposition: %w", err)
+	}
+	return exp, nil
+}
+
+// splitSample separates a sample line into its series name and the value
+// field(s). Label values may contain spaces, so the split point is the first
+// space after the closing brace when labels are present.
+func splitSample(line string) (series, rest string, ok bool) {
+	i := 0
+	if j := strings.IndexByte(line, '{'); j >= 0 {
+		k := strings.IndexByte(line[j:], '}')
+		if k < 0 {
+			return "", "", false
+		}
+		i = j + k + 1
+	}
+	sp := strings.IndexByte(line[i:], ' ')
+	if sp < 0 {
+		return "", "", false
+	}
+	series = line[:i+sp]
+	rest = strings.TrimSpace(line[i+sp:])
+	if series == "" || rest == "" {
+		return "", "", false
+	}
+	return series, rest, true
+}
+
+// familyOf resolves the family a sample belongs to and whether the sample is
+// summable across nodes (counter or histogram child series). Histogram child
+// series (_bucket/_sum/_count) resolve to their parent family.
+func (e *Exposition) familyOf(series string) (fam, typ string, summable bool) {
+	base, _ := splitName(series)
+	if t, ok := e.Types[base]; ok {
+		return base, t, t == "counter"
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		parent := strings.TrimSuffix(base, suffix)
+		if parent == base {
+			continue
+		}
+		if t, ok := e.Types[parent]; ok && t == "histogram" {
+			return parent, "histogram", true
+		}
+	}
+	return base, "untyped", false
+}
+
+// Federate merges per-node expositions into one cluster-wide exposition and
+// writes it in text format. nodes maps a peer label (the advertise address,
+// or "self") to its parsed scrape. Counters and histogram series with
+// identical rendered names are summed across nodes — cumulative buckets sum
+// into valid cumulative buckets. Gauges (and untyped series) are relabelled
+// with a `peer` label per node so point-in-time values stay attributable
+// instead of being summed into nonsense.
+func Federate(w io.Writer, nodes map[string]*Exposition) error {
+	type famOut struct {
+		typ    string
+		summed map[string]float64
+		series []SeriesSample
+	}
+	fams := make(map[string]*famOut)
+	order := make([]string, 0, len(nodes))
+	for label := range nodes {
+		order = append(order, label)
+	}
+	sort.Strings(order)
+	for _, label := range order {
+		exp := nodes[label]
+		if exp == nil {
+			continue
+		}
+		for _, s := range exp.Samples {
+			fam, typ, summable := exp.familyOf(s.Series)
+			f, ok := fams[fam]
+			if !ok {
+				f = &famOut{typ: typ, summed: make(map[string]float64)}
+				fams[fam] = f
+			}
+			if f.typ == "untyped" && typ != "untyped" {
+				f.typ = typ
+			}
+			if summable {
+				f.summed[s.Series] += s.Value
+			} else {
+				f.series = append(f.series, SeriesSample{
+					Series: spliceSuffix(s.Series, "", "peer", label),
+					Value:  s.Value,
+				})
+			}
+		}
+	}
+
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := fams[name]
+		typ := f.typ
+		if typ == "untyped" {
+			typ = "gauge"
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ); err != nil {
+			return err
+		}
+		series := make([]SeriesSample, 0, len(f.summed)+len(f.series))
+		for s, v := range f.summed {
+			series = append(series, SeriesSample{Series: s, Value: v})
+		}
+		series = append(series, f.series...)
+		sort.Slice(series, func(i, j int) bool {
+			return seriesSortKey(series[i].Series) < seriesSortKey(series[j].Series)
+		})
+		for _, s := range series {
+			if err := writeSample(w, s.Series, s.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// seriesSortKey orders series lexically except for histogram buckets, whose
+// `le` value sorts numerically so cumulative buckets come out ascending
+// (lexical order would put le="10.4" before le="2.6").
+func seriesSortKey(series string) string {
+	base, labels := splitName(series)
+	if !strings.HasSuffix(base, "_bucket") {
+		return series
+	}
+	i := strings.Index(labels, `le="`)
+	if i < 0 {
+		return series
+	}
+	j := strings.IndexByte(labels[i+4:], '"')
+	if j < 0 {
+		return series
+	}
+	le := labels[i+4 : i+4+j]
+	rest := base + "{" + labels[:i] + labels[i+4+j:]
+	if le == "+Inf" {
+		return rest + "~" // past every padded numeric key
+	}
+	v, err := strconv.ParseFloat(le, 64)
+	if err != nil {
+		return series
+	}
+	return rest + fmt.Sprintf("%020.9f", v)
+}

@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseTextRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs_total").Add(7)
+	r.Counter(Label("routed_total", "peer", "http://p:1")).Add(2)
+	r.Gauge("queue_depth").Set(3.5)
+	h := r.Histogram("latency_seconds")
+	h.Observe(0.01)
+	h.Observe(2.5)
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := ParseText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Skipped != 0 {
+		t.Fatalf("skipped %d lines of our own exposition", exp.Skipped)
+	}
+	if exp.Types["jobs_total"] != "counter" || exp.Types["latency_seconds"] != "histogram" {
+		t.Fatalf("types: %v", exp.Types)
+	}
+	found := map[string]float64{}
+	for _, s := range exp.Samples {
+		found[s.Series] = s.Value
+	}
+	if found["jobs_total"] != 7 {
+		t.Fatalf("jobs_total = %v", found["jobs_total"])
+	}
+	if found[`routed_total{peer="http://p:1"}`] != 2 {
+		t.Fatalf("labelled counter lost: %v", found)
+	}
+	if found["latency_seconds_count"] != 2 || found["latency_seconds_sum"] != 2.51 {
+		t.Fatalf("histogram sum/count: %v %v", found["latency_seconds_sum"], found["latency_seconds_count"])
+	}
+	fam, typ, summable := exp.familyOf(`latency_seconds_bucket{le="+Inf"}`)
+	if fam != "latency_seconds" || typ != "histogram" || !summable {
+		t.Fatalf("bucket family = %s/%s summable=%v", fam, typ, summable)
+	}
+}
+
+func TestParseTextTolerant(t *testing.T) {
+	in := strings.Join([]string{
+		"# HELP something ignored",
+		"# TYPE good counter",
+		"good 4",
+		"with_ts 5 1700000000000",
+		"malformed",
+		"bad_value{x=\"y\"} notanumber",
+		"",
+	}, "\n")
+	exp, err := ParseText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Skipped != 2 {
+		t.Fatalf("skipped = %d, want 2", exp.Skipped)
+	}
+	if len(exp.Samples) != 2 || exp.Samples[1].Value != 5 {
+		t.Fatalf("samples: %+v", exp.Samples)
+	}
+}
+
+func buildExp(t *testing.T, fill func(r *Registry)) *Exposition {
+	t.Helper()
+	r := NewRegistry()
+	fill(r)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exp
+}
+
+func TestFederate(t *testing.T) {
+	a := buildExp(t, func(r *Registry) {
+		r.Counter("sccgd_jobs_total").Add(3)
+		r.Gauge("sccgd_cache_entries").Set(10)
+		h := r.Histogram("sccgd_pull_seconds")
+		h.Observe(0.2)
+	})
+	b := buildExp(t, func(r *Registry) {
+		r.Counter("sccgd_jobs_total").Add(4)
+		r.Gauge("sccgd_cache_entries").Set(5)
+		h := r.Histogram("sccgd_pull_seconds")
+		h.Observe(0.4)
+		h.Observe(0.4)
+	})
+
+	var out bytes.Buffer
+	if err := Federate(&out, map[string]*Exposition{"self": a, "http://b:1": b}); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	merged, err := ParseText(strings.NewReader(text))
+	if err != nil || merged.Skipped != 0 {
+		t.Fatalf("federated output does not re-parse: %v skipped=%d\n%s", err, merged.Skipped, text)
+	}
+	vals := map[string]float64{}
+	for _, s := range merged.Samples {
+		vals[s.Series] = s.Value
+	}
+	if vals["sccgd_jobs_total"] != 7 {
+		t.Fatalf("counter not summed: %v", vals["sccgd_jobs_total"])
+	}
+	if vals[`sccgd_cache_entries{peer="self"}`] != 10 || vals[`sccgd_cache_entries{peer="http://b:1"}`] != 5 {
+		t.Fatalf("gauges not peer-labelled:\n%s", text)
+	}
+	if vals["sccgd_pull_seconds_count"] != 3 {
+		t.Fatalf("histogram count not summed: %v", vals["sccgd_pull_seconds_count"])
+	}
+	if vals[`sccgd_pull_seconds_bucket{le="+Inf"}`] != 3 {
+		t.Fatalf("+Inf bucket not summed:\n%s", text)
+	}
+	// Buckets ascend: cumulative counts never decrease in output order.
+	last := -1.0
+	lastLe := ""
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, "sccgd_pull_seconds_bucket") {
+			continue
+		}
+		fields := strings.Fields(line)
+		v := vals[fields[0]]
+		if v < last {
+			t.Fatalf("bucket order broken at %s (after %s):\n%s", fields[0], lastLe, text)
+		}
+		last, lastLe = v, fields[0]
+	}
+	if !strings.Contains(text, "# TYPE sccgd_jobs_total counter") {
+		t.Fatalf("missing TYPE line:\n%s", text)
+	}
+}
+
+func TestFederateHandlesDuration(t *testing.T) {
+	// ObserveSince-style values survive a parse→federate→parse cycle.
+	a := buildExp(t, func(r *Registry) {
+		r.Histogram("d_seconds").ObserveDuration(1500 * time.Millisecond)
+	})
+	var out bytes.Buffer
+	if err := Federate(&out, map[string]*Exposition{"self": a}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseText(&out); err != nil {
+		t.Fatal(err)
+	}
+}

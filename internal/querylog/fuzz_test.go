@@ -1,0 +1,44 @@
+package querylog
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzQuerylogRecord holds DecodeRecord to "never panic, classify every
+// failure, and anything accepted re-encodes to a line that decodes to the
+// same record" — the property crash-recovery reads depend on when the tail
+// of the log is a torn write.
+func FuzzQuerylogRecord(f *testing.F) {
+	f.Add([]byte(`{"schema":"sccg-qlog/1","time":"2026-01-01T00:00:00Z","kind":"job","id":"j1","outcome":"computed","duration_ms":1.5}`))
+	f.Add([]byte(`{"schema":"sccg-qlog/1","kind":"pull","outcome":"pulled","peer":"http://p:1","datasets":[{"id":"a","tiles":2,"bytes":9}]}`))
+	f.Add([]byte(`{"schema":"other/1","kind":"job","outcome":"computed"}`))
+	f.Add([]byte(`{"schema":"sccg-qlog/1"}`))
+	f.Add([]byte(`{torn`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		r, err := DecodeRecord(line)
+		if err != nil {
+			switch SkipReason(err) {
+			case SkipBadJSON, SkipBadSchema, SkipBadRecord:
+			default:
+				t.Fatalf("unclassified decode error: %v", err)
+			}
+			return
+		}
+		if r.Schema != Schema || r.Kind == "" || r.Outcome == "" {
+			t.Fatalf("accepted incomplete record: %+v", r)
+		}
+		re, err := json.Marshal(r)
+		if err != nil {
+			t.Fatalf("accepted record does not re-encode: %v", err)
+		}
+		r2, err := DecodeRecord(re)
+		if err != nil {
+			t.Fatalf("re-encoded record rejected: %v (%s)", err, re)
+		}
+		if r2.Kind != r.Kind || r2.Outcome != r.Outcome || r2.ID != r.ID || len(r2.Datasets) != len(r.Datasets) {
+			t.Fatalf("round trip diverged: %+v vs %+v", r, r2)
+		}
+	})
+}

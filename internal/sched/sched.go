@@ -65,6 +65,11 @@ type Config struct {
 	QueueDepth int
 	// Registry, when set, receives per-executor pipeline accounting.
 	Registry *metrics.Registry
+	// NoTrace disables per-job span recording: jobs submitted without a
+	// caller recorder run with no recorder at all (every trace.Recorder
+	// method is nil-safe). Exists to measure tracing's own overhead
+	// (cmd/bench trace_overhead); production keeps it off.
+	NoTrace bool
 }
 
 func (c Config) normalized() Config {
@@ -383,7 +388,7 @@ func (s *Scheduler) SubmitSourceTraced(name string, src TaskSource, rec *trace.R
 	if src == nil || src.Len() == 0 {
 		return "", ErrEmptyJob
 	}
-	if rec == nil {
+	if rec == nil && !s.cfg.NoTrace {
 		rec = trace.NewRecorder()
 	}
 	ctx, cancel := context.WithCancel(context.Background())

@@ -22,8 +22,11 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/compare"
+	"repro/internal/metrics"
 	"repro/internal/pipeline"
+	"repro/internal/querylog"
 	"repro/internal/sched"
 	"repro/internal/store"
 	"repro/internal/trace"
@@ -52,6 +55,10 @@ type clusterResult struct {
 	Saved  time.Time       `json:"saved"`
 	Cached bool            `json:"cached,omitempty"`
 	Report pipeline.Result `json:"report"`
+	// Trace carries the serving node's spans for this request so the caller
+	// can splice them into its own picture. Validation ignores it — a trace
+	// is observability, never trusted data.
+	Trace *trace.Trace `json:"trace,omitempty"`
 }
 
 // clusterCompareRequest asks a peer to compute (or answer from cache) one
@@ -61,6 +68,24 @@ type clusterCompareRequest struct {
 	DatasetB string `json:"dataset_b"`
 }
 
+// peerRecorder starts a child recorder under the caller's traceparent, so
+// spans recorded while serving a peer request share the caller's trace ID. A
+// caller without a (valid) traceparent still gets spans — under a fresh
+// trace identity.
+func peerRecorder(r *http.Request) *trace.Recorder {
+	parent, _ := trace.ParseTraceparent(r.Header.Get(trace.Header))
+	return trace.NewRecorderFrom(parent)
+}
+
+// setHeaderTrace attaches the recorder's spans to the response as the
+// X-Sccg-Trace header — the return channel for byte-stream endpoints whose
+// bodies are raw data. Must run before the first body write.
+func setHeaderTrace(w http.ResponseWriter, rec *trace.Recorder) {
+	if enc := trace.EncodeHeaderTrace(rec.Snapshot()); enc != "" {
+		w.Header().Set(trace.ResponseHeader, enc)
+	}
+}
+
 // handleClusterManifest serves a stored dataset's manifest to a peer.
 func (s *Server) handleClusterManifest(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
@@ -68,24 +93,33 @@ func (s *Server) handleClusterManifest(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("%q is not a dataset ID", id))
 		return
 	}
+	rec := peerRecorder(r)
+	start := time.Now()
 	man, ok := s.store.Get(id)
+	rec.Add("serve_manifest", id[:12], start, time.Now())
 	if !ok {
 		s.fail(w, http.StatusNotFound, store.ErrNotFound)
 		return
 	}
+	setHeaderTrace(w, rec)
 	writeJSON(w, http.StatusOK, man)
 }
 
 // handleClusterSegment streams a stored dataset's raw segment bytes to a
 // peer. The receiver digest-verifies every tile on import, so this serves
-// plain bytes with no further framing.
+// plain bytes with no further framing. The trace header only covers work
+// before the stream starts (headers precede the body on the wire); the
+// caller's own span brackets the full transfer.
 func (s *Server) handleClusterSegment(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if !store.ValidateID(id) {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("%q is not a dataset ID", id))
 		return
 	}
+	rec := peerRecorder(r)
+	start := time.Now()
 	rc, size, err := s.store.OpenSegment(id)
+	rec.Add("serve_segment", id[:12], start, time.Now())
 	if err != nil {
 		code := http.StatusInternalServerError
 		if errors.Is(err, store.ErrNotFound) {
@@ -95,6 +129,7 @@ func (s *Server) handleClusterSegment(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer rc.Close()
+	setHeaderTrace(w, rec)
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
 	_, _ = io.Copy(w, rc)
@@ -110,11 +145,17 @@ func (s *Server) handleClusterResult(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, errors.New("result probe needs two dataset IDs"))
 		return
 	}
+	rec := peerRecorder(r)
+	start := time.Now()
 	res, ok := s.localResult(crossKey(a, b))
+	rec.Add("serve_result", a[:12]+"/"+b[:12], start, time.Now())
 	if !ok {
 		s.fail(w, http.StatusNotFound, errors.New("no cached result"))
 		return
 	}
+	// Only the probe's own serving spans travel back: the cached report's
+	// original compute trace belongs to a past job, not this call window.
+	res.Trace = rec.Snapshot()
 	writeJSON(w, http.StatusOK, res)
 }
 
@@ -147,17 +188,26 @@ func (s *Server) handleClusterCompare(w http.ResponseWriter, r *http.Request) {
 	if err := s.decode(w, r, &req); err != nil {
 		return
 	}
-	sub, err := s.submitRequest(JobRequest{DatasetA: req.DatasetA, DatasetB: req.DatasetB})
+	// The caller's traceparent rides into the submission path, so the job's
+	// whole recorder — materialize, pins, pulls, scheduler stages — joins the
+	// caller's trace and travels back on the result for splicing.
+	parent, _ := trace.ParseTraceparent(r.Header.Get(trace.Header))
+	sub, err := s.submitRequestTraced(JobRequest{DatasetA: req.DatasetA, DatasetB: req.DatasetB}, parent)
 	if err != nil {
 		s.fail(w, sub.code, err)
 		return
 	}
 	key := crossKey(req.DatasetA, req.DatasetB)
 	if sub.report != nil {
-		// A cache layer answered terminal-immediately.
+		// A cache layer answered terminal-immediately: synthesize the one
+		// span that happened here (the cache probe) so the caller's splice
+		// still shows where the answer came from.
+		rec := trace.NewRecorderFrom(parent)
+		rec.Add("cache", sub.outcome, time.Now(), time.Now())
 		writeJSON(w, http.StatusOK, clusterResult{
 			Key: key, Name: sub.resp.Name, Cross: sub.cross,
 			Saved: time.Now().UTC(), Cached: true, Report: *sub.report,
+			Trace: rec.Snapshot(),
 		})
 		return
 	}
@@ -177,6 +227,7 @@ func (s *Server) handleClusterCompare(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, clusterResult{
 		Key: key, Name: st.Name, Cross: sub.cross,
 		Saved: st.Finished.UTC(), Cached: sub.resp.Cached, Report: st.Report,
+		Trace: st.Trace,
 	})
 }
 
@@ -194,10 +245,41 @@ func validateClusterResult(res *clusterResult, wantKey string) (*persistEntry, e
 	return e, nil
 }
 
+// observeRemoteSpan times one cross-node leg (peer pull, remote compare,
+// remote cache probe) into the per-kind remote-span histogram.
+func (s *Server) observeRemoteSpan(kind string, start time.Time) {
+	s.reg.Histogram(metrics.Label("sccgd_cluster_remote_span_seconds", "kind", kind)).ObserveSince(start)
+}
+
+// recordPull appends a query-log record for one peer pull attempt.
+func (s *Server) recordPull(rec *trace.Recorder, id string, res cluster.PullResult, dur time.Duration, err error) {
+	if s.qlog == nil {
+		return
+	}
+	qr := querylog.Record{
+		Kind:       querylog.KindPull,
+		ID:         id,
+		TraceID:    rec.Context().TraceIDString(),
+		Datasets:   []querylog.DatasetIO{{ID: id, Bytes: res.Bytes}},
+		DurationMs: float64(dur.Microseconds()) / 1000,
+		Outcome:    querylog.OutcomePulled,
+		Peer:       res.Peer,
+	}
+	if man, ok := s.store.Get(id); ok {
+		qr.Datasets[0].Tiles = len(man.Tiles)
+	}
+	if err != nil {
+		qr.Outcome = querylog.OutcomeFailed
+		qr.Error = err.Error()
+	}
+	s.qlog.Append(qr)
+}
+
 // ensureLocal makes every dataset resident in the local store, pulling
 // missing ones from cluster peers (digest-verified on arrival). Each pull is
-// recorded as a `cluster` span when rec is non-nil. Without a cluster it is
-// a no-op: absence surfaces through the usual not-found paths.
+// recorded as a `cluster` span, the serving peer's own spans are spliced in
+// beside it, and a query-log pull record lands either way. Without a cluster
+// it is a no-op: absence surfaces through the usual not-found paths.
 func (s *Server) ensureLocal(rec *trace.Recorder, ids ...string) error {
 	if s.cluster == nil || s.store == nil {
 		return nil
@@ -206,15 +288,18 @@ func (s *Server) ensureLocal(rec *trace.Recorder, ids ...string) error {
 		if _, ok := s.store.Get(id); ok {
 			continue
 		}
+		ctx := trace.WithContext(context.Background(), rec.Context())
 		start := time.Now()
-		_, err := s.cluster.PullDataset(id)
-		if rec != nil {
-			detail := "pull " + id[:12]
-			if err != nil {
-				detail += " failed"
-			}
-			rec.Add("cluster", detail, start, time.Now())
+		res, err := s.cluster.PullDatasetCtx(ctx, id)
+		end := time.Now()
+		detail := "pull " + id[:12]
+		if err != nil {
+			detail += " failed"
 		}
+		rec.Add("cluster", detail, start, end)
+		rec.Splice(res.Peer, res.Remote, start, end)
+		s.observeRemoteSpan("pull", start)
+		s.recordPull(rec, id, res, end.Sub(start), err)
 		if err != nil {
 			return err
 		}
@@ -227,20 +312,24 @@ func (s *Server) ensureLocal(rec *trace.Recorder, ids ...string) error {
 // finished report for key. A hit is adopted into the local persisted layer
 // (best-effort; the keep gate may decline entries for datasets not held
 // here) and served exactly like a persisted hit.
-func (s *Server) remoteResult(key string) (submission, bool) {
+func (s *Server) remoteResult(key string, parent trace.Context) (submission, bool) {
 	ids := keyDatasetIDs(key)
 	if len(ids) == 0 {
 		return submission{}, false // request-hash key: content unknown cluster-wide
 	}
 	a, b := ids[0], ids[len(ids)-1]
+	rec := trace.NewRecorderFrom(parent)
 	for _, hop := range s.cluster.Ranked(key) {
 		if hop.Peer == nil {
 			continue // this node's own layers already missed
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), clusterResultTimeout)
+		ctx, cancel := context.WithTimeout(
+			trace.WithContext(context.Background(), rec.Context()), clusterResultTimeout)
+		start := time.Now()
 		var res clusterResult
 		err := s.cluster.GetJSON(ctx, hop.Peer, "/internal/results/"+a+"/"+b, &res, maxClusterResultBytes)
 		cancel()
+		end := time.Now()
 		if err != nil {
 			continue // miss or peer failure; a lower-ranked peer may still answer
 		}
@@ -249,13 +338,19 @@ func (s *Server) remoteResult(key string) (submission, bool) {
 			s.log.Warn("discarding invalid peer result", "peer", hop.Addr, "err", verr)
 			continue
 		}
+		rec.Add("cluster", "remote result "+a[:12], start, end)
+		rec.Splice(hop.Addr, res.Trace, start, end)
+		s.observeRemoteSpan("remote_result", start)
 		s.cacheHits.Inc()
 		s.remoteHits.Inc()
 		s.touchKey(key)
 		if s.persist != nil {
 			_ = s.persist.put(e)
 		}
-		return submission{resp: persistedResponse(key, e), code: http.StatusOK, report: &e.Report, cross: e.Cross}, true
+		resp := persistedResponse(key, e)
+		resp.Trace = rec.Snapshot()
+		return submission{resp: resp, code: http.StatusOK, report: &e.Report, cross: e.Cross,
+			outcome: querylog.OutcomeCluster, peer: hop.Addr}, true
 	}
 	return submission{}, false
 }
@@ -269,15 +364,19 @@ func (s *Server) remoteResult(key string) (submission, bool) {
 // Routing never fails a submit.
 func (s *Server) remoteCell(idA, idB string) (compare.SubmitOutcome, bool) {
 	key := crossKey(idA, idB)
+	rec := trace.NewRecorder()
 	for _, hop := range s.cluster.Ranked(key) {
 		if hop.Peer == nil {
 			return compare.SubmitOutcome{}, false // we own the cell
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), clusterCompareTimeout)
+		ctx, cancel := context.WithTimeout(
+			trace.WithContext(context.Background(), rec.Context()), clusterCompareTimeout)
+		start := time.Now()
 		var res clusterResult
 		err := s.cluster.PostJSON(ctx, hop.Peer, "/internal/compare",
 			clusterCompareRequest{DatasetA: idA, DatasetB: idB}, &res, maxClusterResultBytes)
 		cancel()
+		end := time.Now()
 		if err != nil {
 			s.log.Warn("routed cell failed on peer", "peer", hop.Addr, "err", err)
 			continue
@@ -291,16 +390,37 @@ func (s *Server) remoteCell(idA, idB string) (compare.SubmitOutcome, bool) {
 			s.log.Warn("peer cell result names wrong datasets", "peer", hop.Addr)
 			continue
 		}
+		rec.Add("cluster", "remote cell "+idA[:12]+"/"+idB[:12], start, end)
+		rec.Splice(hop.Addr, res.Trace, start, end)
+		s.observeRemoteSpan("remote_compare", start)
 		s.routedCells.Inc()
 		s.touchKey(key)
 		if s.persist != nil {
 			_ = s.persist.put(e)
 		}
-		out := compare.SubmitOutcome{Cached: res.Cached, Report: &e.Report, Tiles: e.Report.Stats.TilesProcessed}
+		out := compare.SubmitOutcome{Cached: res.Cached, Report: &e.Report,
+			Tiles: e.Report.Stats.TilesProcessed, Trace: rec.Snapshot()}
 		if e.Cross != nil {
 			out.Tiles = e.Cross.MatchedTiles
 			out.UnmatchedA = e.Cross.UnmatchedA
 			out.UnmatchedB = e.Cross.UnmatchedB
+		}
+		if s.qlog != nil {
+			outcome := querylog.OutcomeComputed
+			if res.Cached {
+				outcome = querylog.OutcomeCluster
+			}
+			s.qlog.Append(querylog.Record{
+				Kind:    querylog.KindCell,
+				ID:      idA[:12] + "/" + idB[:12],
+				TraceID: rec.Context().TraceIDString(),
+				Datasets: []querylog.DatasetIO{
+					{ID: idA}, {ID: idB},
+				},
+				DurationMs: float64(end.Sub(start).Microseconds()) / 1000,
+				Outcome:    outcome,
+				Peer:       hop.Addr,
+			})
 		}
 		return out, true
 	}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/parser"
+	"repro/internal/querylog"
 	"repro/internal/store"
 )
 
@@ -86,6 +87,7 @@ func (s *Server) handlePutDataset(w http.ResponseWriter, r *http.Request) {
 	if !s.requireStore(w) {
 		return
 	}
+	ingestStart := time.Now()
 	wtr, err := s.store.NewWriter(r.URL.Query().Get("name"))
 	if err != nil {
 		s.ingestFails.Inc()
@@ -165,6 +167,15 @@ func (s *Server) handlePutDataset(w http.ResponseWriter, r *http.Request) {
 	}
 	committed = true
 	s.ingests.Inc()
+	if s.qlog != nil {
+		s.qlog.Append(querylog.Record{
+			Kind:       querylog.KindIngest,
+			ID:         man.ID,
+			Datasets:   []querylog.DatasetIO{{ID: man.ID, Tiles: len(man.Tiles), Bytes: man.SegmentBytes}},
+			DurationMs: float64(time.Since(ingestStart).Microseconds()) / 1000,
+			Outcome:    querylog.OutcomeIngested,
+		})
+	}
 	writeJSON(w, http.StatusOK, datasetResponse(man, true))
 }
 

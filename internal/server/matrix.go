@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/compare"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // MatrixRequest starts a matrix run over stored datasets.
@@ -163,12 +164,16 @@ func (s *Server) startMatrix(req MatrixRequest) (run *compare.Run, code int, err
 	// front: pinning requires local presence, and the plan phase bounds cells
 	// from local manifests. Routed cells still compute remotely; the pull
 	// keeps the coordinator able to answer any cell itself (degrade-to-local).
-	if err := s.ensureLocal(nil, ids...); err != nil {
+	// The pulls are recorded and handed to the run as its plan prelude, so
+	// plan_trace prices them next to the bound/estimate stages.
+	rec := trace.NewRecorder()
+	if err := s.ensureLocal(rec, ids...); err != nil {
 		if errors.Is(err, store.ErrNotFound) {
 			return nil, http.StatusNotFound, err
 		}
 		return nil, http.StatusBadGateway, err
 	}
+	rec.Finish()
 	if err := s.pinDatasets(ids...); err != nil {
 		if errors.Is(err, store.ErrNotFound) {
 			return nil, http.StatusNotFound, err
@@ -188,6 +193,7 @@ func (s *Server) startMatrix(req MatrixRequest) (run *compare.Run, code int, err
 		TopK:          req.TopK,
 		MinSimilarity: req.MinSimilarity,
 		Estimate:      req.Estimate,
+		Prelude:       rec.Snapshot(),
 	}, release)
 	if err != nil {
 		release()

@@ -1,0 +1,126 @@
+package server
+
+// HTTP read surface of the persisted query/access log (internal/querylog):
+// GET /querylog serves filtered records from the JSONL generations, and
+// GET /datasets/{id}/heat serves the per-tile read-frequency rollup the
+// store's read hook feeds. Both answer 501 when the log is disabled (no
+// store, or -querylog-max-bytes < 0).
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/querylog"
+	"repro/internal/store"
+)
+
+// querylogDefaultLimit bounds an unfiltered GET /querylog: the log may hold
+// tens of MiB of records and the endpoint is for inspection, not bulk
+// export (raise ?limit= explicitly to page deeper).
+const querylogDefaultLimit = 500
+
+func (s *Server) handleQuerylog(w http.ResponseWriter, r *http.Request) {
+	if s.qlog == nil {
+		s.fail(w, http.StatusNotImplemented, errors.New("query log not enabled (start sccgd with -data-dir)"))
+		return
+	}
+	q := r.URL.Query()
+	f := querylog.Filter{
+		Dataset: q.Get("dataset"),
+		Outcome: q.Get("outcome"),
+		Kind:    q.Get("kind"),
+		Limit:   querylogDefaultLimit,
+	}
+	var err error
+	if f.Since, err = timeParam(q.Get("since")); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("since: %w", err))
+		return
+	}
+	if f.Until, err = timeParam(q.Get("until")); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("until: %w", err))
+		return
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("limit %q is not a non-negative integer", v))
+			return
+		}
+		f.Limit = n
+	}
+	res, err := s.qlog.Query(f)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	records := res.Records
+	if records == nil {
+		records = []querylog.Record{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"schema":  querylog.Schema,
+		"records": records,
+		"skipped": res.Skipped,
+	})
+}
+
+// timeParam parses an RFC3339 query parameter; empty means unset.
+func timeParam(v string) (time.Time, error) {
+	if v == "" {
+		return time.Time{}, nil
+	}
+	t, err := time.Parse(time.RFC3339, v)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("%q is not an RFC3339 timestamp", v)
+	}
+	return t, nil
+}
+
+// handleDatasetHeat serves a dataset's per-tile read counts. When the
+// dataset is resident locally the heat slice is padded out to the manifest's
+// tile count, so never-read tiles show as explicit zeros — the cold end of
+// the distribution is data, not absence.
+func (s *Server) handleDatasetHeat(w http.ResponseWriter, r *http.Request) {
+	if s.qlog == nil {
+		s.fail(w, http.StatusNotImplemented, errors.New("query log not enabled (start sccgd with -data-dir)"))
+		return
+	}
+	id := r.PathValue("id")
+	if !store.ValidateID(id) {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("%q is not a dataset ID", id))
+		return
+	}
+	heat, seen := s.qlog.Heat(id)
+	tiles := len(heat)
+	local := false
+	if s.store != nil {
+		if man, ok := s.store.Get(id); ok {
+			local = true
+			if len(man.Tiles) > tiles {
+				tiles = len(man.Tiles)
+			}
+		}
+	}
+	if !seen && !local {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("no reads recorded for dataset %.12s and it is not stored here", id))
+		return
+	}
+	for t := len(heat); t < tiles; t++ {
+		heat = append(heat, querylog.TileHeat{Tile: t})
+	}
+	var reads, bytes int64
+	for _, h := range heat {
+		reads += h.Reads
+		bytes += h.Bytes
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dataset":     id,
+		"local":       local,
+		"tiles":       heat,
+		"total_reads": reads,
+		"total_bytes": bytes,
+	})
+}

@@ -65,6 +65,10 @@ func (s *Server) dropDatasetResults(id string) {
 	if s.persist != nil {
 		n += s.persist.dropDataset(id)
 	}
+	// Heat is an access rollup for data that exists; a deleted dataset's
+	// history goes with it (records in the query log itself remain — the log
+	// is an audit trail, not a cache).
+	s.qlog.DropHeat(id)
 	if n > 0 {
 		s.cascades.Add(int64(n))
 	}

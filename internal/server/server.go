@@ -70,6 +70,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/pathology"
 	"repro/internal/pipeline"
+	"repro/internal/querylog"
 	"repro/internal/retention"
 	"repro/internal/sched"
 	"repro/internal/store"
@@ -118,6 +119,13 @@ type Options struct {
 	// layer, and matrix cells route to their owner nodes. The caller owns
 	// the node's lifecycle. Requires a Store.
 	Cluster *cluster.Node
+	// QuerylogMaxBytes bounds the persisted query/access log under
+	// <store>/querylog (active + one rotated generation). 0 selects the
+	// 64 MiB default; negative disables the log. Ignored without a Store.
+	QuerylogMaxBytes int64
+	// SlowQuery, when positive, emits a structured warning (with the job's
+	// trace summary) for any job or cell slower than this threshold.
+	SlowQuery time.Duration
 	// Logger receives the server's structured log records; slog.Default()
 	// when nil.
 	Logger *slog.Logger
@@ -144,11 +152,18 @@ type Server struct {
 	retention *retention.Engine
 	// cluster is the peer layer; nil on a single-node daemon (see cluster.go).
 	cluster *cluster.Node
-	reg     *metrics.Registry
-	log     *slog.Logger
-	compare CompareFunc
-	maxBody int64
-	started time.Time
+	// qlog is the persisted query/access log plus per-tile heat rollup; nil
+	// without a store or when disabled (see querylog_http.go for the routes).
+	qlog *querylog.Log
+	// fed caches peer metric scrapes for /metrics?cluster=1 and the /healthz
+	// rollup; nil on a single-node daemon (see federate.go).
+	fed       *federator
+	slowQuery time.Duration
+	reg       *metrics.Registry
+	log       *slog.Logger
+	compare   CompareFunc
+	maxBody   int64
+	started   time.Time
 
 	// crossMu guards crossByJob: per-job cross-dataset pairing metadata
 	// (matched/unmatched tile counts) attached to job responses.
@@ -260,6 +275,22 @@ func New(s *sched.Scheduler, opts Options) *Server {
 		srv.remoteHits = opts.Registry.Counter("sccgd_cluster_remote_cache_hits_total")
 		srv.routedCells = opts.Registry.Counter("sccgd_cluster_cells_routed_total")
 		srv.degradedLocal = opts.Registry.Counter("sccgd_cluster_degraded_local_total")
+		srv.fed = newFederator(srv)
+	}
+	srv.slowQuery = opts.SlowQuery
+	if srv.store != nil && opts.QuerylogMaxBytes >= 0 {
+		ql, err := querylog.Open(filepath.Join(opts.Store.Dir(), "querylog"), opts.QuerylogMaxBytes)
+		if err != nil {
+			// A broken query log degrades observability only; the daemon runs.
+			srv.log.Warn("query log disabled", "err", err)
+		} else {
+			srv.qlog = ql
+			opts.Store.SetReadHook(ql.ObserveRead)
+			opts.Registry.OnScrape(func(e *metrics.Emitter) {
+				e.Counter("sccgd_querylog_records_total", float64(ql.Appended()))
+				e.Counter("sccgd_querylog_write_errors_total", float64(ql.WriteErrors()))
+			})
+		}
 	}
 	if srv.store != nil {
 		srv.store.SetMetrics(opts.Registry)
@@ -356,6 +387,12 @@ func (s *Server) Drain() {
 	s.persistDraining = true
 	s.persistMu.Unlock()
 	s.persistWG.Wait()
+	// Only after every in-flight recorder goroutine has appended its record:
+	// Close flushes the heat rollup beside the log so a restarted daemon
+	// answers /datasets/{id}/heat from history, not from zero.
+	if err := s.qlog.Close(); err != nil {
+		s.log.Warn("query log close", "err", err)
+	}
 }
 
 // Registry returns the server's metrics registry.
@@ -387,6 +424,8 @@ func (s *Server) Handler() http.Handler {
 	handle("POST /compare", s.handleCompare)
 	handle("POST /gc", s.handleGC)
 	handle("DELETE /cache", s.handleClearCache)
+	handle("GET /querylog", s.handleQuerylog)
+	handle("GET /datasets/{id}/heat", s.handleDatasetHeat)
 	handle("GET /metrics", s.handleMetrics)
 	handle("GET /healthz", s.handleHealthz)
 	if s.cluster != nil {
@@ -396,6 +435,7 @@ func (s *Server) Handler() http.Handler {
 		handle("GET /internal/datasets/{id}/segment", s.handleClusterSegment)
 		handle("GET /internal/results/{a}/{b}", s.handleClusterResult)
 		handle("POST /internal/compare", s.handleClusterCompare)
+		handle("GET /internal/metrics", s.handleInternalMetrics)
 	}
 	return mux
 }
@@ -631,11 +671,23 @@ type submission struct {
 	report *pipeline.Result
 	// cross is the pairing metadata attached to resp, when any.
 	cross *CrossPayload
+	// outcome is the querylog classification of how this submission was
+	// answered (querylog.Outcome*); peer is set for cluster-cache answers.
+	outcome string
+	peer    string
 }
 
 // submitRequest resolves a job request through the cache layers or submits
 // it to the scheduler. On error, submission.code carries the HTTP status.
 func (s *Server) submitRequest(req JobRequest) (submission, error) {
+	return s.submitRequestTraced(req, trace.Context{})
+}
+
+// submitRequestTraced is submitRequest under an incoming trace context: when
+// parent is non-zero (a peer forwarded its traceparent), the job's recorder
+// joins that trace so the spans splice back into the caller's picture.
+func (s *Server) submitRequestTraced(req JobRequest, parent trace.Context) (submission, error) {
+	reqStart := time.Now()
 	if err := checkRequest(req); err != nil {
 		return submission{code: http.StatusBadRequest}, err
 	}
@@ -650,7 +702,8 @@ func (s *Server) submitRequest(req JobRequest) (submission, error) {
 	key := ""
 	if !req.NoCache {
 		key = s.cacheKey(req)
-		if sub, ok := s.resolveCached(key); ok {
+		if sub, ok := s.resolveCached(key, parent); ok {
+			s.recordJobSub(req, sub, reqStart)
 			return sub, nil
 		}
 		// The miss is counted only once the job is really submitted: the
@@ -659,8 +712,9 @@ func (s *Server) submitRequest(req JobRequest) (submission, error) {
 
 	// The recorder starts here so the trace covers pre-scheduler time:
 	// pinning, dataset generation, ingest, and store opens all land in the
-	// materialize span (with pin sub-spans recorded inside).
-	rec := trace.NewRecorder()
+	// materialize span (with pin sub-spans recorded inside). When a parent
+	// context rode in, the recorder adopts its trace ID.
+	rec := trace.NewRecorderFrom(parent)
 	matStart := time.Now()
 	name, src, contentKey, cross, err := s.materializeRequest(rec, req)
 	rec.Add("materialize", requestForm(req), matStart, time.Now())
@@ -678,8 +732,9 @@ func (s *Server) submitRequest(req JobRequest) (submission, error) {
 		// the cache, since this very content may already have a result
 		// computed under another request form.
 		key = contentKey
-		if sub, ok := s.resolveCached(key); ok {
+		if sub, ok := s.resolveCached(key, parent); ok {
 			releaseSource(src) // no job will own the pinned source
+			s.recordJobSub(req, sub, reqStart)
 			return sub, nil
 		}
 	}
@@ -704,23 +759,82 @@ func (s *Server) submitRequest(req JobRequest) (submission, error) {
 	}
 	if key != "" {
 		s.cache.put(key, id)
-		if s.persist != nil {
-			// Persist the report once the job completes, so a restarted
-			// daemon answers this content without recompute. The draining
-			// check under the mutex keeps the Add from racing Drain's Wait.
-			s.persistMu.Lock()
-			if !s.persistDraining {
-				s.persistWG.Add(1)
-				go func() {
-					defer s.persistWG.Done()
-					s.persistWhenDone(rec, key, id, name, cross)
-				}()
-			}
-			s.persistMu.Unlock()
+	}
+	// One completion watcher per computed job: it persists the report (when
+	// cache-keyed), appends the query-log record, and flags slow queries. The
+	// draining check under the mutex keeps the Add from racing Drain's Wait.
+	if (key != "" && s.persist != nil) || s.qlog != nil || s.slowQuery > 0 {
+		persistKey := key
+		if s.persist == nil {
+			persistKey = ""
 		}
+		s.persistMu.Lock()
+		if !s.persistDraining {
+			s.persistWG.Add(1)
+			go func() {
+				defer s.persistWG.Done()
+				s.finishWhenDone(rec, persistKey, id, name, req, cross)
+			}()
+		}
+		s.persistMu.Unlock()
 	}
 	st, _ := s.sched.Job(id)
 	return submission{resp: s.jobResponse(st, false), code: http.StatusAccepted, jobID: id, cross: cross}, nil
+}
+
+// recordJobSub appends a query-log record for a cache-answered submission
+// (computed jobs are recorded by their completion watcher instead).
+func (s *Server) recordJobSub(req JobRequest, sub submission, start time.Time) {
+	if s.qlog == nil || sub.outcome == "" {
+		return
+	}
+	rec := querylog.Record{
+		Kind:       querylog.KindJob,
+		ID:         sub.resp.ID,
+		TraceID:    traceIDOf(sub.resp.Trace),
+		Datasets:   s.requestIO(req),
+		DurationMs: float64(time.Since(start).Microseconds()) / 1000,
+		Outcome:    sub.outcome,
+		Peer:       sub.peer,
+	}
+	s.qlog.Append(rec)
+}
+
+// requestIO lists the datasets a request touches, with tile counts resolved
+// from local manifests when available. Byte counts are left to the store's
+// read hook (heat), which sees actual reads rather than request shapes.
+func (s *Server) requestIO(req JobRequest) []querylog.DatasetIO {
+	var ids []string
+	switch {
+	case req.DatasetA != "":
+		ids = []string{req.DatasetA}
+		if req.DatasetB != req.DatasetA {
+			ids = append(ids, req.DatasetB)
+		}
+	case req.DatasetID != "":
+		ids = []string{req.DatasetID}
+	default:
+		return nil
+	}
+	out := make([]querylog.DatasetIO, 0, len(ids))
+	for _, id := range ids {
+		io := querylog.DatasetIO{ID: id}
+		if s.store != nil {
+			if man, ok := s.store.Get(id); ok {
+				io.Tiles = len(man.Tiles)
+			}
+		}
+		out = append(out, io)
+	}
+	return out
+}
+
+// traceIDOf extracts the trace ID of a wire trace, "" when absent.
+func traceIDOf(t *trace.Trace) string {
+	if t == nil {
+		return ""
+	}
+	return t.TraceID
 }
 
 // resolveCached answers a cache key from the live LRU first, then the
@@ -728,12 +842,12 @@ func (s *Server) submitRequest(req JobRequest) (submission, error) {
 // layer (owner peers' caches, see cluster.go). A hit is a use of the
 // underlying datasets: their retention clocks advance, so repeatedly-hit
 // content never TTL-expires out from under its own cache entry.
-func (s *Server) resolveCached(key string) (submission, bool) {
+func (s *Server) resolveCached(key string, parent trace.Context) (submission, bool) {
 	if sub, ok := s.resolveLocalCached(key); ok {
 		return sub, true
 	}
 	if s.cluster != nil {
-		if sub, ok := s.remoteResult(key); ok {
+		if sub, ok := s.remoteResult(key, parent); ok {
 			return sub, true
 		}
 	}
@@ -746,14 +860,16 @@ func (s *Server) resolveLocalCached(key string) (submission, bool) {
 	if resp, ok := s.cachedResponse(key); ok {
 		s.cacheHits.Inc()
 		s.touchKey(key)
-		return submission{resp: resp, code: http.StatusOK, jobID: resp.ID, cross: resp.Cross}, true
+		return submission{resp: resp, code: http.StatusOK, jobID: resp.ID, cross: resp.Cross,
+			outcome: querylog.OutcomeCached}, true
 	}
 	if s.persist != nil {
 		if e, ok := s.persist.get(key); ok {
 			s.cacheHits.Inc()
 			s.persistHits.Inc()
 			s.touchKey(key)
-			return submission{resp: persistedResponse(key, e), code: http.StatusOK, report: &e.Report, cross: e.Cross}, true
+			return submission{resp: persistedResponse(key, e), code: http.StatusOK, report: &e.Report, cross: e.Cross,
+				outcome: querylog.OutcomePersisted}, true
 		}
 	}
 	return submission{}, false
@@ -788,21 +904,47 @@ func persistedResponse(key string, e *persistEntry) JobResponse {
 	}
 }
 
-// persistWhenDone waits for a cache-keyed job to finish and writes its
-// report to the durable cache layer. The write lands in the job's trace as a
-// persist span — recorded after the scheduler froze the trace total, so it
-// shows up in later trace reads without shifting the job's wall time.
-func (s *Server) persistWhenDone(rec *trace.Recorder, key, jobID, name string, cross *CrossPayload) {
+// finishWhenDone waits for a submitted job's terminal state and runs the
+// completion bookkeeping: the durable-cache write for cache-keyed Done jobs
+// (landing in the trace as a persist span — recorded after the scheduler
+// froze the trace total, so it shows up in later trace reads without
+// shifting the job's wall time), the query-log record, and the slow-query
+// warning.
+func (s *Server) finishWhenDone(rec *trace.Recorder, key, jobID, name string, req JobRequest, cross *CrossPayload) {
 	st, err := s.sched.Wait(context.Background(), jobID)
-	if err != nil || st.State != sched.Done {
+	if err != nil {
 		return
 	}
-	start := time.Now()
-	e := &persistEntry{Key: key, Name: name, Cross: cross, Saved: time.Now().UTC(), Report: st.Report}
-	perr := s.persist.put(e)
-	rec.Add("persist", "", start, time.Now())
-	if perr != nil {
-		s.log.Warn("persist result failed", "job_id", jobID, "err", perr)
+	if key != "" && st.State == sched.Done {
+		start := time.Now()
+		e := &persistEntry{Key: key, Name: name, Cross: cross, Saved: time.Now().UTC(), Report: st.Report}
+		perr := s.persist.put(e)
+		rec.Add("persist", "", start, time.Now())
+		if perr != nil {
+			s.log.Warn("persist result failed", "job_id", jobID, "err", perr)
+		}
+	}
+	outcome := querylog.OutcomeComputed
+	if st.State != sched.Done {
+		outcome = querylog.OutcomeFailed
+	}
+	dur := st.Finished.Sub(st.Submitted)
+	if s.qlog != nil {
+		s.qlog.Append(querylog.Record{
+			Kind:       querylog.KindJob,
+			ID:         jobID,
+			TraceID:    rec.Context().TraceIDString(),
+			Datasets:   s.requestIO(req),
+			DurationMs: float64(dur.Microseconds()) / 1000,
+			Outcome:    outcome,
+			Error:      st.Error,
+		})
+	}
+	if s.slowQuery > 0 && dur > s.slowQuery {
+		s.log.Warn("slow query", "job_id", jobID, "name", name,
+			"duration_ms", float64(dur.Microseconds())/1000,
+			"threshold_ms", float64(s.slowQuery.Microseconds())/1000,
+			"outcome", outcome, "trace", trace.Summarize(st.Trace))
 	}
 }
 
@@ -958,10 +1100,27 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("cluster") == "1" {
+		if s.fed == nil {
+			s.fail(w, http.StatusNotImplemented, errors.New("not clustered: no peers to federate"))
+			return
+		}
+		s.fed.serveFederated(w, r)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	// Everything — counters, gauges, histograms, and the scheduler/group
 	// scrape collector registered in New — renders through the registry's
 	// sorted, typed exposition.
+	_ = s.reg.WriteText(w)
+}
+
+// handleInternalMetrics serves the node's own exposition on the peer surface
+// so other nodes' /metrics?cluster=1 can scrape it through the cluster
+// transport (same body as plain /metrics; the separate route keeps the
+// public endpoint's route-label cardinality clean and stays cluster-gated).
+func (s *Server) handleInternalMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.reg.WriteText(w)
 }
 
@@ -1023,6 +1182,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.cluster != nil {
 		resp["cluster"] = s.cluster.Health()
+		if s.fed != nil {
+			resp["cluster_metrics"] = s.fed.rollup()
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

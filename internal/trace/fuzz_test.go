@@ -1,0 +1,32 @@
+package trace
+
+import "testing"
+
+// FuzzTraceparent holds the header parser to "never panic, and anything
+// accepted round-trips byte-for-byte" — the property the cluster transport
+// relies on when a peer (or anything spoofing one) sends arbitrary bytes.
+func FuzzTraceparent(f *testing.F) {
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00")
+	f.Add("")
+	f.Add("00-00000000000000000000000000000000-0000000000000000-00")
+	f.Add("ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00_4bf92f3577b34da6a3ce929d0e0e4736_00f067aa0ba902b7_01")
+	f.Fuzz(func(t *testing.T, s string) {
+		c, ok := ParseTraceparent(s)
+		if !ok {
+			if !c.Zero() {
+				t.Fatalf("rejected input left identity %+v", c)
+			}
+			return
+		}
+		if c.Zero() {
+			t.Fatal("accepted a zero trace ID")
+		}
+		wire := c.Traceparent()
+		re, ok2 := ParseTraceparent(wire)
+		if !ok2 || re != c {
+			t.Fatalf("round trip diverged: %q -> %+v -> %q -> %+v (ok=%v)", s, c, wire, re, ok2)
+		}
+	})
+}

@@ -1,0 +1,180 @@
+package trace
+
+// Cross-node propagation: a W3C-traceparent-style context travels on every
+// /internal/* request so the remote side can run a child Recorder under the
+// same trace ID and return its spans inline for the caller to Splice. The
+// wire form is the standard `00-<32 hex trace-id>-<16 hex span-id>-<2 hex
+// flags>`; only version 00 is produced or accepted.
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"strings"
+)
+
+// Header is the HTTP request header carrying the trace context, and
+// ResponseHeader is where byte-stream internal endpoints (manifest/segment)
+// return their compact JSON trace, since their bodies are raw data.
+const (
+	Header         = "Traceparent"
+	ResponseHeader = "X-Sccg-Trace"
+)
+
+// Context is a parsed traceparent: the 16-byte trace ID shared by every hop
+// of one logical operation and the 8-byte span ID of the current hop.
+type Context struct {
+	TraceID [16]byte
+	SpanID  [8]byte
+	Flags   byte
+}
+
+// Zero reports whether the context carries no identity (the all-zero trace
+// ID is invalid per the traceparent spec and doubles as "absent" here).
+func (c Context) Zero() bool { return c.TraceID == [16]byte{} }
+
+// TraceIDString renders the trace ID as 32 lowercase hex digits, or "" for
+// a zero context.
+func (c Context) TraceIDString() string {
+	if c.Zero() {
+		return ""
+	}
+	return hex.EncodeToString(c.TraceID[:])
+}
+
+// Traceparent renders the context in wire form, or "" for a zero context.
+func (c Context) Traceparent() string {
+	if c.Zero() {
+		return ""
+	}
+	var b strings.Builder
+	b.Grow(55)
+	b.WriteString("00-")
+	b.WriteString(hex.EncodeToString(c.TraceID[:]))
+	b.WriteByte('-')
+	b.WriteString(hex.EncodeToString(c.SpanID[:]))
+	b.WriteByte('-')
+	b.WriteString(hex.EncodeToString([]byte{c.Flags}))
+	return b.String()
+}
+
+// Child keeps the trace ID and rolls a fresh span ID for the next hop. A
+// zero context stays zero rather than minting a partial identity.
+func (c Context) Child() Context {
+	if c.Zero() {
+		return c
+	}
+	child := c
+	fill(child.SpanID[:])
+	return child
+}
+
+// NewContext mints a fresh trace identity with the sampled flag set.
+func NewContext() Context {
+	var c Context
+	fill(c.TraceID[:])
+	fill(c.SpanID[:])
+	c.Flags = 0x01
+	return c
+}
+
+func fill(b []byte) {
+	if _, err := rand.Read(b); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; for trace IDs
+		// a fixed fallback only degrades observability, never correctness.
+		for i := range b {
+			b[i] = 0xff
+		}
+	}
+}
+
+// ParseTraceparent parses a version-00 traceparent header. It returns a zero
+// Context (ok=false) for anything malformed: wrong length or structure,
+// non-hex digits, unsupported version, or the all-zero trace or span ID the
+// spec forbids. Never panics — FuzzTraceparent holds it to that.
+func ParseTraceparent(s string) (Context, bool) {
+	// 2 + 1 + 32 + 1 + 16 + 1 + 2
+	if len(s) != 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return Context{}, false
+	}
+	if s[0] != '0' || s[1] != '0' {
+		return Context{}, false
+	}
+	var c Context
+	if !hexDecode(c.TraceID[:], s[3:35]) || !hexDecode(c.SpanID[:], s[36:52]) {
+		return Context{}, false
+	}
+	var flags [1]byte
+	if !hexDecode(flags[:], s[53:55]) {
+		return Context{}, false
+	}
+	c.Flags = flags[0]
+	if c.TraceID == [16]byte{} || c.SpanID == [8]byte{} {
+		return Context{}, false
+	}
+	return c, true
+}
+
+// hexDecode fills dst from exactly len(dst)*2 lowercase-or-uppercase hex
+// digits, reporting false on any non-hex byte.
+func hexDecode(dst []byte, s string) bool {
+	if len(s) != len(dst)*2 {
+		return false
+	}
+	_, err := hex.Decode(dst, []byte(s))
+	return err == nil
+}
+
+// maxHeaderTrace bounds a header-carried trace; internal byte-stream
+// endpoints attach only a handful of spans, so anything bigger is bogus.
+const maxHeaderTrace = 64 << 10
+
+// EncodeHeaderTrace renders a trace as one compact JSON line for the
+// X-Sccg-Trace response header on byte-stream internal endpoints (manifest
+// and segment serving, whose bodies are raw data). Empty traces render "".
+func EncodeHeaderTrace(t *Trace) string {
+	if t == nil || len(t.Spans) == 0 {
+		return ""
+	}
+	raw, err := json.Marshal(t)
+	if err != nil || len(raw) > maxHeaderTrace {
+		return ""
+	}
+	return string(raw)
+}
+
+// DecodeHeaderTrace parses an X-Sccg-Trace header value; nil for absent,
+// oversized, or malformed input — a peer's broken trace must never fail the
+// data transfer it rode on.
+func DecodeHeaderTrace(s string) *Trace {
+	if s == "" || len(s) > maxHeaderTrace {
+		return nil
+	}
+	var t Trace
+	if err := json.Unmarshal([]byte(s), &t); err != nil {
+		return nil
+	}
+	if len(t.Spans) == 0 {
+		return nil
+	}
+	return &t
+}
+
+type ctxKey struct{}
+
+// WithContext stashes a trace context in a context.Context so the cluster
+// transport can inject the traceparent header without every call site
+// threading it explicitly.
+func WithContext(ctx context.Context, tc Context) context.Context {
+	if tc.Zero() {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, tc)
+}
+
+// FromContext recovers a stashed trace context; zero when absent.
+func FromContext(ctx context.Context) Context {
+	tc, _ := ctx.Value(ctxKey{}).(Context)
+	return tc
+}

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestContextRoundTrip(t *testing.T) {
+	c := NewContext()
+	if c.Zero() {
+		t.Fatal("fresh context is zero")
+	}
+	wire := c.Traceparent()
+	if len(wire) != 55 || !strings.HasPrefix(wire, "00-") {
+		t.Fatalf("wire form %q", wire)
+	}
+	got, ok := ParseTraceparent(wire)
+	if !ok || got != c {
+		t.Fatalf("round trip: %+v ok=%v, want %+v", got, ok, c)
+	}
+	if got.TraceIDString() != wire[3:35] {
+		t.Fatalf("trace id %q vs wire %q", got.TraceIDString(), wire)
+	}
+}
+
+func TestChildKeepsTraceID(t *testing.T) {
+	c := NewContext()
+	kid := c.Child()
+	if kid.TraceID != c.TraceID {
+		t.Fatal("child changed the trace ID")
+	}
+	if kid.SpanID == c.SpanID {
+		t.Fatal("child kept the parent span ID")
+	}
+	var zero Context
+	if !zero.Child().Zero() {
+		t.Fatal("zero context minted a child identity")
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	valid := NewContext().Traceparent()
+	bad := []string{
+		"",
+		"00",
+		valid[:54],
+		valid + "0",
+		"01" + valid[2:], // unsupported version
+		"00-00000000000000000000000000000000-" + valid[36:], // zero trace id
+		valid[:36] + "0000000000000000" + valid[52:],        // zero span id
+		strings.Replace(valid, "-", "_", 1),                 // wrong separator
+		valid[:3] + "zz" + valid[5:],                        // non-hex
+	}
+	for _, s := range bad {
+		if _, ok := ParseTraceparent(s); ok {
+			t.Errorf("accepted %q", s)
+		}
+	}
+}
+
+func TestContextCarrier(t *testing.T) {
+	if !FromContext(context.Background()).Zero() {
+		t.Fatal("empty context carried an identity")
+	}
+	tc := NewContext()
+	ctx := WithContext(context.Background(), tc)
+	if got := FromContext(ctx); got != tc {
+		t.Fatalf("carried %+v, want %+v", got, tc)
+	}
+	if WithContext(context.Background(), Context{}) != context.Background() {
+		t.Fatal("zero context allocated a value")
+	}
+}
+
+func TestSplice(t *testing.T) {
+	rec := NewRecorder()
+	start := time.Now()
+	end := start.Add(100 * time.Millisecond)
+	remote := &Trace{Spans: []Span{
+		{Name: "materialize", StartMs: 10, DurationMs: 20},
+		{Name: "execute", StartMs: 50, DurationMs: 500}, // overruns the window
+		{Name: "third", Peer: "http://other:1", StartMs: 0, DurationMs: 5},
+	}}
+	rec.Splice("http://peer:1", remote, start, end)
+	tr := rec.Snapshot()
+	if len(tr.Spans) != 3 {
+		t.Fatalf("spliced %d spans", len(tr.Spans))
+	}
+	if tr.TraceID == "" {
+		t.Fatal("snapshot lost the trace ID")
+	}
+	windowEnd := ms(end.Sub(rec.base))
+	for _, sp := range tr.Spans {
+		if sp.Peer == "" {
+			t.Fatalf("span %q lost its peer tag", sp.Name)
+		}
+		if sp.StartMs+sp.DurationMs > windowEnd+0.001 {
+			t.Fatalf("span %q extends past the call window: %v+%v > %v", sp.Name, sp.StartMs, sp.DurationMs, windowEnd)
+		}
+	}
+	// A third-node tag survives re-splicing.
+	for _, sp := range tr.Spans {
+		if sp.Name == "third" && sp.Peer != "http://other:1" {
+			t.Fatalf("nested peer tag overwritten: %q", sp.Peer)
+		}
+	}
+	// Nil safety.
+	var nilRec *Recorder
+	nilRec.Splice("p", remote, start, end)
+	rec.Splice("p", nil, start, end)
+}

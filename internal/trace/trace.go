@@ -12,7 +12,9 @@
 package trace
 
 import (
+	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -21,6 +23,7 @@ import (
 // and executor slots add spans from their own goroutines.
 type Recorder struct {
 	mu    sync.Mutex
+	ctx   Context   // propagation identity; zero on untraced local jobs
 	base  time.Time // monotonic anchor; offsets are span.start - base
 	wall  time.Time // wall clock at creation, for display only
 	end   time.Time // zero until Finish; freezes TotalMs
@@ -30,14 +33,39 @@ type Recorder struct {
 type span struct {
 	name   string
 	detail string
+	peer   string
 	start  time.Duration
 	dur    time.Duration
 }
 
-// NewRecorder anchors a recorder at now.
+// NewRecorder anchors a recorder at now with a fresh trace identity.
 func NewRecorder() *Recorder {
 	now := time.Now()
-	return &Recorder{base: now, wall: now}
+	return &Recorder{ctx: NewContext(), base: now, wall: now}
+}
+
+// NewRecorderFrom anchors a child recorder at now under an incoming trace
+// context: the remote caller's trace ID is kept so every node's spans fold
+// into one logical trace, while the span ID is re-rolled for this hop. A
+// zero context (no caller, or an unparseable header) mints a fresh identity
+// instead — every recorder can propagate.
+func NewRecorderFrom(ctx Context) *Recorder {
+	now := time.Now()
+	if ctx.Zero() {
+		ctx = NewContext()
+	} else {
+		ctx = ctx.Child()
+	}
+	return &Recorder{ctx: ctx, base: now, wall: now}
+}
+
+// Context returns the recorder's propagation identity (zero for recorders
+// predating the context, e.g. zero-value Recorders in tests).
+func (r *Recorder) Context() Context {
+	if r == nil {
+		return Context{}
+	}
+	return r.ctx
 }
 
 // Add records a span from start to end. Spans whose end precedes their start
@@ -86,16 +114,19 @@ func (r *Recorder) Finish() {
 }
 
 // Span is one recorded stage in wire form. Offsets and durations are
-// fractional milliseconds.
+// fractional milliseconds. Peer names the node whose recorder produced the
+// span when it was spliced in from a cross-node call; empty for local spans.
 type Span struct {
 	Name       string  `json:"name"`
 	Detail     string  `json:"detail,omitempty"`
+	Peer       string  `json:"peer,omitempty"`
 	StartMs    float64 `json:"start_ms"`
 	DurationMs float64 `json:"duration_ms"`
 }
 
 // Trace is the wire form attached to job reports and served over HTTP.
 type Trace struct {
+	TraceID   string  `json:"trace_id,omitempty"`
 	StartedAt string  `json:"started_at"`
 	TotalMs   float64 `json:"total_ms"`
 	Spans     []Span  `json:"spans"`
@@ -126,14 +157,59 @@ func (r *Recorder) Snapshot() *Trace {
 		total = end.Sub(r.base)
 	}
 	t := &Trace{
+		TraceID:   r.ctx.TraceIDString(),
 		StartedAt: r.wall.UTC().Format(time.RFC3339Nano),
 		TotalMs:   ms(total),
 		Spans:     make([]Span, len(spans)),
 	}
 	for i, s := range spans {
-		t.Spans[i] = Span{Name: s.name, Detail: s.detail, StartMs: ms(s.start), DurationMs: ms(s.dur)}
+		t.Spans[i] = Span{Name: s.name, Detail: s.detail, Peer: s.peer, StartMs: ms(s.start), DurationMs: ms(s.dur)}
 	}
 	return t
+}
+
+// Splice re-anchors a remote trace's spans inside the local call window
+// [start, end] and tags each with the peer's address. Remote offsets are
+// relative to the remote recorder's own anchor; clocks across nodes are not
+// comparable, so the only sound placement is "inside the local window that
+// covered the call": each remote offset is applied from the local start and
+// clamped so no spliced span extends past the window. Spans already carrying
+// a peer tag (the remote side itself spliced a third node) keep their tag.
+func (r *Recorder) Splice(peer string, remote *Trace, start, end time.Time) {
+	if r == nil || remote == nil || len(remote.Spans) == 0 {
+		return
+	}
+	window := end.Sub(start)
+	if window < 0 {
+		window = 0
+	}
+	base := start.Sub(r.base)
+	if base < 0 {
+		base = 0
+	}
+	r.mu.Lock()
+	for _, sp := range remote.Spans {
+		off := time.Duration(sp.StartMs * float64(time.Millisecond))
+		dur := time.Duration(sp.DurationMs * float64(time.Millisecond))
+		if off < 0 {
+			off = 0
+		}
+		if off > window {
+			off = window
+		}
+		if dur < 0 {
+			dur = 0
+		}
+		if off+dur > window {
+			dur = window - off
+		}
+		p := sp.Peer
+		if p == "" {
+			p = peer
+		}
+		r.spans = append(r.spans, span{name: sp.Name, detail: sp.Detail, peer: p, start: base + off, dur: dur})
+	}
+	r.mu.Unlock()
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
@@ -143,6 +219,25 @@ func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond)
 type Summary struct {
 	TotalMs float64            `json:"total_ms"`
 	Stages  map[string]float64 `json:"stages"`
+}
+
+// String renders the summary as "total=<ms> <stage>=<ms> ..." with stages
+// sorted by name, so logfmt output stays deterministic and greppable.
+func (s *Summary) String() string {
+	if s == nil {
+		return ""
+	}
+	names := make([]string, 0, len(s.Stages))
+	for k := range s.Stages {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "total=%.3fms", s.TotalMs)
+	for _, k := range names {
+		fmt.Fprintf(&b, " %s=%.3fms", k, s.Stages[k])
+	}
+	return b.String()
 }
 
 // Summarize folds a trace into per-stage totals. Returns nil for nil input.

@@ -365,6 +365,16 @@ type ServiceOptions struct {
 	// Advertise is this node's own base URL as peers reach it; it anchors the
 	// node's position in the rendezvous hash ring. Required with Peers.
 	Advertise string
+	// QuerylogMaxBytes bounds the persisted query/access log kept under the
+	// store directory. 0 selects the 64 MiB default; negative disables the
+	// log. Requires Store.
+	QuerylogMaxBytes int64
+	// SlowQuery, when positive, logs a structured warning (with the job's
+	// trace summary) for any job slower than this threshold.
+	SlowQuery time.Duration
+	// NoTrace disables per-job span recording; only for measuring tracing's
+	// own overhead (cmd/bench trace_overhead).
+	NoTrace bool
 }
 
 // Service is the resident SCCG job service (paper §4 generalised to a
@@ -394,6 +404,7 @@ func NewService(opts ServiceOptions) *Service {
 		MaxShards:    opts.MaxShards,
 		QueueDepth:   opts.QueueDepth,
 		Registry:     reg,
+		NoTrace:      opts.NoTrace,
 	})
 	// The synchronous /compare endpoint runs on a CPU engine through the
 	// facade's error-returning path, leaving pool devices to the job queue.
@@ -441,6 +452,8 @@ func NewService(opts ServiceOptions) *Service {
 			Store:             opts.Store,
 			MatrixConcurrency: opts.MatrixConcurrency,
 			Cluster:           node,
+			QuerylogMaxBytes:  opts.QuerylogMaxBytes,
+			SlowQuery:         opts.SlowQuery,
 			Retention: retention.Policy{
 				MaxBytes:        opts.StoreMaxBytes,
 				TTL:             opts.StoreTTL,
