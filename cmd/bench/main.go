@@ -241,6 +241,13 @@ func benchRecord(short bool, gpus, cpuAggs int) (*runRecord, error) {
 		return nil, fmt.Errorf("trace overhead experiment: %w", err)
 	}
 	rec.Experiments = append(rec.Experiments, ovh...)
+	// Interactive isolation under a batch flood: the multi-tenant QoS
+	// scheduler's headline guarantee (PR 10 acceptance bound: p99 ratio < 5).
+	qos, err := qosIsolationRecords(short)
+	if err != nil {
+		return nil, fmt.Errorf("qos experiment: %w", err)
+	}
+	rec.Experiments = append(rec.Experiments, qos...)
 	return rec, nil
 }
 

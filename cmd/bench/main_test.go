@@ -28,7 +28,7 @@ func TestBenchRecordShort(t *testing.T) {
 		"pipeline_gpu": false, "pipeline_cpu": false, "pipeline_hybrid": false,
 		"pipeline_invariants": false, "kernel_pixelbox_gpu": false, "kernel_pixelbox_cpu": false,
 		"matrix_full": false, "matrix_topk": false, "cluster_matrix": false,
-		"trace_overhead": false,
+		"trace_overhead": false, "qos_isolation": false,
 	}
 	var sims []float64
 	for _, e := range rec.Experiments {
@@ -103,6 +103,21 @@ func TestBenchRecordShort(t *testing.T) {
 		}
 		if _, ok := e.Values["overhead_ratio"]; !ok {
 			t.Errorf("trace overhead record lacks overhead_ratio: %v", e.Values)
+		}
+	}
+
+	// The QoS isolation experiment is the PR-10 acceptance gate: the
+	// interactive p99 queue wait under a batch flood stays within 5x of
+	// unloaded, and the flood changes no result.
+	for _, e := range rec.Experiments {
+		if e.Name != "qos_isolation" {
+			continue
+		}
+		if r := e.Values["p99_wait_ratio"]; r <= 0 || r >= 5 {
+			t.Errorf("interactive p99 wait ratio %v outside (0, 5)", r)
+		}
+		if e.Values["similarity_bit_identical"] != 1 {
+			t.Errorf("qos flood changed probe results: %v", e.Values)
 		}
 	}
 

@@ -81,7 +81,7 @@ func progressiveRecords(short bool) ([]experimentRecord, error) {
 	defer sc.Close()
 	m := compare.NewManager(compare.ManagerConfig{
 		Scheduler: sc,
-		Submit: func(idA, idB string) (compare.SubmitOutcome, error) {
+		Submit: func(idA, idB, _ string) (compare.SubmitOutcome, error) {
 			dsA, err := st.OpenDataset(idA)
 			if err != nil {
 				return compare.SubmitOutcome{}, err

@@ -1,0 +1,129 @@
+package main
+
+// QoS isolation benchmark: the PR-10 acceptance experiment. A pool of two
+// executor slots (one reserved for interactive work by default) serves a
+// stream of interactive probe jobs twice — once on an idle scheduler, once
+// while a deep batch backlog floods the general slot — and the record
+// captures the p99 interactive queue wait in both phases plus their ratio.
+// The QoS machinery must keep that ratio small (the acceptance bound is 5x)
+// and must not change any result: the probes' reports are cross-checked
+// bit-identical between the phases.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/pathology"
+	"repro/internal/pipeline"
+	"repro/internal/sched"
+)
+
+// pctl returns the p-quantile (0 < p <= 1) of the samples by the
+// nearest-rank method; small sample sets make p99 the maximum.
+func pctl(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	ix := int(float64(len(s))*p+0.9999) - 1
+	if ix < 0 {
+		ix = 0
+	}
+	if ix >= len(s) {
+		ix = len(s) - 1
+	}
+	return s[ix]
+}
+
+// qosIsolationRecords runs the interactive-isolation experiment and returns
+// its record.
+func qosIsolationRecords(short bool) ([]experimentRecord, error) {
+	probes, floodJobs, tiles := 8, 16, 2
+	if short {
+		probes, floodJobs, tiles = 4, 6, 1
+	}
+	probeSpec := pathology.Representative()
+	probeSpec.Name = "bench-qos-probe"
+	probeSpec.Seed = 7
+	probeSpec.Tiles = tiles
+	probeTasks := pipeline.EncodeDataset(pathology.Generate(probeSpec))
+	floodSpec := probeSpec
+	floodSpec.Name = "bench-qos-flood"
+	floodSpec.Seed = 8
+	floodTasks := pipeline.EncodeDataset(pathology.Generate(floodSpec))
+
+	// One phase: optionally flood the batch band, then stream interactive
+	// probes and collect their queue waits and reports.
+	phase := func(flood bool) (waits, sims []float64, err error) {
+		sc := sched.New(sched.Config{Devices: 2})
+		defer sc.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+		defer cancel()
+		if flood {
+			for i := 0; i < floodJobs; i++ {
+				if _, err := sc.SubmitJob(sched.Tasks(floodTasks),
+					sched.JobOpts{Name: "flood", Band: sched.BandBatch}); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		for i := 0; i < probes; i++ {
+			id, err := sc.SubmitJob(sched.Tasks(probeTasks),
+				sched.JobOpts{Name: "probe", Band: sched.BandInteractive})
+			if err != nil {
+				return nil, nil, err
+			}
+			st, err := sc.Wait(ctx, id)
+			if err != nil {
+				return nil, nil, err
+			}
+			if st.State != sched.Done {
+				return nil, nil, fmt.Errorf("probe %d ended %s: %s", i, st.State, st.Error)
+			}
+			waits = append(waits, st.Started.Sub(st.Submitted).Seconds())
+			sims = append(sims, st.Report.Similarity)
+		}
+		return waits, sims, nil
+	}
+
+	start := time.Now()
+	quietWaits, quietSims, err := phase(false)
+	if err != nil {
+		return nil, fmt.Errorf("unloaded phase: %w", err)
+	}
+	floodWaits, floodSims, err := phase(true)
+	if err != nil {
+		return nil, fmt.Errorf("flooded phase: %w", err)
+	}
+
+	identical := 1.0
+	for i := range quietSims {
+		if quietSims[i] != floodSims[i] {
+			identical = 0
+		}
+	}
+	quietP99 := pctl(quietWaits, 0.99)
+	floodP99 := pctl(floodWaits, 0.99)
+	// Floor the unloaded p99 at 1ms: on an idle scheduler the wait is
+	// scheduling noise, and a ratio against near-zero would be meaningless.
+	floor := quietP99
+	if floor < 1e-3 {
+		floor = 1e-3
+	}
+
+	return []experimentRecord{{
+		Name:     "qos_isolation",
+		WallSecs: time.Since(start).Seconds(),
+		Values: map[string]float64{
+			"probes":                   float64(probes),
+			"flood_batch_jobs":         float64(floodJobs),
+			"interactive_p99_wait_ms":  quietP99 * 1000,
+			"flooded_p99_wait_ms":      floodP99 * 1000,
+			"p99_wait_ratio":           floodP99 / floor,
+			"similarity_bit_identical": identical,
+		},
+	}}, nil
+}

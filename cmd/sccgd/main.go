@@ -83,6 +83,23 @@
 //	curl -s 'localhost:8080/querylog?outcome=computed&limit=50'
 //	curl -s localhost:8080/datasets/<id1>/heat
 //	curl -s 'localhost:8080/metrics?cluster=1'
+//
+// Multi-tenant QoS: jobs run in three priority bands — interactive (job
+// submissions), batch (matrix cells), ingest (spec/corpus generation) —
+// under weighted fair sharing with aging, so a K-way matrix flood cannot
+// starve an interactive submission. -tenants names token-keyed tenants
+// with per-tenant byte, dataset, and queued-job quotas (unknown tokens
+// fall into the default tenant); admission control consults the retention
+// engine before accepting bytes, evicting synchronously or answering a
+// structured 413/429 instead of overshooting -store-max-bytes:
+//
+//	sccgd -data-dir /var/lib/sccgd -store-max-bytes 2GiB \
+//	      -tenants /etc/sccgd/tenants.json \
+//	      -band-weights interactive=8,batch=2,ingest=3 \
+//	      -reserve-interactive 1 -aging 30s -queue-pin-age 2m
+//	curl -s -H 'Authorization: Bearer <token>' -X POST localhost:8080/jobs \
+//	     -d '{"dataset_id":"<id>","band":"batch"}'
+//	curl -s 'localhost:8080/querylog?tenant=alice'
 package main
 
 import (
@@ -96,12 +113,16 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro"
 	"repro/internal/cluster"
 	"repro/internal/retention"
+	"repro/internal/sched"
+	"repro/internal/tenant"
 )
 
 // setupLogger installs the process-wide slog handler selected by -log-format.
@@ -158,6 +179,37 @@ func retentionPolicy(storeMax string, ttl, sweep time.Duration, cacheMax int) (r
 	return pol, nil
 }
 
+// parseBandWeights parses the -band-weights flag: comma-separated
+// band=weight pairs over the known band names. Unlisted bands keep their
+// defaults; weights must be positive; duplicate bands are rejected.
+func parseBandWeights(s string) ([sched.NumBands]int, error) {
+	var w [sched.NumBands]int
+	if s == "" {
+		return w, nil
+	}
+	seen := make(map[sched.Band]bool)
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return w, fmt.Errorf("-band-weights: %q is not band=weight", part)
+		}
+		b, err := sched.ParseBand(strings.TrimSpace(name))
+		if err != nil {
+			return w, fmt.Errorf("-band-weights: %w", err)
+		}
+		if seen[b] {
+			return w, fmt.Errorf("-band-weights: band %s listed twice", b)
+		}
+		seen[b] = true
+		n, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || n <= 0 {
+			return w, fmt.Errorf("-band-weights: weight for %s must be a positive integer, got %q", b, val)
+		}
+		w[b] = n
+	}
+	return w, nil
+}
+
 // sweepInterval reports the effective background sweep period for logs.
 func sweepInterval(pol retention.Policy) time.Duration {
 	if pol.SweepInterval > 0 {
@@ -202,6 +254,11 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 		advertise = fs.String("advertise", "", "this node's own base URL as peers reach it (required with -peers)")
 		qlogMax   = fs.String("querylog-max-bytes", "", "query/access log size bound, e.g. 64MiB; 'off' disables the log (default 64MiB; needs -data-dir)")
 		slowQuery = fs.Duration("slow-query", 0, "log a warning with the trace summary for jobs slower than this (0 = disabled)")
+		tenantsFl = fs.String("tenants", "", "multi-tenant config: a JSON file path or inline JSON ({\"default\":{...},\"tenants\":[...]}); empty = one unlimited tenant")
+		bandWts   = fs.String("band-weights", "", "per-band fair-share weights, e.g. interactive=8,batch=2,ingest=3 (unlisted bands keep defaults)")
+		aging     = fs.Duration("aging", 0, "queued-job aging boost: dispatch any job waiting this long ahead of fair share (0 = 30s default, negative disables)")
+		reserveIA = fs.Int("reserve-interactive", 0, "device slots reserved for interactive jobs (0 = auto: 1 when >1 slot; negative disables)")
+		pinAge    = fs.Duration("queue-pin-age", 2*time.Minute, "cancel QUEUED jobs older than this when their dataset pins block a retention sweep (0 = never)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -236,6 +293,17 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 	}
 	if qlogBytes > 0 && *dataDir == "" {
 		return errors.New("-querylog-max-bytes requires -data-dir")
+	}
+	tenantCfg, err := tenant.LoadConfig(*tenantsFl)
+	if err != nil {
+		return fmt.Errorf("-tenants: %w", err)
+	}
+	weights, err := parseBandWeights(*bandWts)
+	if err != nil {
+		return err
+	}
+	if *pinAge < 0 {
+		return errors.New("-queue-pin-age must not be negative")
 	}
 	var peerList []string
 	if *peers != "" {
@@ -282,8 +350,16 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 		Advertise:        *advertise,
 		QuerylogMaxBytes: qlogBytes,
 		SlowQuery:        *slowQuery,
+		Tenants:          tenantCfg,
+		BandWeights:      weights,
+		AgingBoost:       *aging,
+		ReservedSlots:    *reserveIA,
+		QueuePinAge:      *pinAge,
 	})
 	defer svc.Close()
+	if tenantCfg.Enabled() {
+		logger.Info("multi-tenant QoS active", "tenants", len(tenantCfg.Tenants))
+	}
 	if pol.Active() {
 		logger.Info("retention policy active", "policy", pol.String(), "sweep_interval", sweepInterval(pol).String())
 	}

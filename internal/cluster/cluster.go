@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/store"
+	"repro/internal/tenant"
 	"repro/internal/trace"
 )
 
@@ -393,6 +394,13 @@ func (n *Node) Owner(key string) string { return n.ranked(key)[0].Addr }
 func (n *Node) do(req *http.Request, p *Peer) (*http.Response, error) {
 	if tc := trace.FromContext(req.Context()); !tc.Zero() {
 		req.Header.Set(trace.Header, tc.Traceparent())
+	}
+	// The tenant identity rides the same chokepoint (tenant.WithContext →
+	// X-Sccg-Tenant), so work a peer performs on this node's behalf — cell
+	// compute, dataset pulls — is scheduled and accounted under the
+	// originating tenant, not an anonymous internal identity.
+	if name := tenant.FromContext(req.Context()); name != "" && tenant.ValidName(name) {
+		req.Header.Set(tenant.Header, name)
 	}
 	resp, err := n.client.Do(req)
 	if err != nil {

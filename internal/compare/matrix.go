@@ -89,8 +89,9 @@ type SubmitOutcome struct {
 }
 
 // SubmitFunc submits (or resolves from cache) one pairwise cell job
-// comparing dataset idA's set A against dataset idB's set B.
-type SubmitFunc func(idA, idB string) (SubmitOutcome, error)
+// comparing dataset idA's set A against dataset idB's set B. tenant is the
+// run's accounting identity — cells run in the batch band charged to it.
+type SubmitFunc func(idA, idB, tenant string) (SubmitOutcome, error)
 
 // BoundFunc computes a cell's similarity upper bound (bound.go behind the
 // server's store).
@@ -132,6 +133,10 @@ type RunSpec struct {
 	MinSimilarity float64
 	// Estimate asks the plan phase for Monte-Carlo ordering refinement.
 	Estimate bool
+	// Tenant is the run's accounting identity: every owned cell job is
+	// submitted (batch band) and quota-charged under it, and the run's
+	// scheduler group carries it for dashboards.
+	Tenant string
 	// Prelude carries spans the caller recorded before starting the run —
 	// e.g. cluster pulls making the datasets resident on the coordinator.
 	// Its per-stage totals fold into the run's plan_trace rollup.
@@ -258,7 +263,7 @@ func (m *Manager) StartSpec(spec RunSpec, release func()) (*Run, error) {
 		return nil, ErrClosed
 	}
 	r.id = fmt.Sprintf("mx-%06d", atomic.AddInt64(&m.nextID, 1))
-	r.group = m.cfg.Scheduler.NewGroup(r.id + ": " + r.label())
+	r.group = m.cfg.Scheduler.NewGroupFor(r.id+": "+r.label(), spec.Tenant)
 	m.runs[r.id] = r
 	m.order = append(m.order, r.id)
 	m.mu.Unlock()
@@ -621,7 +626,7 @@ const maxCellAttempts = 3
 // runCell submits one cell and tracks its job to a terminal state.
 func (r *Run) runCell(c *cell, cfg ManagerConfig) {
 	for attempt := 1; ; attempt++ {
-		out, err := cfg.Submit(r.rows[c.i], r.cols[c.j])
+		out, err := cfg.Submit(r.rows[c.i], r.cols[c.j], r.spec.Tenant)
 		if err != nil {
 			if r.ctx.Err() != nil {
 				r.setCellCanceled(c, "matrix canceled")
@@ -1010,7 +1015,7 @@ func (r *Run) UpgradeCell(i, j int) (CellView, error) {
 		r.mu.Unlock()
 	}
 
-	out, err := r.m.cfg.Submit(r.rows[c.i], r.cols[c.j])
+	out, err := r.m.cfg.Submit(r.rows[c.i], r.cols[c.j], r.spec.Tenant)
 	if err != nil {
 		restore()
 		return CellView{}, fmt.Errorf("compare: exact upgrade: %w", err)

@@ -13,7 +13,7 @@ import (
 
 // directSubmit is a cache-less cell submitter over a store and scheduler.
 func directSubmit(t *testing.T, s *store.Store, sc *sched.Scheduler, calls *int64) SubmitFunc {
-	return func(idA, idB string) (SubmitOutcome, error) {
+	return func(idA, idB, _ string) (SubmitOutcome, error) {
 		if calls != nil {
 			atomic.AddInt64(calls, 1)
 		}
@@ -134,7 +134,7 @@ func TestMatrixCachedCells(t *testing.T) {
 	rep := pipeline.Result{Similarity: 0.5, RatioSum: 1, Intersecting: 2, Candidates: 3}
 	m := NewManager(ManagerConfig{
 		Scheduler: sc,
-		Submit: func(idA, idB string) (SubmitOutcome, error) {
+		Submit: func(idA, idB, _ string) (SubmitOutcome, error) {
 			return SubmitOutcome{Cached: true, Report: &rep, Tiles: 4}, nil
 		},
 	})
@@ -211,7 +211,7 @@ func TestMatrixCellResubmitsAfterExternalCancel(t *testing.T) {
 	firstJob := make(chan string, 1)
 	m := NewManager(ManagerConfig{
 		Scheduler: sc,
-		Submit: func(idA, idB string) (SubmitOutcome, error) {
+		Submit: func(idA, idB, _ string) (SubmitOutcome, error) {
 			n := atomic.AddInt64(&attempts, 1)
 			if n == 1 {
 				// First attempt: a job that blocks until released, so the
@@ -286,7 +286,7 @@ func TestMatrixCancelCancelsMembers(t *testing.T) {
 	m := NewManager(ManagerConfig{
 		Scheduler:   sc,
 		Concurrency: 1, // cells 2 and 3 stay queued behind the gated cell
-		Submit: func(idA, idB string) (SubmitOutcome, error) {
+		Submit: func(idA, idB, _ string) (SubmitOutcome, error) {
 			atomic.AddInt64(&submitted, 1)
 			id, err := sc.SubmitSource("gated", &gatedSource{release: release, task: task})
 			if err != nil {

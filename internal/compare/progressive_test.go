@@ -368,7 +368,7 @@ func TestMatrixPrunesInFlightCells(t *testing.T) {
 		Bound: func(_, b string) (CellBound, error) {
 			return CellBound{Bound: bounds[b], Tiles: 1}, nil
 		},
-		Submit: func(_, b string) (SubmitOutcome, error) {
+		Submit: func(_, b, _ string) (SubmitOutcome, error) {
 			switch b {
 			case idC:
 				// The prune victim: queued behind the blocker.

@@ -65,6 +65,8 @@ type Record struct {
 	Kind       string      `json:"kind"`
 	ID         string      `json:"id,omitempty"` // job ID, cell "i,j", etc.
 	TraceID    string      `json:"trace_id,omitempty"`
+	Tenant     string      `json:"tenant,omitempty"` // accounting identity that issued the work
+	Band       string      `json:"band,omitempty"`   // QoS band the work ran under
 	Datasets   []DatasetIO `json:"datasets,omitempty"`
 	DurationMs float64     `json:"duration_ms"`
 	Outcome    string      `json:"outcome"`
@@ -266,6 +268,7 @@ type Filter struct {
 	Dataset string    // any record touching this dataset ID
 	Outcome string
 	Kind    string
+	Tenant  string
 	Limit   int // most recent N after filtering; <= 0 means all
 }
 
@@ -332,6 +335,9 @@ func matches(r Record, f Filter) bool {
 		return false
 	}
 	if f.Outcome != "" && r.Outcome != f.Outcome {
+		return false
+	}
+	if f.Tenant != "" && r.Tenant != f.Tenant {
 		return false
 	}
 	if f.Dataset != "" {

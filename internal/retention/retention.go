@@ -99,6 +99,12 @@ type Config struct {
 	Log func(format string, args ...any)
 	// Now overrides the sweep clock (tests); nil means time.Now.
 	Now func() time.Time
+	// PinnedPressure, when set, is called at the end of a sweep that is
+	// still over its byte budget with every eviction blocked by pins. It
+	// receives the blocked dataset IDs and returns how many pins it managed
+	// to release (the server cancels aged-out queued jobs holding them);
+	// a positive return triggers one more eviction pass in the same sweep.
+	PinnedPressure func(blocked []string) int
 }
 
 // Sweep is one pass's outcome.
@@ -180,14 +186,58 @@ func (e *Engine) logf(format string, args ...any) {
 // exceeds TTL or while the store is still over the byte budget; the pass
 // stops at the first dataset neither bound rejects. Pinned datasets are
 // skipped (and counted) — a job's data can never be swept out from under it.
-func (e *Engine) Sweep() Sweep {
+func (e *Engine) Sweep() Sweep { return e.SweepFor(0) }
+
+// SweepFor is Sweep with reserved headroom: the byte budget is treated as
+// MaxBytes-headroom, so admission control can synchronously evict enough
+// least-recently-used unpinned datasets to fit an incoming dataset of
+// `headroom` bytes before any of it touches disk — the fix for spec-ingest
+// overshooting the budget until the next background sweep. When the pass
+// ends still over budget with every candidate pinned, the PinnedPressure
+// callback gets one chance to release pins (aged-out queued jobs) and the
+// eviction pass reruns.
+func (e *Engine) SweepFor(headroom int64) Sweep {
 	if e.sweeps != nil {
 		e.sweeps.Inc()
 	}
 	pol := e.cfg.Policy
+	if headroom > 0 && pol.MaxBytes > 0 {
+		if headroom >= pol.MaxBytes {
+			pol.MaxBytes = 1 // evict everything evictable
+		} else {
+			pol.MaxBytes -= headroom
+		}
+	}
 	now := e.now()
 	var sw Sweep
 
+	blocked := e.evictPass(pol, now, &sw)
+	if len(blocked) > 0 && e.cfg.PinnedPressure != nil {
+		if e.cfg.PinnedPressure(blocked) > 0 {
+			e.evictPass(pol, now, &sw)
+		}
+	}
+	if n := sw.TTLEvicted + sw.BudgetEvicted; n > 0 && e.evicted != nil {
+		e.evicted.Add(int64(n))
+		e.evictedBytes.Add(sw.EvictedBytes)
+	}
+
+	if pol.CacheMaxEntries > 0 && e.cfg.Cache != nil {
+		sw.CacheEvicted = e.cfg.Cache.EnforceLimit(pol.CacheMaxEntries)
+		if sw.CacheEvicted > 0 && e.cacheEvicted != nil {
+			e.cacheEvicted.Add(int64(sw.CacheEvicted))
+		}
+	}
+
+	sw.Datasets = e.cfg.Store.Len()
+	sw.StoreBytes = e.cfg.Store.TotalBytes()
+	return sw
+}
+
+// evictPass runs one LRU-first eviction pass against pol, accumulating into
+// sw, and returns the IDs whose eviction only pins prevented while the store
+// was still over the byte budget.
+func (e *Engine) evictPass(pol Policy, now time.Time, sw *Sweep) (blocked []string) {
 	mans := e.cfg.Store.List()
 	sort.Slice(mans, func(i, j int) bool {
 		ti, tj := mans[i].LastUse(), mans[j].LastUse()
@@ -209,6 +259,9 @@ func (e *Engine) Sweep() Sweep {
 		}
 		if e.cfg.Store.Pinned(m.ID) {
 			sw.PinnedSkipped++
+			if overBudget {
+				blocked = append(blocked, m.ID)
+			}
 			continue
 		}
 		err := e.cfg.Store.Delete(m.ID)
@@ -216,6 +269,9 @@ func (e *Engine) Sweep() Sweep {
 		case errors.Is(err, store.ErrPinned):
 			// Pinned between the check and the delete: the job wins.
 			sw.PinnedSkipped++
+			if overBudget {
+				blocked = append(blocked, m.ID)
+			}
 			continue
 		case errors.Is(err, store.ErrNotFound):
 			// Deleted concurrently; its bytes are gone either way.
@@ -235,21 +291,11 @@ func (e *Engine) Sweep() Sweep {
 		e.logf("retention: evicted dataset %s (%s, %s, last used %s)",
 			m.ID[:12], m.DisplayName(), FormatBytes(m.SegmentBytes), m.LastUse().Format(time.RFC3339))
 	}
-	if n := sw.TTLEvicted + sw.BudgetEvicted; n > 0 && e.evicted != nil {
-		e.evicted.Add(int64(n))
-		e.evictedBytes.Add(sw.EvictedBytes)
+	if pol.MaxBytes > 0 && total <= pol.MaxBytes {
+		// Budget satisfied: earlier pin-blocked candidates no longer matter.
+		blocked = nil
 	}
-
-	if pol.CacheMaxEntries > 0 && e.cfg.Cache != nil {
-		sw.CacheEvicted = e.cfg.Cache.EnforceLimit(pol.CacheMaxEntries)
-		if sw.CacheEvicted > 0 && e.cacheEvicted != nil {
-			e.cacheEvicted.Add(int64(sw.CacheEvicted))
-		}
-	}
-
-	sw.Datasets = e.cfg.Store.Len()
-	sw.StoreBytes = e.cfg.Store.TotalBytes()
-	return sw
+	return blocked
 }
 
 // Start launches the background sweeper. It is a no-op when the policy

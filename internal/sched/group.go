@@ -36,6 +36,7 @@ type Group struct {
 	s       *Scheduler
 	id      string
 	name    string
+	tenant  string
 	created time.Time
 
 	mu       sync.Mutex
@@ -55,6 +56,7 @@ type groupMember struct {
 type GroupStatus struct {
 	ID       string    `json:"id"`
 	Name     string    `json:"name,omitempty"`
+	Tenant   string    `json:"tenant,omitempty"`
 	Created  time.Time `json:"created"`
 	Members  int       `json:"members"`
 	Sealed   bool      `json:"sealed"`
@@ -79,8 +81,13 @@ type GroupStatus struct {
 // observers (the server's group-aware /metrics scrape) can enumerate groups
 // without holding the creator's handle. name is an optional label surfaced
 // in the status.
-func (s *Scheduler) NewGroup(name string) *Group {
-	g := &Group{s: s, name: name, created: time.Now()}
+func (s *Scheduler) NewGroup(name string) *Group { return s.NewGroupFor(name, "") }
+
+// NewGroupFor is NewGroup with a tenant identity: the group's member jobs
+// are the tenant's work, and the group status carries the name so dashboards
+// and the slow-query log can attribute a whole matrix run.
+func (s *Scheduler) NewGroupFor(name, tenant string) *Group {
+	g := &Group{s: s, name: name, tenant: tenant, created: time.Now()}
 	g.id = fmt.Sprintf("grp-%06d", atomic.AddInt64(&s.nextGroup, 1))
 	s.mu.Lock()
 	s.groups[g.id] = g
@@ -202,6 +209,7 @@ func (g *Group) Status() GroupStatus {
 	st := GroupStatus{
 		ID:       g.id,
 		Name:     g.name,
+		Tenant:   g.tenant,
 		Created:  g.created,
 		Members:  len(members),
 		Sealed:   g.sealed,

@@ -1,0 +1,324 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// queueJob builds a minimal queued job for white-box banded-queue tests.
+// Only the fields the queue path touches are populated.
+func queueJob(band Band, tenant string, submitted time.Time) *job {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &job{
+		band:      band,
+		tenant:    tenant,
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		state:     Queued,
+		submitted: submitted,
+	}
+}
+
+// drainOrder enqueues the jobs and dequeues everything under one hold of the
+// scheduler lock, so the runners never race the observation. It returns the
+// dequeue order as band values.
+func drainOrder(t *testing.T, s *Scheduler, js []*job) []Band {
+	t.Helper()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range js {
+		s.enqueueLocked(j)
+	}
+	var order []Band
+	for {
+		j := s.dequeueLocked(false)
+		if j == nil {
+			break
+		}
+		order = append(order, j.band)
+	}
+	if s.queuedTotal != 0 {
+		t.Fatalf("queuedTotal = %d after drain, want 0", s.queuedTotal)
+	}
+	for b := Band(0); b < NumBands; b++ {
+		if s.queuedByBand[b] != 0 {
+			t.Fatalf("queuedByBand[%s] = %d after drain, want 0", b, s.queuedByBand[b])
+		}
+	}
+	if len(s.queuedTenant) != 0 {
+		t.Fatalf("queuedTenant = %v after drain, want empty", s.queuedTenant)
+	}
+	return order
+}
+
+// TestWFQInterleavesByWeight checks the virtual-time weighted-fair order:
+// with the default 8:2 interactive:batch ratio and four jobs queued in each
+// band, interactive must dominate the head of the dispatch order while batch
+// still progresses (no strict priority, no starvation).
+func TestWFQInterleavesByWeight(t *testing.T) {
+	s := New(Config{Devices: 1, AgingBoost: -1, ReservedSlots: -1})
+	defer s.Close()
+
+	now := time.Now()
+	var js []*job
+	for i := 0; i < 4; i++ {
+		js = append(js, queueJob(BandInteractive, "default", now))
+	}
+	for i := 0; i < 4; i++ {
+		js = append(js, queueJob(BandBatch, "default", now))
+	}
+	order := drainOrder(t, s, js)
+	if len(order) != 8 {
+		t.Fatalf("drained %d jobs, want 8", len(order))
+	}
+	// vtime trace with weights 8 and 2: I(0→1/8) B(0→1/2) I I I, then the
+	// remaining batch backlog. The exact sequence is deterministic because
+	// ties break toward the lower band index (interactive).
+	want := []Band{BandInteractive, BandBatch, BandInteractive, BandInteractive,
+		BandInteractive, BandBatch, BandBatch, BandBatch}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestWFQIdleBandCatchesUp checks the vtime catch-up on idle return: a band
+// that sat idle while another band consumed service must not bank credit and
+// burst ahead of its weight when it becomes active again.
+func TestWFQIdleBandCatchesUp(t *testing.T) {
+	s := New(Config{Devices: 1, AgingBoost: -1, ReservedSlots: -1})
+	defer s.Close()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Batch runs alone for a while: its clock advances.
+	for i := 0; i < 6; i++ {
+		s.enqueueLocked(queueJob(BandBatch, "default", time.Now()))
+	}
+	for i := 0; i < 3; i++ {
+		if j := s.dequeueLocked(false); j == nil || j.band != BandBatch {
+			t.Fatalf("warm-up dequeue %d: got %+v, want batch", i, j)
+		}
+	}
+	// Interactive wakes up. Without catch-up its vtime would be 0 (or reset),
+	// letting it monopolize until it "caught up" to batch's clock; with
+	// catch-up it starts level and shares by weight immediately.
+	s.enqueueLocked(queueJob(BandInteractive, "default", time.Now()))
+	if got, want := s.vtime[BandInteractive], s.vtime[BandBatch]; got < want {
+		t.Fatalf("interactive vtime = %v after idle return, want >= batch's %v", got, want)
+	}
+	for {
+		if j := s.dequeueLocked(false); j == nil {
+			break
+		}
+	}
+}
+
+// TestAgingBoostBeatsWeight checks the starvation bound: a batch job whose
+// queue wait exceeds AgingBoost is dispatched ahead of weighted-fair order
+// even when the interactive band would otherwise win every dispatch.
+func TestAgingBoostBeatsWeight(t *testing.T) {
+	s := New(Config{Devices: 1, ReservedSlots: -1}) // default 30s AgingBoost
+	defer s.Close()
+
+	now := time.Now()
+	aged := queueJob(BandBatch, "default", now.Add(-time.Minute))
+	fresh := queueJob(BandInteractive, "default", now)
+
+	s.mu.Lock()
+	s.enqueueLocked(fresh)
+	s.enqueueLocked(aged)
+	first := s.dequeueLocked(false)
+	second := s.dequeueLocked(false)
+	s.mu.Unlock()
+	if first == nil || first.band != BandBatch {
+		t.Fatalf("first dispatch = %+v, want the aged batch job", first)
+	}
+	if second == nil || second.band != BandInteractive {
+		t.Fatalf("second dispatch = %+v, want the interactive job", second)
+	}
+}
+
+// TestReservedSlotDequeuesInteractiveOnly checks the reserved-runner
+// contract: it never serves batch or ingest work, and serving interactive
+// work does not charge the band's fair-share clock.
+func TestReservedSlotDequeuesInteractiveOnly(t *testing.T) {
+	s := New(Config{Devices: 1, AgingBoost: -1, ReservedSlots: -1})
+	defer s.Close()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.enqueueLocked(queueJob(BandBatch, "default", time.Now()))
+	s.enqueueLocked(queueJob(BandIngest, "default", time.Now()))
+	if j := s.dequeueLocked(true); j != nil {
+		t.Fatalf("reserved dequeue returned a %s job, want nil", j.band)
+	}
+	s.enqueueLocked(queueJob(BandInteractive, "default", time.Now()))
+	before := s.vtime[BandInteractive]
+	j := s.dequeueLocked(true)
+	if j == nil || j.band != BandInteractive {
+		t.Fatalf("reserved dequeue = %+v, want the interactive job", j)
+	}
+	if s.vtime[BandInteractive] != before {
+		t.Fatalf("reserved dequeue charged vtime (%v -> %v), want uncharged",
+			before, s.vtime[BandInteractive])
+	}
+	for {
+		if j := s.dequeueLocked(false); j == nil {
+			break
+		}
+	}
+}
+
+// startFiller submits a multi-tile job and blocks until it is running, so
+// subsequent submissions stay queued behind the busy slot.
+func startFiller(t *testing.T, s *Scheduler) string {
+	t.Helper()
+	id, err := s.Submit("filler", testTasks(t, 4))
+	if err != nil {
+		t.Fatalf("submit filler: %v", err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, ok := s.Job(id)
+		if ok && st.State == Running {
+			return id
+		}
+		if ok && st.State.Terminal() {
+			t.Fatalf("filler finished (%s) before anything queued behind it", st.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("filler never started running")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestTenantQueueQuotaExact checks the per-tenant queued-job cap at the
+// boundary: exactly MaxQueuedJobs submissions are admitted, the next gets
+// ErrTenantQueue, and other tenants are unaffected.
+func TestTenantQueueQuotaExact(t *testing.T) {
+	s := New(Config{
+		Devices: 1,
+		TenantQueueLimit: func(tenant string) int {
+			if tenant == "acme" {
+				return 2
+			}
+			return 0
+		},
+	})
+	defer s.Close()
+	startFiller(t, s)
+
+	tasks := testTasks(t, 1)
+	for i := 0; i < 2; i++ {
+		if _, err := s.SubmitJob(Tasks(tasks), JobOpts{Name: "ok", Tenant: "acme"}); err != nil {
+			t.Fatalf("acme submit %d: %v", i, err)
+		}
+	}
+	if _, err := s.SubmitJob(Tasks(tasks), JobOpts{Name: "over", Tenant: "acme"}); !errors.Is(err, ErrTenantQueue) {
+		t.Fatalf("acme submit over quota: err = %v, want ErrTenantQueue", err)
+	}
+	if _, err := s.SubmitJob(Tasks(tasks), JobOpts{Name: "other", Tenant: "globex"}); err != nil {
+		t.Fatalf("unlimited tenant blocked by acme's quota: %v", err)
+	}
+	st := s.Stats()
+	if got := st.Tenants["acme"].Queued; got != 2 {
+		t.Fatalf("acme queued = %d, want 2", got)
+	}
+}
+
+// TestTenantQueueQuotaRace races concurrent submissions against one
+// remaining quota slot: the check runs under the queue lock, so exactly one
+// submission must win and every loser must see ErrTenantQueue.
+func TestTenantQueueQuotaRace(t *testing.T) {
+	s := New(Config{
+		Devices: 1,
+		TenantQueueLimit: func(tenant string) int {
+			if tenant == "race" {
+				return 1
+			}
+			return 0
+		},
+	})
+	defer s.Close()
+	startFiller(t, s)
+
+	tasks := testTasks(t, 1)
+	const racers = 8
+	var wg sync.WaitGroup
+	errsCh := make(chan error, racers)
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := s.SubmitJob(Tasks(tasks), JobOpts{Name: "racer", Tenant: "race"})
+			errsCh <- err
+		}()
+	}
+	wg.Wait()
+	close(errsCh)
+	wins, losses := 0, 0
+	for err := range errsCh {
+		switch {
+		case err == nil:
+			wins++
+		case errors.Is(err, ErrTenantQueue):
+			losses++
+		default:
+			t.Fatalf("unexpected submit error: %v", err)
+		}
+	}
+	if wins != 1 || losses != racers-1 {
+		t.Fatalf("race resolved to %d winners / %d quota rejections, want 1 / %d",
+			wins, losses, racers-1)
+	}
+}
+
+// TestCancelQueuedSemantics checks the pin-aging primitive: CancelQueued
+// cancels only still-queued jobs (releasing the tenant's quota slot) and
+// refuses running, finished, and unknown jobs.
+func TestCancelQueuedSemantics(t *testing.T) {
+	s := New(Config{
+		Devices: 1,
+		TenantQueueLimit: func(tenant string) int {
+			if tenant == "acme" {
+				return 1
+			}
+			return 0
+		},
+	})
+	defer s.Close()
+	filler := startFiller(t, s)
+
+	tasks := testTasks(t, 1)
+	queued, err := s.SubmitJob(Tasks(tasks), JobOpts{Name: "victim", Tenant: "acme"})
+	if err != nil {
+		t.Fatalf("submit queued job: %v", err)
+	}
+	if s.CancelQueued(filler) {
+		t.Fatal("CancelQueued canceled a running job")
+	}
+	if s.CancelQueued("job-999999") {
+		t.Fatal("CancelQueued claimed to cancel an unknown job")
+	}
+	if !s.CancelQueued(queued) {
+		t.Fatal("CancelQueued refused a queued job")
+	}
+	st, ok := s.Job(queued)
+	if !ok || st.State != Canceled {
+		t.Fatalf("aged-out job state = %v, want Canceled", st.State)
+	}
+	if s.CancelQueued(queued) {
+		t.Fatal("CancelQueued canceled an already-terminal job")
+	}
+	// The quota slot must be released: the tenant can queue again.
+	if _, err := s.SubmitJob(Tasks(tasks), JobOpts{Name: "retry", Tenant: "acme"}); err != nil {
+		t.Fatalf("resubmit after CancelQueued: %v", err)
+	}
+}

@@ -62,7 +62,27 @@ type Config struct {
 	// shard per executor slot.
 	MaxShards int
 	// QueueDepth is the queued-job limit before Submit rejects; default 64.
+	// The limit spans all bands.
 	QueueDepth int
+	// BandWeights is the weighted-fair-sharing ratio between the QoS bands;
+	// an all-zero value selects DefaultBandWeights. Individual zero entries
+	// inherit their default; weights must be positive.
+	BandWeights [NumBands]int
+	// AgingBoost bounds cross-band starvation: a queued job older than this
+	// is dispatched ahead of weighted-fair order (oldest first), whatever
+	// its band's weight. 0 selects the 30s default; negative disables.
+	AgingBoost time.Duration
+	// ReservedSlots holds this many executor slots exclusively for
+	// interactive jobs — batch and ingest shards never lease them, so an
+	// interactive job admitted under a batch flood starts on reserved
+	// capacity instead of waiting out a non-preemptive shard. 0 selects the
+	// default (1 when the pool has more than one slot); negative disables.
+	// Clamped to slots-1 so every band can always run somewhere.
+	ReservedSlots int
+	// TenantQueueLimit, when set, returns the queued-job cap for a tenant
+	// (0 = unlimited). Checked under the queue lock, so two submits racing
+	// one remaining slot resolve atomically: exactly one wins.
+	TenantQueueLimit func(tenant string) int
 	// Registry, when set, receives per-executor pipeline accounting.
 	Registry *metrics.Registry
 	// NoTrace disables per-job span recording: jobs submitted without a
@@ -90,6 +110,23 @@ func (c Config) normalized() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
+	}
+	for b, w := range c.BandWeights {
+		if w <= 0 {
+			c.BandWeights[b] = DefaultBandWeights[b]
+		}
+	}
+	if c.AgingBoost == 0 {
+		c.AgingBoost = 30 * time.Second
+	}
+	switch {
+	case c.ReservedSlots == 0 && c.slots() > 1:
+		c.ReservedSlots = 1
+	case c.ReservedSlots < 0:
+		c.ReservedSlots = 0
+	}
+	if c.ReservedSlots >= c.slots() {
+		c.ReservedSlots = c.slots() - 1
 	}
 	return c
 }
@@ -195,6 +232,8 @@ func (s State) Terminal() bool { return s == Done || s == Failed || s == Cancele
 type JobStatus struct {
 	ID        string
 	Name      string // dataset or caller-supplied label, may be empty
+	Band      Band
+	Tenant    string
 	State     State
 	Error     string // set when State == Failed
 	Submitted time.Time
@@ -231,16 +270,19 @@ type Stats struct {
 	Canceled  int64
 	Queued    int
 	Running   int
+	Bands     [NumBands]BandCounts
+	Tenants   map[string]TenantCounts
 	Devices   []DeviceStats
 }
 
 // Errors returned by the scheduler's public API.
 var (
-	ErrClosed    = errors.New("sched: scheduler closed")
-	ErrQueueFull = errors.New("sched: job queue full")
-	ErrNotFound  = errors.New("sched: no such job")
-	ErrTerminal  = errors.New("sched: job already finished")
-	ErrEmptyJob  = errors.New("sched: job has no tasks")
+	ErrClosed      = errors.New("sched: scheduler closed")
+	ErrQueueFull   = errors.New("sched: job queue full")
+	ErrTenantQueue = errors.New("sched: tenant queued-job quota reached")
+	ErrNotFound    = errors.New("sched: no such job")
+	ErrTerminal    = errors.New("sched: job already finished")
+	ErrEmptyJob    = errors.New("sched: job has no tasks")
 )
 
 // device is one pool member: a leased executor slot owning a (possibly
@@ -248,8 +290,9 @@ var (
 type device struct {
 	id     int
 	gpus   []*gpu.Device
-	shards int64 // atomic
-	wallNS int64 // atomic
+	home   chan *device // the pool this device returns to after a lease
+	shards int64        // atomic
+	wallNS int64        // atomic
 }
 
 // stats sums the slot's cumulative GPU accounting.
@@ -265,12 +308,15 @@ func (d *device) stats() (launches int64, busy float64) {
 type job struct {
 	id        string
 	name      string
+	band      Band
+	tenant    string
 	src       TaskSource // released on finish; see tiles
 	tiles     int
 	ctx       context.Context
 	cancel    context.CancelFunc
 	done      chan struct{}
 	state     State
+	counted   bool // still held in queue accounting (queuedTotal/queuedTenant)
 	err       error
 	submitted time.Time
 	started   time.Time
@@ -285,28 +331,41 @@ type job struct {
 // with Submit/SubmitDataset, observe with Job/Jobs/DeviceStats, stop with
 // Close.
 type Scheduler struct {
-	cfg  Config
-	pool chan *device
-	devs []*device
+	cfg   Config
+	pool  chan *device // general slots, leased by any band
+	rpool chan *device // reserved slots, leased only by interactive jobs; nil when none
+	devs  []*device
 
-	queue chan *job
-	quit  chan struct{}
-	wg    sync.WaitGroup
+	wg sync.WaitGroup
 
 	// warm carries each slot executor's measured throughput EWMA across
 	// jobs, so a new job's first claims are sized from history.
 	warm *pipeline.ThroughputMemory
 
 	mu     sync.Mutex
+	qcond  *sync.Cond // signaled on enqueue and Close; guards the fields below via mu
 	jobs   map[string]*job
 	order  []string
 	groups map[string]*Group
 	gorder []string
 	closed bool
 
+	// The banded ready queue: one FIFO per band under weighted fair sharing
+	// (virtual-time WFQ) with aging. Terminal jobs (canceled while queued)
+	// stay in their slice until a dequeue skips them; accounting drops them
+	// immediately via job.counted.
+	bands         [NumBands][]*job
+	vtime         [NumBands]float64
+	queuedTotal   int
+	queuedByBand  [NumBands]int
+	runningByBand [NumBands]int
+	queuedTenant  map[string]int
+	runningTenant map[string]int
+
 	// Latency histograms, nil without a Registry.
-	histQueueWait   *metrics.Histogram
-	histJobDuration map[State]*metrics.Histogram
+	histQueueWait     *metrics.Histogram
+	histQueueWaitBand [NumBands]*metrics.Histogram
+	histJobDuration   map[State]*metrics.Histogram
 
 	nextID    int64
 	nextGroup int64
@@ -321,15 +380,19 @@ type Scheduler struct {
 func New(cfg Config) *Scheduler {
 	cfg = cfg.normalized()
 	s := &Scheduler{
-		cfg:    cfg,
-		queue:  make(chan *job, cfg.QueueDepth),
-		quit:   make(chan struct{}),
-		jobs:   make(map[string]*job),
-		groups: make(map[string]*Group),
-		warm:   pipeline.NewThroughputMemory(),
+		cfg:           cfg,
+		jobs:          make(map[string]*job),
+		groups:        make(map[string]*Group),
+		queuedTenant:  make(map[string]int),
+		runningTenant: make(map[string]int),
+		warm:          pipeline.NewThroughputMemory(),
 	}
+	s.qcond = sync.NewCond(&s.mu)
 	if r := cfg.Registry; r != nil {
 		s.histQueueWait = r.Histogram("sccgd_job_queue_wait_seconds")
+		for b := Band(0); b < NumBands; b++ {
+			s.histQueueWaitBand[b] = r.Histogram(metrics.Label("sccgd_job_queue_wait_seconds", "band", b.String()))
+		}
 		s.histJobDuration = map[State]*metrics.Histogram{
 			Done:     r.Histogram(metrics.Label("sccgd_job_duration_seconds", "outcome", "done")),
 			Failed:   r.Histogram(metrics.Label("sccgd_job_duration_seconds", "outcome", "failed")),
@@ -337,11 +400,18 @@ func New(cfg Config) *Scheduler {
 		}
 	}
 	slots := cfg.slots()
-	s.pool = make(chan *device, slots)
+	general := slots - cfg.ReservedSlots
+	s.pool = make(chan *device, general)
+	if cfg.ReservedSlots > 0 {
+		s.rpool = make(chan *device, cfg.ReservedSlots)
+	}
 	s.devs = make([]*device, slots)
 	remaining := cfg.Devices
 	for i := 0; i < slots; i++ {
-		d := &device{id: i}
+		d := &device{id: i, home: s.pool}
+		if i >= general {
+			d.home = s.rpool
+		}
 		n := cfg.GPUsPerShard
 		if n > remaining {
 			n = remaining
@@ -351,13 +421,15 @@ func New(cfg Config) *Scheduler {
 		}
 		remaining -= n
 		s.devs[i] = d
-		s.pool <- d
+		d.home <- d
 	}
 	// One runner per executor slot: jobs run concurrently as devices free
 	// up, and a single job can still fan its shards across the whole pool.
+	// Runners for reserved slots dequeue only interactive jobs, so a batch
+	// backlog can never occupy every runner either.
 	for i := 0; i < slots; i++ {
 		s.wg.Add(1)
-		go s.runner()
+		go s.runner(i >= general)
 	}
 	return s
 }
@@ -385,15 +457,45 @@ func (s *Scheduler) SubmitSource(name string, src TaskSource) (string, error) {
 // (the server records pin/materialize spans while resolving stored datasets).
 // A nil recorder gets a fresh one, so every job carries a trace.
 func (s *Scheduler) SubmitSourceTraced(name string, src TaskSource, rec *trace.Recorder) (string, error) {
+	return s.SubmitJob(src, JobOpts{Name: name, Trace: rec})
+}
+
+// JobOpts qualifies a SubmitJob submission.
+type JobOpts struct {
+	// Name is an optional label surfaced in job listings.
+	Name string
+	// Band is the job's QoS class; the zero value is BandInteractive.
+	Band Band
+	// Tenant is the accounting identity; empty means the default tenant.
+	Tenant string
+	// Trace is an optional caller-provided span recorder.
+	Trace *trace.Recorder
+}
+
+// SubmitJob enqueues a job with explicit QoS placement: its band picks the
+// weighted-fair queue, its tenant is charged against the per-tenant
+// queued-job quota (ErrTenantQueue when at the cap — checked under the
+// queue lock, so concurrent submits racing one remaining slot resolve to
+// exactly one winner).
+func (s *Scheduler) SubmitJob(src TaskSource, opts JobOpts) (string, error) {
 	if src == nil || src.Len() == 0 {
 		return "", ErrEmptyJob
 	}
+	if opts.Band < 0 || opts.Band >= NumBands {
+		return "", fmt.Errorf("sched: invalid band %d", int(opts.Band))
+	}
+	if opts.Tenant == "" {
+		opts.Tenant = "default"
+	}
+	rec := opts.Trace
 	if rec == nil && !s.cfg.NoTrace {
 		rec = trace.NewRecorder()
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
-		name:      name,
+		name:      opts.Name,
+		band:      opts.Band,
+		tenant:    opts.Tenant,
 		src:       src,
 		tiles:     src.Len(),
 		ctx:       ctx,
@@ -411,19 +513,147 @@ func (s *Scheduler) SubmitSourceTraced(name string, src TaskSource, rec *trace.R
 		cancel()
 		return "", ErrClosed
 	}
-	j.id = fmt.Sprintf("job-%06d", atomic.AddInt64(&s.nextID, 1))
-	select {
-	case s.queue <- j:
-	default:
+	if s.queuedTotal >= s.cfg.QueueDepth {
 		s.mu.Unlock()
 		cancel()
 		return "", ErrQueueFull
 	}
+	if lim := s.cfg.TenantQueueLimit; lim != nil {
+		if max := lim(j.tenant); max > 0 && s.queuedTenant[j.tenant] >= max {
+			s.mu.Unlock()
+			cancel()
+			return "", fmt.Errorf("%w: tenant %s has %d queued", ErrTenantQueue, j.tenant, max)
+		}
+	}
+	j.id = fmt.Sprintf("job-%06d", atomic.AddInt64(&s.nextID, 1))
+	s.enqueueLocked(j)
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	atomic.AddInt64(&s.submitted, 1)
 	s.mu.Unlock()
 	return j.id, nil
+}
+
+// enqueueLocked appends j to its band's FIFO and wakes the runners. The
+// band's virtual time catches up to the busiest active band when it was
+// idle, so a band returning from idleness gets its fair share, not a burst
+// of banked credit.
+func (s *Scheduler) enqueueLocked(j *job) {
+	b := j.band
+	if len(s.bands[b]) == 0 {
+		minActive := -1.0
+		for ob := Band(0); ob < NumBands; ob++ {
+			if ob == b || len(s.bands[ob]) == 0 {
+				continue
+			}
+			if minActive < 0 || s.vtime[ob] < minActive {
+				minActive = s.vtime[ob]
+			}
+		}
+		if minActive < 0 {
+			// Everything idle: reset the clock to keep vtime bounded.
+			for ob := range s.vtime {
+				s.vtime[ob] = 0
+			}
+		} else if s.vtime[b] < minActive {
+			s.vtime[b] = minActive
+		}
+	}
+	s.bands[b] = append(s.bands[b], j)
+	j.counted = true
+	s.queuedTotal++
+	s.queuedByBand[b]++
+	s.queuedTenant[j.tenant]++
+	s.qcond.Broadcast()
+}
+
+// uncountLocked drops j from queue accounting exactly once, whether it left
+// the queue by dequeue or by being finalized while still queued.
+func (s *Scheduler) uncountLocked(j *job) {
+	if !j.counted {
+		return
+	}
+	j.counted = false
+	s.queuedTotal--
+	s.queuedByBand[j.band]--
+	if n := s.queuedTenant[j.tenant]; n > 1 {
+		s.queuedTenant[j.tenant] = n - 1
+	} else {
+		delete(s.queuedTenant, j.tenant)
+	}
+}
+
+// dequeueLocked pops the next runnable job, or nil when nothing is eligible.
+// Reserved-slot runners (interactiveOnly) serve only the interactive band
+// and don't charge its fair-share clock — reserved capacity is dedicated,
+// not part of the weighted split. General runners pick the band by
+// virtual-time WFQ, except that a head-of-line job older than AgingBoost is
+// served first (oldest head wins), bounding every band's wait under any
+// weight ratio.
+func (s *Scheduler) dequeueLocked(interactiveOnly bool) *job {
+	for {
+		pick := Band(-1)
+		charge := false
+		if interactiveOnly {
+			if len(s.bands[BandInteractive]) == 0 {
+				return nil
+			}
+			pick = BandInteractive
+		} else {
+			if s.cfg.AgingBoost > 0 {
+				now := time.Now()
+				var oldest time.Time
+				for b := Band(0); b < NumBands; b++ {
+					if len(s.bands[b]) == 0 {
+						continue
+					}
+					h := s.bands[b][0]
+					if now.Sub(h.submitted) >= s.cfg.AgingBoost && (pick < 0 || h.submitted.Before(oldest)) {
+						pick, oldest = b, h.submitted
+					}
+				}
+			}
+			if pick < 0 {
+				for b := Band(0); b < NumBands; b++ {
+					if len(s.bands[b]) == 0 {
+						continue
+					}
+					if pick < 0 || s.vtime[b] < s.vtime[pick] {
+						pick = b
+					}
+				}
+			}
+			if pick < 0 {
+				return nil
+			}
+			charge = true
+		}
+		j := s.bands[pick][0]
+		s.bands[pick] = s.bands[pick][1:]
+		s.uncountLocked(j)
+		if j.state.Terminal() {
+			// Canceled while queued; its slot in the FIFO dies here.
+			continue
+		}
+		if charge {
+			s.vtime[pick] += 1 / float64(s.cfg.BandWeights[pick])
+		}
+		return j
+	}
+}
+
+// hasWorkLocked reports whether a runner of the given kind could dequeue
+// something (terminal leftovers count — dequeue discards them cheaply).
+func (s *Scheduler) hasWorkLocked(interactiveOnly bool) bool {
+	if interactiveOnly {
+		return len(s.bands[BandInteractive]) > 0
+	}
+	for b := Band(0); b < NumBands; b++ {
+		if len(s.bands[b]) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // SubmitDataset generates the dataset described by spec, encodes its tiles,
@@ -457,6 +687,23 @@ func (s *Scheduler) Cancel(id string) error {
 		s.finish(j, Canceled, nil, pipeline.Result{})
 	}
 	return nil
+}
+
+// CancelQueued cancels the job only if it is still queued, reporting
+// whether it did. The server's pin-aware queue aging uses it to shed an
+// aged-out queued job whose dataset pins block eviction under disk
+// pressure, without ever touching a job that already started running.
+func (s *Scheduler) CancelQueued(id string) bool {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok || j.state != Queued {
+		s.mu.Unlock()
+		return false
+	}
+	s.mu.Unlock()
+	j.cancel()
+	s.finish(j, Canceled, errors.New("sched: queued job aged out under disk pressure"), pipeline.Result{})
+	return true
 }
 
 // Job returns a snapshot of the job with the given ID.
@@ -524,15 +771,32 @@ func (s *Scheduler) DeviceStats() []DeviceStats {
 
 // Stats returns a scheduler-wide snapshot.
 func (s *Scheduler) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Submitted: atomic.LoadInt64(&s.submitted),
 		Completed: atomic.LoadInt64(&s.completed),
 		Failed:    atomic.LoadInt64(&s.failed),
 		Canceled:  atomic.LoadInt64(&s.canceled),
-		Queued:    len(s.queue),
 		Running:   int(atomic.LoadInt64(&s.running)),
 		Devices:   s.DeviceStats(),
+		Tenants:   make(map[string]TenantCounts),
 	}
+	s.mu.Lock()
+	st.Queued = s.queuedTotal
+	for b := Band(0); b < NumBands; b++ {
+		st.Bands[b] = BandCounts{Queued: s.queuedByBand[b], Running: s.runningByBand[b]}
+	}
+	for t, n := range s.queuedTenant {
+		tc := st.Tenants[t]
+		tc.Queued = n
+		st.Tenants[t] = tc
+	}
+	for t, n := range s.runningTenant {
+		tc := st.Tenants[t]
+		tc.Running = n
+		st.Tenants[t] = tc
+	}
+	s.mu.Unlock()
+	return st
 }
 
 // Close stops the runners after in-flight jobs finish and cancels queued
@@ -544,17 +808,25 @@ func (s *Scheduler) Close() {
 		return
 	}
 	s.closed = true
+	s.qcond.Broadcast()
 	s.mu.Unlock()
-	close(s.quit)
 	s.wg.Wait()
 	// Runners are gone: finalize whatever is still queued.
 	for {
-		select {
-		case j := <-s.queue:
-			s.finish(j, Canceled, nil, pipeline.Result{})
-		default:
+		s.mu.Lock()
+		var j *job
+		for b := Band(0); b < NumBands && j == nil; b++ {
+			if len(s.bands[b]) > 0 {
+				j = s.bands[b][0]
+				s.bands[b] = s.bands[b][1:]
+				s.uncountLocked(j)
+			}
+		}
+		s.mu.Unlock()
+		if j == nil {
 			return
 		}
+		s.finish(j, Canceled, nil, pipeline.Result{})
 	}
 }
 
@@ -562,6 +834,8 @@ func (s *Scheduler) snapshotLocked(j *job) JobStatus {
 	st := JobStatus{
 		ID:        j.id,
 		Name:      j.name,
+		Band:      j.band,
+		Tenant:    j.tenant,
 		State:     j.state,
 		Submitted: j.submitted,
 		Started:   j.started,
@@ -582,22 +856,24 @@ func (s *Scheduler) snapshotLocked(j *job) JobStatus {
 	return st
 }
 
-func (s *Scheduler) runner() {
+// runner is one dispatch loop. Reserved-slot runners (interactiveOnly)
+// serve only the interactive band, so even with every general runner deep
+// in a batch job an interactive submission is picked up immediately.
+func (s *Scheduler) runner(interactiveOnly bool) {
 	defer s.wg.Done()
 	for {
-		select {
-		case <-s.quit:
+		s.mu.Lock()
+		for !s.closed && !s.hasWorkLocked(interactiveOnly) {
+			s.qcond.Wait()
+		}
+		if s.closed {
+			// Close finalizes whatever is still queued after runners exit.
+			s.mu.Unlock()
 			return
-		case j := <-s.queue:
-			// A Go select picks ready cases at random, so after Close both
-			// branches can be ready and a runner could still dequeue work;
-			// re-check quit so queued jobs are canceled, not executed.
-			select {
-			case <-s.quit:
-				s.finish(j, Canceled, nil, pipeline.Result{})
-				continue
-			default:
-			}
+		}
+		j := s.dequeueLocked(interactiveOnly)
+		s.mu.Unlock()
+		if j != nil {
 			s.runJob(j)
 		}
 	}
@@ -640,11 +916,26 @@ func (s *Scheduler) runJob(j *job) {
 	j.state = Running
 	j.started = time.Now()
 	j.shards = len(shards)
+	s.runningByBand[j.band]++
+	s.runningTenant[j.tenant]++
 	s.mu.Unlock()
-	j.trace.Add("queue", "", j.submitted, shardStart)
+	defer func() {
+		s.mu.Lock()
+		s.runningByBand[j.band]--
+		if n := s.runningTenant[j.tenant]; n > 1 {
+			s.runningTenant[j.tenant] = n - 1
+		} else {
+			delete(s.runningTenant, j.tenant)
+		}
+		s.mu.Unlock()
+	}()
+	// The queue span's detail names the band, so a slow-query trace shows
+	// which class of backlog the job waited behind.
+	j.trace.Add("queue", j.band.String(), j.submitted, shardStart)
 	j.trace.Add("shard", fmt.Sprintf("%d shards", len(shards)), shardStart, j.started)
 	if s.histQueueWait != nil {
 		s.histQueueWait.ObserveDuration(shardStart.Sub(j.submitted))
+		s.histQueueWaitBand[j.band].ObserveDuration(shardStart.Sub(j.submitted))
 	}
 	atomic.AddInt64(&s.running, 1)
 	defer atomic.AddInt64(&s.running, -1)
@@ -661,9 +952,20 @@ func (s *Scheduler) runJob(j *job) {
 			break
 		}
 		var dev *device
-		select {
-		case dev = <-s.pool:
-		case <-j.ctx.Done():
+		if j.band == BandInteractive && s.rpool != nil {
+			// Interactive shards lease from whichever pool frees first; the
+			// reserved slots exist exactly for this moment, when every
+			// general slot is held by a non-preemptive batch shard.
+			select {
+			case dev = <-s.pool:
+			case dev = <-s.rpool:
+			case <-j.ctx.Done():
+			}
+		} else {
+			select {
+			case dev = <-s.pool:
+			case <-j.ctx.Done():
+			}
 		}
 		if dev == nil {
 			break
@@ -671,7 +973,7 @@ func (s *Scheduler) runJob(j *job) {
 		wg.Add(1)
 		go func(i int, idxs []int, dev *device) {
 			defer wg.Done()
-			defer func() { s.pool <- dev }()
+			defer func() { dev.home <- dev }()
 			start := time.Now()
 			pcfg := pipeline.Config{
 				ParserWorkers:  s.cfg.Workers,
@@ -828,6 +1130,9 @@ func (s *Scheduler) finish(j *job, state State, err error, report pipeline.Resul
 	j.err = err
 	j.finished = time.Now()
 	j.report = report
+	// A job finalized while still queued leaves quota accounting now; its
+	// FIFO slot is discarded by whichever dequeue reaches it.
+	s.uncountLocked(j)
 	src := j.src
 	j.src = nil // release the input source; finished jobs are kept forever
 	s.mu.Unlock()

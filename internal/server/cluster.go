@@ -29,6 +29,7 @@ import (
 	"repro/internal/querylog"
 	"repro/internal/sched"
 	"repro/internal/store"
+	"repro/internal/tenant"
 	"repro/internal/trace"
 )
 
@@ -190,9 +191,12 @@ func (s *Server) handleClusterCompare(w http.ResponseWriter, r *http.Request) {
 	}
 	// The caller's traceparent rides into the submission path, so the job's
 	// whole recorder — materialize, pins, pulls, scheduler stages — joins the
-	// caller's trace and travels back on the result for splicing.
+	// caller's trace and travels back on the result for splicing. The
+	// forwarded tenant NAME (never the token) keeps the work attributed to
+	// the originating tenant on this node too; routed cells are batch work.
 	parent, _ := trace.ParseTraceparent(r.Header.Get(trace.Header))
-	sub, err := s.submitRequestTraced(JobRequest{DatasetA: req.DatasetA, DatasetB: req.DatasetB}, parent)
+	sub, err := s.submitRequestAs(JobRequest{DatasetA: req.DatasetA, DatasetB: req.DatasetB,
+		Band: sched.BandBatch.String()}, s.peerTenant(r), parent)
 	if err != nil {
 		s.fail(w, sub.code, err)
 		return
@@ -280,7 +284,7 @@ func (s *Server) recordPull(rec *trace.Recorder, id string, res cluster.PullResu
 // recorded as a `cluster` span, the serving peer's own spans are spliced in
 // beside it, and a query-log pull record lands either way. Without a cluster
 // it is a no-op: absence surfaces through the usual not-found paths.
-func (s *Server) ensureLocal(rec *trace.Recorder, ids ...string) error {
+func (s *Server) ensureLocal(rec *trace.Recorder, tenantName string, ids ...string) error {
 	if s.cluster == nil || s.store == nil {
 		return nil
 	}
@@ -288,7 +292,7 @@ func (s *Server) ensureLocal(rec *trace.Recorder, ids ...string) error {
 		if _, ok := s.store.Get(id); ok {
 			continue
 		}
-		ctx := trace.WithContext(context.Background(), rec.Context())
+		ctx := tenant.WithContext(trace.WithContext(context.Background(), rec.Context()), tenantName)
 		start := time.Now()
 		res, err := s.cluster.PullDatasetCtx(ctx, id)
 		end := time.Now()
@@ -312,7 +316,7 @@ func (s *Server) ensureLocal(rec *trace.Recorder, ids ...string) error {
 // finished report for key. A hit is adopted into the local persisted layer
 // (best-effort; the keep gate may decline entries for datasets not held
 // here) and served exactly like a persisted hit.
-func (s *Server) remoteResult(key string, parent trace.Context) (submission, bool) {
+func (s *Server) remoteResult(key, tenantName string, parent trace.Context) (submission, bool) {
 	ids := keyDatasetIDs(key)
 	if len(ids) == 0 {
 		return submission{}, false // request-hash key: content unknown cluster-wide
@@ -323,8 +327,8 @@ func (s *Server) remoteResult(key string, parent trace.Context) (submission, boo
 		if hop.Peer == nil {
 			continue // this node's own layers already missed
 		}
-		ctx, cancel := context.WithTimeout(
-			trace.WithContext(context.Background(), rec.Context()), clusterResultTimeout)
+		ctx, cancel := context.WithTimeout(tenant.WithContext(
+			trace.WithContext(context.Background(), rec.Context()), tenantName), clusterResultTimeout)
 		start := time.Now()
 		var res clusterResult
 		err := s.cluster.GetJSON(ctx, hop.Peer, "/internal/results/"+a+"/"+b, &res, maxClusterResultBytes)
@@ -362,15 +366,15 @@ func (s *Server) remoteResult(key string, parent trace.Context) (submission, boo
 // best live owner, or every better-ranked peer failed (degrade-to-local —
 // the local submission path then pulls whatever datasets are missing).
 // Routing never fails a submit.
-func (s *Server) remoteCell(idA, idB string) (compare.SubmitOutcome, bool) {
+func (s *Server) remoteCell(idA, idB, tenantName string) (compare.SubmitOutcome, bool) {
 	key := crossKey(idA, idB)
 	rec := trace.NewRecorder()
 	for _, hop := range s.cluster.Ranked(key) {
 		if hop.Peer == nil {
 			return compare.SubmitOutcome{}, false // we own the cell
 		}
-		ctx, cancel := context.WithTimeout(
-			trace.WithContext(context.Background(), rec.Context()), clusterCompareTimeout)
+		ctx, cancel := context.WithTimeout(tenant.WithContext(
+			trace.WithContext(context.Background(), rec.Context()), tenantName), clusterCompareTimeout)
 		start := time.Now()
 		var res clusterResult
 		err := s.cluster.PostJSON(ctx, hop.Peer, "/internal/compare",

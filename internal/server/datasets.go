@@ -87,6 +87,7 @@ func (s *Server) handlePutDataset(w http.ResponseWriter, r *http.Request) {
 	if !s.requireStore(w) {
 		return
 	}
+	who := s.resolveTenant(r)
 	ingestStart := time.Now()
 	wtr, err := s.store.NewWriter(r.URL.Query().Get("name"))
 	if err != nil {
@@ -149,9 +150,26 @@ func (s *Server) handlePutDataset(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		n++
+		// Early tenant-quota check per tile: a stream that has already
+		// written more bytes than the tenant may hold cannot recover, so
+		// stop reading rather than buffering the whole body first. (Only
+		// the tenant dimensions — the global budget check below may evict,
+		// which should happen once, not per tile.)
+		if aerr := s.admitTenantBytes(who, wtr.Bytes()); aerr != nil {
+			s.failAdmission(w, who, aerr)
+			return
+		}
 	}
 	if tok, err := dec.Token(); err != nil || tok != json.Delim(']') {
 		s.fail(w, http.StatusBadRequest, errors.New("malformed tile array"))
+		return
+	}
+	// Admission gates the commit: the exact segment size is known now, and
+	// nothing has been published yet — a dataset that would overshoot the
+	// tenant quota or the store budget (even after a synchronous targeted
+	// sweep) is rejected with a structured 413/429 instead of committed.
+	if aerr := s.admitIngest(who, wtr.Bytes()); aerr != nil {
+		s.failAdmission(w, who, aerr)
 		return
 	}
 	man, err := wtr.Commit()
@@ -167,10 +185,14 @@ func (s *Server) handlePutDataset(w http.ResponseWriter, r *http.Request) {
 	}
 	committed = true
 	s.ingests.Inc()
+	if s.tusage != nil {
+		s.tusage.Attribute(who.Name, man.ID, man.SegmentBytes)
+	}
 	if s.qlog != nil {
 		s.qlog.Append(querylog.Record{
 			Kind:       querylog.KindIngest,
 			ID:         man.ID,
+			Tenant:     who.Name,
 			Datasets:   []querylog.DatasetIO{{ID: man.ID, Tiles: len(man.Tiles), Bytes: man.SegmentBytes}},
 			DurationMs: float64(time.Since(ingestStart).Microseconds()) / 1000,
 			Outcome:    querylog.OutcomeIngested,

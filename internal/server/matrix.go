@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/compare"
 	"repro/internal/store"
+	"repro/internal/tenant"
 	"repro/internal/trace"
 )
 
@@ -151,7 +152,7 @@ func (s *Server) requireMatrix(w http.ResponseWriter) bool {
 // job's own lifetime; the run-level pins are what keep a dataset alive in
 // the window between run start and its last cell's submission, which a
 // retention sweep could otherwise hit.
-func (s *Server) startMatrix(req MatrixRequest) (run *compare.Run, code int, err error) {
+func (s *Server) startMatrix(req MatrixRequest, who tenant.Quota) (run *compare.Run, code int, err error) {
 	if s.matrix == nil {
 		return nil, http.StatusNotImplemented,
 			errors.New("no dataset store configured (start sccgd with -data-dir)")
@@ -167,7 +168,7 @@ func (s *Server) startMatrix(req MatrixRequest) (run *compare.Run, code int, err
 	// The pulls are recorded and handed to the run as its plan prelude, so
 	// plan_trace prices them next to the bound/estimate stages.
 	rec := trace.NewRecorder()
-	if err := s.ensureLocal(rec, ids...); err != nil {
+	if err := s.ensureLocal(rec, who.Name, ids...); err != nil {
 		if errors.Is(err, store.ErrNotFound) {
 			return nil, http.StatusNotFound, err
 		}
@@ -187,6 +188,7 @@ func (s *Server) startMatrix(req MatrixRequest) (run *compare.Run, code int, err
 	}
 	run, err = s.matrix.StartSpec(compare.RunSpec{
 		Name:          req.Name,
+		Tenant:        who.Name,
 		Datasets:      req.Datasets,
 		SetA:          req.SetA,
 		SetB:          req.SetB,
@@ -206,7 +208,7 @@ func (s *Server) startMatrix(req MatrixRequest) (run *compare.Run, code int, err
 // SubmitMatrix validates and starts a symmetric matrix run over the dataset
 // IDs, returning the run ID. It is the non-HTTP entry the facade uses.
 func (s *Server) SubmitMatrix(ids []string, name string) (string, error) {
-	run, _, err := s.startMatrix(MatrixRequest{Datasets: ids, Name: name})
+	run, _, err := s.startMatrix(MatrixRequest{Datasets: ids, Name: name}, s.tenants.Resolve(""))
 	if err != nil {
 		return "", err
 	}
@@ -216,7 +218,7 @@ func (s *Server) SubmitMatrix(ids []string, name string) (string, error) {
 // SubmitMatrixRequest starts a run from the full request form (progressive
 // objectives, bipartite axes). Facade entry.
 func (s *Server) SubmitMatrixRequest(req MatrixRequest) (string, error) {
-	run, _, err := s.startMatrix(req)
+	run, _, err := s.startMatrix(req, s.tenants.Resolve(""))
 	if err != nil {
 		return "", err
 	}
@@ -265,7 +267,7 @@ func (s *Server) handleStartMatrix(w http.ResponseWriter, r *http.Request) {
 	if err := s.decode(w, r, &req); err != nil {
 		return
 	}
-	run, code, err := s.startMatrix(req)
+	run, code, err := s.startMatrix(req, s.resolveTenant(r))
 	if err != nil {
 		s.fail(w, code, err)
 		return

@@ -1,0 +1,513 @@
+package server
+
+// Multi-tenant QoS regression tests: the byte-budget admission guarantee
+// (the store budget is never overshot — ingest evicts synchronously,
+// degrades, or rejects), tenant quota edges on the ingest surface,
+// interactive latency under a batch matrix flood, mixed-band load racing
+// the retention sweeper, and the tenant dimension of the query log.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/pathology"
+	"repro/internal/querylog"
+	"repro/internal/retention"
+	"repro/internal/sched"
+	"repro/internal/store"
+	"repro/internal/tenant"
+)
+
+// testTenants builds a two-tenant config for the quota tests.
+func testTenants(t *testing.T, doc string) tenant.Config {
+	t.Helper()
+	c, err := tenant.ParseConfig([]byte(doc))
+	if err != nil {
+		t.Fatalf("tenant config: %v", err)
+	}
+	return c
+}
+
+// postJSONAs is postJSON with a tenant token attached.
+func postJSONAs(t *testing.T, url, token string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// putDatasetAs is putDataset with a tenant token via the X-Sccg-Token header.
+func putDatasetAs(t *testing.T, url, token string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if token != "" {
+		req.Header.Set("X-Sccg-Token", token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("PUT %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// admissionBody decodes a structured admission rejection.
+func admissionBody(t *testing.T, raw []byte) (code, tenantName string) {
+	t.Helper()
+	var m map[string]string
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("admission body %q: %v", raw, err)
+	}
+	return m["code"], m["tenant"]
+}
+
+// waitUnpinned blocks until every job pin on the store is released — a just
+// finished job reports done a moment before its source unpins.
+func waitUnpinned(t *testing.T, st *store.Store) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for st.PinnedBytes() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("store pins never released (%d bytes pinned)", st.PinnedBytes())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func qosSpec(name string, seed int64, tiles int) pathology.DatasetSpec {
+	spec := pathology.Representative()
+	spec.Name = name
+	spec.Seed = seed
+	spec.Tiles = tiles
+	return spec
+}
+
+// TestSpecIngestRespectsByteBudget is the PR's byte-budget regression: a
+// spec submission whose dataset lands the store at the budget boundary must
+// trigger a synchronous targeted eviction — never an overshoot — and a
+// dataset that cannot fit at all must degrade to uncached execution with
+// the store left untouched.
+func TestSpecIngestRespectsByteBudget(t *testing.T) {
+	specA := qosSpec("budget-a", 1, 2)
+	specB := qosSpec("budget-b", 2, 2)
+	sizeA := store.DatasetBytes(pathology.Generate(specA))
+	sizeB := store.DatasetBytes(pathology.Generate(specB))
+	// Room for either dataset alone, never both.
+	budget := sizeA + sizeB/2
+
+	st := testStoreAt(t, t.TempDir())
+	srv, _, ts := newTestServer(t, sched.Config{Devices: 1},
+		Options{Store: st, Retention: retention.Policy{MaxBytes: budget, SweepInterval: time.Hour}})
+
+	resp, body := postJSON(t, ts.URL+"/jobs", JobRequest{Spec: &specA})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("spec A submit = %d: %s", resp.StatusCode, body)
+	}
+	var jrA JobResponse
+	if err := json.Unmarshal(body, &jrA); err != nil {
+		t.Fatal(err)
+	}
+	if jrA.Degraded {
+		t.Fatal("spec A degraded with an empty store")
+	}
+	if jrA.Band != sched.BandIngest.String() {
+		t.Fatalf("spec job band = %q, want ingest", jrA.Band)
+	}
+	if done := pollDone(t, ts.URL, jrA.ID); done.State != "done" {
+		t.Fatalf("spec A ended %s: %s", done.State, done.Error)
+	}
+	if got := st.TotalBytes(); got != sizeA || got > budget {
+		t.Fatalf("store holds %d bytes after A, want %d within budget %d", got, sizeA, budget)
+	}
+	waitUnpinned(t, st)
+
+	// B displaces A: admission evicts synchronously before a byte lands.
+	resp, body = postJSON(t, ts.URL+"/jobs", JobRequest{Spec: &specB})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("spec B submit = %d: %s", resp.StatusCode, body)
+	}
+	var jrB JobResponse
+	if err := json.Unmarshal(body, &jrB); err != nil {
+		t.Fatal(err)
+	}
+	if jrB.Degraded {
+		t.Fatal("spec B degraded; want synchronous eviction of A to admit it")
+	}
+	if done := pollDone(t, ts.URL, jrB.ID); done.State != "done" {
+		t.Fatalf("spec B ended %s: %s", done.State, done.Error)
+	}
+	if got := st.TotalBytes(); got != sizeB || got > budget {
+		t.Fatalf("store holds %d bytes after B, want %d within budget %d", got, sizeB, budget)
+	}
+	if len(st.List()) != 1 {
+		t.Fatalf("store lists %d datasets, want only B after the targeted evict", len(st.List()))
+	}
+	waitUnpinned(t, st)
+
+	// A dataset bigger than the whole budget can never be stored: the job
+	// degrades to uncached execution and still answers correctly.
+	specHuge := qosSpec("budget-huge", 3, 6)
+	if huge := store.DatasetBytes(pathology.Generate(specHuge)); huge <= budget {
+		t.Fatalf("test setup: huge spec is %d bytes, want > budget %d", huge, budget)
+	}
+	resp, body = postJSON(t, ts.URL+"/jobs", JobRequest{Spec: &specHuge})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("huge spec submit = %d: %s", resp.StatusCode, body)
+	}
+	var jrH JobResponse
+	if err := json.Unmarshal(body, &jrH); err != nil {
+		t.Fatal(err)
+	}
+	if !jrH.Degraded {
+		t.Fatal("over-budget spec not flagged degraded")
+	}
+	done := pollDone(t, ts.URL, jrH.ID)
+	if done.State != "done" || done.Report == nil {
+		t.Fatalf("degraded job ended %s with report %v", done.State, done.Report)
+	}
+	if got := st.TotalBytes(); got != sizeB {
+		t.Fatalf("degraded ingest touched the store: %d bytes, want %d", got, sizeB)
+	}
+
+	var metricsBuf bytes.Buffer
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsBuf.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		"sccgd_qos_degraded_uncached_total 1",
+		`sccgd_admission_rejected_total{reason="store_full"}`,
+	} {
+		if !strings.Contains(metricsBuf.String(), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	_ = srv
+}
+
+// TestPutDatasetTenantQuotaEdges drives the tenant byte and dataset-count
+// quotas at their exact boundaries over PUT /datasets, and checks deletion
+// (dataset and tenant) releases the charge.
+func TestPutDatasetTenantQuotaEdges(t *testing.T) {
+	d1 := pathology.Generate(qosSpec("quota-1", 11, 1))
+	d2 := pathology.Generate(qosSpec("quota-2", 12, 1))
+	d3 := pathology.Generate(qosSpec("quota-3", 13, 1))
+	size1, size2 := store.DatasetBytes(d1), store.DatasetBytes(d2)
+
+	cfg := testTenants(t, fmt.Sprintf(`{
+		"tenants": [
+			{"name": "acme", "token": "tok-acme", "max_bytes": %d},
+			{"name": "globex", "token": "tok-globex", "max_datasets": 1}
+		]
+	}`, size1+size2-1))
+	st := testStoreAt(t, t.TempDir())
+	srv, _, ts := newTestServer(t, sched.Config{Devices: 1}, Options{Store: st, Tenants: cfg})
+
+	// First ingest fits (and may sit exactly at the boundary).
+	resp, body := putDatasetAs(t, ts.URL+"/datasets?name=q1", "tok-acme", datasetPayload(t, d1))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("acme ingest 1 = %d: %s", resp.StatusCode, body)
+	}
+	var man1 DatasetResponse
+	if err := json.Unmarshal(body, &man1); err != nil {
+		t.Fatal(err)
+	}
+	// The second crosses the byte quota by exactly one byte: structured 413.
+	resp, body = putDatasetAs(t, ts.URL+"/datasets?name=q2", "tok-acme", datasetPayload(t, d2))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("acme ingest over quota = %d: %s", resp.StatusCode, body)
+	}
+	if code, who := admissionBody(t, body); code != "tenant_bytes" || who != "acme" {
+		t.Fatalf("rejection = code %q tenant %q, want tenant_bytes/acme", code, who)
+	}
+	// Anonymous traffic is not bounded by acme's quota.
+	if resp, body := putDataset(t, ts.URL+"/datasets?name=anon", datasetPayload(t, d2)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("anonymous ingest = %d: %s", resp.StatusCode, body)
+	}
+	// Deleting the charged dataset releases the quota.
+	dresp, draw := doRequest(t, http.MethodDelete, ts.URL+"/datasets/"+man1.ID)
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("delete = %d: %s", dresp.StatusCode, draw)
+	}
+	resp, body = putDatasetAs(t, ts.URL+"/datasets?name=q2", "tok-acme", datasetPayload(t, d2))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("acme ingest after delete = %d: %s", resp.StatusCode, body)
+	}
+
+	// Dataset-count quota: the second dataset rejects regardless of size.
+	resp, body = putDatasetAs(t, ts.URL+"/datasets?name=g1", "tok-globex", datasetPayload(t, d1))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("globex ingest 1 = %d: %s", resp.StatusCode, body)
+	}
+	resp, body = putDatasetAs(t, ts.URL+"/datasets?name=g2", "tok-globex", datasetPayload(t, d3))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("globex ingest 2 = %d: %s", resp.StatusCode, body)
+	}
+	if code, who := admissionBody(t, body); code != "tenant_datasets" || who != "globex" {
+		t.Fatalf("rejection = code %q tenant %q, want tenant_datasets/globex", code, who)
+	}
+	// Tenant deletion releases everything it held.
+	srv.tusage.DropTenant("globex")
+	if resp, body := putDatasetAs(t, ts.URL+"/datasets?name=g2", "tok-globex", datasetPayload(t, d3)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("globex ingest after DropTenant = %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestInteractiveNotStarvedByMatrix is the starvation regression: a 6-way
+// matrix floods every general slot with batch cells, and a concurrent
+// interactive job must still start within a bounded queue wait (the
+// reserved slot exists exactly for this), visible in both the queue-wait
+// histogram and the job's own trace.
+func TestInteractiveNotStarvedByMatrix(t *testing.T) {
+	reg := metrics.NewRegistry()
+	st := testStoreAt(t, t.TempDir())
+	var ids []string
+	for seed := int64(1); seed <= 6; seed++ {
+		ids = append(ids, ingestSpec(t, st, "flood", seed, 1).ID)
+	}
+	probe := ingestSpec(t, st, "probe", 99, 1)
+	_, _, ts := newTestServer(t, sched.Config{Devices: 2, Registry: reg},
+		Options{Store: st, Registry: reg})
+
+	resp, body := postJSON(t, ts.URL+"/matrix", MatrixRequest{Datasets: ids, Name: "flood"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("matrix submit = %d: %s", resp.StatusCode, body)
+	}
+	var mst struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(body, &mst); err != nil {
+		t.Fatal(err)
+	}
+
+	// Submit the interactive probe while the batch cells saturate the pool.
+	resp, body = postJSON(t, ts.URL+"/jobs", JobRequest{DatasetID: probe.ID})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("probe submit = %d: %s", resp.StatusCode, body)
+	}
+	var jr JobResponse
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatal(err)
+	}
+	if jr.Band != sched.BandInteractive.String() {
+		t.Fatalf("probe band = %q, want interactive", jr.Band)
+	}
+	done := pollDone(t, ts.URL, jr.ID)
+	if done.State != "done" {
+		t.Fatalf("probe ended %s: %s", done.State, done.Error)
+	}
+	if done.Started == nil {
+		t.Fatal("done probe has no start time")
+	}
+	// Bounded queue wait: the 15 batch cells each take tens of milliseconds
+	// on the single general slot; the probe must not have waited out that
+	// backlog. 5s is far above any healthy wait and far below the flood.
+	if wait := done.Started.Sub(done.Submitted); wait > 5*time.Second {
+		t.Fatalf("interactive queue wait = %v under batch flood, want bounded", wait)
+	}
+	if done.Trace == nil {
+		t.Fatal("probe has no trace")
+	}
+	foundQueue := false
+	for _, sp := range done.Trace.Spans {
+		if sp.Name == "queue" && sp.Detail == "interactive" {
+			foundQueue = true
+			if sp.DurationMs > 5000 {
+				t.Fatalf("trace queue span = %.1fms, want bounded", sp.DurationMs)
+			}
+		}
+	}
+	if !foundQueue {
+		t.Fatalf("probe trace has no interactive queue span: %+v", done.Trace.Spans)
+	}
+
+	// The per-band histogram observed the wait.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(buf.String(), `sccgd_job_queue_wait_seconds_count{band="interactive"}`) {
+		t.Error(`metrics missing sccgd_job_queue_wait_seconds{band="interactive"} series`)
+	}
+
+	// Drain the matrix so Close doesn't race the flood.
+	deadline := time.Now().Add(2 * time.Minute)
+	for mst.State == "" || mst.State == "running" {
+		if time.Now().After(deadline) {
+			t.Fatalf("matrix stuck: %+v", mst)
+		}
+		time.Sleep(10 * time.Millisecond)
+		getJSON(t, ts.URL+"/matrix/"+mst.ID, &mst)
+	}
+}
+
+// TestQoSMixedBandSweeperContention exercises mixed-band submissions racing
+// on-demand retention sweeps over a small store — the race-detector target
+// for the QoS paths (run under -race in CI).
+func TestQoSMixedBandSweeperContention(t *testing.T) {
+	specSeed := qosSpec("contend-0", 40, 1)
+	size := store.DatasetBytes(pathology.Generate(specSeed))
+	st := testStoreAt(t, t.TempDir())
+	_, _, ts := newTestServer(t, sched.Config{Devices: 2},
+		Options{Store: st, Retention: retention.Policy{MaxBytes: 3 * size, SweepInterval: time.Hour}})
+
+	stop := make(chan struct{})
+	var sweeps sync.WaitGroup
+	sweeps.Add(1)
+	go func() {
+		defer sweeps.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, _ := postJSON(t, ts.URL+"/gc", struct{}{})
+			if resp.StatusCode != http.StatusOK {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var jobIDs []string
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			spec := qosSpec(fmt.Sprintf("contend-%d", i%3), int64(41+i%3), 1)
+			req := JobRequest{Spec: &spec}
+			if i%2 == 1 {
+				req.Band = sched.BandBatch.String()
+			}
+			resp, body := postJSON(t, ts.URL+"/jobs", req)
+			if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+				t.Errorf("submit %d = %d: %s", i, resp.StatusCode, body)
+				return
+			}
+			var jr JobResponse
+			if json.Unmarshal(body, &jr) == nil && jr.ID != "" && !jr.Cached {
+				mu.Lock()
+				jobIDs = append(jobIDs, jr.ID)
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, id := range jobIDs {
+		if done := pollDone(t, ts.URL, id); done.State == "failed" {
+			t.Errorf("job %s failed under sweeper contention: %s", id, done.Error)
+		}
+	}
+	close(stop)
+	sweeps.Wait()
+	if got := st.TotalBytes(); got > 3*size {
+		t.Fatalf("store overshot the budget under contention: %d > %d", got, 3*size)
+	}
+}
+
+// TestQuerylogTenantFilter checks the tenant dimension end to end: records
+// carry the resolved tenant and GET /querylog?tenant= filters on it.
+func TestQuerylogTenantFilter(t *testing.T) {
+	cfg := testTenants(t, `{"tenants": [{"name": "acme", "token": "tok-acme"}]}`)
+	st := testStoreAt(t, t.TempDir())
+	man := ingestSpec(t, st, "qlog", 7, 1)
+	_, _, ts := newTestServer(t, sched.Config{Devices: 1}, Options{Store: st, Tenants: cfg})
+
+	resp, body := postJSONAs(t, ts.URL+"/jobs", "tok-acme", JobRequest{DatasetID: man.ID})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("acme submit = %d: %s", resp.StatusCode, body)
+	}
+	var jr JobResponse
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatal(err)
+	}
+	if jr.Tenant != "acme" {
+		t.Fatalf("submit response tenant = %q, want acme", jr.Tenant)
+	}
+	pollDone(t, ts.URL, jr.ID)
+	// Same content as the default tenant: a cache hit, logged under default.
+	if resp, body := postJSON(t, ts.URL+"/jobs", JobRequest{DatasetID: man.ID}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("default repeat = %d: %s", resp.StatusCode, body)
+	}
+
+	type qlogResponse struct {
+		Records []querylog.Record `json:"records"`
+	}
+	var acmeOnly qlogResponse
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		getJSON(t, ts.URL+"/querylog?tenant=acme&kind=job", &acmeOnly)
+		if len(acmeOnly.Records) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no acme job records appeared in the query log")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, rec := range acmeOnly.Records {
+		if rec.Tenant != "acme" {
+			t.Fatalf("tenant=acme filter returned record for %q", rec.Tenant)
+		}
+		if rec.Band == "" {
+			t.Fatalf("job record has no band: %+v", rec)
+		}
+	}
+	var all qlogResponse
+	getJSON(t, ts.URL+"/querylog?kind=job", &all)
+	defaultSeen := false
+	for _, rec := range all.Records {
+		if rec.Tenant == "default" {
+			defaultSeen = true
+		}
+	}
+	if !defaultSeen {
+		t.Fatalf("unfiltered log lost the default tenant's records: %+v", all.Records)
+	}
+	if len(all.Records) <= len(acmeOnly.Records) {
+		t.Fatalf("filter removed nothing: %d total vs %d acme", len(all.Records), len(acmeOnly.Records))
+	}
+}

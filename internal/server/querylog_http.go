@@ -32,6 +32,7 @@ func (s *Server) handleQuerylog(w http.ResponseWriter, r *http.Request) {
 		Dataset: q.Get("dataset"),
 		Outcome: q.Get("outcome"),
 		Kind:    q.Get("kind"),
+		Tenant:  q.Get("tenant"),
 		Limit:   querylogDefaultLimit,
 	}
 	var err error

@@ -69,6 +69,11 @@ func (s *Server) dropDatasetResults(id string) {
 	// history goes with it (records in the query log itself remain — the log
 	// is an audit trail, not a cache).
 	s.qlog.DropHeat(id)
+	// Tenant attribution releases with the dataset: the owning tenant's
+	// byte/dataset usage frees quota headroom the moment the delete lands.
+	if s.tusage != nil {
+		s.tusage.DropDataset(id)
+	}
 	if n > 0 {
 		s.cascades.Add(int64(n))
 	}

@@ -74,6 +74,7 @@ import (
 	"repro/internal/retention"
 	"repro/internal/sched"
 	"repro/internal/store"
+	"repro/internal/tenant"
 	"repro/internal/trace"
 )
 
@@ -126,6 +127,16 @@ type Options struct {
 	// SlowQuery, when positive, emits a structured warning (with the job's
 	// trace summary) for any job or cell slower than this threshold.
 	SlowQuery time.Duration
+	// Tenants is the multi-tenant QoS configuration: token-keyed tenant
+	// identities with per-tenant byte, dataset, and queued-job quotas.
+	// The zero value runs everything as one unlimited default tenant.
+	Tenants tenant.Config
+	// QueuePinAge is the pin-aware queue-aging threshold: when a retention
+	// sweep cannot meet its byte budget because the only evictable datasets
+	// are pinned by jobs that have sat QUEUED at least this long, those jobs
+	// are canceled so their pins release and the sweep retries. 0 disables
+	// aging (queued jobs hold pins indefinitely). Ignored without a Store.
+	QueuePinAge time.Duration
 	// Logger receives the server's structured log records; slog.Default()
 	// when nil.
 	Logger *slog.Logger
@@ -164,6 +175,19 @@ type Server struct {
 	compare   CompareFunc
 	maxBody   int64
 	started   time.Time
+	// tenants resolves tokens (public surface) and forwarded names (peer
+	// surface) to quotas; the zero config is one unlimited default tenant.
+	tenants tenant.Config
+	// tusage attributes stored bytes/datasets to tenants, persisted beside
+	// the manifests; nil without a store.
+	tusage *tenant.Registry
+	// pinAge is the pin-aware queue-aging threshold (Options.QueuePinAge).
+	pinAge time.Duration
+
+	// pinsMu guards jobPins: which datasets each live store-backed job holds
+	// pins on, feeding the retention engine's pinned-pressure callback.
+	pinsMu  sync.Mutex
+	jobPins map[string]jobPin
 
 	// crossMu guards crossByJob: per-job cross-dataset pairing metadata
 	// (matched/unmatched tile counts) attached to job responses.
@@ -189,6 +213,8 @@ type Server struct {
 	ingestFails *metrics.Counter
 	matrixRuns  *metrics.Counter
 	cascades    *metrics.Counter
+	agedOut     *metrics.Counter
+	degradedUnc *metrics.Counter
 
 	// Cluster counters; non-nil only when a cluster node is configured.
 	remoteHits    *metrics.Counter
@@ -220,7 +246,10 @@ func New(s *sched.Scheduler, opts Options) *Server {
 		compare:    opts.Compare,
 		maxBody:    opts.MaxBodyBytes,
 		started:    time.Now(),
+		tenants:    opts.Tenants,
+		pinAge:     opts.QueuePinAge,
 		crossByJob: make(map[string]*CrossPayload),
+		jobPins:    make(map[string]jobPin),
 
 		requests:    opts.Registry.Counter("sccgd_http_requests_total"),
 		submits:     opts.Registry.Counter("sccgd_jobs_submitted_total"),
@@ -233,6 +262,8 @@ func New(s *sched.Scheduler, opts Options) *Server {
 		ingestFails: opts.Registry.Counter("sccgd_dataset_ingest_failures_total"),
 		matrixRuns:  opts.Registry.Counter("sccgd_matrix_runs_total"),
 		cascades:    opts.Registry.Counter("sccgd_cache_cascade_dropped_total"),
+		agedOut:     opts.Registry.Counter("sccgd_qos_aged_out_total"),
+		degradedUnc: opts.Registry.Counter("sccgd_qos_degraded_uncached_total"),
 	}
 	opts.Registry.GaugeFunc("sccgd_cache_entries", func() float64 { return float64(srv.cache.len()) })
 	// Scheduler and group metrics render from one snapshot per scrape (a
@@ -269,6 +300,24 @@ func New(s *sched.Scheduler, opts Options) *Server {
 		}
 		e.Gauge("sccgd_groups_active", float64(active))
 		e.Counter("sccgd_groups_total", float64(len(groups)))
+		// QoS series: per-band and per-tenant queue/run occupancy from the
+		// same scheduler snapshot, plus per-tenant store attribution. Labels
+		// are band names and configured tenant names — bounded cardinality,
+		// federation-safe (no per-job or per-request values).
+		for b := sched.Band(0); b < sched.NumBands; b++ {
+			e.Gauge(metrics.Label("sccgd_band_jobs_queued", "band", b.String()), float64(st.Bands[b].Queued))
+			e.Gauge(metrics.Label("sccgd_band_jobs_running", "band", b.String()), float64(st.Bands[b].Running))
+		}
+		for name, tc := range st.Tenants {
+			e.Gauge(metrics.Label("sccgd_tenant_jobs_queued", "tenant", name), float64(tc.Queued))
+			e.Gauge(metrics.Label("sccgd_tenant_jobs_running", "tenant", name), float64(tc.Running))
+		}
+		if srv.tusage != nil {
+			for name, u := range srv.tusage.All() {
+				e.Gauge(metrics.Label("sccgd_tenant_store_bytes", "tenant", name), float64(u.Bytes))
+				e.Gauge(metrics.Label("sccgd_tenant_datasets", "tenant", name), float64(u.Datasets))
+			}
+		}
 	})
 	if opts.Cluster != nil && opts.Store != nil {
 		srv.cluster = opts.Cluster
@@ -294,6 +343,9 @@ func New(s *sched.Scheduler, opts Options) *Server {
 	}
 	if srv.store != nil {
 		srv.store.SetMetrics(opts.Registry)
+		// Tenant attribution persists beside the manifests so a restarted
+		// daemon still knows whose bytes are whose.
+		srv.tusage = tenant.NewRegistry(opts.Store.Dir())
 		opts.Registry.GaugeFunc("sccgd_datasets", func() float64 { return float64(srv.store.Len()) })
 		if opts.CacheSize > 0 {
 			// The durable cache layer lives beside the manifests; corrupt
@@ -342,6 +394,9 @@ func New(s *sched.Scheduler, opts Options) *Server {
 			Cache:    cacheForGC,
 			Policy:   opts.Retention,
 			Registry: opts.Registry,
+			// Pin-aware queue aging: when the sweep is blocked on pins held
+			// only by stale queued jobs, cancel them and sweep again.
+			PinnedPressure: srv.pinnedPressure,
 			Log: func(format string, args ...any) {
 				srv.log.Info(fmt.Sprintf(format, args...), "subsystem", "retention")
 			},
@@ -504,6 +559,10 @@ type JobRequest struct {
 	DatasetA  string                 `json:"dataset_a,omitempty"`
 	DatasetB  string                 `json:"dataset_b,omitempty"`
 	NoCache   bool                   `json:"no_cache,omitempty"`
+	// Band optionally overrides the job's QoS band ("interactive", "batch",
+	// "ingest"); unset picks by request form (spec/corpus → ingest, the
+	// rest → interactive).
+	Band string `json:"band,omitempty"`
 }
 
 // CrossPayload describes a cross-dataset job's tile pairing: how many tile
@@ -607,6 +666,12 @@ type JobResponse struct {
 	Cross     *CrossPayload  `json:"cross,omitempty"`
 	Report    *ReportPayload `json:"report,omitempty"`
 	Trace     *trace.Trace   `json:"trace,omitempty"`
+	// Band and Tenant are the job's QoS placement.
+	Band   string `json:"band,omitempty"`
+	Tenant string `json:"tenant,omitempty"`
+	// Degraded marks a spec/corpus job that ran uncached because admission
+	// control could not fit its dataset in the store (see qos.go).
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // jobResponse projects a job snapshot to the wire, attaching cross-dataset
@@ -631,6 +696,8 @@ func baseJobResponse(st sched.JobStatus, cached bool) JobResponse {
 		Shards:    st.Shards,
 		DeviceIDs: st.DeviceIDs,
 	}
+	resp.Band = st.Band.String()
+	resp.Tenant = st.Tenant
 	if !st.Started.IsZero() {
 		t := st.Started
 		resp.Started = &t
@@ -651,8 +718,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := s.decode(w, r, &req); err != nil {
 		return
 	}
-	sub, err := s.submitRequest(req)
+	who := s.resolveTenant(r)
+	sub, err := s.submitRequestAs(req, who, trace.Context{})
 	if err != nil {
+		var aerr *admissionError
+		if errors.As(err, &aerr) {
+			s.failAdmission(w, who, aerr)
+			return
+		}
+		if errors.Is(err, sched.ErrTenantQueue) {
+			s.admissionRejected("tenant_queue")
+			w.Header().Set("Retry-After", "5")
+			writeJSON(w, sub.code, map[string]string{
+				"error": err.Error(), "code": "tenant_queue", "tenant": who.Name,
+			})
+			return
+		}
 		s.fail(w, sub.code, err)
 		return
 	}
@@ -678,17 +759,24 @@ type submission struct {
 }
 
 // submitRequest resolves a job request through the cache layers or submits
-// it to the scheduler. On error, submission.code carries the HTTP status.
+// it to the scheduler as the default tenant. On error, submission.code
+// carries the HTTP status.
 func (s *Server) submitRequest(req JobRequest) (submission, error) {
-	return s.submitRequestTraced(req, trace.Context{})
+	return s.submitRequestAs(req, s.tenants.Resolve(""), trace.Context{})
 }
 
-// submitRequestTraced is submitRequest under an incoming trace context: when
-// parent is non-zero (a peer forwarded its traceparent), the job's recorder
-// joins that trace so the spans splice back into the caller's picture.
-func (s *Server) submitRequestTraced(req JobRequest, parent trace.Context) (submission, error) {
+// submitRequestAs is submitRequest under an explicit tenant identity and an
+// incoming trace context: when parent is non-zero (a peer forwarded its
+// traceparent), the job's recorder joins that trace so the spans splice
+// back into the caller's picture. The tenant rides the whole lifecycle —
+// scheduler accounting, query-log records, cluster call headers.
+func (s *Server) submitRequestAs(req JobRequest, who tenant.Quota, parent trace.Context) (submission, error) {
 	reqStart := time.Now()
 	if err := checkRequest(req); err != nil {
+		return submission{code: http.StatusBadRequest}, err
+	}
+	band, err := bandFor(req)
+	if err != nil {
 		return submission{code: http.StatusBadRequest}, err
 	}
 	if (req.DatasetID != "" || req.DatasetA != "") && s.store == nil {
@@ -702,8 +790,8 @@ func (s *Server) submitRequestTraced(req JobRequest, parent trace.Context) (subm
 	key := ""
 	if !req.NoCache {
 		key = s.cacheKey(req)
-		if sub, ok := s.resolveCached(key, parent); ok {
-			s.recordJobSub(req, sub, reqStart)
+		if sub, ok := s.resolveCached(key, who.Name, parent); ok {
+			s.recordJobSub(req, sub, reqStart, who, band)
 			return sub, nil
 		}
 		// The miss is counted only once the job is really submitted: the
@@ -716,7 +804,7 @@ func (s *Server) submitRequestTraced(req JobRequest, parent trace.Context) (subm
 	// context rode in, the recorder adopts its trace ID.
 	rec := trace.NewRecorderFrom(parent)
 	matStart := time.Now()
-	name, src, contentKey, cross, err := s.materializeRequest(rec, req)
+	mat, err := s.materializeRequest(rec, who, req)
 	rec.Add("materialize", requestForm(req), matStart, time.Now())
 	if err != nil {
 		code := http.StatusUnprocessableEntity
@@ -725,33 +813,34 @@ func (s *Server) submitRequestTraced(req JobRequest, parent trace.Context) (subm
 		}
 		return submission{code: code}, err
 	}
-	if key != "" && contentKey != "" && contentKey != key {
+	if key != "" && mat.contentKey != "" && mat.contentKey != key {
 		// Materialization pinned the content address (e.g. a spec was
 		// ingested into the store): cache under it, so a later submission
 		// of the same content by dataset_id hits this entry — and re-check
 		// the cache, since this very content may already have a result
 		// computed under another request form.
-		key = contentKey
-		if sub, ok := s.resolveCached(key, parent); ok {
-			releaseSource(src) // no job will own the pinned source
-			s.recordJobSub(req, sub, reqStart)
+		key = mat.contentKey
+		if sub, ok := s.resolveCached(key, who.Name, parent); ok {
+			releaseSource(mat.src) // no job will own the pinned source
+			s.recordJobSub(req, sub, reqStart, who, band)
 			return sub, nil
 		}
 	}
 	if key != "" {
 		s.cacheMiss.Inc()
 	}
-	id, err := s.sched.SubmitSourceTraced(name, src, rec)
-	switch {
-	case errors.Is(err, sched.ErrQueueFull), errors.Is(err, sched.ErrClosed):
-		releaseSource(src)
-		return submission{code: http.StatusServiceUnavailable}, err
-	case err != nil:
-		releaseSource(src)
-		return submission{code: http.StatusBadRequest}, err
+	name, cross := mat.name, mat.cross
+	id, err := s.sched.SubmitJob(mat.src, sched.JobOpts{
+		Name: name, Band: band, Tenant: who.Name, Trace: rec,
+	})
+	if err != nil {
+		releaseSource(mat.src)
+		return submission{code: submitErrorCode(err)}, err
 	}
 	s.submits.Inc()
-	s.log.Info("job submitted", "job_id", id, "name", name, "form", requestForm(req))
+	s.trackJobPins(id, mat.pinned)
+	s.log.Info("job submitted", "job_id", id, "name", name, "form", requestForm(req),
+		"band", band.String(), "tenant", who.Name)
 	if cross != nil {
 		s.crossMu.Lock()
 		s.crossByJob[id] = cross
@@ -761,9 +850,10 @@ func (s *Server) submitRequestTraced(req JobRequest, parent trace.Context) (subm
 		s.cache.put(key, id)
 	}
 	// One completion watcher per computed job: it persists the report (when
-	// cache-keyed), appends the query-log record, and flags slow queries. The
-	// draining check under the mutex keeps the Add from racing Drain's Wait.
-	if (key != "" && s.persist != nil) || s.qlog != nil || s.slowQuery > 0 {
+	// cache-keyed), appends the query-log record, flags slow queries, and
+	// drops the job's pin-tracking record. The draining check under the
+	// mutex keeps the Add from racing Drain's Wait.
+	if (key != "" && s.persist != nil) || s.qlog != nil || s.slowQuery > 0 || len(mat.pinned) > 0 {
 		persistKey := key
 		if s.persist == nil {
 			persistKey = ""
@@ -779,12 +869,14 @@ func (s *Server) submitRequestTraced(req JobRequest, parent trace.Context) (subm
 		s.persistMu.Unlock()
 	}
 	st, _ := s.sched.Job(id)
-	return submission{resp: s.jobResponse(st, false), code: http.StatusAccepted, jobID: id, cross: cross}, nil
+	resp := s.jobResponse(st, false)
+	resp.Degraded = mat.degraded
+	return submission{resp: resp, code: http.StatusAccepted, jobID: id, cross: cross}, nil
 }
 
 // recordJobSub appends a query-log record for a cache-answered submission
 // (computed jobs are recorded by their completion watcher instead).
-func (s *Server) recordJobSub(req JobRequest, sub submission, start time.Time) {
+func (s *Server) recordJobSub(req JobRequest, sub submission, start time.Time, who tenant.Quota, band sched.Band) {
 	if s.qlog == nil || sub.outcome == "" {
 		return
 	}
@@ -792,6 +884,8 @@ func (s *Server) recordJobSub(req JobRequest, sub submission, start time.Time) {
 		Kind:       querylog.KindJob,
 		ID:         sub.resp.ID,
 		TraceID:    traceIDOf(sub.resp.Trace),
+		Tenant:     who.Name,
+		Band:       band.String(),
 		Datasets:   s.requestIO(req),
 		DurationMs: float64(time.Since(start).Microseconds()) / 1000,
 		Outcome:    sub.outcome,
@@ -842,12 +936,12 @@ func traceIDOf(t *trace.Trace) string {
 // layer (owner peers' caches, see cluster.go). A hit is a use of the
 // underlying datasets: their retention clocks advance, so repeatedly-hit
 // content never TTL-expires out from under its own cache entry.
-func (s *Server) resolveCached(key string, parent trace.Context) (submission, bool) {
+func (s *Server) resolveCached(key, tenantName string, parent trace.Context) (submission, bool) {
 	if sub, ok := s.resolveLocalCached(key); ok {
 		return sub, true
 	}
 	if s.cluster != nil {
-		if sub, ok := s.remoteResult(key, parent); ok {
+		if sub, ok := s.remoteResult(key, tenantName, parent); ok {
 			return sub, true
 		}
 	}
@@ -912,6 +1006,7 @@ func persistedResponse(key string, e *persistEntry) JobResponse {
 // warning.
 func (s *Server) finishWhenDone(rec *trace.Recorder, key, jobID, name string, req JobRequest, cross *CrossPayload) {
 	st, err := s.sched.Wait(context.Background(), jobID)
+	s.untrackJobPins(jobID)
 	if err != nil {
 		return
 	}
@@ -934,6 +1029,8 @@ func (s *Server) finishWhenDone(rec *trace.Recorder, key, jobID, name string, re
 			Kind:       querylog.KindJob,
 			ID:         jobID,
 			TraceID:    rec.Context().TraceIDString(),
+			Tenant:     st.Tenant,
+			Band:       st.Band.String(),
 			Datasets:   s.requestIO(req),
 			DurationMs: float64(dur.Microseconds()) / 1000,
 			Outcome:    outcome,
@@ -942,6 +1039,7 @@ func (s *Server) finishWhenDone(rec *trace.Recorder, key, jobID, name string, re
 	}
 	if s.slowQuery > 0 && dur > s.slowQuery {
 		s.log.Warn("slow query", "job_id", jobID, "name", name,
+			"tenant", st.Tenant, "band", st.Band.String(),
 			"duration_ms", float64(dur.Microseconds())/1000,
 			"threshold_ms", float64(s.slowQuery.Microseconds())/1000,
 			"outcome", outcome, "trace", trace.Summarize(st.Trace))
@@ -954,16 +1052,25 @@ func (s *Server) finishWhenDone(rec *trace.Recorder, key, jobID, name string, re
 // to its owner peers (remoteCell), so matrix fan-out spreads across the
 // cluster; only when this node is the best live owner — or every peer
 // failed — does the cell compute locally.
-func (s *Server) submitCell(idA, idB string) (compare.SubmitOutcome, error) {
+func (s *Server) submitCell(idA, idB, tenantName string) (compare.SubmitOutcome, error) {
 	if s.cluster != nil {
 		if sub, ok := s.resolveLocalCached(crossKey(idA, idB)); ok {
 			return cellOutcome(sub), nil
 		}
-		if out, ok := s.remoteCell(idA, idB); ok {
+		if out, ok := s.remoteCell(idA, idB, tenantName); ok {
 			return out, nil
 		}
 	}
-	sub, err := s.submitRequest(JobRequest{DatasetA: idA, DatasetB: idB})
+	// Matrix cells are batch work under the run's tenant: a K-way flood must
+	// never starve concurrent interactive jobs of the fair-share scheduler.
+	who := s.tenants.Resolve("")
+	if q, ok := s.tenants.ByName(tenantName); ok {
+		who = q
+	} else if tenantName != "" {
+		who.Name = tenantName
+	}
+	sub, err := s.submitRequestAs(JobRequest{DatasetA: idA, DatasetB: idB, Band: sched.BandBatch.String()},
+		who, trace.Context{})
 	if err != nil {
 		return compare.SubmitOutcome{}, err
 	}
@@ -1171,6 +1278,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"queue_depth":    cfg.QueueDepth,
 		},
 	}
+	weights := make(map[string]int, sched.NumBands)
+	for b := sched.Band(0); b < sched.NumBands; b++ {
+		weights[b.String()] = cfg.BandWeights[b]
+	}
+	resp["qos"] = map[string]any{
+		"multi_tenant":   s.tenants.Enabled(),
+		"tenants":        len(s.tenants.Tenants),
+		"band_weights":   weights,
+		"reserved_slots": cfg.ReservedSlots,
+		"aging_boost":    cfg.AgingBoost.String(),
+		"queue_pin_age":  s.pinAge.String(),
+	}
 	if rev := buildRevision(); rev != "" {
 		resp["revision"] = rev
 	}
@@ -1318,14 +1437,33 @@ func requestForm(req JobRequest) string {
 	return "tasks"
 }
 
+// materialized is the outcome of materializeRequest: the task source to
+// run plus the submission metadata resolved along the way.
+type materialized struct {
+	name string
+	src  sched.TaskSource
+	// contentKey is the content-hash cache key when materialization resolved
+	// one (e.g. a spec was ingested); empty when the content address stays
+	// unknown.
+	contentKey string
+	// cross is the tile-pairing metadata of a cross-dataset job.
+	cross *CrossPayload
+	// pinned lists the dataset IDs the source holds pins on — the input to
+	// pin-aware queue aging.
+	pinned []string
+	// degraded marks a spec/corpus job whose dataset admission declined:
+	// the job runs uncached from memory instead of overshooting the budget.
+	degraded bool
+}
+
 // materializeRequest turns a checked JobRequest into the task source to
 // run. Dataset jobs come back as lazy store tile handles; cross-dataset
 // jobs as lazy tile-pair handles over the two segment files (cross carries
-// the pairing report); generated requests are, when a store is configured,
-// ingested so their results can be cached (and later requested) by content
-// hash — contentKey carries that resolved cache key, empty when the content
-// address is unknown. Pin acquisition is recorded into rec.
-func (s *Server) materializeRequest(rec *trace.Recorder, req JobRequest) (name string, src sched.TaskSource, contentKey string, cross *CrossPayload, err error) {
+// the pairing report); generated requests are, when a store is configured
+// and admission control accepts the bytes, ingested so their results can be
+// cached (and later requested) by content hash. Pin acquisition is recorded
+// into rec; who rides along for admission and cluster-call attribution.
+func (s *Server) materializeRequest(rec *trace.Recorder, who tenant.Quota, req JobRequest) (materialized, error) {
 	if req.DatasetA != "" {
 		// Pin before opening: after Pin succeeds no delete or retention
 		// sweep can remove the dataset, so the open below cannot race an
@@ -1334,39 +1472,41 @@ func (s *Server) materializeRequest(rec *trace.Recorder, req JobRequest) (name s
 		if req.DatasetB != req.DatasetA {
 			ids = append(ids, req.DatasetB)
 		}
-		if err := s.ensureLocal(rec, ids...); err != nil {
-			return "", nil, "", nil, err
+		if err := s.ensureLocal(rec, who.Name, ids...); err != nil {
+			return materialized{}, err
 		}
 		pinStart := time.Now()
 		name, csrc, match, self, err := s.openPairPinned(ids, req.DatasetA, req.DatasetB)
 		rec.Add("pin", "pair", pinStart, time.Now())
 		if err != nil {
-			return "", nil, "", nil, err
+			return materialized{}, err
 		}
 		for _, id := range ids {
 			s.store.Touch(id)
 		}
-		if self {
+		m := materialized{name: name, src: csrc, contentKey: crossKey(req.DatasetA, req.DatasetB), pinned: ids}
+		if !self {
 			// A self-comparison is the dataset's own embedded A-vs-B job
 			// (same cache key, bit-identical report), so no cross block:
 			// the response contract must not depend on which request form
 			// populated the shared cache entry.
-			return name, csrc, crossKey(req.DatasetA, req.DatasetB), nil, nil
+			m.cross = crossPayload(req.DatasetA, req.DatasetB, match)
 		}
-		return name, csrc, crossKey(req.DatasetA, req.DatasetB), crossPayload(req.DatasetA, req.DatasetB, match), nil
+		return m, nil
 	}
 	if req.DatasetID != "" {
-		if err := s.ensureLocal(rec, req.DatasetID); err != nil {
-			return "", nil, "", nil, err
+		if err := s.ensureLocal(rec, who.Name, req.DatasetID); err != nil {
+			return materialized{}, err
 		}
 		pinStart := time.Now()
 		src, man, err := s.openDatasetPinned(req.DatasetID)
 		rec.Add("pin", "dataset", pinStart, time.Now())
 		if err != nil {
-			return "", nil, "", nil, err
+			return materialized{}, err
 		}
 		s.store.Touch(man.ID)
-		return man.DisplayName(), src, datasetKey(man.ID), nil, nil
+		return materialized{name: man.DisplayName(), src: src,
+			contentKey: datasetKey(man.ID), pinned: []string{man.ID}}, nil
 	}
 	if req.Corpus != "" || req.Spec != nil {
 		var spec pathology.DatasetSpec
@@ -1379,7 +1519,7 @@ func (s *Server) materializeRequest(rec *trace.Recorder, req JobRequest) (name s
 			}
 		}
 		d := pathology.Generate(spec)
-		src := sched.TaskSource(sched.Tasks(pipeline.EncodeDataset(d)))
+		m := materialized{name: spec.Name, src: sched.Tasks(pipeline.EncodeDataset(d))}
 		if s.store != nil {
 			specKey := requestKey(req)
 			dsID := ""
@@ -1395,11 +1535,26 @@ func (s *Server) materializeRequest(rec *trace.Recorder, req JobRequest) (name s
 				}
 			}
 			if dsID == "" {
-				// Persist the generated content; on failure the job still
-				// runs, degrading to request-hash caching — but visibly.
-				if man, ierr := s.store.IngestDataset(d); ierr == nil {
+				// Admission gates the bytes BEFORE any write: the exact
+				// segment size is arithmetic over the generated polygons, so
+				// a dataset that would overshoot the byte budget (or the
+				// tenant's quota) never touches disk. A decline degrades the
+				// job to uncached in-memory execution — same result bytes,
+				// no persistence — rather than rejecting work the scheduler
+				// could still run.
+				if aerr := s.admitIngest(who, store.DatasetBytes(d)); aerr != nil {
+					m.degraded = true
+					s.degradedUnc.Inc()
+					s.log.Warn("spec ingest declined, job degraded to uncached",
+						"dataset", spec.Name, "tenant", who.Name, "reason", aerr.code)
+				} else if man, ierr := s.store.IngestDataset(d); ierr == nil {
+					// Persist the generated content; on failure the job still
+					// runs, degrading to request-hash caching — but visibly.
 					s.ingests.Inc()
 					s.specIDs.put(specKey, man.ID)
+					if s.tusage != nil {
+						s.tusage.Attribute(who.Name, man.ID, man.SegmentBytes)
+					}
 					if s.store.Pin(man.ID) == nil {
 						dsID = man.ID
 					}
@@ -1410,17 +1565,18 @@ func (s *Server) materializeRequest(rec *trace.Recorder, req JobRequest) (name s
 			}
 			if dsID != "" {
 				s.store.Touch(dsID)
-				contentKey = datasetKey(dsID)
-				src = wrapPinned(s.store, src, dsID)
+				m.contentKey = datasetKey(dsID)
+				m.src = wrapPinned(s.store, m.src, dsID)
+				m.pinned = []string{dsID}
 			}
 		}
-		return spec.Name, src, contentKey, nil, nil
+		return m, nil
 	}
 	tasks := make([]pipeline.FileTask, len(req.Tasks))
 	for i, t := range req.Tasks {
 		tasks[i] = pipeline.FileTask{Image: t.Image, Tile: t.Tile, RawA: t.RawA, RawB: t.RawB}
 	}
-	return "upload", sched.Tasks(tasks), "", nil, nil
+	return materialized{name: "upload", src: sched.Tasks(tasks)}, nil
 }
 
 func corpusByName(name string) (pathology.DatasetSpec, bool) {

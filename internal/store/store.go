@@ -432,6 +432,22 @@ func (s *Store) PinnedCount() int {
 	return len(s.pins)
 }
 
+// PinnedBytes returns the summed segment bytes of currently pinned datasets
+// — the part of the store a sweep can never reclaim. Admission control uses
+// it to distinguish "cannot fit until pins release" (retryable) from "cannot
+// fit even after evicting everything unpinned" (reject or degrade).
+func (s *Store) PinnedBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var total int64
+	for id := range s.pins {
+		if man, ok := s.datasets[id]; ok {
+			total += man.SegmentBytes
+		}
+	}
+	return total
+}
+
 // TotalBytes returns the summed segment size of every stored dataset — the
 // quantity the retention byte budget bounds.
 func (s *Store) TotalBytes() int64 {
@@ -537,6 +553,22 @@ func (s *Store) Ingest(name string, tiles []IngestTile) (*Manifest, error) {
 		}
 	}
 	return w.Commit()
+}
+
+// DatasetBytes returns the exact segment size d would occupy if ingested —
+// the WKB framing is deterministic in vertex counts, so admission control
+// can size a generated dataset without encoding or touching disk.
+func DatasetBytes(d *pathology.Dataset) int64 {
+	var total int64
+	for _, tp := range d.Pairs {
+		for _, p := range tp.A {
+			total += recLenBytes + int64(wkb.Size(p))
+		}
+		for _, p := range tp.B {
+			total += recLenBytes + int64(wkb.Size(p))
+		}
+	}
+	return total
 }
 
 // IngestDataset persists a generated pathology dataset under its spec name.
@@ -670,6 +702,10 @@ func (w *Writer) AddTile(image string, tile int, a, b []*geom.Polygon) error {
 	w.polys += int64(len(a) + len(b))
 	return nil
 }
+
+// Bytes returns the segment bytes appended so far — the quantity a
+// streaming ingest's admission check compares against byte budgets.
+func (w *Writer) Bytes() int64 { return w.off }
 
 // Abort discards the in-progress ingest.
 func (w *Writer) Abort() {

@@ -50,6 +50,10 @@ func Marshal(p *geom.Polygon) []byte {
 	return out
 }
 
+// Size returns len(Marshal(p)) without encoding — admission control sizes a
+// dataset before deciding whether it may touch disk.
+func Size(p *geom.Polygon) int { return headerBytes + (len(p.Vertices())+1)*pointBytes }
+
 // Unmarshal decodes and fully validates a WKB polygon, the work a spatial
 // function performs on each argument of each call. Coordinates must be
 // integral and in int32 range (the pixel-grid domain).

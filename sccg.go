@@ -42,6 +42,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/server"
 	"repro/internal/store"
+	"repro/internal/tenant"
 )
 
 // Re-exported core types, so downstream users work entirely through this
@@ -375,6 +376,24 @@ type ServiceOptions struct {
 	// NoTrace disables per-job span recording; only for measuring tracing's
 	// own overhead (cmd/bench trace_overhead).
 	NoTrace bool
+	// Tenants is the multi-tenant QoS configuration (token-keyed tenants
+	// with byte/dataset/queued-job quotas); the zero value runs everything
+	// as one unlimited default tenant.
+	Tenants tenant.Config
+	// BandWeights overrides the per-band fair-share weights of the
+	// scheduler's priority queues; zero entries select the defaults
+	// (interactive 8, batch 2, ingest 3).
+	BandWeights [sched.NumBands]int
+	// AgingBoost is how long a queued job may wait before it is dispatched
+	// ahead of fair share; 0 selects the 30s default, negative disables.
+	AgingBoost time.Duration
+	// ReservedSlots reserves device slots for interactive jobs; 0
+	// auto-reserves one when more than one slot exists, negative disables.
+	ReservedSlots int
+	// QueuePinAge is the pin-aware queue-aging threshold: queued jobs older
+	// than this may be canceled when their dataset pins block a retention
+	// sweep from meeting its byte budget. 0 disables.
+	QueuePinAge time.Duration
 }
 
 // Service is the resident SCCG job service (paper §4 generalised to a
@@ -405,6 +424,12 @@ func NewService(opts ServiceOptions) *Service {
 		QueueDepth:   opts.QueueDepth,
 		Registry:     reg,
 		NoTrace:      opts.NoTrace,
+		BandWeights:  opts.BandWeights,
+		AgingBoost:   opts.AgingBoost,
+		// The scheduler enforces per-tenant queued-job quotas atomically at
+		// enqueue; the closure keeps the scheduler tenant-config-agnostic.
+		ReservedSlots:    opts.ReservedSlots,
+		TenantQueueLimit: opts.Tenants.QueueLimit,
 	})
 	// The synchronous /compare endpoint runs on a CPU engine through the
 	// facade's error-returning path, leaving pool devices to the job queue.
@@ -454,6 +479,8 @@ func NewService(opts ServiceOptions) *Service {
 			Cluster:           node,
 			QuerylogMaxBytes:  opts.QuerylogMaxBytes,
 			SlowQuery:         opts.SlowQuery,
+			Tenants:           opts.Tenants,
+			QueuePinAge:       opts.QueuePinAge,
 			Retention: retention.Policy{
 				MaxBytes:        opts.StoreMaxBytes,
 				TTL:             opts.StoreTTL,
